@@ -1,0 +1,107 @@
+package repro
+
+// Benchmarks for the extension modules (DESIGN.md §6): planning, power
+// budgeting, the fleet-wide objective, sojourn quantiles, and M/M/m/K.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/plan"
+	"repro/internal/power"
+	"repro/internal/queueing"
+)
+
+func BenchmarkOptimizeTotalN7(b *testing.B) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OptimizeTotal(g, lambda, core.Options{Discipline: queueing.FCFS}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeCappedN7(b *testing.B) {
+	g := model.LiExample1Group()
+	lambda := 0.4 * g.MaxGenericRate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(g, lambda, core.Options{
+			Discipline: queueing.FCFS, MaxUtilization: 0.6,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxAdmissibleRate(b *testing.B) {
+	g := model.LiExample1Group()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.MaxAdmissibleRate(g, queueing.FCFS, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanBlades(b *testing.B) {
+	g := model.LiExample1Group()
+	lambda := 0.6 * g.MaxGenericRate()
+	res, err := core.Optimize(g, lambda, core.Options{Discipline: queueing.FCFS})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sla := res.AvgResponseTime * 0.98
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := plan.PlanBlades(g, queueing.FCFS, lambda, sla, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowerOptimizeSpeeds(b *testing.B) {
+	cfg := power.Config{
+		Sizes: []int{2, 4, 8}, SpecialFraction: 0.2, TaskSize: 1,
+		GenericRate: 4, Discipline: queueing.FCFS,
+		Alpha: 3, Budget: 40, Tolerance: 1e-4, InnerEpsilon: 1e-7,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := power.OptimizeSpeeds(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSojournQuantile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := queueing.ResponseTimeQuantile(14, 0.8, 1.0, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMMmK(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := queueing.SolveMMmK(14, 200, 11.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiClassWaits(b *testing.B) {
+	rates := []float64{0.5, 0.8, 1.0, 0.6, 0.4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := queueing.MultiClassWaits(8, rates, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

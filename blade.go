@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"repro/internal/balance"
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+)
+
+// Server describes one heterogeneous blade server: Size blades of
+// execution speed Speed, preloaded with dedicated special tasks
+// arriving at rate SpecialRate.
+type Server = model.Server
+
+// Cluster is a group of blade servers sharing one generic task stream;
+// TaskSize is the mean task execution requirement r̄.
+type Cluster = model.Group
+
+// Discipline selects how special tasks are scheduled relative to
+// generic tasks.
+type Discipline = queueing.Discipline
+
+const (
+	// FCFS mixes generic and special tasks in one first-come-first-
+	// served queue per server (paper §3).
+	FCFS = queueing.FCFS
+	// PrioritySpecial gives special tasks non-preemptive priority over
+	// generic tasks (paper §4).
+	PrioritySpecial = queueing.Priority
+)
+
+// Allocation is an optimal load distribution: per-server generic rates,
+// utilizations, response times, and the minimized average response
+// time T′ of generic tasks.
+type Allocation = core.Result
+
+// PaperExampleCluster returns the system of the paper's Examples 1–2:
+// seven servers with m_i = 2i blades of speed 1.7 − 0.1i, task size
+// r̄ = 1, each preloaded with special tasks to 30 % utilization.
+func PaperExampleCluster() *Cluster { return model.LiExample1Group() }
+
+// NewCluster builds and validates a cluster. taskSize is r̄, the mean
+// task execution requirement in the same units as the server speeds
+// (e.g. giga-instructions against giga-instructions per second).
+func NewCluster(servers []Server, taskSize float64) (*Cluster, error) {
+	c := &Cluster{Servers: servers, TaskSize: taskSize}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Optimize computes the optimal distribution of a generic stream of
+// total rate genericRate over the cluster (the paper's Fig. 2–3
+// algorithms). genericRate must be positive and below the cluster's
+// saturation point MaxGenericRate.
+func Optimize(c *Cluster, genericRate float64, d Discipline) (*Allocation, error) {
+	return core.Optimize(c, genericRate, core.Options{Discipline: d})
+}
+
+// AllTasksAllocation is a load distribution minimizing the average
+// response time over all tasks (generic and special together) — an
+// objective beyond the paper's generic-only T′.
+type AllTasksAllocation = core.TotalResult
+
+// OptimizeAllTasks distributes the generic stream to minimize the
+// fleet-wide average response time, counting the preloaded special
+// tasks as well. With zero special load it coincides with Optimize.
+func OptimizeAllTasks(c *Cluster, genericRate float64, d Discipline) (*AllTasksAllocation, error) {
+	return core.OptimizeTotal(c, genericRate, core.Options{Discipline: d})
+}
+
+// OptimizeClosedForm solves the single-blade case (every server Size 1)
+// using the paper's closed forms (Theorem 1 for FCFS, Theorem 3 for
+// priority). It errors if any server has more than one blade.
+func OptimizeClosedForm(c *Cluster, genericRate float64, d Discipline) (*Allocation, error) {
+	if d == PrioritySpecial {
+		return core.ClosedFormPriority(c, genericRate)
+	}
+	return core.ClosedFormFCFS(c, genericRate)
+}
+
+// Analyze evaluates a given (not necessarily optimal) distribution:
+// it returns the average generic response time T′ under rates, which
+// must be feasible (non-negative, stable, one per server).
+func Analyze(c *Cluster, rates []float64, d Discipline) (float64, error) {
+	if err := c.Feasible(rates); err != nil {
+		return 0, err
+	}
+	return c.AverageResponseTime(d, rates), nil
+}
+
+// Baselines returns the naive allocation policies the optimal solution
+// is compared against (proportional, equal-rate, equal-utilization,
+// fastest-first, greedy marginal-cost).
+func Baselines(d Discipline) []balance.Allocator { return balance.All(d) }
+
+// SimulationResult is the aggregate of simulation replications: the
+// simulated T′ with a confidence interval, plus measured utilizations.
+type SimulationResult = sim.RepResult
+
+// Simulate runs a discrete-event simulation of the cluster with the
+// generic stream split probabilistically according to rates (the
+// paper's model realized on a live task stream), using the given
+// number of replications at 95 % confidence. horizon is the simulated
+// duration per replication; the first tenth is discarded as warm-up.
+func Simulate(c *Cluster, rates []float64, d Discipline, horizon float64, replications int, seed int64) (*SimulationResult, error) {
+	if err := c.Feasible(rates); err != nil {
+		return nil, err
+	}
+	disp, err := dispatch.NewProbabilistic(rates)
+	if err != nil {
+		return nil, err
+	}
+	var total float64
+	for _, r := range rates {
+		total += r
+	}
+	return sim.RunReplications(sim.Config{
+		Group:       c,
+		Discipline:  d,
+		GenericRate: total,
+		Dispatcher:  disp,
+		Horizon:     horizon,
+		Warmup:      horizon / 10,
+		Seed:        seed,
+	}, replications, 0.95)
+}

@@ -1,0 +1,221 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewClusterValidates(t *testing.T) {
+	c, err := NewCluster([]Server{{Size: 2, Speed: 1.5, SpecialRate: 0.5}}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 1 {
+		t.Fatalf("n = %d", c.N())
+	}
+	if _, err := NewCluster(nil, 1.0); err == nil {
+		t.Error("empty cluster should fail")
+	}
+	if _, err := NewCluster([]Server{{Size: 0, Speed: 1}}, 1.0); err == nil {
+		t.Error("invalid server should fail")
+	}
+	if _, err := NewCluster([]Server{{Size: 1, Speed: 1}}, 0); err == nil {
+		t.Error("zero task size should fail")
+	}
+}
+
+func TestOptimizeFacadeReproducesPaper(t *testing.T) {
+	c := PaperExampleCluster()
+	lambda := 0.5 * c.MaxGenericRate()
+	fc, err := Optimize(c, lambda, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fc.AvgResponseTime-0.8964703) > 5e-8 {
+		t.Fatalf("FCFS T′ = %.7f", fc.AvgResponseTime)
+	}
+	pr, err := Optimize(c, lambda, PrioritySpecial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pr.AvgResponseTime-0.9209392) > 5e-8 {
+		t.Fatalf("priority T′ = %.7f", pr.AvgResponseTime)
+	}
+}
+
+func TestOptimizeAllTasksFacade(t *testing.T) {
+	c := PaperExampleCluster()
+	lambda := 0.5 * c.MaxGenericRate()
+	tot, err := OptimizeAllTasks(c, lambda, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Optimize(c, lambda, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The all-task optimizer trades a little generic time for the
+	// fleet; sanity-check the ordering both ways.
+	if tot.AvgGeneric < gen.AvgResponseTime-1e-9 {
+		t.Fatalf("all-task generic %.9f beats generic optimum %.9f", tot.AvgGeneric, gen.AvgResponseTime)
+	}
+	if tot.AvgAllTasks <= 0 || tot.AvgSpecial <= 0 {
+		t.Fatalf("averages: %+v", tot)
+	}
+}
+
+func TestAnalyzeFacade(t *testing.T) {
+	c := PaperExampleCluster()
+	lambda := 0.5 * c.MaxGenericRate()
+	alloc, err := Optimize(c, lambda, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Analyze(c, alloc.Rates, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-alloc.AvgResponseTime) > 1e-12 {
+		t.Fatalf("Analyze %.12g vs Optimize %.12g", got, alloc.AvgResponseTime)
+	}
+	if _, err := Analyze(c, []float64{1}, FCFS); err == nil {
+		t.Error("wrong-length rates should fail")
+	}
+}
+
+func TestOptimizeClosedFormFacade(t *testing.T) {
+	c, err := NewCluster([]Server{
+		{Size: 1, Speed: 2.0, SpecialRate: 0.5},
+		{Size: 1, Speed: 1.0, SpecialRate: 0.2},
+	}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 0.5 * c.MaxGenericRate()
+	for _, d := range []Discipline{FCFS, PrioritySpecial} {
+		cf, err := OptimizeClosedForm(c, lambda, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		num, err := Optimize(c, lambda, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cf.AvgResponseTime-num.AvgResponseTime) > 1e-8 {
+			t.Fatalf("%v: closed form %.10g vs numeric %.10g", d, cf.AvgResponseTime, num.AvgResponseTime)
+		}
+	}
+	// Closed forms reject multi-blade clusters.
+	if _, err := OptimizeClosedForm(PaperExampleCluster(), 1, FCFS); err == nil {
+		t.Error("multi-blade closed form should fail")
+	}
+}
+
+func TestBaselinesFacade(t *testing.T) {
+	bs := Baselines(FCFS)
+	if len(bs) != 6 {
+		t.Fatalf("%d baselines", len(bs))
+	}
+	c := PaperExampleCluster()
+	lambda := 0.4 * c.MaxGenericRate()
+	opt, err := Optimize(c, lambda, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bs {
+		rates, err := b.Allocate(c, lambda)
+		if err != nil {
+			continue
+		}
+		baseT, err := Analyze(c, rates, FCFS)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if baseT < opt.AvgResponseTime-1e-9 {
+			t.Errorf("%s beats optimal: %.9f < %.9f", b.Name(), baseT, opt.AvgResponseTime)
+		}
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	c := PaperExampleCluster()
+	lambda := 0.5 * c.MaxGenericRate()
+	alloc, err := Optimize(c, lambda, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(c, alloc.Rates, FCFS, 10000, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.GenericT.Mean-alloc.AvgResponseTime) / alloc.AvgResponseTime; rel > 0.03 {
+		t.Fatalf("simulated %v vs analytic %.6f", res.GenericT, alloc.AvgResponseTime)
+	}
+	if _, err := Simulate(c, []float64{1}, FCFS, 100, 2, 1); err == nil {
+		t.Error("bad rates should fail")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("%d experiment ids", len(ids))
+	}
+	title, err := ExperimentTitle("fig8")
+	if err != nil || title == "" {
+		t.Fatalf("title %q err %v", title, err)
+	}
+	if _, err := ExperimentTitle("nope"); err == nil {
+		t.Error("unknown id should fail")
+	}
+
+	var buf bytes.Buffer
+	if err := RunExperiment("table1", &buf, "text", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.8964703") {
+		t.Errorf("table1 output missing pinned T′:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := RunExperiment("fig12", &buf, "csv", 5); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 6 {
+		t.Errorf("fig12 csv has %d lines", lines)
+	}
+	if err := RunExperiment("fig12", &buf, "yaml", 0); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := RunExperiment("nope", &buf, "text", 0); err == nil {
+		t.Error("unknown id should fail")
+	}
+	buf.Reset()
+	if err := RunExperiment("fig12", &buf, "plot", 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Group 5") || !strings.Contains(buf.String(), "|") {
+		t.Errorf("plot output malformed:\n%s", buf.String())
+	}
+	if err := RunExperiment("table1", &buf, "plot", 0); err == nil {
+		t.Error("plot format on a table should fail")
+	}
+	// Extension experiments run through the same entry point.
+	if len(ExtensionIDs()) != 2 {
+		t.Fatalf("extension ids: %v", ExtensionIDs())
+	}
+	buf.Reset()
+	if err := RunExperiment("ext-caps", &buf, "text", 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "uncapped") {
+		t.Errorf("ext-caps output:\n%s", buf.String())
+	}
+	if err := RunExperiment("ext-nope", &buf, "text", 5); err == nil {
+		t.Error("unknown extension should fail")
+	}
+}

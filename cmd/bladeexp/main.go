@@ -1,0 +1,61 @@
+// Command bladeexp regenerates any table or figure of the paper's
+// evaluation section (§5).
+//
+// Usage:
+//
+//	bladeexp -list                       # show all experiment IDs
+//	bladeexp -id table1                  # Table 1 (optimal distribution, FCFS)
+//	bladeexp -id fig12 -format csv       # Fig. 12 data as CSV
+//	bladeexp -all                        # regenerate everything (text)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	id := flag.String("id", "", "experiment to run (table1, table2, fig4 … fig15)")
+	all := flag.Bool("all", false, "run every experiment")
+	format := flag.String("format", "text", "output format: text, csv, or plot (figures only)")
+	points := flag.Int("points", 0, "λ′ grid points for figures (0 = default)")
+	flag.Parse()
+
+	if err := run(*list, *id, *all, *format, *points); err != nil {
+		fmt.Fprintln(os.Stderr, "bladeexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, id string, all bool, format string, points int) error {
+	switch {
+	case list:
+		for _, eid := range repro.ExperimentIDs() {
+			title, err := repro.ExperimentTitle(eid)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-14s %s\n", eid, title)
+		}
+		for _, eid := range repro.ExtensionIDs() {
+			fmt.Printf("%-14s (extension, beyond the paper)\n", eid)
+		}
+		return nil
+	case all:
+		for _, eid := range repro.ExperimentIDs() {
+			if err := repro.RunExperiment(eid, os.Stdout, format, points); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case id != "":
+		return repro.RunExperiment(id, os.Stdout, format, points)
+	default:
+		return fmt.Errorf("need -list, -id ID, or -all")
+	}
+}

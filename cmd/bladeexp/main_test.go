@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, func() error { return run(true, "", false, "text", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "table2", "fig4", "fig15"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %q", id)
+		}
+	}
+}
+
+func TestSingleTable(t *testing.T) {
+	out, err := capture(t, func() error { return run(false, "table1", false, "text", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0.8964703") {
+		t.Errorf("table1 missing pinned digits:\n%s", out)
+	}
+}
+
+func TestSingleFigureCSVWithPoints(t *testing.T) {
+	out, err := capture(t, func() error { return run(false, "fig14", false, "csv", 4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 grid rows
+		t.Fatalf("expected 5 CSV lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestListIncludesExtensions(t *testing.T) {
+	out, err := capture(t, func() error { return run(true, "", false, "text", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"ext-objectives", "ext-caps"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %q", id)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every artifact")
+	}
+	out, err := capture(t, func() error { return run(false, "", true, "text", 4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"0.8964703", "0.9209392", "Fig4", "Fig15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-all output missing %q", want)
+		}
+	}
+}
+
+func TestExtensionByID(t *testing.T) {
+	out, err := capture(t, func() error { return run(false, "ext-caps", false, "text", 4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "uncapped") {
+		t.Errorf("ext-caps output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run(false, "", false, "text", 0) }); err == nil {
+		t.Error("no mode should fail")
+	}
+	if _, err := capture(t, func() error { return run(false, "fig99", false, "text", 0) }); err == nil {
+		t.Error("unknown id should fail")
+	}
+	if _, err := capture(t, func() error { return run(false, "fig4", false, "xml", 0) }); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSelf executes the command's run() with stdout captured.
+func runSelf(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func TestRunExampleText(t *testing.T) {
+	out, err := runSelf(t, func() error {
+		return run("", true, "", 0, 0.5, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"0.8964703", "λ′ = 23.52", "fcfs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExamplePriorityJSON(t *testing.T) {
+	out, err := runSelf(t, func() error {
+		return run("", true, "", 0, 0.5, true, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o output
+	if err := json.Unmarshal([]byte(out), &o); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if o.Discipline != "priority" || len(o.Rates) != 7 {
+		t.Fatalf("unexpected output %+v", o)
+	}
+	if o.AvgResponseTime < 0.92 || o.AvgResponseTime > 0.93 {
+		t.Fatalf("T′ = %g", o.AvgResponseTime)
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	specJSON := `{
+		"task_size": 1.0,
+		"servers": [
+			{"size": 2, "speed": 1.6, "special_rate": 0.96},
+			{"size": 4, "speed": 1.5, "special_rate": 1.8}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runSelf(t, func() error {
+		return run(path, false, "", 2.0, 0, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "λ′ = 2.000000") {
+		t.Errorf("output missing explicit rate:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := runSelf(t, func() error { return run("", false, "", 0, 0.5, false, false) }); err == nil {
+		t.Error("no spec and no example should fail")
+	}
+	if _, err := runSelf(t, func() error { return run("/nonexistent.json", false, "", 0, 0.5, false, false) }); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := runSelf(t, func() error { return run("", true, "", 0, 1.5, false, false) }); err == nil {
+		t.Error("frac out of range should fail")
+	}
+	if _, err := runSelf(t, func() error { return run("", true, "", 1e9, 0, false, false) }); err == nil {
+		t.Error("saturating rate should fail")
+	}
+
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runSelf(t, func() error { return run(bad, false, "", 1, 0, false, false) }); err == nil {
+		t.Error("invalid JSON should fail")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"task_size":1,"servers":[{"size":0,"speed":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runSelf(t, func() error { return run(invalid, false, "", 1, 0, false, false) }); err == nil {
+		t.Error("invalid cluster should fail")
+	}
+}
+
+// End-to-end check through the real binary (exercises flag parsing and
+// the non-zero exit path).
+func TestBinaryExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "bladeopt")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	ok := exec.Command(bin, "-example")
+	if out, err := ok.CombinedOutput(); err != nil {
+		t.Fatalf("expected success: %v\n%s", err, out)
+	}
+	fail := exec.Command(bin)
+	if err := fail.Run(); err == nil {
+		t.Fatal("no args should exit non-zero")
+	}
+}
+
+func TestRunBuiltin(t *testing.T) {
+	out, err := runSelf(t, func() error {
+		return run("", false, "fig14:5", 0, 0.5, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 14 group 5: seven servers of 8 blades at speed 1.3.
+	if !strings.Contains(out, "1.30") {
+		t.Errorf("builtin group not loaded:\n%s", out)
+	}
+	if _, err := runSelf(t, func() error {
+		return run("", false, "nope", 0, 0.5, false, false)
+	}); err == nil {
+		t.Error("unknown builtin should fail")
+	}
+}

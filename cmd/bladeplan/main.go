@@ -1,0 +1,111 @@
+// Command bladeplan answers capacity-planning questions about a blade
+// cluster on top of the optimally distributed model: SLA admission
+// limits, blade purchases for a target load, and uniform refresh
+// factors.
+//
+// Usage:
+//
+//	bladeplan -example -sla 0.95                       # admission limit
+//	bladeplan -spec cluster.json -sla 1.0 -rate 36.7   # blade plan for a load
+//	bladeplan -builtin fig12:3 -sla 0.9 -rate 30 -refresh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/spec"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "path to JSON cluster specification")
+	example := flag.Bool("example", false, "use the paper's Example 1/2 system")
+	builtin := flag.String("builtin", "", "use a built-in system by name")
+	sla := flag.Float64("sla", 0, "response-time SLA for generic tasks (required)")
+	rate := flag.Float64("rate", 0, "target generic load; 0 computes only the admission limit")
+	priority := flag.Bool("priority", false, "special tasks have non-preemptive priority")
+	refresh := flag.Bool("refresh", false, "also compute the uniform speed-refresh factor")
+	maxBlades := flag.Int("max-blades", 200, "budget for the blade plan")
+	flag.Parse()
+
+	if err := run(*specPath, *example, *builtin, *sla, *rate, *priority, *refresh, *maxBlades); err != nil {
+		fmt.Fprintln(os.Stderr, "bladeplan:", err)
+		os.Exit(1)
+	}
+}
+
+func loadCluster(specPath string, example bool, builtin string) (*repro.Cluster, error) {
+	switch {
+	case example:
+		return repro.PaperExampleCluster(), nil
+	case builtin != "":
+		return spec.Builtin(builtin)
+	case specPath != "":
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		doc, err := spec.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		return doc.Build()
+	default:
+		return nil, fmt.Errorf("need -spec FILE, -example, or -builtin NAME")
+	}
+}
+
+func run(specPath string, example bool, builtin string, sla, rate float64, priority, refresh bool, maxBlades int) error {
+	if sla <= 0 {
+		return fmt.Errorf("-sla must be positive")
+	}
+	cluster, err := loadCluster(specPath, example, builtin)
+	if err != nil {
+		return err
+	}
+	d := repro.FCFS
+	if priority {
+		d = repro.PrioritySpecial
+	}
+
+	limit, err := repro.MaxAdmissibleRate(cluster, d, sla)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("admission limit under T′ ≤ %.4g s: λ′ ≤ %.4f tasks/s (%.0f%% of saturation %.4f)\n",
+		sla, limit, limit/cluster.MaxGenericRate()*100, cluster.MaxGenericRate())
+
+	if rate <= 0 {
+		return nil
+	}
+	if rate <= limit {
+		fmt.Printf("target load %.4f is already admissible; no expansion needed\n", rate)
+		return nil
+	}
+	expanded, placements, err := repro.PlanBlades(cluster, d, rate, sla, maxBlades)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nblade plan for λ′ = %.4f: add %d blades\n", rate, len(placements))
+	perServer := map[int]int{}
+	for _, p := range placements {
+		perServer[p.Server]++
+	}
+	for i := 0; i < cluster.N(); i++ {
+		if perServer[i] > 0 {
+			fmt.Printf("  server %d: %d → %d blades (+%d)\n",
+				i+1, cluster.Servers[i].Size, expanded.Servers[i].Size, perServer[i])
+		}
+	}
+	if refresh {
+		k, err := repro.MinSpeedScale(cluster, d, rate, sla, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nalternative: refresh all blades to %.1f%% of current speed\n", k*100)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func TestAdmissionOnly(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", true, "", 0.95, 0, false, false, 200)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "admission limit") || !strings.Contains(out, "28.5") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestBladePlanAndRefresh(t *testing.T) {
+	// λ′ = 33 exceeds the T′ ≤ 0.95 limit (≈ 28.5) on the example
+	// system; the plan must add blades and report the refresh factor.
+	out, err := capture(t, func() error {
+		return run("", true, "", 0.95, 33, false, true, 200)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"blade plan", "add", "refresh all blades"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAlreadyAdmissible(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", true, "", 0.95, 10, false, false, 200)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "already admissible") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestBuiltinAndErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("", false, "fig12:2", 0.95, 0, true, false, 200)
+	}); err != nil {
+		t.Fatalf("builtin run failed: %v", err)
+	}
+	if _, err := capture(t, func() error { return run("", true, "", 0, 0, false, false, 200) }); err == nil {
+		t.Error("missing SLA should fail")
+	}
+	if _, err := capture(t, func() error { return run("", false, "", 1, 0, false, false, 200) }); err == nil {
+		t.Error("no cluster source should fail")
+	}
+	if _, err := capture(t, func() error { return run("", false, "nope", 1, 0, false, false, 200) }); err == nil {
+		t.Error("bad builtin should fail")
+	}
+	if _, err := capture(t, func() error { return run("/nope.json", false, "", 1, 0, false, false, 200) }); err == nil {
+		t.Error("missing spec should fail")
+	}
+	// Impossible SLA.
+	if _, err := capture(t, func() error { return run("", true, "", 0.01, 0, false, false, 200) }); err == nil {
+		t.Error("impossible SLA should fail")
+	}
+}

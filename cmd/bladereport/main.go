@@ -1,0 +1,58 @@
+// Command bladereport regenerates the reproduction audit: it re-runs
+// every pinned-digit, closed-form, optimality, and figure-claim check
+// (and optionally the simulation validation) and emits a Markdown
+// verdict table. Exit status 1 if any check fails.
+//
+// Usage:
+//
+//	bladereport                 # analytical audit (fast)
+//	bladereport -sim            # + discrete-event validation
+//	bladereport -sim -out REPORT.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	simulate := flag.Bool("sim", false, "include simulation validation (slower)")
+	horizon := flag.Float64("horizon", 20000, "simulated duration per replication")
+	reps := flag.Int("reps", 8, "simulation replications")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	points := flag.Int("points", 7, "λ′ grid points for figure claims")
+	out := flag.String("out", "", "write the Markdown report to this path (default stdout)")
+	flag.Parse()
+
+	r, err := report.Run(report.Options{
+		Simulate:   *simulate,
+		SimHorizon: *horizon,
+		SimReps:    *reps,
+		Seed:       *seed,
+		Points:     *points,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bladereport:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bladereport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := r.WriteMarkdown(w); err != nil {
+		fmt.Fprintln(os.Stderr, "bladereport:", err)
+		os.Exit(1)
+	}
+	if !r.Passed() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command bladesim validates the analytical model against the
+// discrete-event simulator: it optimizes the paper's example system at
+// a chosen load, simulates the resulting probabilistic dispatch, and
+// reports analytic vs simulated T′ side by side for both disciplines.
+//
+// Usage:
+//
+//	bladesim [-frac 0.5] [-horizon 20000] [-reps 10] [-seed 1]
+//	bladesim -policies      # also compare online dispatch policies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/dispatch"
+	"repro/internal/sim"
+)
+
+func main() {
+	frac := flag.Float64("frac", 0.5, "λ′ as a fraction of the saturation point")
+	horizon := flag.Float64("horizon", 20000, "simulated duration per replication")
+	reps := flag.Int("reps", 10, "independent replications")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	policies := flag.Bool("policies", false, "also compare online dispatch policies (FCFS only)")
+	flag.Parse()
+
+	if err := run(*frac, *horizon, *reps, *seed, *policies); err != nil {
+		fmt.Fprintln(os.Stderr, "bladesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(frac, horizon float64, reps int, seed int64, policies bool) error {
+	if frac <= 0 || frac >= 1 {
+		return fmt.Errorf("-frac %g must be in (0, 1)", frac)
+	}
+	cluster := repro.PaperExampleCluster()
+	lambda := frac * cluster.MaxGenericRate()
+	fmt.Printf("Paper example system, λ′ = %.4f (%.0f%% of saturation), %d replications × horizon %.0f\n\n",
+		lambda, frac*100, reps, horizon)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "discipline\tanalytic T′\tsimulated T′\t95% CI ±\trel err\t")
+	for _, d := range []repro.Discipline{repro.FCFS, repro.PrioritySpecial} {
+		alloc, err := repro.Optimize(cluster, lambda, d)
+		if err != nil {
+			return err
+		}
+		res, err := repro.Simulate(cluster, alloc.Rates, d, horizon, reps, seed)
+		if err != nil {
+			return err
+		}
+		rel := (res.GenericT.Mean - alloc.AvgResponseTime) / alloc.AvgResponseTime
+		fmt.Fprintf(tw, "%s\t%.6f\t%.6f\t%.6f\t%+.2f%%\t\n",
+			d, alloc.AvgResponseTime, res.GenericT.Mean, res.GenericT.HalfWidth, rel*100)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if !policies {
+		return nil
+	}
+
+	fmt.Println("\nOnline dispatch policies (FCFS):")
+	alloc, err := repro.Optimize(cluster, lambda, repro.FCFS)
+	if err != nil {
+		return err
+	}
+	prob, err := dispatch.NewProbabilistic(alloc.Rates)
+	if err != nil {
+		return err
+	}
+	dispatchers := []sim.Dispatcher{prob, &dispatch.RoundRobin{}, dispatch.JSQ{}, dispatch.LeastExpectedWait{}}
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "policy\tsimulated T′\t95% CI ±\tvs analytic optimum\t")
+	for _, disp := range dispatchers {
+		rep, err := sim.RunReplications(sim.Config{
+			Group: cluster, Discipline: repro.FCFS, GenericRate: lambda,
+			Dispatcher: disp, Horizon: horizon, Warmup: horizon / 10, Seed: seed,
+		}, reps, 0.95)
+		if err != nil {
+			return err
+		}
+		rel := (rep.GenericT.Mean - alloc.AvgResponseTime) / alloc.AvgResponseTime
+		fmt.Fprintf(tw, "%s\t%.6f\t%.6f\t%+.2f%%\t\n",
+			disp.Name(), rep.GenericT.Mean, rep.GenericT.HalfWidth, rel*100)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func TestValidationRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	out, err := capture(t, func() error { return run(0.5, 3000, 4, 1, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fcfs", "priority", "0.896470", "0.920939"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Relative errors should be small percentages, not tens of percent.
+	if strings.Contains(out, "nan") || strings.Contains(out, "Inf") {
+		t.Errorf("numeric garbage in output:\n%s", out)
+	}
+}
+
+func TestPoliciesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	out, err := capture(t, func() error { return run(0.4, 2000, 3, 2, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"probabilistic", "round-robin", "join-shortest-queue", "least-expected-wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing policy %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadFrac(t *testing.T) {
+	if _, err := capture(t, func() error { return run(0, 1000, 2, 1, false) }); err == nil {
+		t.Error("frac 0 should fail")
+	}
+	if _, err := capture(t, func() error { return run(1, 1000, 2, 1, false) }); err == nil {
+		t.Error("frac 1 should fail")
+	}
+}

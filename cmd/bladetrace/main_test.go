@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), errRun
+}
+
+func TestGenerateAndStats(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", true, "", 10, 0, 2000, 1, "", "", true, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"arrivals:", "observed generic rate", "index of dispersion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateWriteReadReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := capture(t, func() error {
+		return run("", true, "", 15, 0, 3000, 2, path, "", false, false, false)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run("", true, "", 0, 0, 0, 3, "", path, true, true, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"replay:", "generic T′", "completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBurstyGeneration(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", true, "", 10, 8, 5000, 4, "", "", true, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dispersion line should reveal clear burstiness; just check
+	// the stat is printed and the run succeeded.
+	if !strings.Contains(out, "index of dispersion") {
+		t.Errorf("missing dispersion stat:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("", true, "", 0, 0, 1000, 1, "", "", false, false, false)
+	}); err == nil {
+		t.Error("no -in and no -rate should fail")
+	}
+	if _, err := capture(t, func() error {
+		return run("", false, "", 10, 0, 1000, 1, "", "", false, false, false)
+	}); err == nil {
+		t.Error("no cluster source should fail")
+	}
+	if _, err := capture(t, func() error {
+		return run("", true, "", 0, 0, 0, 1, "", "/nonexistent.json", true, false, false)
+	}); err == nil {
+		t.Error("missing input should fail")
+	}
+}

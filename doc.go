@@ -1,0 +1,35 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	Keqin Li, "Optimal Load Distribution for Multiple Heterogeneous
+//	Blade Servers in a Cloud Computing Environment",
+//	Journal of Grid Computing 11(1):27–46, 2013 (preliminary version
+//	in Proc. IPDPS Workshops 2011, pp. 943–952).
+//
+// A group of heterogeneous blade servers — each with its own number of
+// blades m_i, blade speed s_i, and preloaded stream of dedicated
+// special tasks λ″_i — receives a common Poisson stream of generic
+// tasks at total rate λ′. The package computes the split
+// λ′_1, …, λ′_n that minimizes the average response time T′ of generic
+// tasks, for both scheduling disciplines the paper analyzes (special
+// tasks mixed FCFS, or given non-preemptive priority), and validates
+// the analytical model with a discrete-event simulator.
+//
+// # Quick start
+//
+//	cluster, err := repro.NewCluster([]repro.Server{
+//	    {Size: 4, Speed: 1.6, SpecialRate: 1.9},
+//	    {Size: 8, Speed: 1.2, SpecialRate: 2.9},
+//	    {Size: 16, Speed: 0.9, SpecialRate: 4.3},
+//	}, 1.0)
+//	...
+//	alloc, err := repro.Optimize(cluster, 10.0, repro.FCFS)
+//	fmt.Println(alloc.Rates, alloc.AvgResponseTime)
+//
+// The subpackages under internal/ hold the substrates: queueing theory
+// (internal/queueing), the optimizer (internal/core), baseline
+// allocators (internal/balance), the discrete-event simulator
+// (internal/sim), dispatch policies (internal/dispatch), synthetic
+// traces (internal/trace), and one runnable definition per paper table
+// and figure (internal/experiments). This root package is the stable
+// public surface.
+package repro

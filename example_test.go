@@ -1,0 +1,98 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The paper's Example 1: seven heterogeneous blade servers, half the
+// residual capacity offered as generic load, special tasks without
+// priority. Reproduces Table 1's minimized T′ exactly.
+func ExampleOptimize() {
+	cluster := repro.PaperExampleCluster()
+	lambda := 0.5 * cluster.MaxGenericRate()
+	alloc, err := repro.Optimize(cluster, lambda, repro.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T' = %.7f\n", alloc.AvgResponseTime)
+	fmt.Printf("server 1 gets %.7f tasks/s\n", alloc.Rates[0])
+	// Output:
+	// T' = 0.8964703
+	// server 1 gets 0.6652046 tasks/s
+}
+
+// Example 2: the same system with special tasks given non-preemptive
+// priority (Table 2).
+func ExampleOptimize_priority() {
+	cluster := repro.PaperExampleCluster()
+	lambda := 0.5 * cluster.MaxGenericRate()
+	alloc, err := repro.Optimize(cluster, lambda, repro.PrioritySpecial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T' = %.7f\n", alloc.AvgResponseTime)
+	// Output:
+	// T' = 0.9209392
+}
+
+// Theorem 1's closed form for single-blade servers agrees with the
+// general bisection solver.
+func ExampleOptimizeClosedForm() {
+	cluster, err := repro.NewCluster([]repro.Server{
+		{Size: 1, Speed: 2.0, SpecialRate: 0.6},
+		{Size: 1, Speed: 1.0, SpecialRate: 0.2},
+	}, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	closed, err := repro.OptimizeClosedForm(cluster, 1.0, repro.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	numeric, err := repro.Optimize(cluster, 1.0, repro.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closed form T' = %.6f\n", closed.AvgResponseTime)
+	fmt.Printf("bisection   T' = %.6f\n", numeric.AvgResponseTime)
+	// Output:
+	// closed form T' = 1.597168
+	// bisection   T' = 1.597168
+}
+
+// Evaluating a hand-built distribution without optimizing.
+func ExampleAnalyze() {
+	cluster := repro.PaperExampleCluster()
+	// Spread 14 tasks/s evenly over the seven servers.
+	rates := make([]float64, cluster.N())
+	for i := range rates {
+		rates[i] = 2.0
+	}
+	t, err := repro.Analyze(cluster, rates, repro.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := repro.Optimize(cluster, 14.0, repro.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("equal split T' = %.4f, optimal T' = %.4f\n", t, opt.AvgResponseTime)
+	// Output:
+	// equal split T' = 1.3460, optimal T' = 0.8262
+}
+
+// Admission control: the largest generic load the cluster can accept
+// under a response-time SLA.
+func ExampleMaxAdmissibleRate() {
+	cluster := repro.PaperExampleCluster()
+	limit, err := repro.MaxAdmissibleRate(cluster, repro.FCFS, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admit up to %.1f tasks/s under T' <= 1.0 s\n", limit)
+	// Output:
+	// admit up to 31.3 tasks/s under T' <= 1.0 s
+}

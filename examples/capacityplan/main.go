@@ -1,0 +1,83 @@
+// Capacityplan: the inverse problems a provider actually faces on top
+// of the paper's forward model — (1) how much generic load can this
+// group admit under a response-time SLA, (2) how many blades must be
+// added to absorb projected growth, and (3) what uniform hardware
+// refresh achieves the same thing. All answers evaluate the optimally
+// distributed system, i.e. the frontier of the paper's policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cluster := repro.PaperExampleCluster()
+	fmt.Printf("paper example system: 7 servers, %d blades, λ′_max = %.2f tasks/s\n\n",
+		cluster.TotalBlades(), cluster.MaxGenericRate())
+
+	// 1. Admission control: SLA frontier.
+	fmt.Println("Admission limits (optimal distribution, FCFS vs priority):")
+	for _, sla := range []float64{0.90, 0.95, 1.00, 1.10, 1.25} {
+		fc, err := repro.MaxAdmissibleRate(cluster, repro.FCFS, sla)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr, err := repro.MaxAdmissibleRate(cluster, repro.PrioritySpecial, sla)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  SLA T′ ≤ %.2f s: admit λ′ ≤ %6.2f (FCFS) / %6.2f (priority) — %.0f%% / %.0f%% of saturation\n",
+			sla, fc, pr, fc/cluster.MaxGenericRate()*100, pr/cluster.MaxGenericRate()*100)
+	}
+
+	// 2. Growth planning: demand rises 30 % beyond today's 60 % load.
+	today := 0.6 * cluster.MaxGenericRate()
+	projected := 1.3 * today
+	alloc, err := repro.Optimize(cluster, today, repro.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sla := alloc.AvgResponseTime // hold today's response time as the SLA
+	fmt.Printf("\nToday: λ′ = %.2f, optimal T′ = %.4f s (adopted as SLA)\n", today, sla)
+	fmt.Printf("Projected demand: λ′ = %.2f (+30%%)\n", projected)
+
+	expanded, placements, err := repro.PlanBlades(cluster, repro.FCFS, projected, sla, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Blade plan: add %d blades to hold the SLA:\n", len(placements))
+	perServer := make(map[int]int)
+	for _, p := range placements {
+		perServer[p.Server]++
+	}
+	for i := 0; i < cluster.N(); i++ {
+		if perServer[i] > 0 {
+			fmt.Printf("  server %d (%.1f GIPS blades): +%d blades (%d → %d)\n",
+				i+1, cluster.Servers[i].Speed, perServer[i],
+				cluster.Servers[i].Size, expanded.Servers[i].Size)
+		}
+	}
+	finalT, err := repro.Analyze(expanded, mustOptimize(expanded, projected).Rates, repro.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  resulting T′ at projected load: %.4f s (SLA %.4f)\n", finalT, sla)
+
+	// 3. Alternative: uniform hardware refresh instead of more blades.
+	k, err := repro.MinSpeedScale(cluster, repro.FCFS, projected, sla, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOr refresh every blade to %.1f%% of current speed to hold the same SLA.\n", k*100)
+}
+
+func mustOptimize(c *repro.Cluster, lambda float64) *repro.Allocation {
+	a, err := repro.Optimize(c, lambda, repro.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return a
+}

@@ -1,0 +1,79 @@
+// Multicluster: the paper notes its model applies unchanged to "a
+// cluster of traditional heterogeneous clusters of PCs or workstations".
+// This example models a university grid of four PC clusters of
+// different generations, sweeps the offered generic load from light to
+// near saturation, and quantifies how much the optimal distribution
+// saves over naive policies at each load level — reproducing the
+// qualitative shape of the paper's Figs. 4–11 on a realistic scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	// Four PC clusters: newer clusters have fewer but faster machines.
+	// Each cluster runs local jobs (special tasks) submitted by its
+	// owning department; the grid scheduler distributes campus-wide
+	// batch jobs (generic tasks).
+	grid, err := repro.NewCluster([]repro.Server{
+		{Size: 64, Speed: 0.8, SpecialRate: 20.5}, // 2019 commodity nodes, ρ″ ≈ 0.40
+		{Size: 48, Speed: 1.1, SpecialRate: 13.2}, // 2021 nodes, ρ″ ≈ 0.25
+		{Size: 32, Speed: 1.5, SpecialRate: 9.6},  // 2023 nodes, ρ″ ≈ 0.20
+		{Size: 16, Speed: 2.2, SpecialRate: 3.5},  // 2025 flagship nodes, ρ″ ≈ 0.10
+	}, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campus grid: %d clusters, %d machines, saturation λ′_max = %.2f jobs/s\n\n",
+		grid.N(), grid.TotalBlades(), grid.MaxGenericRate())
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "load\tλ′\toptimal T′\tequal-util T′\tfastest-first T′\tbest saving\t")
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 0.9, 0.95} {
+		lambda := frac * grid.MaxGenericRate()
+		opt, err := repro.Optimize(grid, lambda, repro.FCFS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := opt.AvgResponseTime
+		row := []string{fmt.Sprintf("%.0f%%", frac*100), fmt.Sprintf("%.2f", lambda),
+			fmt.Sprintf("%.4f", opt.AvgResponseTime)}
+		for _, b := range repro.Baselines(repro.FCFS) {
+			name := b.Name()
+			if name != "equal-utilization" && name != "fastest-first" {
+				continue
+			}
+			rates, err := b.Allocate(grid, lambda)
+			var cell string
+			if err != nil {
+				cell = "infeasible"
+			} else {
+				t, err := repro.Analyze(grid, rates, repro.FCFS)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cell = fmt.Sprintf("%.4f", t)
+				worst = math.Max(worst, t)
+			}
+			row = append(row, cell)
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", (worst-opt.AvgResponseTime)/worst*100))
+		for _, c := range row {
+			fmt.Fprintf(tw, "%s\t", c)
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nKey effect from the paper: the optimizer's advantage grows as λ′ approaches")
+	fmt.Println("saturation — exactly where a production grid operates during deadline weeks.")
+}

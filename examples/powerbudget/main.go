@@ -1,0 +1,65 @@
+// Powerbudget: the paper's conclusions say server speed is the
+// strongest lever on T′ — and speed costs power (≈ s³ per blade in
+// CMOS). This example provisions a fixed chassis mix under a rack
+// power budget: it compares spending the budget uniformly per blade
+// against the optimized speed assignment, across load levels, showing
+// the light-load regime where concentrating power into fewer, faster
+// blades wins and the heavy-load regime where capacity forces it to
+// spread back out.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	sizes := []int{2, 4, 8, 16} // fixed chassis mix
+	const (
+		alpha  = 3.0
+		budget = 120.0
+		yLoad  = 0.2 // preload fraction per server
+	)
+	fmt.Printf("chassis sizes %v, power budget %.0f W·(GIPS)³-equivalents, α = %.0f\n\n",
+		sizes, budget, alpha)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "λ′\tuniform T′\toptimized T′\timprovement\toptimized speeds\t")
+	for _, lambda := range []float64{2, 6, 12, 18, 22} {
+		cfg := repro.PowerConfig{
+			Sizes:           sizes,
+			SpecialFraction: yLoad,
+			TaskSize:        1.0,
+			GenericRate:     lambda,
+			Discipline:      repro.FCFS,
+			Alpha:           alpha,
+			Budget:          budget,
+		}
+		res, err := repro.OptimizeSpeeds(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		uniform := cfg.Evaluate(repro.UniformBladePower(sizes, alpha, budget))
+		speeds := "["
+		for i, s := range res.Speeds {
+			if i > 0 {
+				speeds += " "
+			}
+			speeds += fmt.Sprintf("%.2f", s)
+		}
+		speeds += "]"
+		fmt.Fprintf(tw, "%.0f\t%.5f\t%.5f\t%.1f%%\t%s\t\n",
+			lambda, uniform, res.Allocation.AvgResponseTime,
+			(uniform-res.Allocation.AvgResponseTime)/uniform*100, speeds)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAt light load the optimizer starves the big chassis and overclocks the small")
+	fmt.Println("ones (service time dominates); as λ′ grows it re-spreads the budget because")
+	fmt.Println("aggregate capacity Σ m·s — maximized by uniform speeds — becomes binding.")
+}

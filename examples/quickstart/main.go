@@ -1,0 +1,57 @@
+// Quickstart: define a small heterogeneous blade-server cluster,
+// compute the optimal generic-task distribution, and inspect the
+// result — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Three blade servers: a small fast one, a medium one, and a large
+	// slow one, each already busy with its own special tasks.
+	cluster, err := repro.NewCluster([]repro.Server{
+		{Size: 4, Speed: 1.6, SpecialRate: 1.9},  // ρ″ ≈ 0.30
+		{Size: 8, Speed: 1.2, SpecialRate: 2.9},  // ρ″ ≈ 0.30
+		{Size: 16, Speed: 0.9, SpecialRate: 4.3}, // ρ″ ≈ 0.30
+	}, 1.0) // tasks average 1 giga-instruction
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offer half of the remaining capacity as generic load.
+	lambda := 0.5 * cluster.MaxGenericRate()
+	fmt.Printf("cluster saturation point λ′_max = %.3f tasks/s; offering λ′ = %.3f\n\n",
+		cluster.MaxGenericRate(), lambda)
+
+	for _, d := range []repro.Discipline{repro.FCFS, repro.PrioritySpecial} {
+		alloc, err := repro.Optimize(cluster, lambda, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("discipline %-9s  minimized T′ = %.6f s\n", d, alloc.AvgResponseTime)
+		for i, rate := range alloc.Rates {
+			fmt.Printf("  server %d: λ′_%d = %.4f  ρ_%d = %.4f  T′_%d = %.4f\n",
+				i+1, i+1, rate, i+1, alloc.Utilizations[i], i+1, alloc.ResponseTimes[i])
+		}
+		fmt.Println()
+	}
+
+	// Compare with the most common naive policy: proportional to
+	// residual capacity (all servers equally utilized).
+	for _, b := range repro.Baselines(repro.FCFS) {
+		rates, err := b.Allocate(cluster, lambda)
+		if err != nil {
+			fmt.Printf("baseline %-22s  infeasible: %v\n", b.Name(), err)
+			continue
+		}
+		t, err := repro.Analyze(cluster, rates, repro.FCFS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline %-22s  T′ = %.6f s\n", b.Name(), t)
+	}
+}

@@ -1,0 +1,97 @@
+// Robustness: how wrong does the paper's answer get when its M/M/m
+// assumption is violated? The optimizer assumes exponential task sizes;
+// here the optimal rates are computed once under that assumption, then
+// the system is simulated with smoother (deterministic, Erlang-4) and
+// burstier (hyperexponential) requirements, and with deterministic
+// smooth routing instead of probabilistic splitting. The Allen–Cunneen
+// M/G/m approximation predicts the shift; the simulator measures it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/dispatch"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+)
+
+func main() {
+	cluster := repro.PaperExampleCluster()
+	lambda := 0.5 * cluster.MaxGenericRate()
+	alloc, err := repro.Optimize(cluster, lambda, repro.FCFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paper example at λ′ = %.2f; analytic (exponential) T′ = %.5f\n\n",
+		lambda, alloc.AvgResponseTime)
+
+	prob, err := dispatch.NewProbabilistic(alloc.Rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hyper, err := sim.NewHyperExp(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dists := []sim.ServiceDistribution{
+		sim.Deterministic{},
+		sim.ErlangK{K: 4},
+		sim.Exponential{},
+		hyper,
+	}
+
+	// Allen–Cunneen prediction for the whole group: apply the (1+C²)/2
+	// scaling to each server's waiting term at the optimal rates.
+	predict := func(scv float64) float64 {
+		var total float64
+		for i, s := range cluster.Servers {
+			xbar := s.ServiceMean(cluster.TaskSize)
+			rho := s.Utilization(alloc.Rates[i], cluster.TaskSize)
+			w, err := queueing.MGmWait(s.Size, rho, xbar, scv)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += alloc.Rates[i] / lambda * (xbar + w)
+		}
+		return total
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "service distribution\tSCV\tAllen–Cunneen T′\tsimulated T′\t95% CI ±\t")
+	for _, d := range dists {
+		rep, err := sim.RunReplications(sim.Config{
+			Group: cluster, Discipline: repro.FCFS, GenericRate: lambda,
+			Dispatcher: prob, Horizon: 20000, Warmup: 2000, Seed: 31, Service: d,
+		}, 8, 0.95)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.5f\t%.5f\t%.5f\t\n",
+			d.Name(), d.SCV(), predict(d.SCV()), rep.GenericT.Mean, rep.GenericT.HalfWidth)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Smooth deterministic routing of the same rates.
+	wrr, err := dispatch.NewWeightedRoundRobin(alloc.Rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sim.RunReplications(sim.Config{
+		Group: cluster, Discipline: repro.FCFS, GenericRate: lambda,
+		Dispatcher: wrr, Horizon: 20000, Warmup: 2000, Seed: 31,
+	}, 8, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nweighted-round-robin routing (same rates, exponential service): T′ = %s\n", rep.GenericT)
+	fmt.Printf("vs probabilistic %.5f — smoothing the substreams helps slightly;\n", alloc.AvgResponseTime)
+	fmt.Println("the paper's model is thus a mild upper bound for deterministic routing.")
+
+}

@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes the fast example programs end to end and
+// checks for key output markers. The slower examples (multicore,
+// robustness, powerbudget — each runs many simulation replications or
+// outer searches) are compiled by `go build ./...` but only executed
+// here when not in -short mode is *not* enough; they are exercised
+// manually and in CI nightlies, so this test sticks to the fast three.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		path    string
+		markers []string
+	}{
+		{"./examples/quickstart", []string{"minimized T′", "greedy-marginal-cost"}},
+		{"./examples/multicluster", []string{"campus grid", "best saving"}},
+		{"./examples/dispatcher", []string{"round-robin", "join-shortest-queue", "P95"}},
+		{"./examples/capacityplan", []string{"Admission limits", "Blade plan"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.path, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			start := time.Now()
+			cmd := exec.Command("go", "run", c.path)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed after %v: %v\n%s", c.path, time.Since(start), err, out)
+			}
+			for _, m := range c.markers {
+				if !strings.Contains(string(out), m) {
+					t.Errorf("%s output missing %q:\n%s", c.path, m, out)
+				}
+			}
+		})
+	}
+}

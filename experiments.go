@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// ExperimentIDs lists the paper's tables and figures in order:
+// table1, table2, fig4 … fig15.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExtensionIDs lists the extension experiments (beyond the paper):
+// ext-objectives, ext-caps.
+func ExtensionIDs() []string { return experiments.ExtensionIDs() }
+
+// RunExperiment regenerates one paper table or figure and writes it to
+// w in the given format: "text" (tabular), "csv", or — for figures —
+// "plot" (an ASCII rendering of the figure's shape). For figures,
+// points controls the λ′ grid resolution (0 means the default 19).
+func RunExperiment(id string, w io.Writer, format string, points int) error {
+	if format != "text" && format != "csv" && format != "plot" {
+		return fmt.Errorf("repro: unknown format %q (want text, csv, or plot)", format)
+	}
+	if strings.HasPrefix(id, "ext-") {
+		res, err := experiments.RunExtension(id, points)
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "csv":
+			return res.WriteCSV(w)
+		case "plot":
+			return res.WritePlot(w)
+		default:
+			return res.WriteText(w)
+		}
+	}
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return err
+	}
+	if e.Kind == experiments.Table {
+		if format == "plot" {
+			return fmt.Errorf("repro: %s is a table; plot applies to figures", id)
+		}
+		res, err := e.RunTable()
+		if err != nil {
+			return err
+		}
+		if format == "csv" {
+			return res.WriteCSV(w)
+		}
+		return res.WriteText(w)
+	}
+	if points > 1 {
+		e.GridPoints = points
+	}
+	res, err := e.RunFigure()
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "csv":
+		return res.WriteCSV(w)
+	case "plot":
+		return res.WritePlot(w)
+	default:
+		return res.WriteText(w)
+	}
+}
+
+// ExperimentTitle returns the description of an experiment ID.
+func ExperimentTitle(id string) (string, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	return e.Title, nil
+}

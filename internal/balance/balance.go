@@ -1,0 +1,296 @@
+// Package balance provides the baseline load-distribution policies the
+// optimal solver is compared against in the benchmarks: the "obvious"
+// allocations a practitioner would try first. Each allocator takes the
+// same inputs as core.Optimize and returns per-server generic rates
+// summing to λ′ (when feasible).
+//
+// The paper's contribution is that none of these is optimal for
+// heterogeneous groups; the benches quantify the gap.
+package balance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+// Allocator distributes a total generic rate lambda over the servers of
+// g, returning one rate per server.
+type Allocator interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Allocate returns per-server generic rates summing to lambda.
+	Allocate(g *model.Group, lambda float64) ([]float64, error)
+}
+
+// validate performs the shared feasibility checks.
+func validate(g *model.Group, lambda float64) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return fmt.Errorf("balance: total generic rate λ′=%g must be positive", lambda)
+	}
+	if max := g.MaxGenericRate(); lambda >= max {
+		return fmt.Errorf("balance: λ′=%g at or beyond saturation λ′_max=%g", lambda, max)
+	}
+	return nil
+}
+
+// Proportional splits λ′ proportionally to raw capacity m_i·s_i. This
+// ignores the special-task preload entirely, so a heavily preloaded
+// server can be driven unstable; Allocate reports that as an error.
+type Proportional struct{}
+
+// Name implements Allocator.
+func (Proportional) Name() string { return "proportional-capacity" }
+
+// Allocate implements Allocator.
+func (Proportional) Allocate(g *model.Group, lambda float64) ([]float64, error) {
+	if err := validate(g, lambda); err != nil {
+		return nil, err
+	}
+	var total numeric.KahanSum
+	for _, s := range g.Servers {
+		total.Add(s.Capacity(g.TaskSize))
+	}
+	rates := make([]float64, g.N())
+	for i, s := range g.Servers {
+		rates[i] = lambda * s.Capacity(g.TaskSize) / total.Value()
+	}
+	if err := g.Feasible(rates); err != nil {
+		return nil, fmt.Errorf("balance: proportional allocation infeasible: %w", err)
+	}
+	return rates, nil
+}
+
+// Residual splits λ′ proportionally to residual capacity
+// m_i·s_i/r̄ − λ″_i, i.e. the headroom left after special tasks. All
+// servers end up at the same utilization, which makes it feasible for
+// every λ′ < λ′_max.
+type Residual struct{}
+
+// Name implements Allocator.
+func (Residual) Name() string { return "proportional-residual" }
+
+// Allocate implements Allocator.
+func (Residual) Allocate(g *model.Group, lambda float64) ([]float64, error) {
+	if err := validate(g, lambda); err != nil {
+		return nil, err
+	}
+	max := g.MaxGenericRate()
+	rates := make([]float64, g.N())
+	for i, s := range g.Servers {
+		rates[i] = lambda * s.MaxGenericRate(g.TaskSize) / max
+	}
+	return rates, nil
+}
+
+// EqualRate splits λ′ evenly across servers regardless of size, speed,
+// or preload — the naive round-robin limit. Can be infeasible when a
+// small server cannot absorb λ′/n.
+type EqualRate struct{}
+
+// Name implements Allocator.
+func (EqualRate) Name() string { return "equal-rate" }
+
+// Allocate implements Allocator.
+func (EqualRate) Allocate(g *model.Group, lambda float64) ([]float64, error) {
+	if err := validate(g, lambda); err != nil {
+		return nil, err
+	}
+	rates := make([]float64, g.N())
+	for i := range rates {
+		rates[i] = lambda / float64(g.N())
+	}
+	if err := g.Feasible(rates); err != nil {
+		return nil, fmt.Errorf("balance: equal-rate allocation infeasible: %w", err)
+	}
+	return rates, nil
+}
+
+// EqualUtilization chooses rates so every server runs at the same total
+// utilization ρ (generic + special). Unlike Residual it accounts for
+// each server's preload: ρ = (λ″ + λ′_i)x̄_i/m_i is equalized. Servers
+// whose special load alone exceeds the common ρ receive zero.
+type EqualUtilization struct{}
+
+// Name implements Allocator.
+func (EqualUtilization) Name() string { return "equal-utilization" }
+
+// Allocate implements Allocator.
+func (EqualUtilization) Allocate(g *model.Group, lambda float64) ([]float64, error) {
+	if err := validate(g, lambda); err != nil {
+		return nil, err
+	}
+	// Total generic rate absorbed when every server is capped at
+	// utilization rho: Σ max(0, ρ·m_i/x̄_i − λ″_i). Monotone in ρ.
+	need := func(rho float64) float64 {
+		var sum numeric.KahanSum
+		for _, s := range g.Servers {
+			r := rho*s.Capacity(g.TaskSize) - s.SpecialRate
+			if r > 0 {
+				sum.Add(r)
+			}
+		}
+		return sum.Value()
+	}
+	rho, err := numeric.BisectPredicate(func(rho float64) bool { return need(rho) >= lambda }, 0, 1, 1e-13)
+	if err != nil {
+		return nil, fmt.Errorf("balance: equal-utilization search failed: %w", err)
+	}
+	rates := make([]float64, g.N())
+	var sum numeric.KahanSum
+	for i, s := range g.Servers {
+		r := rho*s.Capacity(g.TaskSize) - s.SpecialRate
+		if r < 0 {
+			r = 0
+		}
+		rates[i] = r
+		sum.Add(r)
+	}
+	// Exact conservation (bisection leaves an O(tol) residual).
+	if f := sum.Value(); f > 0 {
+		for i := range rates {
+			rates[i] *= lambda / f
+		}
+	}
+	return rates, nil
+}
+
+// FastestFirst greedily fills servers in decreasing order of blade
+// speed, loading each to a target utilization before spilling to the
+// next — a caricature of "send work to the fast machines". The target
+// is the lowest uniform cap that fits λ′, so the allocation is feasible
+// for every λ′ < λ′_max, but it can badly overload the fast servers.
+type FastestFirst struct {
+	// Headroom is the per-server utilization cap applied while
+	// spilling, in (0, 1); 0 means 0.98.
+	Headroom float64
+}
+
+// Name implements Allocator.
+func (FastestFirst) Name() string { return "fastest-first" }
+
+// Allocate implements Allocator.
+func (f FastestFirst) Allocate(g *model.Group, lambda float64) ([]float64, error) {
+	if err := validate(g, lambda); err != nil {
+		return nil, err
+	}
+	head := f.Headroom
+	if head <= 0 || head >= 1 {
+		head = 0.98
+	}
+	// Ensure the cap is high enough to fit λ′ overall.
+	for {
+		var capSum numeric.KahanSum
+		for _, s := range g.Servers {
+			r := head*s.Capacity(g.TaskSize) - s.SpecialRate
+			if r > 0 {
+				capSum.Add(r)
+			}
+		}
+		if capSum.Value() > lambda {
+			break
+		}
+		head = (head + 1) / 2 // approach 1 until λ′ fits
+	}
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	// Selection sort by speed descending (n is small).
+	for i := 0; i < len(order); i++ {
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if g.Servers[order[j]].Speed > g.Servers[order[best]].Speed {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	rates := make([]float64, g.N())
+	remaining := lambda
+	for _, idx := range order {
+		if remaining <= 0 {
+			break
+		}
+		s := g.Servers[idx]
+		room := head*s.Capacity(g.TaskSize) - s.SpecialRate
+		if room <= 0 {
+			continue
+		}
+		take := math.Min(room, remaining)
+		rates[idx] = take
+		remaining -= take
+	}
+	if remaining > 1e-9 {
+		return nil, fmt.Errorf("balance: fastest-first could not place %g of λ′", remaining)
+	}
+	return rates, nil
+}
+
+// Greedy performs discretized marginal-cost descent: λ′ is split into
+// Steps equal quanta, each assigned to the server whose average
+// response time increases least. With enough steps it approaches the
+// optimal allocation from below; it is the strongest baseline and an
+// independent sanity check on the Lagrange solution.
+type Greedy struct {
+	// Discipline used to evaluate response times.
+	Discipline queueing.Discipline
+	// Steps is the number of quanta (0 means 1000).
+	Steps int
+}
+
+// Name implements Allocator.
+func (g Greedy) Name() string { return "greedy-marginal-cost" }
+
+// Allocate implements Allocator.
+func (gr Greedy) Allocate(g *model.Group, lambda float64) ([]float64, error) {
+	if err := validate(g, lambda); err != nil {
+		return nil, err
+	}
+	steps := gr.Steps
+	if steps <= 0 {
+		steps = 1000
+	}
+	quantum := lambda / float64(steps)
+	rates := make([]float64, g.N())
+	for step := 0; step < steps; step++ {
+		bestIdx := -1
+		bestCost := math.Inf(1)
+		for i, s := range g.Servers {
+			if s.Utilization(rates[i]+quantum, g.TaskSize) >= 1 {
+				continue
+			}
+			// Marginal cost of the quantum on server i (same Lagrange
+			// quantity the optimizer equalizes, at the midpoint).
+			mc := s.MarginalCost(gr.Discipline, rates[i]+quantum/2, lambda, g.TaskSize)
+			if mc < bestCost {
+				bestCost = mc
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("balance: greedy could not place quantum %d", step)
+		}
+		rates[bestIdx] += quantum
+	}
+	return rates, nil
+}
+
+// All returns one instance of every baseline allocator, with greedy
+// evaluated under discipline d.
+func All(d queueing.Discipline) []Allocator {
+	return []Allocator{
+		Proportional{},
+		Residual{},
+		EqualRate{},
+		EqualUtilization{},
+		FastestFirst{},
+		Greedy{Discipline: d},
+	}
+}

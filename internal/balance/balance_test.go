@@ -1,0 +1,233 @@
+package balance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+func liGroup() *model.Group { return model.LiExample1Group() }
+
+func TestAllAllocatorsConserve(t *testing.T) {
+	g := liGroup()
+	lambda := 0.5 * g.MaxGenericRate()
+	for _, a := range All(queueing.FCFS) {
+		rates, err := a.Allocate(g, lambda)
+		if err != nil {
+			// Equal-rate is legitimately infeasible here: server 1 can
+			// absorb only 2.24 generic tasks/s but λ′/n = 3.36.
+			if a.Name() == "equal-rate" {
+				continue
+			}
+			t.Errorf("%s: %v", a.Name(), err)
+			continue
+		}
+		if math.Abs(numeric.Sum(rates)-lambda) > 1e-6 {
+			t.Errorf("%s: Σ=%.9g want %.9g", a.Name(), numeric.Sum(rates), lambda)
+		}
+		if err := g.Feasible(rates); err != nil {
+			t.Errorf("%s: infeasible: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestAllAllocatorsValidateInputs(t *testing.T) {
+	g := liGroup()
+	for _, a := range All(queueing.FCFS) {
+		if _, err := a.Allocate(g, 0); err == nil {
+			t.Errorf("%s: λ′=0 should fail", a.Name())
+		}
+		if _, err := a.Allocate(g, g.MaxGenericRate()+1); err == nil {
+			t.Errorf("%s: saturating λ′ should fail", a.Name())
+		}
+		if _, err := a.Allocate(&model.Group{TaskSize: 1}, 1); err == nil {
+			t.Errorf("%s: invalid group should fail", a.Name())
+		}
+	}
+}
+
+func TestOptimalBeatsEveryBaseline(t *testing.T) {
+	// The headline claim: the Lagrange solution dominates every naive
+	// policy (ties allowed within tolerance for the strongest ones).
+	g := liGroup()
+	for _, d := range []queueing.Discipline{queueing.FCFS, queueing.Priority} {
+		for _, frac := range []float64{0.3, 0.5, 0.7, 0.9} {
+			lambda := frac * g.MaxGenericRate()
+			opt, err := core.Optimize(g, lambda, core.Options{Discipline: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range All(d) {
+				rates, err := a.Allocate(g, lambda)
+				if err != nil {
+					continue // some baselines are legitimately infeasible
+				}
+				baseT := g.AverageResponseTime(d, rates)
+				if baseT < opt.AvgResponseTime-1e-9 {
+					t.Errorf("%v frac=%g: %s beats optimal (%.9g < %.9g)",
+						d, frac, a.Name(), baseT, opt.AvgResponseTime)
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyApproachesOptimal(t *testing.T) {
+	g := liGroup()
+	lambda := 0.5 * g.MaxGenericRate()
+	opt, err := core.Optimize(g, lambda, core.Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := Greedy{Discipline: queueing.FCFS, Steps: 20000}.Allocate(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.AverageResponseTime(queueing.FCFS, rates)
+	if math.Abs(got-opt.AvgResponseTime) > 1e-4 {
+		t.Fatalf("greedy T′=%.9g vs optimal %.9g", got, opt.AvgResponseTime)
+	}
+}
+
+func TestGreedyDefaultSteps(t *testing.T) {
+	g := liGroup()
+	rates, err := Greedy{Discipline: queueing.FCFS}.Allocate(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(numeric.Sum(rates)-5) > 1e-9 {
+		t.Fatalf("Σ=%g", numeric.Sum(rates))
+	}
+}
+
+func TestEqualUtilizationEqualizes(t *testing.T) {
+	g := liGroup()
+	lambda := 0.5 * g.MaxGenericRate()
+	rates, err := EqualUtilization{}.Allocate(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhos := g.Utilizations(rates)
+	for i := 1; i < len(rhos); i++ {
+		if rates[i] > 0 && rates[0] > 0 && math.Abs(rhos[i]-rhos[0]) > 1e-6 {
+			t.Fatalf("utilizations not equalized: %v", rhos)
+		}
+	}
+}
+
+func TestEqualUtilizationSkipsOverloaded(t *testing.T) {
+	// Server 2 preloaded to ρ″=0.9; at low λ′ it should get nothing.
+	g := &model.Group{
+		Servers: []model.Server{
+			{Size: 2, Speed: 1, SpecialRate: 0.2}, // ρ″ = 0.1
+			{Size: 2, Speed: 1, SpecialRate: 1.8}, // ρ″ = 0.9
+		},
+		TaskSize: 1,
+	}
+	rates, err := EqualUtilization{}.Allocate(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[1] != 0 {
+		t.Fatalf("overloaded server should get 0, got %v", rates)
+	}
+}
+
+func TestResidualEqualUtilizationCoincideForUniformPreload(t *testing.T) {
+	// With λ″_i = y·m_i/x̄_i (uniform preload fraction), residual split
+	// and equal-utilization split coincide.
+	g := liGroup()
+	lambda := 0.4 * g.MaxGenericRate()
+	r1, err := Residual{}.Allocate(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := EqualUtilization{}.Allocate(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if !numeric.WithinTol(r1[i], r2[i], 1e-6, 1e-6) {
+			t.Fatalf("server %d: residual %g vs equal-util %g", i+1, r1[i], r2[i])
+		}
+	}
+}
+
+func TestProportionalInfeasibleWhenPreloadSkewed(t *testing.T) {
+	// Proportional ignores preload: server 1 is nearly saturated by
+	// specials, so a proportional share of a large λ′ overloads it.
+	g := &model.Group{
+		Servers: []model.Server{
+			{Size: 2, Speed: 1, SpecialRate: 1.9}, // ρ″ = 0.95
+			{Size: 2, Speed: 1, SpecialRate: 0},
+		},
+		TaskSize: 1,
+	}
+	if _, err := (Proportional{}).Allocate(g, 1.0); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestEqualRateInfeasibleOnTinyServer(t *testing.T) {
+	g := &model.Group{
+		Servers: []model.Server{
+			{Size: 1, Speed: 0.2, SpecialRate: 0}, // capacity 0.2
+			{Size: 8, Speed: 2.0, SpecialRate: 0}, // capacity 16
+		},
+		TaskSize: 1,
+	}
+	// λ′/2 = 1.0 > 0.2 saturates server 1.
+	if _, err := (EqualRate{}).Allocate(g, 2.0); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestFastestFirstPrefersFastServers(t *testing.T) {
+	g := liGroup() // speeds decrease with index: server 1 fastest
+	rates, err := FastestFirst{}.Allocate(g, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[0] == 0 {
+		t.Fatalf("fastest server should be loaded first: %v", rates)
+	}
+	// With only 3.0 to place, the slowest server should be idle.
+	if rates[6] != 0 {
+		t.Fatalf("slowest server should be idle at low load: %v", rates)
+	}
+}
+
+func TestFastestFirstHighLoadStillFeasible(t *testing.T) {
+	g := liGroup()
+	lambda := 0.97 * g.MaxGenericRate()
+	rates, err := FastestFirst{}.Allocate(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Feasible(rates); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(numeric.Sum(rates)-lambda) > 1e-6 {
+		t.Fatalf("Σ=%g want %g", numeric.Sum(rates), lambda)
+	}
+}
+
+func TestAllocatorNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All(queueing.FCFS) {
+		if a.Name() == "" {
+			t.Errorf("%T has empty name", a)
+		}
+		if seen[a.Name()] {
+			t.Errorf("duplicate name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 allocators, got %d", len(seen))
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+func TestOptimizeWithUtilizationCap(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.4 * g.MaxGenericRate()
+	// The uncapped optimum at this load drives mid-size servers above
+	// ρ = 0.6; capping there binds while leaving headroom
+	// ((0.6 − 0.3)·67.2 = 20.16 > λ′ = 18.82).
+	const cap = 0.6
+	res, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS, MaxUtilization: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(numeric.Sum(res.Rates)-lambda) > 1e-9 {
+		t.Fatalf("conservation broken: Σ = %.9f", numeric.Sum(res.Rates))
+	}
+	for i, rho := range res.Utilizations {
+		if rho > cap+1e-6 {
+			t.Errorf("server %d violates cap: ρ = %.7f", i+1, rho)
+		}
+	}
+	// The cap binds, so the constrained optimum must be worse than the
+	// unconstrained one.
+	free, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgResponseTime < free.AvgResponseTime-1e-12 {
+		t.Fatalf("capped T′ %.9f beats uncapped %.9f", res.AvgResponseTime, free.AvgResponseTime)
+	}
+	anyAtCap := false
+	for _, rho := range res.Utilizations {
+		if rho > cap-1e-3 {
+			anyAtCap = true
+		}
+	}
+	if !anyAtCap {
+		t.Fatal("cap of 0.65 should bind for this load")
+	}
+}
+
+func TestOptimizeWithLooseCapMatchesUncapped(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	capped, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS, MaxUtilization: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(capped.AvgResponseTime-free.AvgResponseTime) > 1e-9 {
+		t.Fatalf("loose cap changed the optimum: %.12f vs %.12f",
+			capped.AvgResponseTime, free.AvgResponseTime)
+	}
+}
+
+func TestOptimizeCapValidation(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	for _, bad := range []float64{-0.5, 1.0, 1.5} {
+		if _, err := Optimize(g, lambda, Options{MaxUtilization: bad}); err == nil {
+			t.Errorf("cap %g should fail", bad)
+		}
+	}
+	// Cap so tight the load cannot fit (ρ″ = 0.3, cap 0.35 leaves 5 %
+	// of capacity ≈ 3.36 < 23.52).
+	if _, err := Optimize(g, lambda, Options{MaxUtilization: 0.35}); err == nil {
+		t.Error("infeasible cap should fail")
+	}
+}
+
+func TestOptimizeCapKKTOnUncappedServers(t *testing.T) {
+	// Servers not pinned at the cap must still equalize marginal cost.
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	const cap = 0.66
+	res, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS, MaxUtilization: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mcs []float64
+	for i, s := range g.Servers {
+		if res.Utilizations[i] < cap-1e-4 && res.Rates[i] > 1e-9 {
+			mcs = append(mcs, s.MarginalCost(queueing.FCFS, res.Rates[i], lambda, g.TaskSize))
+		}
+	}
+	if len(mcs) < 2 {
+		t.Skip("not enough interior servers to compare")
+	}
+	for i := 1; i < len(mcs); i++ {
+		if !numeric.WithinTol(mcs[i], mcs[0], 1e-6, 1e-5) {
+			t.Fatalf("interior marginal costs differ: %v", mcs)
+		}
+	}
+}
+
+func TestFindRateLimitedZeroHeadroom(t *testing.T) {
+	s := model.Server{Size: 2, Speed: 1, SpecialRate: 0.8} // ρ″ = 0.4
+	// Cap at exactly the special load: no room for generic work.
+	if got := FindRateLimited(s, 1, 10, 1e9, queueing.FCFS, 1e-10, 0.4); got != 0 {
+		t.Fatalf("rate = %g, want 0", got)
+	}
+	// rhoCap = 1 delegates to the plain behavior.
+	a := FindRate(s, 1, 10, 0.5, queueing.FCFS, 1e-10)
+	b := FindRateLimited(s, 1, 10, 0.5, queueing.FCFS, 1e-10, 1)
+	if a != b {
+		t.Fatalf("FindRate %g vs FindRateLimited(cap=1) %g", a, b)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+// singleBladed reports whether every server in g has exactly one blade
+// (the premise of Theorems 1 and 3).
+func singleBladed(g *model.Group) bool {
+	for _, s := range g.Servers {
+		if s.Size != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ClosedFormFCFS solves the m_1 = … = m_n = 1 case in closed form
+// (Theorem 1 of the paper):
+//
+//	φ   = ( (1/√λ′) Σ √((1−ρ″_i)/x̄_i)  /  (Σ (1−ρ″_i)/x̄_i − λ′) )²
+//	λ′_i = (1/x̄_i)(1 − ρ″_i − √(x̄_i(1−ρ″_i)/(λ′φ)))
+//
+// Theorem 1 presumes every server carries generic load. For small λ′
+// the formula can make some λ′_i negative; those servers are dropped
+// from the active set and φ recomputed over the remainder (standard
+// water-filling), which preserves the KKT conditions the theorem
+// encodes. An error is returned for infeasible inputs.
+func ClosedFormFCFS(g *model.Group, lambda float64) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !singleBladed(g) {
+		return nil, fmt.Errorf("core: Theorem 1 requires every server to have one blade")
+	}
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("core: total generic rate λ′=%g must be positive", lambda)
+	}
+	if max := g.MaxGenericRate(); lambda >= max {
+		return nil, fmt.Errorf("core: λ′=%g at or beyond saturation λ′_max=%g", lambda, max)
+	}
+
+	n := g.N()
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	rates := make([]float64, n)
+	var phi float64
+	// Each pass drops servers whose Theorem-1 rate is negative; at most
+	// n passes, since the active set only shrinks.
+	for pass := 0; pass < n; pass++ {
+		var sumSqrt, sumCap numeric.KahanSum
+		for i, s := range g.Servers {
+			if !active[i] {
+				continue
+			}
+			xbar := s.ServiceMean(g.TaskSize)
+			rhoS := s.SpecialUtilization(g.TaskSize)
+			sumSqrt.Add(math.Sqrt((1 - rhoS) / xbar))
+			sumCap.Add((1 - rhoS) / xbar)
+		}
+		denom := sumCap.Value() - lambda
+		if denom <= 0 {
+			return nil, fmt.Errorf("core: active set cannot absorb λ′=%g", lambda)
+		}
+		sqrtPhi := sumSqrt.Value() / math.Sqrt(lambda) / denom
+		phi = sqrtPhi * sqrtPhi
+
+		anyNegative := false
+		for i, s := range g.Servers {
+			if !active[i] {
+				rates[i] = 0
+				continue
+			}
+			xbar := s.ServiceMean(g.TaskSize)
+			rhoS := s.SpecialUtilization(g.TaskSize)
+			r := (1 - rhoS - math.Sqrt(xbar*(1-rhoS)/(lambda*phi))) / xbar
+			if r < 0 {
+				active[i] = false
+				anyNegative = true
+				r = 0
+			}
+			rates[i] = r
+		}
+		if !anyNegative {
+			break
+		}
+	}
+	return &Result{
+		Rates:           rates,
+		Phi:             phi,
+		AvgResponseTime: g.AverageResponseTime(queueing.FCFS, rates),
+		Utilizations:    g.Utilizations(rates),
+		ResponseTimes:   g.ResponseTimes(queueing.FCFS, rates),
+		Discipline:      queueing.FCFS,
+		TotalRate:       lambda,
+	}, nil
+}
+
+// ClosedFormPriority solves the m_1 = … = m_n = 1 case with prioritized
+// special tasks (Theorem 3 of the paper):
+//
+//	λ′_i(φ) = (1/x̄_i)(1 − ρ″_i − √( (λ′φ/x̄_i + ρ″_i/(1−ρ″_i))^{−1} ))
+//
+// with φ the root of Σ λ′_i(φ) = λ′. The paper leaves the root to a
+// numeric search; each λ′_i(φ) is increasing in φ, so we bracket and
+// bisect exactly as the general solver does, but using the closed
+// per-server expression instead of an inner bisection. Rates that the
+// formula would drive negative are clamped to zero, which realizes the
+// KKT inactive-server condition.
+func ClosedFormPriority(g *model.Group, lambda float64) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !singleBladed(g) {
+		return nil, fmt.Errorf("core: Theorem 3 requires every server to have one blade")
+	}
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("core: total generic rate λ′=%g must be positive", lambda)
+	}
+	if max := g.MaxGenericRate(); lambda >= max {
+		return nil, fmt.Errorf("core: λ′=%g at or beyond saturation λ′_max=%g", lambda, max)
+	}
+
+	rateAt := func(s model.Server, phi float64) float64 {
+		xbar := s.ServiceMean(g.TaskSize)
+		rhoS := s.SpecialUtilization(g.TaskSize)
+		inner := lambda*phi/xbar + rhoS/(1-rhoS)
+		r := (1 - rhoS - math.Sqrt(1/inner)) / xbar
+		if r < 0 {
+			return 0
+		}
+		return r
+	}
+	total := func(phi float64) float64 {
+		var sum numeric.KahanSum
+		for _, s := range g.Servers {
+			sum.Add(rateAt(s, phi))
+		}
+		return sum.Value()
+	}
+	phiHi, err := numeric.ExpandUpper(func(phi float64) bool { return total(phi) >= lambda }, 1e-12, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: failed to bracket φ: %w", err)
+	}
+	phi, err := numeric.Bisect(func(phi float64) float64 { return total(phi) - lambda }, 0, phiHi, DefaultEpsilon*phiHi)
+	if err != nil {
+		return nil, fmt.Errorf("core: φ root search failed: %w", err)
+	}
+	rates := make([]float64, g.N())
+	for i, s := range g.Servers {
+		rates[i] = rateAt(s, phi)
+	}
+	return &Result{
+		Rates:           rates,
+		Phi:             phi,
+		AvgResponseTime: g.AverageResponseTime(queueing.Priority, rates),
+		Utilizations:    g.Utilizations(rates),
+		ResponseTimes:   g.ResponseTimes(queueing.Priority, rates),
+		Discipline:      queueing.Priority,
+		TotalRate:       lambda,
+	}, nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+// singleBladeGroup builds an n-server group with m_i = 1, the premise
+// of Theorems 1 and 3.
+func singleBladeGroup() *model.Group {
+	return &model.Group{
+		Servers: []model.Server{
+			{Size: 1, Speed: 1.6, SpecialRate: 0.48}, // ρ″ = 0.3
+			{Size: 1, Speed: 1.3, SpecialRate: 0.26}, // ρ″ = 0.2
+			{Size: 1, Speed: 1.0, SpecialRate: 0.10}, // ρ″ = 0.1
+			{Size: 1, Speed: 0.7, SpecialRate: 0.07}, // ρ″ = 0.1
+		},
+		TaskSize: 1,
+	}
+}
+
+func TestClosedFormFCFSMatchesBisection(t *testing.T) {
+	g := singleBladeGroup()
+	for _, frac := range []float64{0.3, 0.5, 0.7, 0.9} {
+		lambda := frac * g.MaxGenericRate()
+		cf, err := ClosedFormFCFS(g, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		num, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.WithinTol(cf.AvgResponseTime, num.AvgResponseTime, 1e-8, 1e-8) {
+			t.Errorf("frac=%g: closed-form T′=%.12g vs numeric %.12g",
+				frac, cf.AvgResponseTime, num.AvgResponseTime)
+		}
+		for i := range cf.Rates {
+			if !numeric.WithinTol(cf.Rates[i], num.Rates[i], 1e-6, 1e-6) {
+				t.Errorf("frac=%g server %d: closed-form λ′=%.10g vs numeric %.10g",
+					frac, i+1, cf.Rates[i], num.Rates[i])
+			}
+		}
+	}
+}
+
+func TestClosedFormPriorityMatchesBisection(t *testing.T) {
+	g := singleBladeGroup()
+	for _, frac := range []float64{0.3, 0.5, 0.7, 0.9} {
+		lambda := frac * g.MaxGenericRate()
+		cf, err := ClosedFormPriority(g, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		num, err := Optimize(g, lambda, Options{Discipline: queueing.Priority})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.WithinTol(cf.AvgResponseTime, num.AvgResponseTime, 1e-8, 1e-8) {
+			t.Errorf("frac=%g: closed-form T′=%.12g vs numeric %.12g",
+				frac, cf.AvgResponseTime, num.AvgResponseTime)
+		}
+		for i := range cf.Rates {
+			if !numeric.WithinTol(cf.Rates[i], num.Rates[i], 1e-6, 1e-6) {
+				t.Errorf("frac=%g server %d: closed-form λ′=%.10g vs numeric %.10g",
+					frac, i+1, cf.Rates[i], num.Rates[i])
+			}
+		}
+	}
+}
+
+func TestClosedFormTheorem1PhiFormula(t *testing.T) {
+	// Verify the φ returned matches the paper's explicit expression
+	// when all servers are active.
+	g := singleBladeGroup()
+	lambda := 0.7 * g.MaxGenericRate()
+	cf, err := ClosedFormFCFS(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cf.Rates {
+		if r <= 0 {
+			t.Skip("a server is inactive; Theorem 1 premise not met at this load")
+		}
+	}
+	var sumSqrt, sumCap float64
+	for _, s := range g.Servers {
+		xbar := s.ServiceMean(1)
+		rhoS := s.SpecialUtilization(1)
+		sumSqrt += math.Sqrt((1 - rhoS) / xbar)
+		sumCap += (1 - rhoS) / xbar
+	}
+	want := math.Pow(sumSqrt/math.Sqrt(lambda)/(sumCap-lambda), 2)
+	if !numeric.WithinTol(cf.Phi, want, 1e-12, 1e-10) {
+		t.Fatalf("φ = %.15g, want %.15g", cf.Phi, want)
+	}
+}
+
+func TestClosedFormMM1ResponseTime(t *testing.T) {
+	// With m = 1, T′_i = x̄/(1−ρ) under FCFS; check the result's
+	// per-server times use exactly that form.
+	g := singleBladeGroup()
+	cf, err := ClosedFormFCFS(g, 0.5*g.MaxGenericRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range g.Servers {
+		if cf.Rates[i] == 0 {
+			continue
+		}
+		rho := s.Utilization(cf.Rates[i], 1)
+		want := s.ServiceMean(1) / (1 - rho)
+		if !numeric.WithinTol(cf.ResponseTimes[i], want, 1e-10, 1e-10) {
+			t.Errorf("server %d: T′=%.12g, want M/M/1 form %.12g", i+1, cf.ResponseTimes[i], want)
+		}
+	}
+}
+
+func TestClosedFormActiveSetDrop(t *testing.T) {
+	// One server is far slower; at low λ′ Theorem 1's unclamped rate
+	// for it is negative and the active-set loop must drop it.
+	g := &model.Group{
+		Servers: []model.Server{
+			{Size: 1, Speed: 5.0, SpecialRate: 0},
+			{Size: 1, Speed: 0.05, SpecialRate: 0},
+		},
+		TaskSize: 1,
+	}
+	cf, err := ClosedFormFCFS(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Rates[1] != 0 {
+		t.Fatalf("slow server should be inactive, got %v", cf.Rates)
+	}
+	num, err := Optimize(g, 0.5, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.WithinTol(cf.AvgResponseTime, num.AvgResponseTime, 1e-8, 1e-8) {
+		t.Fatalf("closed-form T′=%.12g vs numeric %.12g", cf.AvgResponseTime, num.AvgResponseTime)
+	}
+}
+
+func TestClosedFormValidation(t *testing.T) {
+	multi := model.LiExample1Group() // m_i > 1
+	if _, err := ClosedFormFCFS(multi, 1); err == nil {
+		t.Error("Theorem 1 on multi-blade group should fail")
+	}
+	if _, err := ClosedFormPriority(multi, 1); err == nil {
+		t.Error("Theorem 3 on multi-blade group should fail")
+	}
+	g := singleBladeGroup()
+	for _, bad := range []float64{0, -1, math.NaN(), g.MaxGenericRate(), g.MaxGenericRate() + 1} {
+		if _, err := ClosedFormFCFS(g, bad); err == nil {
+			t.Errorf("ClosedFormFCFS(λ′=%g) should fail", bad)
+		}
+		if _, err := ClosedFormPriority(g, bad); err == nil {
+			t.Errorf("ClosedFormPriority(λ′=%g) should fail", bad)
+		}
+	}
+	badGroup := &model.Group{TaskSize: 1}
+	if _, err := ClosedFormFCFS(badGroup, 1); err == nil {
+		t.Error("invalid group should fail")
+	}
+	if _, err := ClosedFormPriority(badGroup, 1); err == nil {
+		t.Error("invalid group should fail")
+	}
+}
+
+func TestClosedFormConservation(t *testing.T) {
+	g := singleBladeGroup()
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		lambda := frac * g.MaxGenericRate()
+		cf, err := ClosedFormFCFS(g, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(numeric.Sum(cf.Rates)-lambda) > 1e-8 {
+			t.Errorf("FCFS frac=%g: Σ=%.12g want %.12g", frac, numeric.Sum(cf.Rates), lambda)
+		}
+		cp, err := ClosedFormPriority(g, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(numeric.Sum(cp.Rates)-lambda) > 1e-8 {
+			t.Errorf("priority frac=%g: Σ=%.12g want %.12g", frac, numeric.Sum(cp.Rates), lambda)
+		}
+	}
+}
+
+func TestClosedFormPriorityCostsMore(t *testing.T) {
+	g := singleBladeGroup()
+	lambda := 0.6 * g.MaxGenericRate()
+	fc, err := ClosedFormFCFS(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ClosedFormPriority(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.AvgResponseTime <= fc.AvgResponseTime {
+		t.Fatalf("priority T′=%g should exceed FCFS T′=%g", pr.AvgResponseTime, fc.AvgResponseTime)
+	}
+}

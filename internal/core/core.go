@@ -1,0 +1,339 @@
+// Package core implements the paper's primary contribution: the optimal
+// distribution of a generic task stream over heterogeneous blade servers
+// preloaded with special tasks, minimizing the average response time of
+// generic tasks (Li, J. Grid Computing 2013, §3–§4).
+//
+// The entry point is Optimize, which implements the algorithm of the
+// paper's Fig. 3 ("Calculate T′"): an outer bisection on the Lagrange
+// multiplier φ wrapped around the per-server inner bisection of Fig. 2
+// ("Find_λ′_i"), exposed here as FindRate. Both disciplines (shared
+// FCFS and special tasks with non-preemptive priority) are supported
+// through queueing.Discipline.
+//
+// For the single-blade case m_1 = … = m_n = 1 the paper gives closed
+// forms (Theorems 1 and 3), implemented in closedform.go; they serve as
+// independent oracles for the numeric solver.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+// Options configures the optimizer.
+type Options struct {
+	// Discipline selects FCFS (special tasks without priority, §3) or
+	// Priority (special tasks with higher priority, §4).
+	Discipline queueing.Discipline
+	// Epsilon is the bisection tolerance ε of the paper's algorithms,
+	// applied to both the inner search over λ′_i and the outer search
+	// over φ. Non-positive means DefaultEpsilon.
+	Epsilon float64
+	// NoRescale disables the final conservation projection that scales
+	// the rates so they sum to exactly λ′ (the paper's algorithm leaves
+	// a residual of order ε). Mainly for tests that exercise the raw
+	// algorithm.
+	NoRescale bool
+	// MaxUtilization, when in (0, 1), caps every server's total
+	// utilization ρ_i at that value — an operational guard band the
+	// paper does not model (its only constraint is ρ_i < 1). Zero
+	// means uncapped. The optimum under a binding cap pins capped
+	// servers at the bound and equalizes marginal costs among the
+	// rest, which is exactly what the clamped inner search produces.
+	MaxUtilization float64
+	// Parallel runs the per-server inner searches concurrently (one
+	// goroutine per server, bounded by GOMAXPROCS). The inner solves
+	// at a given φ are independent, so results are bit-identical to
+	// the sequential path; worthwhile from a few hundred servers up
+	// (see BenchmarkOptimizeN512Parallel).
+	Parallel bool
+}
+
+// DefaultEpsilon is the default bisection tolerance. It reproduces the
+// paper's seven published decimal digits.
+const DefaultEpsilon = 1e-12
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon <= 0 {
+		return DefaultEpsilon
+	}
+	return o.Epsilon
+}
+
+// Result is an optimal (or candidate) load distribution.
+type Result struct {
+	// Rates are the generic arrival rates λ′_1..λ′_n.
+	Rates []float64
+	// Phi is the Lagrange multiplier at the optimum: the common
+	// marginal cost ∂T′/∂λ′_i of every server carrying generic load.
+	Phi float64
+	// AvgResponseTime is the minimized T′ = Σ (λ′_i/λ′) T′_i.
+	AvgResponseTime float64
+	// Utilizations are ρ_1..ρ_n under the optimal rates.
+	Utilizations []float64
+	// ResponseTimes are the per-server generic response times T′_i.
+	ResponseTimes []float64
+	// Discipline echoes the discipline optimized for.
+	Discipline queueing.Discipline
+	// TotalRate echoes λ′.
+	TotalRate float64
+}
+
+// Optimize solves the paper's optimal load distribution problem: given
+// the group g and the total generic arrival rate lambda, it returns the
+// rates λ′_i minimizing the average generic response time T′ subject to
+// Σλ′_i = λ′ and ρ_i < 1.
+//
+// It is a faithful implementation of the algorithm in Fig. 3 of the
+// paper: the Lagrange multiplier φ is first grown by doubling until the
+// induced total rate F(φ) reaches λ′ (lines 1–10), then located by
+// bisection (lines 11–27), after which the per-server rates and T′ are
+// evaluated (lines 28–37).
+func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !opts.Discipline.Valid() {
+		return nil, fmt.Errorf("core: unknown discipline %d", int(opts.Discipline))
+	}
+	if math.IsNaN(lambda) || lambda <= 0 {
+		return nil, fmt.Errorf("core: total generic rate λ′=%g must be positive", lambda)
+	}
+	if max := g.MaxGenericRate(); lambda >= max {
+		return nil, fmt.Errorf("core: λ′=%g at or beyond saturation λ′_max=%g", lambda, max)
+	}
+	rhoCap := 1.0
+	if opts.MaxUtilization != 0 {
+		if opts.MaxUtilization <= 0 || opts.MaxUtilization >= 1 {
+			return nil, fmt.Errorf("core: MaxUtilization %g must be in (0, 1)", opts.MaxUtilization)
+		}
+		rhoCap = opts.MaxUtilization
+		var capTotal numeric.KahanSum
+		for _, s := range g.Servers {
+			if r := rhoCap*s.Capacity(g.TaskSize) - s.SpecialRate; r > 0 {
+				capTotal.Add(r)
+			}
+		}
+		// Require real headroom: the bisection needs the capped system
+		// to be able to absorb strictly more than λ′.
+		if capTotal.Value() <= lambda*(1+1e-9) {
+			return nil, fmt.Errorf("core: λ′=%g leaves no headroom under capped capacity %g at ρ ≤ %g",
+				lambda, capTotal.Value(), rhoCap)
+		}
+	}
+	eps := opts.epsilon()
+
+	ratesAt := func(phi float64) ([]float64, float64) {
+		rates := make([]float64, g.N())
+		workers := runtime.GOMAXPROCS(0)
+		if opts.Parallel && g.N() > 1 && workers > 1 {
+			// Per-server solves are independent; fan out over
+			// contiguous chunks, then sum sequentially so the result
+			// is bit-identical to the sequential path.
+			if workers > g.N() {
+				workers = g.N()
+			}
+			var wg sync.WaitGroup
+			chunk := (g.N() + workers - 1) / workers
+			for lo := 0; lo < g.N(); lo += chunk {
+				hi := lo + chunk
+				if hi > g.N() {
+					hi = g.N()
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						rates[i] = FindRateLimited(g.Servers[i], g.TaskSize, lambda, phi, opts.Discipline, eps, rhoCap)
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		} else {
+			for i, s := range g.Servers {
+				rates[i] = FindRateLimited(s, g.TaskSize, lambda, phi, opts.Discipline, eps, rhoCap)
+			}
+		}
+		var sum numeric.KahanSum
+		for _, r := range rates {
+			sum.Add(r)
+		}
+		return rates, sum.Value()
+	}
+
+	total := func(phi float64) float64 {
+		_, f := ratesAt(phi)
+		return f
+	}
+
+	// Grow φ until F(φ) ≥ λ′ (Fig. 3 lines 1–10). The marginal cost of
+	// an empty server is T′_i(0)/λ′ > 0, so a tiny φ yields F = 0.
+	phiHi, err := numeric.ExpandUpper(func(phi float64) bool { return total(phi) >= lambda }, 1e-12, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: failed to bracket φ: %w", err)
+	}
+	// Bisect φ in [0, phiHi] (Fig. 3 lines 11–27), keeping both ends of
+	// the final interval. F is non-decreasing in φ because each
+	// λ′_i(φ) is.
+	lb, ub := 0.0, phiHi
+	for i := 0; ub-lb > eps*phiHi && i < numeric.MaxIterations; i++ {
+		mid := lb + (ub-lb)/2
+		if mid == lb || mid == ub {
+			break
+		}
+		if total(mid) >= lambda {
+			ub = mid
+		} else {
+			lb = mid
+		}
+	}
+	phi := lb + (ub-lb)/2
+
+	// F can be (numerically) discontinuous at the optimal φ: a large,
+	// lightly loaded server has an almost *flat* marginal cost
+	// ≈ x̄_i/λ′ over a wide rate range (queueing is negligible until
+	// its utilization grows), so as φ crosses that plateau the induced
+	// rate — and F — jumps. The optimizing set at the jump is the whole
+	// segment between the two sides, every point of which satisfies the
+	// KKT conditions; pick the point on the segment meeting the
+	// conservation constraint exactly.
+	rates, f := ratesAt(phi)
+	if !opts.NoRescale {
+		ratesLo, fLo := ratesAt(lb)
+		ratesHi, fHi := ratesAt(ub)
+		if fHi > fLo && fLo <= lambda && lambda <= fHi {
+			t := (lambda - fLo) / (fHi - fLo)
+			var sum numeric.KahanSum
+			for i := range rates {
+				rates[i] = ratesLo[i] + t*(ratesHi[i]-ratesLo[i])
+				sum.Add(rates[i])
+			}
+			f = sum.Value()
+		}
+		// Remove the remaining float dust with an exact projection;
+		// the factor is 1 ± O(ε) and cannot de-stabilize a server.
+		if f > 0 {
+			scale := lambda / f
+			for i := range rates {
+				rates[i] *= scale
+			}
+			if err := g.Feasible(rates); err != nil {
+				for i := range rates {
+					rates[i] /= scale
+				}
+			}
+		}
+	}
+
+	res := &Result{
+		Rates:           rates,
+		Phi:             phi,
+		AvgResponseTime: g.AverageResponseTime(opts.Discipline, rates),
+		Utilizations:    g.Utilizations(rates),
+		ResponseTimes:   g.ResponseTimes(opts.Discipline, rates),
+		Discipline:      opts.Discipline,
+		TotalRate:       lambda,
+	}
+	return res, nil
+}
+
+// FindRate implements the paper's Fig. 2 algorithm Find_λ′_i: the
+// generic rate λ′_i at which server s's marginal cost
+// (1/λ′)(T′_i + ρ′_i ∂T′_i/∂ρ_i) reaches phi, searched by bisection
+// over [0, (1−ε)(m_i/x̄_i − λ″_i)). If even an idle server's marginal
+// cost exceeds phi, the server receives no generic load and 0 is
+// returned; if the marginal cost never reaches phi below the stability
+// cap, the capped rate is returned.
+func FindRate(s model.Server, rbar, lambdaTotal, phi float64, d queueing.Discipline, eps float64) float64 {
+	return FindRateLimited(s, rbar, lambdaTotal, phi, d, eps, 1)
+}
+
+// FindRateLimited is FindRate with an additional utilization ceiling:
+// the returned rate never drives the server's total utilization above
+// rhoCap (pass 1 for the paper's pure stability constraint).
+func FindRateLimited(s model.Server, rbar, lambdaTotal, phi float64, d queueing.Discipline, eps, rhoCap float64) float64 {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	maxRate := s.MaxGenericRate(rbar)
+	if rhoCap > 0 && rhoCap < 1 {
+		if capped := rhoCap*s.Capacity(rbar) - s.SpecialRate; capped < maxRate {
+			maxRate = capped
+		}
+	}
+	if maxRate <= 0 {
+		return 0 // special tasks (or the cap) leave no headroom
+	}
+	pred := func(l float64) bool {
+		return s.MarginalCost(d, l, lambdaTotal, rbar) >= phi
+	}
+	if pred(0) {
+		return 0
+	}
+	capRate := (1 - eps) * maxRate
+	if !pred(capRate) {
+		// φ exceeds the marginal cost everywhere below the stability
+		// bound (only happens while the outer loop overshoots φ).
+		return capRate
+	}
+	ub, err := numeric.ExpandUpper(pred, maxRate/1024, maxRate, 1-eps)
+	if err != nil {
+		return capRate
+	}
+	rate, err := numeric.BisectPredicate(pred, 0, ub, eps*maxRate)
+	if err != nil {
+		return capRate
+	}
+	return rate
+}
+
+// KKTResidual measures how far an allocation is from the optimality
+// conditions: for servers with λ′_i > 0 the marginal cost must equal
+// the common multiplier (taken as the rate-weighted mean marginal cost
+// of loaded servers), and for servers with λ′_i = 0 the marginal cost
+// at zero must be at least that multiplier. The returned residual is
+// the largest violation, relative to the multiplier. Small residual ⇒
+// the allocation satisfies the paper's eq. (1).
+func KKTResidual(g *model.Group, d queueing.Discipline, rates []float64) (float64, error) {
+	if err := g.Feasible(rates); err != nil {
+		return 0, err
+	}
+	var lambda numeric.KahanSum
+	for _, r := range rates {
+		lambda.Add(r)
+	}
+	l := lambda.Value()
+	if l == 0 {
+		return 0, fmt.Errorf("core: KKT residual undefined for zero allocation")
+	}
+	// Rate-weighted mean marginal cost of loaded servers ≈ φ.
+	var wsum, w numeric.KahanSum
+	mcs := make([]float64, len(rates))
+	for i, s := range g.Servers {
+		mcs[i] = s.MarginalCost(d, rates[i], l, g.TaskSize)
+		if rates[i] > 0 {
+			wsum.Add(rates[i] * mcs[i])
+			w.Add(rates[i])
+		}
+	}
+	phi := wsum.Value() / w.Value()
+	var worst float64
+	for i, r := range rates {
+		var viol float64
+		if r > 0 {
+			viol = math.Abs(mcs[i]-phi) / phi
+		} else if mcs[i] < phi {
+			viol = (phi - mcs[i]) / phi
+		}
+		if viol > worst {
+			worst = viol
+		}
+	}
+	return worst, nil
+}

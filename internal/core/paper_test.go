@@ -1,0 +1,127 @@
+package core
+
+// Regression tests pinning the solver to the digits published in the
+// paper (Tables 1 and 2). These are the primary reproduction checks.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+// table1 holds the published optimal distribution of Example 1
+// (special tasks without priority): λ′_i and ρ_i per server.
+var table1 = []struct{ rate, rho float64 }{
+	{0.6652046, 0.5078764},
+	{1.8802882, 0.6133814},
+	{2.9973639, 0.6568290},
+	{3.9121948, 0.6761726},
+	{4.5646028, 0.6803836},
+	{4.8769307, 0.6694644},
+	{4.6234149, 0.6302439},
+}
+
+// table2 holds the published optimal distribution of Example 2
+// (special tasks with priority).
+var table2 = []struct{ rate, rho float64 }{
+	{0.5908113, 0.4846285},
+	{1.7714948, 0.5952491},
+	{2.8813939, 0.6430231},
+	{3.8136848, 0.6667005},
+	{4.5164617, 0.6763718},
+	{4.9419622, 0.6743911},
+	{5.0041912, 0.6574422},
+}
+
+const (
+	table1T = 0.8964703 // published minimized T′, Example 1
+	table2T = 0.9209392 // published minimized T′, Example 2
+	digitsT = 5e-8      // everything published has 7 decimals
+)
+
+func TestTable1Reproduction(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	if math.Abs(lambda-23.52) > 1e-9 {
+		t.Fatalf("λ′ = %.9f, want 23.52", lambda)
+	}
+	res, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgResponseTime-table1T) > digitsT {
+		t.Errorf("T′ = %.7f, want %.7f", res.AvgResponseTime, table1T)
+	}
+	for i, want := range table1 {
+		if math.Abs(res.Rates[i]-want.rate) > digitsT {
+			t.Errorf("λ′_%d = %.7f, want %.7f", i+1, res.Rates[i], want.rate)
+		}
+		if math.Abs(res.Utilizations[i]-want.rho) > digitsT {
+			t.Errorf("ρ_%d = %.7f, want %.7f", i+1, res.Utilizations[i], want.rho)
+		}
+	}
+}
+
+func TestTable2Reproduction(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	res, err := Optimize(g, lambda, Options{Discipline: queueing.Priority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgResponseTime-table2T) > digitsT {
+		t.Errorf("T′ = %.7f, want %.7f", res.AvgResponseTime, table2T)
+	}
+	for i, want := range table2 {
+		if math.Abs(res.Rates[i]-want.rate) > digitsT {
+			t.Errorf("λ′_%d = %.7f, want %.7f", i+1, res.Rates[i], want.rate)
+		}
+		if math.Abs(res.Utilizations[i]-want.rho) > digitsT {
+			t.Errorf("ρ_%d = %.7f, want %.7f", i+1, res.Utilizations[i], want.rho)
+		}
+	}
+}
+
+func TestPriorityCostsMoreThanFCFS(t *testing.T) {
+	// The paper notes Example 2's T′ exceeds Example 1's.
+	if table2T <= table1T {
+		t.Fatal("sanity: published values out of order")
+	}
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	fc, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Optimize(g, lambda, Options{Discipline: queueing.Priority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.AvgResponseTime <= fc.AvgResponseTime {
+		t.Fatalf("priority T′=%g should exceed FCFS T′=%g", pr.AvgResponseTime, fc.AvgResponseTime)
+	}
+}
+
+func TestTable1DifferentUtilizations(t *testing.T) {
+	// The paper observes that at the optimum the servers have
+	// *different* utilizations (unlike naive balancing).
+	g := model.LiExample1Group()
+	res, err := Optimize(g, 0.5*g.MaxGenericRate(), Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := res.Utilizations[0], res.Utilizations[0]
+	for _, r := range res.Utilizations {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if max-min < 0.05 {
+		t.Fatalf("utilization spread %g unexpectedly small: %v", max-min, res.Utilizations)
+	}
+}

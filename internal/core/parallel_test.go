@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+func TestParallelMatchesSequentialExactly(t *testing.T) {
+	// The parallel inner loop must be bit-identical to the sequential
+	// one (independent solves, deterministic summation order).
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGroup(rng)
+		lambda := (0.1 + 0.8*rng.Float64()) * g.MaxGenericRate()
+		d := queueing.FCFS
+		if trial%2 == 1 {
+			d = queueing.Priority
+		}
+		seq, err := Optimize(g, lambda, Options{Discipline: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Optimize(g, lambda, Options{Discipline: d, Parallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.AvgResponseTime != par.AvgResponseTime || seq.Phi != par.Phi {
+			t.Fatalf("trial %d: sequential T′=%.17g φ=%.17g vs parallel T′=%.17g φ=%.17g",
+				trial, seq.AvgResponseTime, seq.Phi, par.AvgResponseTime, par.Phi)
+		}
+		for i := range seq.Rates {
+			if seq.Rates[i] != par.Rates[i] {
+				t.Fatalf("trial %d server %d: %.17g vs %.17g", trial, i, seq.Rates[i], par.Rates[i])
+			}
+		}
+	}
+}
+
+func TestParallelTable1(t *testing.T) {
+	g := model.LiExample1Group()
+	res, err := Optimize(g, 0.5*g.MaxGenericRate(), Options{Discipline: queueing.FCFS, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Optimize(g, 0.5*g.MaxGenericRate(), Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgResponseTime != seq.AvgResponseTime {
+		t.Fatalf("parallel %.17g vs sequential %.17g", res.AvgResponseTime, seq.AvgResponseTime)
+	}
+}

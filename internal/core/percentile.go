@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+// GroupGenericCDF returns P(T ≤ t) for the response time of a random
+// generic task under the given allocation with FCFS scheduling: the
+// task lands on server i with probability λ′_i/λ′ and then experiences
+// that server's M/M/m sojourn distribution, so the group CDF is the
+// rate-weighted mixture of the per-server CDFs. Only FCFS is
+// supported — under priority the conditional generic wait is not
+// exponential and the paper gives no distribution for it.
+func GroupGenericCDF(g *model.Group, rates []float64, t float64) (float64, error) {
+	if err := g.Feasible(rates); err != nil {
+		return 0, err
+	}
+	var lambda numeric.KahanSum
+	for _, r := range rates {
+		lambda.Add(r)
+	}
+	l := lambda.Value()
+	if l <= 0 {
+		return 0, fmt.Errorf("core: group CDF needs positive total rate")
+	}
+	var mix numeric.KahanSum
+	for i, s := range g.Servers {
+		if rates[i] == 0 {
+			continue
+		}
+		rho := s.Utilization(rates[i], g.TaskSize)
+		cdf, err := queueing.ResponseTimeCDF(s.Size, rho, s.ServiceMean(g.TaskSize), t)
+		if err != nil {
+			return 0, fmt.Errorf("core: server %d: %w", i+1, err)
+		}
+		mix.Add(rates[i] / l * cdf)
+	}
+	return mix.Value(), nil
+}
+
+// GroupGenericQuantile returns the p-quantile of the group generic
+// response time under the allocation (FCFS): the t with
+// GroupGenericCDF(t) = p, found by bracketed bisection. This turns the
+// paper's mean-value result into percentile SLAs ("95 % of generic
+// tasks finish within …").
+func GroupGenericQuantile(g *model.Group, rates []float64, p float64) (float64, error) {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("core: quantile %g must be in (0, 1)", p)
+	}
+	if _, err := GroupGenericCDF(g, rates, 1); err != nil {
+		return 0, err
+	}
+	atLeast := func(t float64) bool {
+		v, err := GroupGenericCDF(g, rates, t)
+		return err == nil && v >= p
+	}
+	// Start the bracket at the largest service mean.
+	start := 0.0
+	for _, s := range g.Servers {
+		if x := s.ServiceMean(g.TaskSize); x > start {
+			start = x
+		}
+	}
+	hi, err := numeric.ExpandUpper(atLeast, start, 0, 0)
+	if err != nil {
+		return 0, fmt.Errorf("core: quantile bracket failed: %w", err)
+	}
+	q, err := numeric.BisectPredicate(atLeast, 0, hi, 1e-12*hi)
+	if err != nil {
+		return 0, fmt.Errorf("core: quantile search failed: %w", err)
+	}
+	return q, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+func optimalRates(t *testing.T, g *model.Group, frac float64) []float64 {
+	t.Helper()
+	res, err := Optimize(g, frac*g.MaxGenericRate(), Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rates
+}
+
+func TestGroupGenericCDFValidation(t *testing.T) {
+	g := model.LiExample1Group()
+	if _, err := GroupGenericCDF(g, []float64{1}, 1); err == nil {
+		t.Error("wrong-length rates should fail")
+	}
+	if _, err := GroupGenericCDF(g, make([]float64, 7), 1); err == nil {
+		t.Error("zero rates should fail")
+	}
+	if _, err := GroupGenericQuantile(g, make([]float64, 7), 0.5); err == nil {
+		t.Error("zero rates should fail for quantile")
+	}
+	rates := optimalRates(t, g, 0.5)
+	for _, bad := range []float64{0, 1, -1, math.NaN()} {
+		if _, err := GroupGenericQuantile(g, rates, bad); err == nil {
+			t.Errorf("p=%g should fail", bad)
+		}
+	}
+}
+
+func TestGroupGenericCDFMonotoneTo1(t *testing.T) {
+	g := model.LiExample1Group()
+	rates := optimalRates(t, g, 0.5)
+	prev := 0.0
+	for _, tt := range []float64{0.2, 0.5, 1, 2, 4, 8, 32} {
+		v, err := GroupGenericCDF(g, rates, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-14 || v < 0 || v > 1 {
+			t.Fatalf("CDF not monotone in [0,1] at t=%g: %g after %g", tt, v, prev)
+		}
+		prev = v
+	}
+	if prev < 0.9999 {
+		t.Fatalf("CDF at t=32 only %g", prev)
+	}
+}
+
+func TestGroupGenericMeanFromTailIntegral(t *testing.T) {
+	// ∫(1−CDF) must equal the optimizer's T′ for the same allocation.
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	res, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.01
+	var integral numeric.KahanSum
+	for tt := 0.0; tt < 120; tt += dt {
+		a, err := GroupGenericCDF(g, res.Rates, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GroupGenericCDF(g, res.Rates, tt+dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		integral.Add(((1 - a) + (1 - b)) / 2 * dt)
+	}
+	if !numeric.WithinTol(integral.Value(), res.AvgResponseTime, 2e-3, 2e-3) {
+		t.Fatalf("∫tail = %.6f vs T′ = %.6f", integral.Value(), res.AvgResponseTime)
+	}
+}
+
+func TestGroupGenericQuantileRoundTrip(t *testing.T) {
+	g := model.LiExample1Group()
+	rates := optimalRates(t, g, 0.6)
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		q, err := GroupGenericQuantile(g, rates, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := GroupGenericCDF(g, rates, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(back-p) > 1e-9 {
+			t.Errorf("p=%g: CDF(q)=%.12g", p, back)
+		}
+	}
+}
+
+func TestGroupGenericQuantileSingleServerMatchesStation(t *testing.T) {
+	// One server: the group quantile is the station quantile.
+	g := &model.Group{Servers: []model.Server{{Size: 3, Speed: 1.2, SpecialRate: 1.0}}, TaskSize: 1}
+	rates := []float64{1.5}
+	q, err := GroupGenericQuantile(g, rates, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := g.Servers[0].Utilization(1.5, 1)
+	want, err := queueing.ResponseTimeQuantile(3, rho, g.Servers[0].ServiceMean(1), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.WithinTol(q, want, 1e-9, 1e-9) {
+		t.Fatalf("group quantile %.12g vs station %.12g", q, want)
+	}
+}

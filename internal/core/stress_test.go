@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+// randomGroup draws a feasible heterogeneous group: 2–10 servers,
+// sizes 1–20, speeds 0.2–2.5, preloads 0–60 % of capacity.
+func randomGroup(rng *rand.Rand) *model.Group {
+	n := 2 + rng.Intn(9)
+	servers := make([]model.Server, n)
+	for i := range servers {
+		size := 1 + rng.Intn(20)
+		speed := 0.2 + 2.3*rng.Float64()
+		preload := 0.6 * rng.Float64()
+		servers[i] = model.Server{
+			Size:        size,
+			Speed:       speed,
+			SpecialRate: preload * float64(size) * speed,
+		}
+	}
+	return &model.Group{Servers: servers, TaskSize: 0.5 + rng.Float64()}
+}
+
+// TestOptimizeRandomInstances hammers the solver with random systems
+// and verifies the full contract on each: success, conservation,
+// feasibility, KKT optimality, and domination of the strongest
+// always-feasible baseline.
+func TestOptimizeRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	const instances = 120
+	for trial := 0; trial < instances; trial++ {
+		g := randomGroup(rng)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid group: %v", trial, err)
+		}
+		frac := 0.05 + 0.9*rng.Float64()
+		lambda := frac * g.MaxGenericRate()
+		d := queueing.FCFS
+		if rng.Intn(2) == 1 {
+			d = queueing.Priority
+		}
+		res, err := Optimize(g, lambda, Options{Discipline: d})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d, frac=%.3f, %v): %v", trial, g.N(), frac, d, err)
+		}
+		if math.Abs(numeric.Sum(res.Rates)-lambda) > 1e-8*lambda+1e-12 {
+			t.Fatalf("trial %d: conservation broken by %g", trial, numeric.Sum(res.Rates)-lambda)
+		}
+		if err := g.Feasible(res.Rates); err != nil {
+			t.Fatalf("trial %d: infeasible optimum: %v", trial, err)
+		}
+		if math.IsNaN(res.AvgResponseTime) || math.IsInf(res.AvgResponseTime, 0) || res.AvgResponseTime <= 0 {
+			t.Fatalf("trial %d: T′ = %g", trial, res.AvgResponseTime)
+		}
+		resid, err := KKTResidual(g, d, res.Rates)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if resid > 1e-5 {
+			t.Fatalf("trial %d: KKT residual %g", trial, resid)
+		}
+		// The residual-capacity baseline is always feasible; the
+		// optimum must not lose to it.
+		rates, err := (balance.Residual{}).Allocate(g, lambda)
+		if err != nil {
+			t.Fatalf("trial %d: residual baseline: %v", trial, err)
+		}
+		if baseT := g.AverageResponseTime(d, rates); baseT < res.AvgResponseTime-1e-9 {
+			t.Fatalf("trial %d: baseline %.9g beats optimum %.9g", trial, baseT, res.AvgResponseTime)
+		}
+	}
+}
+
+// TestClosedFormRandomSingleBlade cross-checks Theorems 1 and 3 against
+// the bisection solver on random single-blade systems.
+func TestClosedFormRandomSingleBlade(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		servers := make([]model.Server, n)
+		for i := range servers {
+			speed := 0.3 + 2*rng.Float64()
+			servers[i] = model.Server{
+				Size:        1,
+				Speed:       speed,
+				SpecialRate: 0.5 * rng.Float64() * speed,
+			}
+		}
+		g := &model.Group{Servers: servers, TaskSize: 1}
+		lambda := (0.1 + 0.8*rng.Float64()) * g.MaxGenericRate()
+
+		cf, err := ClosedFormFCFS(g, lambda)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		num, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !numeric.WithinTol(cf.AvgResponseTime, num.AvgResponseTime, 1e-7, 1e-7) {
+			t.Fatalf("trial %d: Theorem 1 %.12g vs bisection %.12g",
+				trial, cf.AvgResponseTime, num.AvgResponseTime)
+		}
+
+		cp, err := ClosedFormPriority(g, lambda)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		nump, err := Optimize(g, lambda, Options{Discipline: queueing.Priority})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !numeric.WithinTol(cp.AvgResponseTime, nump.AvgResponseTime, 1e-7, 1e-7) {
+			t.Fatalf("trial %d: Theorem 3 %.12g vs bisection %.12g",
+				trial, cp.AvgResponseTime, nump.AvgResponseTime)
+		}
+	}
+}
+
+// FuzzOptimizeContract runs the solver on fuzzer-chosen parameters and
+// asserts the invariants that must hold for every accepted input.
+func FuzzOptimizeContract(f *testing.F) {
+	f.Add(int64(1), 0.5, false)
+	f.Add(int64(42), 0.9, true)
+	f.Add(int64(-7), 0.1, false)
+	f.Fuzz(func(t *testing.T, seed int64, fracSeed float64, prio bool) {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGroup(rng)
+		frac := math.Mod(math.Abs(fracSeed), 1)
+		if frac < 0.01 || frac > 0.97 || math.IsNaN(frac) {
+			t.Skip()
+		}
+		lambda := frac * g.MaxGenericRate()
+		d := queueing.FCFS
+		if prio {
+			d = queueing.Priority
+		}
+		res, err := Optimize(g, lambda, Options{Discipline: d, Epsilon: 1e-10})
+		if err != nil {
+			t.Fatalf("seed=%d frac=%g: %v", seed, frac, err)
+		}
+		if math.Abs(numeric.Sum(res.Rates)-lambda) > 1e-7*lambda+1e-12 {
+			t.Fatalf("conservation: Σ=%g λ′=%g", numeric.Sum(res.Rates), lambda)
+		}
+		if err := g.Feasible(res.Rates); err != nil {
+			t.Fatal(err)
+		}
+		if res.AvgResponseTime <= 0 || math.IsInf(res.AvgResponseTime, 0) || math.IsNaN(res.AvgResponseTime) {
+			t.Fatalf("T′ = %g", res.AvgResponseTime)
+		}
+	})
+}

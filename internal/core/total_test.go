@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+func evaluateAllTasks(g *model.Group, d queueing.Discipline, rates []float64) float64 {
+	var all, lam numeric.KahanSum
+	for i, s := range g.Servers {
+		xbar := s.ServiceMean(g.TaskSize)
+		rho := s.Utilization(rates[i], g.TaskSize)
+		rhoS := s.SpecialUtilization(g.TaskSize)
+		tg := queueing.GenericResponseTime(d, s.Size, rho, rhoS, xbar)
+		ts := specialResponse(d, s.Size, rho, rhoS, xbar)
+		all.Add(rates[i]*tg + s.SpecialRate*ts)
+		lam.Add(rates[i] + s.SpecialRate)
+	}
+	return all.Value() / lam.Value()
+}
+
+func TestOptimizeTotalValidation(t *testing.T) {
+	g := model.LiExample1Group()
+	if _, err := OptimizeTotal(g, 0, Options{}); err == nil {
+		t.Error("λ′=0 should fail")
+	}
+	if _, err := OptimizeTotal(g, g.MaxGenericRate(), Options{}); err == nil {
+		t.Error("saturating λ′ should fail")
+	}
+	if _, err := OptimizeTotal(g, 1, Options{Discipline: queueing.Discipline(5)}); err == nil {
+		t.Error("bad discipline should fail")
+	}
+	if _, err := OptimizeTotal(&model.Group{TaskSize: 1}, 1, Options{}); err == nil {
+		t.Error("invalid group should fail")
+	}
+}
+
+func TestOptimizeTotalConservationAndAverages(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	for _, d := range []queueing.Discipline{queueing.FCFS, queueing.Priority} {
+		res, err := OptimizeTotal(g, lambda, Options{Discipline: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(numeric.Sum(res.Rates)-lambda) > 1e-8 {
+			t.Fatalf("%v: conservation broken", d)
+		}
+		// The reported all-task average must match an independent
+		// evaluation, and decompose consistently.
+		indep := evaluateAllTasks(g, d, res.Rates)
+		if !numeric.WithinTol(res.AvgAllTasks, indep, 1e-10, 1e-10) {
+			t.Fatalf("%v: AvgAllTasks %.12g vs independent %.12g", d, res.AvgAllTasks, indep)
+		}
+		bigLambda := lambda + g.TotalSpecialRate()
+		mix := (lambda*res.AvgGeneric + g.TotalSpecialRate()*res.AvgSpecial) / bigLambda
+		if !numeric.WithinTol(res.AvgAllTasks, mix, 1e-10, 1e-10) {
+			t.Fatalf("%v: decomposition %.12g vs %.12g", d, mix, res.AvgAllTasks)
+		}
+	}
+}
+
+func TestOptimizeTotalBeatsGenericObjectiveOnAllTasks(t *testing.T) {
+	// On the all-task metric, OptimizeTotal must weakly beat the
+	// paper's generic-only optimizer — and vice versa on the
+	// generic-only metric.
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	for _, d := range []queueing.Discipline{queueing.FCFS, queueing.Priority} {
+		tot, err := OptimizeTotal(g, lambda, Options{Discipline: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := Optimize(g, lambda, Options{Discipline: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		genOnAll := evaluateAllTasks(g, d, gen.Rates)
+		if tot.AvgAllTasks > genOnAll+1e-9 {
+			t.Fatalf("%v: total-optimizer %.9g loses on its own metric to %.9g", d, tot.AvgAllTasks, genOnAll)
+		}
+		if tot.AvgGeneric < gen.AvgResponseTime-1e-9 {
+			t.Fatalf("%v: total-optimizer generic %.9g beats the generic optimum %.9g — impossible",
+				d, tot.AvgGeneric, gen.AvgResponseTime)
+		}
+	}
+}
+
+func TestOptimizeTotalCoincidesWithoutSpecials(t *testing.T) {
+	// With λ″ = 0 the two objectives are identical.
+	servers := []model.Server{
+		{Size: 3, Speed: 1.5},
+		{Size: 6, Speed: 1.0},
+		{Size: 9, Speed: 0.7},
+	}
+	g := &model.Group{Servers: servers, TaskSize: 1}
+	lambda := 0.55 * g.MaxGenericRate()
+	tot, err := OptimizeTotal(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.WithinTol(tot.AvgAllTasks, gen.AvgResponseTime, 1e-8, 1e-8) {
+		t.Fatalf("objectives should coincide: %.12g vs %.12g", tot.AvgAllTasks, gen.AvgResponseTime)
+	}
+	for i := range tot.Rates {
+		if !numeric.WithinTol(tot.Rates[i], gen.Rates[i], 1e-5, 1e-5) {
+			t.Fatalf("rate %d: %.9g vs %.9g", i, tot.Rates[i], gen.Rates[i])
+		}
+	}
+	if tot.AvgSpecial != 0 {
+		t.Fatalf("no specials: AvgSpecial = %g", tot.AvgSpecial)
+	}
+}
+
+func TestOptimizeTotalNoProfitableDeviation(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.6 * g.MaxGenericRate()
+	res, err := OptimizeTotal(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.AvgAllTasks
+	const delta = 1e-3
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if i == j || res.Rates[i] < delta {
+				continue
+			}
+			pert := append([]float64(nil), res.Rates...)
+			pert[i] -= delta
+			pert[j] += delta
+			if g.Feasible(pert) != nil {
+				continue
+			}
+			if got := evaluateAllTasks(g, queueing.FCFS, pert); got < base-1e-11 {
+				t.Fatalf("moving %g from %d to %d improves all-task T: %.12g < %.12g",
+					delta, i+1, j+1, got, base)
+			}
+		}
+	}
+}
+
+func TestOptimizeTotalMarginalCostMatchesNumerical(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	bigLambda := lambda + g.TotalSpecialRate()
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []queueing.Discipline{queueing.FCFS, queueing.Priority} {
+		for trial := 0; trial < 10; trial++ {
+			i := rng.Intn(g.N())
+			s := g.Servers[i]
+			r := (0.1 + 0.7*rng.Float64()) * s.MaxGenericRate(1)
+			analytic := totalMarginalCost(s, d, r, bigLambda, g.TaskSize)
+			numerical := numeric.Derivative(func(x float64) float64 {
+				xbar := s.ServiceMean(g.TaskSize)
+				rho := s.Utilization(x, g.TaskSize)
+				rhoS := s.SpecialUtilization(g.TaskSize)
+				tg := queueing.GenericResponseTime(d, s.Size, rho, rhoS, xbar)
+				ts := specialResponse(d, s.Size, rho, rhoS, xbar)
+				return (x*tg + s.SpecialRate*ts) / bigLambda
+			}, r)
+			if !numeric.WithinTol(analytic, numerical, 1e-6, 1e-5) {
+				t.Fatalf("%v server %d λ′=%g: analytic %.10g vs numeric %.10g", d, i+1, r, analytic, numerical)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package dispatch provides online dispatching policies that realize a
+// load distribution on a live generic-task stream in the simulator.
+//
+// Probabilistic splitting with the optimizer's rates is exactly the
+// paper's model (a Poisson stream split with fixed probabilities yields
+// independent Poisson substreams); the other policies are the
+// state-aware baselines a practitioner would compare against.
+package dispatch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/numeric"
+	"repro/internal/sim"
+)
+
+// Probabilistic routes each task to station i with probability
+// w_i / Σw, independent of system state. With w set to the optimal
+// rates λ′_i this is the paper's optimal load distribution.
+type Probabilistic struct {
+	cum []float64 // cumulative normalized weights
+}
+
+// NewProbabilistic builds a probabilistic dispatcher from non-negative
+// weights (at least one must be positive).
+func NewProbabilistic(weights []float64) (*Probabilistic, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("dispatch: no weights")
+	}
+	total := numeric.Sum(weights)
+	if total <= 0 {
+		return nil, fmt.Errorf("dispatch: weights sum to %g, need > 0", total)
+	}
+	cum := make([]float64, len(weights))
+	run := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("dispatch: negative weight %g at %d", w, i)
+		}
+		run += w / total
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1 // guard rounding
+	return &Probabilistic{cum: cum}, nil
+}
+
+// Name implements sim.Dispatcher.
+func (p *Probabilistic) Name() string { return "probabilistic" }
+
+// Pick implements sim.Dispatcher.
+func (p *Probabilistic) Pick(views []sim.StationView, rng *rand.Rand) int {
+	u := rng.Float64()
+	for i, c := range p.cum {
+		if u <= c {
+			return i
+		}
+	}
+	return len(p.cum) - 1
+}
+
+// RoundRobin cycles through stations in index order, ignoring state and
+// heterogeneity.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements sim.Dispatcher.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements sim.Dispatcher.
+func (r *RoundRobin) Pick(views []sim.StationView, _ *rand.Rand) int {
+	i := r.next % len(views)
+	r.next++
+	return i
+}
+
+// JSQ (join-shortest-queue) sends the task to the station with the
+// fewest waiting-plus-in-service tasks per blade, breaking ties toward
+// faster stations.
+type JSQ struct{}
+
+// Name implements sim.Dispatcher.
+func (JSQ) Name() string { return "join-shortest-queue" }
+
+// Pick implements sim.Dispatcher.
+func (JSQ) Pick(views []sim.StationView, _ *rand.Rand) int {
+	best := 0
+	bestLoad := load(views[0])
+	for i := 1; i < len(views); i++ {
+		l := load(views[i])
+		if l < bestLoad || (l == bestLoad && views[i].Speed > views[best].Speed) {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+func load(v sim.StationView) float64 {
+	return float64(v.Busy+v.QueueLen) / float64(v.Blades)
+}
+
+// LeastExpectedWait estimates, from the snapshot, how long the arriving
+// task would spend at each station (queueing delay plus its own
+// service) and picks the minimum. The estimate uses the M/M/m
+// structure: if a blade is free the delay is zero; otherwise the task
+// must wait for QueueLen+1 completions, each taking x̄/m in
+// expectation.
+type LeastExpectedWait struct{}
+
+// Name implements sim.Dispatcher.
+func (LeastExpectedWait) Name() string { return "least-expected-wait" }
+
+// Pick implements sim.Dispatcher.
+func (LeastExpectedWait) Pick(views []sim.StationView, _ *rand.Rand) int {
+	best := 0
+	bestWait := expectedSojourn(views[0])
+	for i := 1; i < len(views); i++ {
+		if w := expectedSojourn(views[i]); w < bestWait {
+			best, bestWait = i, w
+		}
+	}
+	return best
+}
+
+func expectedSojourn(v sim.StationView) float64 {
+	if v.Busy < v.Blades {
+		return v.ServiceMean
+	}
+	perCompletion := v.ServiceMean / float64(v.Blades)
+	return float64(v.QueueLen+1)*perCompletion + v.ServiceMean
+}
+
+// Compile-time interface checks.
+var (
+	_ sim.Dispatcher = (*Probabilistic)(nil)
+	_ sim.Dispatcher = (*RoundRobin)(nil)
+	_ sim.Dispatcher = JSQ{}
+	_ sim.Dispatcher = LeastExpectedWait{}
+)

@@ -1,0 +1,102 @@
+package dispatch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/numeric"
+	"repro/internal/sim"
+)
+
+// PowerOfD samples D stations uniformly at random and joins the least
+// loaded of them — the "power of two choices" family. It approaches
+// JSQ quality while probing only D queues, the practical compromise in
+// large clusters where polling every server per arrival is too slow.
+type PowerOfD struct {
+	// D is the number of sampled stations (≥ 1). D = 1 is purely
+	// random routing; D = 2 is the classic power-of-two-choices.
+	D int
+}
+
+// NewPowerOfD validates the sample size.
+func NewPowerOfD(d int) (*PowerOfD, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("dispatch: power-of-d needs d ≥ 1, got %d", d)
+	}
+	return &PowerOfD{D: d}, nil
+}
+
+// Name implements sim.Dispatcher.
+func (p *PowerOfD) Name() string { return fmt.Sprintf("power-of-%d", p.D) }
+
+// Pick implements sim.Dispatcher.
+func (p *PowerOfD) Pick(views []sim.StationView, rng *rand.Rand) int {
+	n := len(views)
+	best := rng.Intn(n)
+	bestLoad := load(views[best])
+	for i := 1; i < p.D; i++ {
+		cand := rng.Intn(n)
+		if l := load(views[cand]); l < bestLoad {
+			best, bestLoad = cand, l
+		}
+	}
+	return best
+}
+
+// WeightedRoundRobin realizes target rates deterministically using
+// smooth weighted round robin (the nginx algorithm): each pick adds
+// every station's weight to its running credit and selects the largest,
+// subtracting the total. Over any window of W picks the share of
+// station i deviates from w_i/Σw by at most one pick — a drop-in,
+// randomness-free alternative to probabilistic splitting. Note that
+// unlike probabilistic splitting it does NOT preserve the Poisson
+// property of substreams, so the paper's formulas only approximate it;
+// the simulator quantifies the (small, favorable) difference.
+type WeightedRoundRobin struct {
+	weights []float64
+	credit  []float64
+	total   float64
+}
+
+// NewWeightedRoundRobin builds the dispatcher from non-negative weights
+// (at least one positive), e.g. the optimizer's rates.
+func NewWeightedRoundRobin(weights []float64) (*WeightedRoundRobin, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("dispatch: no weights")
+	}
+	total := numeric.Sum(weights)
+	if total <= 0 {
+		return nil, fmt.Errorf("dispatch: weights sum to %g, need > 0", total)
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("dispatch: negative weight %g at %d", w, i)
+		}
+	}
+	return &WeightedRoundRobin{
+		weights: append([]float64(nil), weights...),
+		credit:  make([]float64, len(weights)),
+		total:   total,
+	}, nil
+}
+
+// Name implements sim.Dispatcher.
+func (w *WeightedRoundRobin) Name() string { return "weighted-round-robin" }
+
+// Pick implements sim.Dispatcher.
+func (w *WeightedRoundRobin) Pick(views []sim.StationView, _ *rand.Rand) int {
+	best := 0
+	for i := range w.credit {
+		w.credit[i] += w.weights[i]
+		if w.credit[i] > w.credit[best] {
+			best = i
+		}
+	}
+	w.credit[best] -= w.total
+	return best
+}
+
+var (
+	_ sim.Dispatcher = (*PowerOfD)(nil)
+	_ sim.Dispatcher = (*WeightedRoundRobin)(nil)
+)

@@ -1,0 +1,181 @@
+package dispatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+)
+
+func TestNewPowerOfDValidation(t *testing.T) {
+	if _, err := NewPowerOfD(0); err == nil {
+		t.Error("d=0 should fail")
+	}
+	p, err := NewPowerOfD(2)
+	if err != nil || p.Name() != "power-of-2" {
+		t.Fatalf("p=%v err=%v", p, err)
+	}
+}
+
+func TestPowerOfOneIsUniform(t *testing.T) {
+	p, err := NewPowerOfD(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	views := make([]sim.StationView, 4)
+	for i := range views {
+		views[i].Blades = 1
+	}
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[p.Pick(views, rng)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)/n-0.25) > 0.01 {
+			t.Errorf("station %d frequency %.3f, want 0.25", i, float64(c)/n)
+		}
+	}
+}
+
+func TestPowerOfTwoAvoidsLoaded(t *testing.T) {
+	p, err := NewPowerOfD(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Station 0 heavily loaded, station 1 idle.
+	views := []sim.StationView{
+		{Blades: 1, Busy: 1, QueueLen: 10},
+		{Blades: 1, Busy: 0, QueueLen: 0},
+	}
+	idle := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.Pick(views, rng) == 1 {
+			idle++
+		}
+	}
+	// Picks station 1 whenever sampled at least once: 3/4 of the time.
+	if frac := float64(idle) / n; math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("idle station picked %.3f of the time, want ≈ 0.75", frac)
+	}
+}
+
+func TestNewWeightedRoundRobinValidation(t *testing.T) {
+	if _, err := NewWeightedRoundRobin(nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewWeightedRoundRobin([]float64{0, 0}); err == nil {
+		t.Error("zero weights should fail")
+	}
+	if _, err := NewWeightedRoundRobin([]float64{1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestWeightedRoundRobinShares(t *testing.T) {
+	w, err := NewWeightedRoundRobin([]float64{1, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := make([]sim.StationView, 3)
+	counts := make([]int, 3)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[w.Pick(views, nil)]++
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i, c := range counts {
+		if math.Abs(float64(c)/n-want[i]) > 0.001 {
+			t.Errorf("station %d share %.4f, want %.1f", i, float64(c)/n, want[i])
+		}
+	}
+}
+
+func TestWeightedRoundRobinSmoothness(t *testing.T) {
+	// Smooth WRR with weights 5:1 must not emit long bursts of the
+	// heavy station beyond its weight.
+	w, err := NewWeightedRoundRobin([]float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := make([]sim.StationView, 2)
+	run := 0
+	maxRun := 0
+	for i := 0; i < 600; i++ {
+		if w.Pick(views, nil) == 0 {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if maxRun > 5 {
+		t.Fatalf("heavy station burst of %d, smooth WRR should cap at 5", maxRun)
+	}
+}
+
+func TestWeightedRoundRobinDoesNotAliasInput(t *testing.T) {
+	weights := []float64{1, 1}
+	w, err := NewWeightedRoundRobin(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights[0] = 100
+	views := make([]sim.StationView, 2)
+	counts := make([]int, 2)
+	for i := 0; i < 100; i++ {
+		counts[w.Pick(views, nil)]++
+	}
+	if counts[0] != 50 || counts[1] != 50 {
+		t.Fatalf("mutating caller slice changed behavior: %v", counts)
+	}
+}
+
+func TestWRRSimulatesCloseToProbabilistic(t *testing.T) {
+	// Deterministic smoothing preserves the rates, so the simulated T′
+	// should be close to (and typically slightly below) the
+	// probabilistic split's value.
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	rates := make([]float64, g.N())
+	for i := range rates {
+		rates[i] = lambda * g.Servers[i].MaxGenericRate(1) / g.MaxGenericRate()
+	}
+	runWith := func(d sim.Dispatcher) float64 {
+		res, err := sim.Run(sim.Config{
+			Group: g, Discipline: queueing.FCFS, GenericRate: lambda,
+			Dispatcher: d, Horizon: 50000, Warmup: 1000, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GenericResponse.Mean()
+	}
+	prob, err := NewProbabilistic(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrr, err := NewWeightedRoundRobin(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tProb := runWith(prob)
+	tWRR := runWith(wrr)
+	if tWRR > tProb {
+		t.Fatalf("smoothed arrivals should not be slower: WRR %.4f vs prob %.4f", tWRR, tProb)
+	}
+	if (tProb-tWRR)/tProb > 0.2 {
+		t.Fatalf("WRR implausibly better: %.4f vs %.4f", tWRR, tProb)
+	}
+}

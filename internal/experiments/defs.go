@@ -1,0 +1,318 @@
+// Package experiments defines one runnable experiment per table and
+// figure in the paper's evaluation (§5): the exact parameter sets, a
+// parallel sweep runner, renderers, and the published values used as
+// regression oracles.
+//
+// The paper's figures plot the minimized T′ against the total generic
+// arrival rate λ′ but do not list grid points; we sweep λ′ over
+// GridPoints evenly spaced fractions of the smallest saturation point
+// among a figure's series so every curve shares the grid (see
+// DESIGN.md §3).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+// Kind distinguishes single-operating-point tables from λ′ sweeps.
+type Kind int
+
+const (
+	// Table experiments solve one operating point and report
+	// per-server columns (Tables 1 and 2).
+	Table Kind = iota
+	// Figure experiments sweep λ′ and report one T′ series per group
+	// (Figs. 4–15).
+	Figure
+)
+
+// Series is one curve of a figure (or the single system of a table).
+type Series struct {
+	// Label names the curve as the paper does ("Group 1", "s = 1.6", …).
+	Label string
+	// Group is the blade-server system of this curve.
+	Group *model.Group
+}
+
+// Experiment is one table or figure of the paper.
+type Experiment struct {
+	// ID is the key used everywhere: "table1", "table2", "fig4" … "fig15".
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Kind is Table or Figure.
+	Kind Kind
+	// Discipline of special tasks in this experiment.
+	Discipline queueing.Discipline
+	// Series holds the system(s) evaluated.
+	Series []Series
+	// LambdaFraction applies to tables: λ′ = fraction · λ′_max.
+	LambdaFraction float64
+	// GridPoints applies to figures: number of λ′ grid points.
+	GridPoints int
+	// GridLoFrac/GridHiFrac bound the sweep as fractions of the
+	// smallest λ′_max among the series.
+	GridLoFrac, GridHiFrac float64
+}
+
+// DefaultGridPoints is the number of λ′ samples per figure curve.
+const DefaultGridPoints = 19
+
+// paperSpeeds returns s_i = base − 0.1·i for i = 1..n.
+func paperSpeeds(n int, base float64) []float64 {
+	out := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		out[i-1] = base - 0.1*float64(i)
+	}
+	return out
+}
+
+// mustGroup wraps model.PaperGroup for the fixed parameter sets below,
+// which are constants and cannot fail.
+func mustGroup(sizes []int, speeds []float64, rbar, y float64) *model.Group {
+	g, err := model.PaperGroup(sizes, speeds, rbar, y)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: invalid built-in parameters: %v", err))
+	}
+	return g
+}
+
+// uniformSpeeds returns n copies of s.
+func uniformSpeeds(n int, s float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+// uniformSizes returns n copies of m.
+func uniformSizes(n, m int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = m
+	}
+	return out
+}
+
+// sizeGroupsFig45 are the five size vectors of Figs. 4–5 (total blades
+// 49, 53, 56, 59, 63).
+var sizeGroupsFig45 = [][]int{
+	{1, 3, 5, 7, 9, 11, 13},
+	{1, 3, 5, 8, 10, 12, 14},
+	{2, 4, 6, 8, 10, 12, 14},
+	{3, 5, 7, 8, 10, 12, 14},
+	{3, 5, 7, 9, 11, 13, 15},
+}
+
+// sizeGroupsFig1213 are the five size vectors of Figs. 12–13 (equal
+// totals m = 56, decreasing heterogeneity).
+var sizeGroupsFig1213 = [][]int{
+	{1, 2, 2, 8, 14, 14, 15},
+	{2, 4, 6, 8, 10, 12, 14},
+	{4, 6, 6, 8, 10, 10, 12},
+	{6, 6, 8, 8, 8, 10, 10},
+	{8, 8, 8, 8, 8, 8, 8},
+}
+
+// speedGroupsFig1415 are the five speed vectors of Figs. 14–15 (equal
+// total speed 10.4 per blade-set, decreasing heterogeneity).
+var speedGroupsFig1415 = [][]float64{
+	{0.1, 0.5, 0.9, 1.3, 1.7, 2.1, 2.5},
+	{0.4, 0.7, 1.0, 1.3, 1.6, 1.9, 2.2},
+	{0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9},
+	{1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6},
+	{1.3, 1.3, 1.3, 1.3, 1.3, 1.3, 1.3},
+}
+
+// build assembles the full experiment registry. Each call returns
+// fresh groups, so callers may mutate them freely.
+func build() []*Experiment {
+	canonicalSizes := []int{2, 4, 6, 8, 10, 12, 14} // m_i = 2i
+
+	var exps []*Experiment
+
+	for _, tc := range []struct {
+		id string
+		d  queueing.Discipline
+	}{{"table1", queueing.FCFS}, {"table2", queueing.Priority}} {
+		exps = append(exps, &Experiment{
+			ID:    tc.id,
+			Title: fmt.Sprintf("Optimal distribution at λ′ = 0.5·λ′_max, special tasks %s", disciplineNoun(tc.d)),
+			Kind:  Table, Discipline: tc.d,
+			Series:         []Series{{Label: "Example system", Group: model.LiExample1Group()}},
+			LambdaFraction: 0.5,
+		})
+	}
+
+	figure := func(num int, d queueing.Discipline, title string, series []Series) *Experiment {
+		return &Experiment{
+			ID:    fmt.Sprintf("fig%d", num),
+			Title: title,
+			Kind:  Figure, Discipline: d,
+			Series:     series,
+			GridPoints: DefaultGridPoints,
+			GridLoFrac: 0.05, GridHiFrac: 0.95,
+		}
+	}
+
+	// Figs. 4–5: impact of server sizes.
+	sizeSeries := func() []Series {
+		out := make([]Series, len(sizeGroupsFig45))
+		for i, sizes := range sizeGroupsFig45 {
+			out[i] = Series{
+				Label: fmt.Sprintf("Group %d (m=%d)", i+1, sumInts(sizes)),
+				Group: mustGroup(sizes, paperSpeeds(7, 1.7), 1.0, 0.3),
+			}
+		}
+		return out
+	}
+	exps = append(exps,
+		figure(4, queueing.FCFS, "T′ vs λ′ for five size groups, special tasks without priority", sizeSeries()),
+		figure(5, queueing.Priority, "T′ vs λ′ for five size groups, special tasks with priority", sizeSeries()))
+
+	// Figs. 6–7: impact of server speeds (s_i = s − 0.1i).
+	speedSeries := func() []Series {
+		var out []Series
+		for _, s := range []float64{1.5, 1.6, 1.7, 1.8, 1.9} {
+			out = append(out, Series{
+				Label: fmt.Sprintf("s = %.1f", s),
+				Group: mustGroup(canonicalSizes, paperSpeeds(7, s), 1.0, 0.3),
+			})
+		}
+		return out
+	}
+	exps = append(exps,
+		figure(6, queueing.FCFS, "T′ vs λ′ and base speed s, special tasks without priority", speedSeries()),
+		figure(7, queueing.Priority, "T′ vs λ′ and base speed s, special tasks with priority", speedSeries()))
+
+	// Figs. 8–9: impact of the task execution requirement r̄.
+	rbarSeries := func() []Series {
+		var out []Series
+		for _, r := range []float64{0.8, 0.9, 1.0, 1.1, 1.2} {
+			out = append(out, Series{
+				Label: fmt.Sprintf("r̄ = %.1f", r),
+				Group: mustGroup(canonicalSizes, paperSpeeds(7, 1.7), r, 0.3),
+			})
+		}
+		return out
+	}
+	exps = append(exps,
+		figure(8, queueing.FCFS, "T′ vs λ′ and task requirement r̄, special tasks without priority", rbarSeries()),
+		figure(9, queueing.Priority, "T′ vs λ′ and task requirement r̄, special tasks with priority", rbarSeries()))
+
+	// Figs. 10–11: impact of special-task arrival rates (preload y).
+	ySeries := func() []Series {
+		var out []Series
+		for _, y := range []float64{0.20, 0.25, 0.30, 0.35, 0.40} {
+			out = append(out, Series{
+				Label: fmt.Sprintf("y = %.2f", y),
+				Group: mustGroup(canonicalSizes, paperSpeeds(7, 1.7), 1.0, y),
+			})
+		}
+		return out
+	}
+	exps = append(exps,
+		figure(10, queueing.FCFS, "T′ vs λ′ and special-load fraction y, special tasks without priority", ySeries()),
+		figure(11, queueing.Priority, "T′ vs λ′ and special-load fraction y, special tasks with priority", ySeries()))
+
+	// Figs. 12–13: server size heterogeneity (uniform speed 1.3).
+	sizeHetSeries := func() []Series {
+		out := make([]Series, len(sizeGroupsFig1213))
+		for i, sizes := range sizeGroupsFig1213 {
+			out[i] = Series{
+				Label: fmt.Sprintf("Group %d", i+1),
+				Group: mustGroup(sizes, uniformSpeeds(7, 1.3), 1.0, 0.3),
+			}
+		}
+		return out
+	}
+	exps = append(exps,
+		figure(12, queueing.FCFS, "Size-heterogeneity ablation, special tasks without priority", sizeHetSeries()),
+		figure(13, queueing.Priority, "Size-heterogeneity ablation, special tasks with priority", sizeHetSeries()))
+
+	// Figs. 14–15: server speed heterogeneity (uniform size 8).
+	speedHetSeries := func() []Series {
+		out := make([]Series, len(speedGroupsFig1415))
+		for i, speeds := range speedGroupsFig1415 {
+			out[i] = Series{
+				Label: fmt.Sprintf("Group %d", i+1),
+				Group: mustGroup(uniformSizes(7, 8), speeds, 1.0, 0.3),
+			}
+		}
+		return out
+	}
+	exps = append(exps,
+		figure(14, queueing.FCFS, "Speed-heterogeneity ablation, special tasks without priority", speedHetSeries()),
+		figure(15, queueing.Priority, "Speed-heterogeneity ablation, special tasks with priority", speedHetSeries()))
+
+	return exps
+}
+
+// All returns every experiment in paper order, freshly constructed.
+func All() []*Experiment { return build() }
+
+// IDs returns the experiment IDs in paper order.
+func IDs() []string {
+	var ids []string
+	for _, e := range build() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (*Experiment, error) {
+	for _, e := range build() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+}
+
+// Grid returns the λ′ sweep values of a figure experiment: GridPoints
+// evenly spaced fractions in [GridLoFrac, GridHiFrac] of the smallest
+// λ′_max among the series.
+func (e *Experiment) Grid() []float64 {
+	if e.Kind != Figure {
+		return nil
+	}
+	minMax := e.Series[0].Group.MaxGenericRate()
+	for _, s := range e.Series[1:] {
+		if m := s.Group.MaxGenericRate(); m < minMax {
+			minMax = m
+		}
+	}
+	pts := e.GridPoints
+	if pts < 2 {
+		pts = DefaultGridPoints
+	}
+	grid := make([]float64, pts)
+	for i := range grid {
+		frac := e.GridLoFrac + (e.GridHiFrac-e.GridLoFrac)*float64(i)/float64(pts-1)
+		grid[i] = frac * minMax
+	}
+	return grid
+}
+
+func sumInts(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func disciplineNoun(d queueing.Discipline) string {
+	if d == queueing.Priority {
+		return "with priority"
+	}
+	return "without priority"
+}

@@ -1,0 +1,469 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("got %d experiments, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig12" || e.Kind != Figure || e.Discipline != queueing.FCFS {
+		t.Fatalf("unexpected experiment %+v", e)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestExperimentParameterIntegrity(t *testing.T) {
+	for _, e := range All() {
+		for _, s := range e.Series {
+			if err := s.Group.Validate(); err != nil {
+				t.Errorf("%s %q: %v", e.ID, s.Label, err)
+			}
+			if s.Group.N() != 7 {
+				t.Errorf("%s %q: n = %d, want 7", e.ID, s.Label, s.Group.N())
+			}
+		}
+	}
+}
+
+func TestFig45GroupTotals(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotals := []int{49, 53, 56, 59, 63}
+	for i, s := range e.Series {
+		if got := s.Group.TotalBlades(); got != wantTotals[i] {
+			t.Errorf("group %d: total blades %d, want %d", i+1, got, wantTotals[i])
+		}
+	}
+}
+
+func TestFig1213EqualTotalsAndSpecialLoad(t *testing.T) {
+	// All five groups: 56 blades at speed 1.3 and λ″ total 21.84.
+	e, err := ByID("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range e.Series {
+		if got := s.Group.TotalBlades(); got != 56 {
+			t.Errorf("group %d: blades %d, want 56", i+1, got)
+		}
+		if got := s.Group.TotalSpecialRate(); math.Abs(got-21.84) > 1e-9 {
+			t.Errorf("group %d: λ″ = %.6f, want 21.84", i+1, got)
+		}
+		for j, srv := range s.Group.Servers {
+			if srv.Speed != 1.3 {
+				t.Errorf("group %d server %d: speed %g, want 1.3", i+1, j+1, srv.Speed)
+			}
+		}
+	}
+}
+
+func TestFig1415EqualTotalSpeedAndSpecialLoad(t *testing.T) {
+	// All five groups: m_i = 8 and total speed m·Σs_i = 72.8, λ″ = 21.84.
+	e, err := ByID("fig14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range e.Series {
+		var speedSum float64
+		for j, srv := range s.Group.Servers {
+			if srv.Size != 8 {
+				t.Errorf("group %d server %d: size %d, want 8", i+1, j+1, srv.Size)
+			}
+			speedSum += srv.Speed
+		}
+		if math.Abs(8*speedSum-72.8) > 1e-9 {
+			t.Errorf("group %d: total speed %.4f, want 72.8", i+1, 8*speedSum)
+		}
+		if got := s.Group.TotalSpecialRate(); math.Abs(got-21.84) > 1e-9 {
+			t.Errorf("group %d: λ″ = %.6f, want 21.84", i+1, got)
+		}
+	}
+}
+
+func TestTable1ViaExperiment(t *testing.T) {
+	e, err := ByID("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-23.52) > 1e-9 {
+		t.Fatalf("λ′ = %.9f", res.Lambda)
+	}
+	if math.Abs(res.T-0.8964703) > 5e-8 {
+		t.Fatalf("T′ = %.7f, want 0.8964703", res.T)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Spot-check a middle row against the published table.
+	if math.Abs(res.Rows[3].GenericRate-3.9121948) > 5e-8 {
+		t.Fatalf("λ′_4 = %.7f", res.Rows[3].GenericRate)
+	}
+}
+
+func TestTable2ViaExperiment(t *testing.T) {
+	e, err := ByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.T-0.9209392) > 5e-8 {
+		t.Fatalf("T′ = %.7f, want 0.9209392", res.T)
+	}
+}
+
+func TestRunTableOnFigureFails(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunTable(); err == nil {
+		t.Fatal("RunTable on a figure should fail")
+	}
+	tb, err := ByID("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.RunFigure(); err == nil {
+		t.Fatal("RunFigure on a table should fail")
+	}
+	if _, err := tb.RunFigureSequential(); err == nil {
+		t.Fatal("RunFigureSequential on a table should fail")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := e.Grid()
+	if len(grid) != DefaultGridPoints {
+		t.Fatalf("grid has %d points", len(grid))
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatal("grid not increasing")
+		}
+	}
+	// Grid must stay below the smallest λ′_max (Group 1, m = 49).
+	minMax := e.Series[0].Group.MaxGenericRate()
+	if grid[len(grid)-1] >= minMax {
+		t.Fatalf("grid top %.4f ≥ λ′_max %.4f", grid[len(grid)-1], minMax)
+	}
+	tb, _ := ByID("table1")
+	if tb.Grid() != nil {
+		t.Fatal("tables have no grid")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	e, err := ByID("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.GridPoints = 7 // keep the test fast
+	par, err := e.RunFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := e.RunFigureSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range par.Values {
+		for gi := range par.Values[si] {
+			if par.Values[si][gi] != seq.Values[si][gi] {
+				t.Fatalf("series %d point %d: parallel %.12g vs sequential %.12g",
+					si, gi, par.Values[si][gi], seq.Values[si][gi])
+			}
+		}
+	}
+}
+
+// runFigure is a helper with a reduced grid for test speed.
+func runFigure(t *testing.T, id string, points int) *FigureResult {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.GridPoints = points
+	res, err := e.RunFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFiguresMonotoneInLambda(t *testing.T) {
+	// Every curve of every figure increases in λ′ (until it leaves its
+	// own feasible range).
+	for _, id := range []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14"} {
+		res := runFigure(t, id, 9)
+		for si, series := range res.Values {
+			for gi := 1; gi < len(series); gi++ {
+				if math.IsInf(series[gi], 1) {
+					break
+				}
+				if series[gi] <= series[gi-1] {
+					t.Errorf("%s series %d: T′ not increasing at grid %d (%g after %g)",
+						id, si, gi, series[gi], series[gi-1])
+				}
+			}
+		}
+	}
+}
+
+func TestPriorityFiguresDominateFCFS(t *testing.T) {
+	// Each priority figure lies above its FCFS companion pointwise
+	// (the paper: "the average response time T′ with prioritized
+	// special tasks is greater").
+	pairs := [][2]string{{"fig4", "fig5"}, {"fig8", "fig9"}, {"fig12", "fig13"}}
+	for _, p := range pairs {
+		fc := runFigure(t, p[0], 7)
+		pr := runFigure(t, p[1], 7)
+		for si := range fc.Values {
+			for gi := range fc.Values[si] {
+				a, b := fc.Values[si][gi], pr.Values[si][gi]
+				if math.IsInf(a, 1) || math.IsInf(b, 1) {
+					continue
+				}
+				if b < a {
+					t.Errorf("%s/%s series %d grid %d: priority %.6f < fcfs %.6f",
+						p[0], p[1], si, gi, b, a)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4LargerTotalSizeIsFaster(t *testing.T) {
+	// Paper: "slight increment of m noticeably reduces T′, especially
+	// when λ′ is large". Groups are ordered by total size 49 → 63, so
+	// at the top of the grid T′ must be decreasing across groups.
+	res := runFigure(t, "fig4", 9)
+	last := len(res.Grid) - 1
+	for si := 1; si < len(res.Values); si++ {
+		if res.Values[si][last] >= res.Values[si-1][last] {
+			t.Errorf("group %d (larger m) should beat group %d at high λ′: %.6f vs %.6f",
+				si+1, si, res.Values[si][last], res.Values[si-1][last])
+		}
+	}
+}
+
+func TestFig6FasterSpeedIsFaster(t *testing.T) {
+	// Higher base speed s → lower T′ at every grid point.
+	res := runFigure(t, "fig6", 7)
+	for gi := range res.Grid {
+		for si := 1; si < len(res.Values); si++ {
+			if math.IsInf(res.Values[si-1][gi], 1) {
+				continue
+			}
+			if res.Values[si][gi] >= res.Values[si-1][gi] {
+				t.Errorf("grid %d: s-series %d should beat series %d (%.6f vs %.6f)",
+					gi, si, si-1, res.Values[si][gi], res.Values[si-1][gi])
+			}
+		}
+	}
+}
+
+func TestFig8LargerRequirementIsSlower(t *testing.T) {
+	// Larger r̄ → higher T′ at every shared feasible grid point.
+	res := runFigure(t, "fig8", 7)
+	for gi := range res.Grid {
+		for si := 1; si < len(res.Values); si++ {
+			a, b := res.Values[si-1][gi], res.Values[si][gi]
+			if math.IsInf(a, 1) || math.IsInf(b, 1) {
+				continue
+			}
+			if b <= a {
+				t.Errorf("grid %d: r̄-series %d should be slower than series %d (%.6f vs %.6f)",
+					gi, si, si-1, b, a)
+			}
+		}
+	}
+}
+
+func TestFig10MorePreloadIsSlower(t *testing.T) {
+	res := runFigure(t, "fig10", 7)
+	for gi := range res.Grid {
+		for si := 1; si < len(res.Values); si++ {
+			a, b := res.Values[si-1][gi], res.Values[si][gi]
+			if math.IsInf(a, 1) || math.IsInf(b, 1) {
+				continue
+			}
+			if b <= a {
+				t.Errorf("grid %d: y-series %d should be slower than series %d (%.6f vs %.6f)",
+					gi, si, si-1, b, a)
+			}
+		}
+	}
+}
+
+func TestFig12HeterogeneityNearNeutralButOrdered(t *testing.T) {
+	// Paper: the five size-heterogeneity groups have almost identical
+	// T′, yet T′ increases slightly from most to least heterogeneous.
+	res := runFigure(t, "fig12", 7)
+	mid := len(res.Grid) / 2
+	for si := 1; si < len(res.Values); si++ {
+		a, b := res.Values[si-1][mid], res.Values[si][mid]
+		if b < a-1e-9 {
+			t.Errorf("series %d (less heterogeneous) should not beat series %d: %.9f vs %.9f",
+				si+1, si, b, a)
+		}
+		if rel := math.Abs(b-a) / a; rel > 0.05 {
+			t.Errorf("series %d vs %d differ by %.1f%%, paper says nearly identical", si+1, si, rel*100)
+		}
+	}
+}
+
+func TestFig14HeterogeneityNearNeutralButOrdered(t *testing.T) {
+	// Paper: speed heterogeneity barely matters, but larger
+	// heterogeneity gives (slightly) shorter T′. The ordering must
+	// hold at every grid point; the total spread between the most and
+	// least heterogeneous groups stays modest at high λ′, where the
+	// paper's "very close" observation visually applies.
+	res := runFigure(t, "fig14", 7)
+	for gi := range res.Grid {
+		for si := 1; si < len(res.Values); si++ {
+			a, b := res.Values[si-1][gi], res.Values[si][gi]
+			if b < a-1e-9 {
+				t.Errorf("grid %d: series %d should not beat series %d: %.9f vs %.9f", gi, si+1, si, b, a)
+			}
+		}
+	}
+	last := len(res.Grid) - 1
+	spread := (res.Values[4][last] - res.Values[0][last]) / res.Values[0][last]
+	if spread > 0.2 {
+		t.Errorf("G5 vs G1 spread at high λ′ is %.1f%%, paper shows close curves", spread*100)
+	}
+}
+
+func TestSeriesFor(t *testing.T) {
+	res := runFigure(t, "fig6", 5)
+	row, err := res.SeriesFor("s = 1.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 5 {
+		t.Fatalf("row has %d points", len(row))
+	}
+	if _, err := res.SeriesFor("nope"); err == nil {
+		t.Fatal("unknown label should fail")
+	}
+}
+
+func TestCompanionID(t *testing.T) {
+	f4, _ := ByID("fig4")
+	if f4.CompanionID() != "fig5" {
+		t.Fatalf("fig4 companion = %q", f4.CompanionID())
+	}
+	f5, _ := ByID("fig5")
+	if f5.CompanionID() != "fig4" {
+		t.Fatalf("fig5 companion = %q", f5.CompanionID())
+	}
+	t1, _ := ByID("table1")
+	if t1.CompanionID() != "" {
+		t.Fatal("tables have no companion")
+	}
+}
+
+func TestRenderTableText(t *testing.T) {
+	e, _ := ByID("table1")
+	res, err := e.RunTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"0.8964703", "λ′_i", "ρ_i"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "generic_rate") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestRenderFigurePlot(t *testing.T) {
+	res := runFigure(t, "fig6", 6)
+	var buf bytes.Buffer
+	if err := res.WritePlot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig6", "s = 1.5", "s = 1.9", "λ′", "T′"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Five series → five distinct markers in the legend.
+	for _, m := range []string{"o s", "* s", "+ s", "x s", "# s"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("plot missing marker legend %q", m)
+		}
+	}
+}
+
+func TestRenderFigureText(t *testing.T) {
+	res := runFigure(t, "fig12", 5)
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Group 5") {
+		t.Errorf("missing series column:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 { // header + 5 grid rows
+		t.Fatalf("CSV has %d lines, want 6", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "lambda,") {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+// Extension experiments go beyond the paper's evaluation but reuse its
+// harness: each returns a FigureResult renderable as text, CSV, or an
+// ASCII plot. They are addressed by the IDs below through
+// RunExtension.
+const (
+	// ExtObjectives compares the paper's generic-only objective with
+	// the fleet-wide (all-task) objective across λ′ on the example
+	// system: the generic curve of each optimizer, plus the all-task
+	// average each induces.
+	ExtObjectives = "ext-objectives"
+	// ExtCaps shows the price of operational utilization caps: the
+	// uncapped optimal T′ versus optima under ρ ≤ 0.9 / 0.8 / 0.7.
+	ExtCaps = "ext-caps"
+)
+
+// ExtensionIDs lists the extension experiment IDs.
+func ExtensionIDs() []string { return []string{ExtObjectives, ExtCaps} }
+
+// RunExtension runs an extension experiment at the given grid
+// resolution (0 means DefaultGridPoints).
+func RunExtension(id string, points int) (*FigureResult, error) {
+	if points < 2 {
+		points = DefaultGridPoints
+	}
+	switch id {
+	case ExtObjectives:
+		return runObjectives(points)
+	case ExtCaps:
+		return runCaps(points)
+	default:
+		return nil, fmt.Errorf("experiments: unknown extension %q (known: %v)", id, ExtensionIDs())
+	}
+}
+
+// extGrid builds a λ′ grid over the example system.
+func extGrid(g *model.Group, points int) []float64 {
+	max := g.MaxGenericRate()
+	grid := make([]float64, points)
+	for i := range grid {
+		frac := 0.05 + 0.9*float64(i)/float64(points-1)
+		grid[i] = frac * max
+	}
+	return grid
+}
+
+func runObjectives(points int) (*FigureResult, error) {
+	g := model.LiExample1Group()
+	grid := extGrid(g, points)
+	exp := &Experiment{
+		ID:    ExtObjectives,
+		Title: "Generic-only vs fleet-wide objective (extension; FCFS, paper example)",
+		Kind:  Figure, Discipline: queueing.FCFS,
+		Series: []Series{
+			{Label: "generic T′ (paper objective)", Group: g},
+			{Label: "all-task avg under paper objective", Group: g},
+			{Label: "generic T′ (fleet objective)", Group: g},
+			{Label: "all-task avg (fleet objective)", Group: g},
+		},
+		GridPoints: points, GridLoFrac: 0.05, GridHiFrac: 0.95,
+	}
+	values := make([][]float64, 4)
+	for i := range values {
+		values[i] = make([]float64, len(grid))
+	}
+	for gi, lambda := range grid {
+		gen, err := core.Optimize(g, lambda, core.Options{Discipline: queueing.FCFS})
+		if err != nil {
+			return nil, err
+		}
+		genAll, err := allTaskAverage(g, queueing.FCFS, gen.Rates)
+		if err != nil {
+			return nil, err
+		}
+		tot, err := core.OptimizeTotal(g, lambda, core.Options{Discipline: queueing.FCFS})
+		if err != nil {
+			return nil, err
+		}
+		values[0][gi] = gen.AvgResponseTime
+		values[1][gi] = genAll
+		values[2][gi] = tot.AvgGeneric
+		values[3][gi] = tot.AvgAllTasks
+	}
+	return &FigureResult{Experiment: exp, Grid: grid, Values: values}, nil
+}
+
+// allTaskAverage evaluates the fleet-wide mean response time of an
+// allocation (generic + special tasks).
+func allTaskAverage(g *model.Group, d queueing.Discipline, rates []float64) (float64, error) {
+	if err := g.Feasible(rates); err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for i, s := range g.Servers {
+		xbar := s.ServiceMean(g.TaskSize)
+		rho := s.Utilization(rates[i], g.TaskSize)
+		rhoS := s.SpecialUtilization(g.TaskSize)
+		tg := queueing.GenericResponseTime(d, s.Size, rho, rhoS, xbar)
+		var ts float64
+		if d == queueing.Priority {
+			ts = xbar + queueing.SpecialWaitTime(s.Size, rho, rhoS, xbar)
+		} else {
+			ts = tg
+		}
+		num += rates[i]*tg + s.SpecialRate*ts
+		den += rates[i] + s.SpecialRate
+	}
+	return num / den, nil
+}
+
+func runCaps(points int) (*FigureResult, error) {
+	g := model.LiExample1Group()
+	grid := extGrid(g, points)
+	caps := []float64{0, 0.9, 0.8, 0.7} // 0 = uncapped
+	exp := &Experiment{
+		ID:    ExtCaps,
+		Title: "Price of utilization guard bands (extension; FCFS, paper example)",
+		Kind:  Figure, Discipline: queueing.FCFS,
+		GridPoints: points, GridLoFrac: 0.05, GridHiFrac: 0.95,
+	}
+	for _, c := range caps {
+		label := "uncapped"
+		if c > 0 {
+			label = fmt.Sprintf("ρ ≤ %.1f", c)
+		}
+		exp.Series = append(exp.Series, Series{Label: label, Group: g})
+	}
+	values := make([][]float64, len(caps))
+	for i := range values {
+		values[i] = make([]float64, len(grid))
+	}
+	for gi, lambda := range grid {
+		for ci, c := range caps {
+			res, err := core.Optimize(g, lambda, core.Options{
+				Discipline: queueing.FCFS, MaxUtilization: c,
+			})
+			if err != nil {
+				// The cap can make the load infeasible: the curve
+				// leaves the chart, like the paper's saturating curves.
+				values[ci][gi] = math.Inf(1)
+				continue
+			}
+			values[ci][gi] = res.AvgResponseTime
+		}
+	}
+	return &FigureResult{Experiment: exp, Grid: grid, Values: values}, nil
+}

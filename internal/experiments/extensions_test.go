@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRunExtensionUnknown(t *testing.T) {
+	if _, err := RunExtension("ext-nope", 5); err == nil {
+		t.Fatal("unknown extension should fail")
+	}
+}
+
+func TestExtensionIDs(t *testing.T) {
+	ids := ExtensionIDs()
+	if len(ids) != 2 {
+		t.Fatalf("%d extension ids", len(ids))
+	}
+	for _, id := range ids {
+		if _, err := RunExtension(id, 5); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestExtObjectivesOrdering(t *testing.T) {
+	res, err := RunExtension(ExtObjectives, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 4 {
+		t.Fatalf("%d series", len(res.Values))
+	}
+	genT := res.Values[0]   // generic T′ under the paper's objective
+	genAll := res.Values[1] // all-task average it induces
+	fleetT := res.Values[2] // generic T′ under the fleet objective
+	fleetAll := res.Values[3]
+	for gi := range res.Grid {
+		// Each optimizer wins on its own metric.
+		if genT[gi] > fleetT[gi]+1e-9 {
+			t.Errorf("grid %d: paper objective loses its own metric (%.9f > %.9f)", gi, genT[gi], fleetT[gi])
+		}
+		if fleetAll[gi] > genAll[gi]+1e-9 {
+			t.Errorf("grid %d: fleet objective loses its own metric (%.9f > %.9f)", gi, fleetAll[gi], genAll[gi])
+		}
+	}
+}
+
+func TestExtCapsOrdering(t *testing.T) {
+	res, err := RunExtension(ExtCaps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 4 {
+		t.Fatalf("%d series", len(res.Values))
+	}
+	for gi := range res.Grid {
+		// Tighter caps can only hurt (or leave the chart).
+		prev := res.Values[0][gi] // uncapped
+		for ci := 1; ci < 4; ci++ {
+			v := res.Values[ci][gi]
+			if math.IsInf(v, 1) {
+				continue // cap made the load infeasible
+			}
+			if v < prev-1e-9 {
+				t.Errorf("grid %d cap %d: capped %.9f beats looser %.9f", gi, ci, v, prev)
+			}
+			prev = v
+		}
+	}
+	// The tightest cap must actually become infeasible at high load:
+	// ρ ≤ 0.7 leaves 0.4·67.2 = 26.9 of headroom < 0.95·47 = 44.7.
+	last := len(res.Grid) - 1
+	if !math.IsInf(res.Values[3][last], 1) {
+		t.Errorf("ρ ≤ 0.7 should be infeasible at the top of the grid, got %g", res.Values[3][last])
+	}
+}
+
+func TestExtensionRenders(t *testing.T) {
+	res, err := RunExtension(ExtCaps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WritePlot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenTables pins the full rendered output of Tables 1 and 2 —
+// every digit the paper publishes, in our exact layout — against
+// checked-in golden files. Regenerate with `go test -run Golden -update`.
+func TestGoldenTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.RunTable()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("rendered output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/plot"
+)
+
+// WriteText renders a table result in the layout of the paper's
+// Tables 1–2.
+func (t *TableResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(t.Experiment.ID[:1])+t.Experiment.ID[1:], t.Experiment.Title)
+	fmt.Fprintf(w, "λ′ = %.6g, minimized T′ = %.7f\n\n", t.Lambda, t.T)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "i\tm_i\ts_i\tx̄_i\tλ′_i\tλ″_i\tρ_i\t")
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.7f\t%.7f\t%.7f\t%.7f\t\n",
+			r.Index, r.Size, r.Speed, r.ServiceMean, r.GenericRate, r.SpecialRate, r.Utilization)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders a table result as CSV.
+func (t *TableResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "i,m,s,xbar,generic_rate,special_rate,utilization"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%g,%.9f,%.9f,%.9f,%.9f\n",
+			r.Index, r.Size, r.Speed, r.ServiceMean, r.GenericRate, r.SpecialRate, r.Utilization); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# lambda=%.9f T=%.9f\n", t.Lambda, t.T)
+	return err
+}
+
+// WriteText renders a figure result as a text table: λ′ down the rows,
+// one column per series — the data behind the paper's plot.
+func (f *FigureResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%s — %s\n\n", strings.ToUpper(f.Experiment.ID[:1])+f.Experiment.ID[1:], f.Experiment.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "λ′\t")
+	for _, s := range f.Experiment.Series {
+		fmt.Fprintf(tw, "%s\t", s.Label)
+	}
+	fmt.Fprintln(tw)
+	for gi, lambda := range f.Grid {
+		fmt.Fprintf(tw, "%.4f\t", lambda)
+		for si := range f.Experiment.Series {
+			fmt.Fprintf(tw, "%s\t", formatT(f.Values[si][gi]))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders a figure result as CSV with a header row.
+func (f *FigureResult) WriteCSV(w io.Writer) error {
+	cols := []string{"lambda"}
+	for _, s := range f.Experiment.Series {
+		cols = append(cols, strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for gi, lambda := range f.Grid {
+		row := []string{fmt.Sprintf("%.6f", lambda)}
+		for si := range f.Experiment.Series {
+			row = append(row, formatT(f.Values[si][gi]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePlot renders a figure result as an ASCII line chart — the
+// visual shape of the paper's figure. The vertical axis is clipped at
+// 4× the smallest finite value so the divergence near saturation does
+// not flatten the rest of the plot.
+func (f *FigureResult) WritePlot(w io.Writer) error {
+	series := make([]plot.Series, len(f.Experiment.Series))
+	minFinite := math.Inf(1)
+	for si, s := range f.Experiment.Series {
+		series[si] = plot.Series{Label: s.Label, Y: f.Values[si]}
+		for _, v := range f.Values[si] {
+			if !math.IsInf(v, 0) && !math.IsNaN(v) && v < minFinite {
+				minFinite = v
+			}
+		}
+	}
+	c := plot.Chart{
+		Title:  fmt.Sprintf("%s — %s", strings.ToUpper(f.Experiment.ID[:1])+f.Experiment.ID[1:], f.Experiment.Title),
+		XLabel: "λ′ (total generic arrival rate)",
+		YLabel: "T′ (average generic response time)",
+	}
+	if !math.IsInf(minFinite, 1) {
+		c.YMax = 4 * minFinite
+	}
+	return plot.Render(w, c, f.Grid, series)
+}
+
+func formatT(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsNaN(v):
+		return "nan"
+	default:
+		return fmt.Sprintf("%.6f", v)
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+)
+
+// TableRow is one server row of Table 1 or Table 2.
+type TableRow struct {
+	Index       int     // i (1-based)
+	Size        int     // m_i
+	Speed       float64 // s_i
+	ServiceMean float64 // x̄_i
+	GenericRate float64 // λ′_i (optimal)
+	SpecialRate float64 // λ″_i
+	Utilization float64 // ρ_i
+}
+
+// TableResult is the outcome of a table experiment.
+type TableResult struct {
+	Experiment *Experiment
+	Lambda     float64 // λ′ solved for
+	Rows       []TableRow
+	T          float64 // minimized T′
+}
+
+// FigureResult is the outcome of a figure experiment: one T′ series
+// per group over the shared λ′ grid. Values[s][g] is the minimized T′
+// of series s at Grid[g].
+type FigureResult struct {
+	Experiment *Experiment
+	Grid       []float64
+	Values     [][]float64
+}
+
+// RunTable solves a table experiment.
+func (e *Experiment) RunTable() (*TableResult, error) {
+	if e.Kind != Table {
+		return nil, fmt.Errorf("experiments: %s is not a table", e.ID)
+	}
+	g := e.Series[0].Group
+	lambda := e.LambdaFraction * g.MaxGenericRate()
+	res, err := core.Optimize(g, lambda, core.Options{Discipline: e.Discipline})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	out := &TableResult{Experiment: e, Lambda: lambda, T: res.AvgResponseTime}
+	for i, s := range g.Servers {
+		out.Rows = append(out.Rows, TableRow{
+			Index:       i + 1,
+			Size:        s.Size,
+			Speed:       s.Speed,
+			ServiceMean: s.ServiceMean(g.TaskSize),
+			GenericRate: res.Rates[i],
+			SpecialRate: s.SpecialRate,
+			Utilization: res.Utilizations[i],
+		})
+	}
+	return out, nil
+}
+
+// RunFigure sweeps a figure experiment, optimizing every (series, λ′)
+// point. Points are independent, so they run on a worker pool bounded
+// by GOMAXPROCS. Grid points at or beyond a series' own saturation
+// point yield +Inf (the curve's asymptote) rather than an error, since
+// the shared grid can exceed a given group's λ′_max only at the top
+// fraction and the paper draws those curves diverging.
+func (e *Experiment) RunFigure() (*FigureResult, error) {
+	if e.Kind != Figure {
+		return nil, fmt.Errorf("experiments: %s is not a figure", e.ID)
+	}
+	grid := e.Grid()
+	values := make([][]float64, len(e.Series))
+	for i := range values {
+		values[i] = make([]float64, len(grid))
+	}
+
+	type point struct{ si, gi int }
+	jobs := make(chan point)
+	errs := make([]error, len(e.Series))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				s := e.Series[p.si]
+				lambda := grid[p.gi]
+				if lambda >= s.Group.MaxGenericRate() {
+					values[p.si][p.gi] = math.Inf(1)
+					continue
+				}
+				res, err := core.Optimize(s.Group, lambda, core.Options{Discipline: e.Discipline})
+				if err != nil {
+					if errs[p.si] == nil {
+						errs[p.si] = fmt.Errorf("experiments: %s series %q λ′=%g: %w", e.ID, s.Label, lambda, err)
+					}
+					values[p.si][p.gi] = math.NaN()
+					continue
+				}
+				values[p.si][p.gi] = res.AvgResponseTime
+			}
+		}()
+	}
+	for si := range e.Series {
+		for gi := range grid {
+			jobs <- point{si, gi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &FigureResult{Experiment: e, Grid: grid, Values: values}, nil
+}
+
+// RunFigureSequential is RunFigure without the worker pool; it exists
+// for the parallel-vs-sequential ablation bench and for deterministic
+// profiling.
+func (e *Experiment) RunFigureSequential() (*FigureResult, error) {
+	if e.Kind != Figure {
+		return nil, fmt.Errorf("experiments: %s is not a figure", e.ID)
+	}
+	grid := e.Grid()
+	values := make([][]float64, len(e.Series))
+	for si, s := range e.Series {
+		values[si] = make([]float64, len(grid))
+		for gi, lambda := range grid {
+			if lambda >= s.Group.MaxGenericRate() {
+				values[si][gi] = math.Inf(1)
+				continue
+			}
+			res, err := core.Optimize(s.Group, lambda, core.Options{Discipline: e.Discipline})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s series %q λ′=%g: %w", e.ID, s.Label, lambda, err)
+			}
+			values[si][gi] = res.AvgResponseTime
+		}
+	}
+	return &FigureResult{Experiment: e, Grid: grid, Values: values}, nil
+}
+
+// SeriesFor returns the figure result row for the series with the
+// given label.
+func (f *FigureResult) SeriesFor(label string) ([]float64, error) {
+	for i, s := range f.Experiment.Series {
+		if s.Label == label {
+			return f.Values[i], nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: no series %q in %s", label, f.Experiment.ID)
+}
+
+// CompanionID returns the ID of the other-discipline twin of a figure
+// (fig4 ↔ fig5, etc.) and "" for tables.
+func (e *Experiment) CompanionID() string {
+	var num int
+	if _, err := fmt.Sscanf(e.ID, "fig%d", &num); err != nil {
+		return ""
+	}
+	if e.Discipline == queueing.FCFS {
+		return fmt.Sprintf("fig%d", num+1)
+	}
+	return fmt.Sprintf("fig%d", num-1)
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import "fmt"
+
+// BatchMeans estimates the mean of an autocorrelated stationary series
+// (e.g. per-task response times within one simulation run) by grouping
+// consecutive observations into fixed-size batches; the batch means are
+// approximately independent, so a Student-t interval over them is
+// valid where one over raw observations is not.
+type BatchMeans struct {
+	size    int64
+	current Welford
+	batches Welford
+}
+
+// NewBatchMeans creates an accumulator with the given batch size.
+func NewBatchMeans(batchSize int) (*BatchMeans, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("metrics: batch size %d must be ≥ 1", batchSize)
+	}
+	return &BatchMeans{size: int64(batchSize)}, nil
+}
+
+// Add accumulates one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if b.current.Count() == b.size {
+		b.batches.Add(b.current.Mean())
+		b.current.Reset()
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches.Count() }
+
+// Mean returns the mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// Interval returns the Student-t confidence interval over completed
+// batch means.
+func (b *BatchMeans) Interval(confidence float64) (Interval, error) {
+	return ConfidenceInterval(&b.batches, confidence)
+}
+
+// Histogram bins observations into fixed-width buckets over [lo, hi);
+// values outside the range land in two overflow counters.
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	counts   []int64
+	under    int64
+	over     int64
+	observed Welford
+}
+
+// NewHistogram creates a histogram with the given bin count over
+// [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("metrics: bins %d must be ≥ 1", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("metrics: range [%g, %g) is empty", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(bins), counts: make([]int64, bins)}, nil
+}
+
+// Add accumulates one observation.
+func (h *Histogram) Add(x float64) {
+	h.observed.Add(x)
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		idx := int((x - h.lo) / h.width)
+		if idx >= len(h.counts) { // guard float round-up at hi
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// Count returns the bin count for bin i.
+func (h *Histogram) Count(i int) int64 {
+	if i < 0 || i >= len(h.counts) {
+		return 0
+	}
+	return h.counts[i]
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// BinStart returns the left edge of bin i.
+func (h *Histogram) BinStart(i int) float64 { return h.lo + float64(i)*h.width }
+
+// Underflow returns the count of observations below lo.
+func (h *Histogram) Underflow() int64 { return h.under }
+
+// Overflow returns the count of observations at or above hi.
+func (h *Histogram) Overflow() int64 { return h.over }
+
+// Total returns the total number of observations including overflow.
+func (h *Histogram) Total() int64 { return h.observed.Count() }
+
+// Mean returns the exact (not binned) mean of all observations.
+func (h *Histogram) Mean() float64 { return h.observed.Mean() }

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Mean       float64
+	HalfWidth  float64
+	Confidence float64 // e.g. 0.95
+	N          int64
+}
+
+// Lo returns the lower endpoint.
+func (iv Interval) Lo() float64 { return iv.Mean - iv.HalfWidth }
+
+// Hi returns the upper endpoint.
+func (iv Interval) Hi() float64 { return iv.Mean + iv.HalfWidth }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo() && v <= iv.Hi() }
+
+// String formats the interval as "m ± h (c%)".
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.6g ± %.3g (%.0f%%, n=%d)", iv.Mean, iv.HalfWidth, iv.Confidence*100, iv.N)
+}
+
+// ConfidenceInterval returns a Student-t interval for the mean of the
+// accumulated observations at the given confidence level (0 < c < 1).
+// With fewer than two observations the half width is zero.
+func ConfidenceInterval(w *Welford, confidence float64) (Interval, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, fmt.Errorf("metrics: confidence %g must be in (0, 1)", confidence)
+	}
+	iv := Interval{Mean: w.Mean(), Confidence: confidence, N: w.Count()}
+	if w.Count() < 2 {
+		return iv, nil
+	}
+	t := tQuantile(1-(1-confidence)/2, float64(w.Count()-1))
+	iv.HalfWidth = t * w.StdErr()
+	return iv, nil
+}
+
+// tQuantile returns the p-quantile of Student's t distribution with df
+// degrees of freedom, via the normal quantile plus the Cornish–Fisher
+// expansion in 1/df (accurate to ~1e-3 for df ≥ 3, exact as df → ∞).
+func tQuantile(p, df float64) float64 {
+	z := normQuantile(p)
+	if math.IsInf(df, 1) || df <= 0 {
+		return z
+	}
+	z2 := z * z
+	// Cornish–Fisher / Peiser expansion terms.
+	g1 := (z2 + 1) * z / 4
+	g2 := ((5*z2+16)*z2 + 3) * z / 96
+	g3 := (((3*z2+19)*z2+17)*z2 - 15) * z / 384
+	g4 := ((((79*z2+776)*z2+1482)*z2-1920)*z2 - 945) * z / 92160
+	return z + g1/df + g2/(df*df) + g3/(df*df*df) + g4/(df*df*df*df)
+}
+
+// normQuantile returns the p-quantile of the standard normal
+// distribution using the Acklam rational approximation (|ε| < 1.15e-9).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

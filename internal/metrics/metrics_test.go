@@ -1,0 +1,366 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %g, want 5", w.Mean())
+	}
+	// Sample variance with n−1: Σ(x−5)² = 32 → 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %g, want %g", w.Variance(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", w.Min(), w.Max())
+	}
+	if math.Abs(w.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("stddev = %g", w.StdDev())
+	}
+	if math.Abs(w.StdErr()-w.StdDev()/math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("stderr = %g", w.StdErr())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Fatal("empty accumulator should be zero")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Fatal("single observation variance should be 0")
+	}
+	if w.Min() != 3 || w.Max() != 3 {
+		t.Fatal("min/max of single observation")
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var all, a, b Welford
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 1
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d vs %d", a.Count(), all.Count())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-10 {
+		t.Fatalf("merged mean %.14g vs %.14g", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-10 {
+		t.Fatalf("merged variance %.14g vs %.14g", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Merge(&b) // empty other: no-op
+	if a.Count() != 1 {
+		t.Fatal("merge with empty changed count")
+	}
+	var c Welford
+	c.Merge(&a) // empty receiver: copy
+	if c.Count() != 1 || c.Mean() != 1 {
+		t.Fatal("merge into empty should copy")
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(5)
+	w.Reset()
+	if w.Count() != 0 || w.Mean() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Property: Welford mean/variance match the two-pass formulas.
+func TestWelfordMatchesTwoPassProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var clean []float64
+		for _, v := range xs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, math.Mod(v, 1e6))
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, v := range clean {
+			w.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, v := range clean {
+			ss += (v - mean) * (v - mean)
+		}
+		variance := ss / float64(len(clean)-1)
+		return math.Abs(w.Mean()-mean) <= 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(w.Variance()-variance) <= 1e-6*(1+variance)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP2QuantileValidation(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewP2Quantile(bad); err == nil {
+			t.Errorf("p=%g should fail", bad)
+		}
+	}
+}
+
+func TestP2QuantileExactSmallSample(t *testing.T) {
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Value() != 0 {
+		t.Fatal("empty estimator should return 0")
+	}
+	q.Add(10)
+	q.Add(20)
+	q.Add(30)
+	v := q.Value()
+	if v < 10 || v > 30 {
+		t.Fatalf("small-sample median %g out of range", v)
+	}
+	if q.Count() != 3 {
+		t.Fatalf("count = %d", q.Count())
+	}
+	if q.Quantile() != 0.5 {
+		t.Fatalf("quantile = %g", q.Quantile())
+	}
+}
+
+func TestP2QuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		q, err := NewP2Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 200000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+			q.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		exact := xs[int(p*float64(n))]
+		if math.Abs(q.Value()-exact) > 0.01 {
+			t.Errorf("p=%g: P² estimate %.4f vs exact %.4f", p, q.Value(), exact)
+		}
+	}
+}
+
+func TestP2QuantileExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q, err := NewP2Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300000; i++ {
+		q.Add(rng.ExpFloat64())
+	}
+	want := -math.Log(0.05) // 95th percentile of Exp(1) ≈ 2.9957
+	if math.Abs(q.Value()-want) > 0.05 {
+		t.Fatalf("P95 = %.4f, want %.4f", q.Value(), want)
+	}
+}
+
+func TestNormQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.025, -1.959964},
+		{0.9999, 3.719016},
+	}
+	for _, c := range cases {
+		if got := normQuantile(c.p); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("normQuantile(%g) = %.6f, want %.6f", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("edge quantiles should be ±Inf")
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct{ p, df, want, tol float64 }{
+		{0.975, 5, 2.5706, 0.02},
+		{0.975, 10, 2.2281, 0.005},
+		{0.975, 30, 2.0423, 0.002},
+		{0.95, 10, 1.8125, 0.005},
+		{0.995, 20, 2.8453, 0.01},
+	}
+	for _, c := range cases {
+		if got := tQuantile(c.p, c.df); math.Abs(got-c.want) > c.tol {
+			t.Errorf("tQuantile(%g, %g) = %.4f, want %.4f", c.p, c.df, got, c.want)
+		}
+	}
+	// df → ∞ reduces to the normal quantile.
+	if got := tQuantile(0.975, math.Inf(1)); math.Abs(got-1.959964) > 1e-5 {
+		t.Errorf("t(∞) = %g", got)
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		w.Add(x)
+	}
+	iv, err := ConfidenceInterval(&w, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Mean != 3 {
+		t.Fatalf("mean = %g", iv.Mean)
+	}
+	// Hand computation: s = sqrt(2.5), se = s/√5, t(0.975, 4) ≈ 2.7764.
+	want := 2.7764 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(iv.HalfWidth-want) > 0.02 {
+		t.Fatalf("half width = %.4f, want %.4f", iv.HalfWidth, want)
+	}
+	if !iv.Contains(3) || iv.Contains(100) {
+		t.Fatal("Contains misbehaves")
+	}
+	if iv.Lo() >= iv.Hi() {
+		t.Fatal("degenerate interval")
+	}
+	if iv.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestConfidenceIntervalValidation(t *testing.T) {
+	var w Welford
+	if _, err := ConfidenceInterval(&w, 0); err == nil {
+		t.Error("confidence 0 should fail")
+	}
+	if _, err := ConfidenceInterval(&w, 1); err == nil {
+		t.Error("confidence 1 should fail")
+	}
+	iv, err := ConfidenceInterval(&w, 0.95)
+	if err != nil || iv.HalfWidth != 0 {
+		t.Error("empty accumulator should yield zero half-width")
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// Empirical coverage of the 95% interval for a normal mean should
+	// be close to 95%.
+	rng := rand.New(rand.NewSource(99))
+	covered := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		var w Welford
+		for i := 0; i < 20; i++ {
+			w.Add(rng.NormFloat64()*2 + 10)
+		}
+		iv, err := ConfidenceInterval(&w, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(10) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.93 || rate > 0.97 {
+		t.Fatalf("coverage = %.3f, want ≈ 0.95", rate)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	if _, err := NewBatchMeans(0); err == nil {
+		t.Fatal("batch size 0 should fail")
+	}
+	bm, err := NewBatchMeans(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 95; i++ {
+		bm.Add(float64(i % 10)) // each full batch has mean 4.5
+	}
+	if bm.Batches() != 9 {
+		t.Fatalf("batches = %d, want 9", bm.Batches())
+	}
+	if math.Abs(bm.Mean()-4.5) > 1e-12 {
+		t.Fatalf("mean = %g, want 4.5", bm.Mean())
+	}
+	iv, err := bm.Interval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.N != 9 {
+		t.Fatalf("interval over %d batches", iv.N)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("0 bins should fail")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("empty range should fail")
+	}
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under=%d over=%d", h.Underflow(), h.Overflow())
+	}
+	if h.Count(0) != 2 { // 0 and 1.9
+		t.Fatalf("bin 0 = %d", h.Count(0))
+	}
+	if h.Count(1) != 1 || h.Count(2) != 1 || h.Count(4) != 1 {
+		t.Fatalf("bins: %d %d %d", h.Count(1), h.Count(2), h.Count(4))
+	}
+	if h.Count(-1) != 0 || h.Count(99) != 0 {
+		t.Fatal("out-of-range bins should be 0")
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Bins() != 5 || h.BinStart(2) != 4 {
+		t.Fatalf("bins=%d start2=%g", h.Bins(), h.BinStart(2))
+	}
+	if h.Mean() == 0 {
+		t.Fatal("mean should track observations")
+	}
+}

@@ -1,0 +1,11 @@
+// Package model defines the blade-server system model of §2 of the
+// paper: a group of n heterogeneous blade servers, each an M/M/m
+// station, preloaded with dedicated special tasks and receiving a share
+// of a common generic task stream.
+//
+// The model layer owns parameter bookkeeping (sizes, speeds, task
+// execution requirement, arrival rates), feasibility checks, and the
+// mapping from arrival rates to utilizations and response times; the
+// queueing mathematics lives in internal/queueing and the optimizer in
+// internal/core.
+package model

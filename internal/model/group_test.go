@@ -1,0 +1,195 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+func TestGroupValidate(t *testing.T) {
+	g := LiExample1Group()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := &Group{TaskSize: 1}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty group should fail")
+	}
+	badTask := &Group{Servers: []Server{{Size: 1, Speed: 1}}, TaskSize: 0}
+	if err := badTask.Validate(); err == nil {
+		t.Error("zero task size should fail")
+	}
+	badServer := &Group{Servers: []Server{{Size: 0, Speed: 1}}, TaskSize: 1}
+	if err := badServer.Validate(); err == nil {
+		t.Error("invalid server should fail")
+	}
+	saturated := &Group{Servers: []Server{{Size: 1, Speed: 1, SpecialRate: 1.5}}, TaskSize: 1}
+	if err := saturated.Validate(); err == nil {
+		t.Error("special-saturated server should fail")
+	}
+}
+
+func TestLiExample1GroupParameters(t *testing.T) {
+	// Cross-check every derived number shown in Table 1's parameter
+	// columns: m_i = 2i, s_i = 1.7−0.1i, x̄_i, λ″_i.
+	g := LiExample1Group()
+	if g.N() != 7 {
+		t.Fatalf("n = %d, want 7", g.N())
+	}
+	wantX := []float64{0.6250000, 0.6666667, 0.7142857, 0.7692308, 0.8333333, 0.9090909, 1.0000000}
+	wantLS := []float64{0.96, 1.8, 2.52, 3.12, 3.6, 3.96, 4.2}
+	for i, s := range g.Servers {
+		if s.Size != 2*(i+1) {
+			t.Errorf("m_%d = %d, want %d", i+1, s.Size, 2*(i+1))
+		}
+		wantSpeed := 1.7 - 0.1*float64(i+1)
+		if math.Abs(s.Speed-wantSpeed) > 1e-12 {
+			t.Errorf("s_%d = %g, want %g", i+1, s.Speed, wantSpeed)
+		}
+		if math.Abs(s.ServiceMean(1)-wantX[i]) > 5e-8 {
+			t.Errorf("x̄_%d = %.7f, want %.7f", i+1, s.ServiceMean(1), wantX[i])
+		}
+		if math.Abs(s.SpecialRate-wantLS[i]) > 1e-9 {
+			t.Errorf("λ″_%d = %.7f, want %.7f", i+1, s.SpecialRate, wantLS[i])
+		}
+		if math.Abs(s.SpecialUtilization(1)-0.3) > 1e-12 {
+			t.Errorf("ρ″_%d = %g, want 0.3", i+1, s.SpecialUtilization(1))
+		}
+	}
+	if g.TotalBlades() != 56 {
+		t.Errorf("total blades = %d, want 56", g.TotalBlades())
+	}
+	// λ′_max = 0.7·Σ m_i s_i = 0.7·67.2 = 47.04; λ′ in Example 1 = 23.52.
+	if math.Abs(g.MaxGenericRate()-47.04) > 1e-9 {
+		t.Errorf("λ′_max = %.9f, want 47.04", g.MaxGenericRate())
+	}
+	if math.Abs(g.TotalSpecialRate()-20.16) > 1e-9 {
+		t.Errorf("λ″ = %.9f, want 20.16", g.TotalSpecialRate())
+	}
+}
+
+func TestPaperGroupMismatchedLengths(t *testing.T) {
+	if _, err := PaperGroup([]int{1, 2}, []float64{1}, 1, 0.3); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+}
+
+func TestGroupFeasible(t *testing.T) {
+	g := LiExample1Group()
+	ok := make([]float64, 7)
+	for i := range ok {
+		ok[i] = 0.5 * g.Servers[i].MaxGenericRate(g.TaskSize)
+	}
+	if err := g.Feasible(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Feasible(ok[:3]); err == nil {
+		t.Error("wrong length should fail")
+	}
+	bad := make([]float64, 7)
+	bad[0] = -1
+	if err := g.Feasible(bad); err == nil {
+		t.Error("negative rate should fail")
+	}
+	sat := make([]float64, 7)
+	sat[2] = g.Servers[2].MaxGenericRate(g.TaskSize) * 1.01
+	if err := g.Feasible(sat); err == nil {
+		t.Error("saturating rate should fail")
+	}
+}
+
+func TestAverageResponseTimeWeighting(t *testing.T) {
+	g := &Group{
+		Servers: []Server{
+			{Size: 1, Speed: 1, SpecialRate: 0},
+			{Size: 1, Speed: 2, SpecialRate: 0},
+		},
+		TaskSize: 1,
+	}
+	rates := []float64{0.3, 0.6}
+	// M/M/1: T = x̄/(1−ρ). Server 1: x̄=1, ρ=0.3 → 1/0.7. Server 2:
+	// x̄=0.5, ρ=0.3 → 0.5/0.7.
+	t1 := 1 / 0.7
+	t2 := 0.5 / 0.7
+	want := 0.3/0.9*t1 + 0.6/0.9*t2
+	got := g.AverageResponseTime(queueing.FCFS, rates)
+	if !numeric.WithinTol(got, want, 1e-12, 1e-12) {
+		t.Fatalf("T′ = %.15g, want %.15g", got, want)
+	}
+}
+
+func TestAverageResponseTimeEdgeCases(t *testing.T) {
+	g := LiExample1Group()
+	zero := make([]float64, 7)
+	if got := g.AverageResponseTime(queueing.FCFS, zero); got != 0 {
+		t.Errorf("zero allocation T′ = %g, want 0", got)
+	}
+	// Zero-rate servers are skipped even if they'd be saturated.
+	one := make([]float64, 7)
+	one[0] = 0.1
+	if got := g.AverageResponseTime(queueing.FCFS, one); math.IsInf(got, 1) || got <= 0 {
+		t.Errorf("single-server allocation T′ = %g", got)
+	}
+	// Saturated loaded server → +Inf.
+	sat := make([]float64, 7)
+	sat[0] = g.Servers[0].MaxGenericRate(1) + 1
+	if got := g.AverageResponseTime(queueing.FCFS, sat); !math.IsInf(got, 1) {
+		t.Errorf("saturated allocation T′ = %g, want +Inf", got)
+	}
+}
+
+func TestAverageResponseTimePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	LiExample1Group().AverageResponseTime(queueing.FCFS, []float64{1})
+}
+
+func TestUtilizationsAndResponseTimes(t *testing.T) {
+	g := LiExample1Group()
+	rates := make([]float64, 7)
+	for i := range rates {
+		rates[i] = 0.4 * g.Servers[i].MaxGenericRate(1)
+	}
+	rhos := g.Utilizations(rates)
+	ts := g.ResponseTimes(queueing.FCFS, rates)
+	if len(rhos) != 7 || len(ts) != 7 {
+		t.Fatal("wrong lengths")
+	}
+	for i := range rhos {
+		// ρ = 0.3 + 0.4·0.7 = 0.58 for every server by construction.
+		if math.Abs(rhos[i]-0.58) > 1e-12 {
+			t.Errorf("ρ_%d = %g, want 0.58", i+1, rhos[i])
+		}
+		if ts[i] < g.Servers[i].ServiceMean(1) {
+			t.Errorf("T′_%d = %g below service time", i+1, ts[i])
+		}
+	}
+}
+
+func TestGroupClone(t *testing.T) {
+	g := LiExample1Group()
+	c := g.Clone()
+	c.Servers[0].Speed = 99
+	c.TaskSize = 42
+	if g.Servers[0].Speed == 99 || g.TaskSize == 42 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestPriorityGroupSlower(t *testing.T) {
+	g := LiExample1Group()
+	rates := make([]float64, 7)
+	for i := range rates {
+		rates[i] = 0.5 * g.Servers[i].MaxGenericRate(1)
+	}
+	fcfs := g.AverageResponseTime(queueing.FCFS, rates)
+	prio := g.AverageResponseTime(queueing.Priority, rates)
+	if prio <= fcfs {
+		t.Fatalf("priority T′=%g should exceed FCFS T′=%g", prio, fcfs)
+	}
+}

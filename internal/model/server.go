@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/queueing"
+)
+
+// Server describes one heterogeneous blade server S_i: a chassis with
+// Size identical blades of execution speed Speed (instructions per unit
+// time), preloaded with a dedicated Poisson stream of special tasks of
+// rate SpecialRate.
+type Server struct {
+	// Size m_i is the number of server blades (≥ 1).
+	Size int
+	// Speed s_i is the execution speed of each blade, in (giga)
+	// instructions per second. Must be positive.
+	Speed float64
+	// SpecialRate λ″_i is the arrival rate of dedicated special tasks
+	// that can only run on this server. Must be non-negative.
+	SpecialRate float64
+}
+
+// Validate checks the server parameters.
+func (s Server) Validate() error {
+	if s.Size < 1 {
+		return fmt.Errorf("model: server size %d must be ≥ 1", s.Size)
+	}
+	if s.Speed <= 0 || math.IsNaN(s.Speed) || math.IsInf(s.Speed, 0) {
+		return fmt.Errorf("model: server speed %g must be positive and finite", s.Speed)
+	}
+	if s.SpecialRate < 0 || math.IsNaN(s.SpecialRate) || math.IsInf(s.SpecialRate, 0) {
+		return fmt.Errorf("model: special-task rate %g must be non-negative and finite", s.SpecialRate)
+	}
+	return nil
+}
+
+// ServiceMean returns x̄_i = r̄/s_i, the mean execution time of a task
+// with mean requirement rbar on one blade of this server.
+func (s Server) ServiceMean(rbar float64) float64 { return rbar / s.Speed }
+
+// ServiceRate returns μ_i = s_i/r̄, the rate at which one blade
+// completes tasks.
+func (s Server) ServiceRate(rbar float64) float64 { return s.Speed / rbar }
+
+// Capacity returns m_i·s_i/r̄, the maximum total task throughput of the
+// server.
+func (s Server) Capacity(rbar float64) float64 {
+	return float64(s.Size) * s.Speed / rbar
+}
+
+// MaxGenericRate returns the saturation point of λ′_i:
+// m_i s_i/r̄ − λ″_i, the largest generic arrival rate the server can
+// absorb on top of its special load. It can be ≤ 0 if special tasks
+// alone saturate the server.
+func (s Server) MaxGenericRate(rbar float64) float64 {
+	return s.Capacity(rbar) - s.SpecialRate
+}
+
+// SpecialUtilization returns ρ″_i = λ″_i x̄_i / m_i.
+func (s Server) SpecialUtilization(rbar float64) float64 {
+	return s.SpecialRate * s.ServiceMean(rbar) / float64(s.Size)
+}
+
+// Utilization returns ρ_i = (λ′ + λ″_i) x̄_i / m_i for a generic rate
+// λ′ assigned to this server.
+func (s Server) Utilization(genericRate, rbar float64) float64 {
+	return (genericRate + s.SpecialRate) * s.ServiceMean(rbar) / float64(s.Size)
+}
+
+// GenericResponseTime returns T′_i for generic arrival rate λ′ under
+// discipline d (see queueing.GenericResponseTime). Returns +Inf when
+// the rate saturates the server.
+func (s Server) GenericResponseTime(d queueing.Discipline, genericRate, rbar float64) float64 {
+	rho := s.Utilization(genericRate, rbar)
+	return queueing.GenericResponseTime(d, s.Size, rho, s.SpecialUtilization(rbar), s.ServiceMean(rbar))
+}
+
+// MarginalCost returns the Lagrange marginal cost of server S_i at
+// generic rate λ′_i for total generic rate λ′ (eq. (1) of the paper):
+//
+//	(1/λ′)(T′_i + ρ′_i · ∂T′_i/∂ρ_i).
+//
+// The optimizer equalizes this quantity across servers. It is
+// increasing in λ′_i because T′ is convex. Returns +Inf at or beyond
+// saturation.
+func (s Server) MarginalCost(d queueing.Discipline, genericRate, totalGenericRate, rbar float64) float64 {
+	xbar := s.ServiceMean(rbar)
+	rho := s.Utilization(genericRate, rbar)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	rhoS := s.SpecialUtilization(rbar)
+	rhoG := genericRate * xbar / float64(s.Size)
+	t := queueing.GenericResponseTime(d, s.Size, rho, rhoS, xbar)
+	dt := queueing.DGenericResponseDRho(d, s.Size, rho, rhoS, xbar)
+	return (t + rhoG*dt) / totalGenericRate
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+func TestServerValidate(t *testing.T) {
+	good := Server{Size: 2, Speed: 1.5, SpecialRate: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Server{
+		{Size: 0, Speed: 1},
+		{Size: -3, Speed: 1},
+		{Size: 1, Speed: 0},
+		{Size: 1, Speed: -2},
+		{Size: 1, Speed: math.NaN()},
+		{Size: 1, Speed: math.Inf(1)},
+		{Size: 1, Speed: 1, SpecialRate: -1},
+		{Size: 1, Speed: 1, SpecialRate: math.NaN()},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: %+v should fail validation", i, s)
+		}
+	}
+}
+
+func TestServerDerivedQuantities(t *testing.T) {
+	s := Server{Size: 4, Speed: 2.0, SpecialRate: 1.0}
+	rbar := 0.5
+	if got := s.ServiceMean(rbar); got != 0.25 {
+		t.Errorf("x̄ = %g, want 0.25", got)
+	}
+	if got := s.ServiceRate(rbar); got != 4 {
+		t.Errorf("μ = %g, want 4", got)
+	}
+	if got := s.Capacity(rbar); got != 16 {
+		t.Errorf("capacity = %g, want 16", got)
+	}
+	if got := s.MaxGenericRate(rbar); got != 15 {
+		t.Errorf("max generic rate = %g, want 15", got)
+	}
+	// ρ″ = λ″x̄/m = 1·0.25/4.
+	if got := s.SpecialUtilization(rbar); got != 0.0625 {
+		t.Errorf("ρ″ = %g, want 0.0625", got)
+	}
+	// ρ at λ′=3: (3+1)·0.25/4 = 0.25.
+	if got := s.Utilization(3, rbar); got != 0.25 {
+		t.Errorf("ρ = %g, want 0.25", got)
+	}
+}
+
+func TestServerGenericResponseTime(t *testing.T) {
+	s := Server{Size: 2, Speed: 1.0, SpecialRate: 0.4}
+	rbar := 1.0
+	rho := s.Utilization(0.6, rbar) // (0.6+0.4)/2 = 0.5
+	want := queueing.GenericResponseTime(queueing.FCFS, 2, rho, s.SpecialUtilization(rbar), 1.0)
+	got := s.GenericResponseTime(queueing.FCFS, 0.6, rbar)
+	if got != want {
+		t.Fatalf("T′ = %g, want %g", got, want)
+	}
+	if !math.IsInf(s.GenericResponseTime(queueing.FCFS, 1.6, rbar), 1) {
+		t.Error("saturated server should give +Inf")
+	}
+}
+
+func TestMarginalCostIncreasing(t *testing.T) {
+	// The paper's key observation: ∂T′/∂λ′_i is increasing in λ′_i.
+	s := Server{Size: 6, Speed: 1.2, SpecialRate: 2.0}
+	rbar := 1.0
+	lambdaTotal := 10.0
+	prev := math.Inf(-1)
+	for _, r := range []float64{0, 0.5, 1, 2, 3, 4, 4.8, 5.1} {
+		if s.Utilization(r, rbar) >= 1 {
+			break
+		}
+		mc := s.MarginalCost(queueing.FCFS, r, lambdaTotal, rbar)
+		if mc < prev {
+			t.Fatalf("marginal cost decreased: %g after %g at λ′=%g", mc, prev, r)
+		}
+		prev = mc
+	}
+}
+
+func TestMarginalCostMatchesNumericalGradient(t *testing.T) {
+	// (1/λ′)(T′_i + λ′_i ∂T′_i/∂λ′_i) is exactly ∂/∂λ′_i [λ′_i T′_i / λ′].
+	s := Server{Size: 5, Speed: 1.4, SpecialRate: 1.5}
+	rbar := 1.0
+	lambdaTotal := 8.0
+	for _, d := range []queueing.Discipline{queueing.FCFS, queueing.Priority} {
+		for _, r := range []float64{0.5, 1.5, 3.0} {
+			analytic := s.MarginalCost(d, r, lambdaTotal, rbar)
+			numerical := numeric.Derivative(func(x float64) float64 {
+				return x * s.GenericResponseTime(d, x, rbar) / lambdaTotal
+			}, r)
+			if !numeric.WithinTol(analytic, numerical, 1e-6, 1e-5) {
+				t.Errorf("%v λ′=%g: analytic=%.12g numeric=%.12g", d, r, analytic, numerical)
+			}
+		}
+	}
+}
+
+func TestMarginalCostSaturated(t *testing.T) {
+	s := Server{Size: 2, Speed: 1.0, SpecialRate: 0}
+	if !math.IsInf(s.MarginalCost(queueing.FCFS, 2.0, 5, 1.0), 1) {
+		t.Error("marginal cost at saturation should be +Inf")
+	}
+}
+
+// Property: utilization decomposes as ρ = ρ′ + ρ″.
+func TestUtilizationDecompositionProperty(t *testing.T) {
+	prop := func(mSeed uint8, speedSeed, rateSeed, rbarSeed float64) bool {
+		m := 1 + int(mSeed%20)
+		speed := 0.2 + math.Abs(math.Mod(speedSeed, 3))
+		rbar := 0.2 + math.Abs(math.Mod(rbarSeed, 3))
+		rate := math.Abs(math.Mod(rateSeed, 2))
+		s := Server{Size: m, Speed: speed, SpecialRate: rate}
+		lambdaG := math.Abs(math.Mod(rate*1.7, 2))
+		rho := s.Utilization(lambdaG, rbar)
+		rhoG := lambdaG * s.ServiceMean(rbar) / float64(m)
+		return numeric.WithinTol(rho, rhoG+s.SpecialUtilization(rbar), 1e-12, 1e-12)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

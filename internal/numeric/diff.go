@@ -1,0 +1,47 @@
+package numeric
+
+import "math"
+
+// Derivative returns the central-difference approximation of f′(x) with
+// an automatically chosen step. It is used in tests and ablations to
+// cross-check the paper's analytic derivatives; the optimizer itself
+// uses the closed-form expressions.
+func Derivative(f func(float64) float64, x float64) float64 {
+	h := stepFor(x)
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// DerivativeStep is Derivative with an explicit step size h > 0.
+func DerivativeStep(f func(float64) float64, x, h float64) float64 {
+	if h <= 0 {
+		h = stepFor(x)
+	}
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// ForwardDerivative returns the one-sided forward-difference
+// approximation of f′(x), for use at the left edge of a domain (e.g.
+// λ′ = 0 where the response time is undefined for negative rates).
+func ForwardDerivative(f func(float64) float64, x float64) float64 {
+	h := stepFor(x)
+	return (f(x+h) - f(x)) / h
+}
+
+// SecondDerivative returns the central-difference approximation of
+// f″(x). Tests use it to verify convexity claims.
+func SecondDerivative(f func(float64) float64, x float64) float64 {
+	h := math.Sqrt(stepFor(x)) // wider step: second differences amplify noise
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// stepFor picks a finite-difference step proportional to cbrt(eps)
+// scaled by |x|, the standard balance between truncation and round-off
+// error for central differences.
+func stepFor(x float64) float64 {
+	const cbrtEps = 6.055454452393343e-6 // cbrt(2^-52)
+	scale := math.Abs(x)
+	if scale < 1 {
+		scale = 1
+	}
+	return cbrtEps * scale
+}

@@ -1,0 +1,86 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivativePolynomial(t *testing.T) {
+	f := func(x float64) float64 { return 3*x*x - 4*x + 7 }
+	want := func(x float64) float64 { return 6*x - 4 }
+	for _, x := range []float64{-3, -1, 0, 0.5, 1, 2, 10} {
+		got := Derivative(f, x)
+		if math.Abs(got-want(x)) > 1e-6*(1+math.Abs(want(x))) {
+			t.Errorf("f'(%g) = %g, want %g", x, got, want(x))
+		}
+	}
+}
+
+func TestDerivativeExp(t *testing.T) {
+	for _, x := range []float64{0, 1, 2} {
+		got := Derivative(math.Exp, x)
+		want := math.Exp(x)
+		if math.Abs(got-want) > 1e-7*want {
+			t.Errorf("exp'(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestDerivativeStepExplicit(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	got := DerivativeStep(f, 3, 1e-5)
+	if math.Abs(got-6) > 1e-5 {
+		t.Fatalf("got %g, want 6", got)
+	}
+	// Non-positive step falls back to the automatic one.
+	got = DerivativeStep(f, 3, 0)
+	if math.Abs(got-6) > 1e-6 {
+		t.Fatalf("got %g, want 6", got)
+	}
+}
+
+func TestForwardDerivative(t *testing.T) {
+	f := func(x float64) float64 { return 5 * x }
+	got := ForwardDerivative(f, 0)
+	if math.Abs(got-5) > 1e-6 {
+		t.Fatalf("got %g, want 5", got)
+	}
+}
+
+func TestSecondDerivative(t *testing.T) {
+	f := func(x float64) float64 { return x * x * x }
+	got := SecondDerivative(f, 2)
+	if math.Abs(got-12) > 1e-3 {
+		t.Fatalf("f''(2) = %g, want 12", got)
+	}
+}
+
+func TestSecondDerivativeConvexityDetection(t *testing.T) {
+	convex := func(x float64) float64 { return math.Exp(x) }
+	if SecondDerivative(convex, 1) <= 0 {
+		t.Error("exp should register as convex")
+	}
+	concave := func(x float64) float64 { return -x * x }
+	if SecondDerivative(concave, 1) >= 0 {
+		t.Error("-x^2 should register as concave")
+	}
+}
+
+// Property: numerical derivative of a random quadratic matches the
+// analytic derivative.
+func TestDerivativeQuadraticProperty(t *testing.T) {
+	prop := func(a, b, c, xSeed float64) bool {
+		a = math.Mod(a, 5)
+		b = math.Mod(b, 5)
+		c = math.Mod(c, 5)
+		x := math.Mod(xSeed, 10)
+		f := func(t float64) float64 { return a*t*t + b*t + c }
+		got := Derivative(f, x)
+		want := 2*a*x + b
+		return math.Abs(got-want) <= 1e-5*(1+math.Abs(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,10 @@
+// Package numeric provides the small numerical substrate the optimizer
+// is built on: scalar root finding (bisection, Brent, Newton), numerical
+// differentiation, one-dimensional minimization, and compensated
+// summation.
+//
+// The paper's algorithms (Figs. 2 and 3) only require bisection on
+// monotone functions; the other solvers exist as independent
+// cross-checks and as ablation subjects (see DESIGN.md §6). Everything
+// here is dependency-free and uses float64 throughout.
+package numeric

@@ -1,0 +1,70 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// GoldenSection minimizes a unimodal function f on [a, b] and returns
+// the minimizing x. It is used by tests to verify that the Lagrange
+// solution found by the optimizer really is the constrained minimum of
+// T′ along feasible directions, without relying on the same derivative
+// code paths.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if a > b {
+		a, b = b, a
+	}
+	const invPhi = 0.6180339887498949  // (sqrt(5)-1)/2
+	const invPhi2 = 0.3819660112501051 // 1 - invPhi
+	x1 := a + invPhi2*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < MaxIterations; i++ {
+		if b-a <= tol {
+			return a + (b-a)/2, nil
+		}
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = a + invPhi2*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// WithinTol reports whether a and b agree to absolute tolerance atol or
+// relative tolerance rtol (whichever is looser).
+func WithinTol(a, b, atol, rtol float64) bool {
+	d := math.Abs(a - b)
+	if d <= atol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rtol*scale
+}
+
+// CheckFinite returns an error naming what if v is NaN or ±Inf.
+func CheckFinite(what string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("numeric: %s is not finite: %g", what, v)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoldenSectionParabola(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3.7) * (x - 3.7) }
+	x, err := GoldenSection(f, 0, 10, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-3.7) > 1e-8 {
+		t.Fatalf("minimizer = %g, want 3.7", x)
+	}
+}
+
+func TestGoldenSectionReversedInterval(t *testing.T) {
+	f := func(x float64) float64 { return math.Cosh(x - 1) }
+	x, err := GoldenSection(f, 5, -5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1) > 1e-7 {
+		t.Fatalf("minimizer = %g, want 1", x)
+	}
+}
+
+func TestGoldenSectionBoundaryMinimum(t *testing.T) {
+	// Monotone increasing: the minimum is the left endpoint.
+	f := func(x float64) float64 { return x }
+	x, err := GoldenSection(f, 2, 9, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-2) > 1e-8 {
+		t.Fatalf("minimizer = %g, want 2", x)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g,%g,%g) = %g, want %g", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestWithinTol(t *testing.T) {
+	if !WithinTol(1.0, 1.0+1e-12, 1e-9, 0) {
+		t.Error("absolute tolerance should accept")
+	}
+	if !WithinTol(1e9, 1e9+1, 0, 1e-6) {
+		t.Error("relative tolerance should accept")
+	}
+	if WithinTol(1, 2, 1e-9, 1e-9) {
+		t.Error("should reject 1 vs 2")
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	if err := CheckFinite("x", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFinite("x", math.NaN()); err == nil {
+		t.Fatal("want error for NaN")
+	}
+	if err := CheckFinite("x", math.Inf(1)); err == nil {
+		t.Fatal("want error for +Inf")
+	}
+}

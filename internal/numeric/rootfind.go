@@ -1,0 +1,224 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultTol is the default absolute tolerance used by the solvers when
+// the caller passes a non-positive tolerance. It matches the "very small
+// quantity" ε of the paper's algorithms.
+const DefaultTol = 1e-12
+
+// MaxIterations bounds every iterative solver in this package. The
+// bisection solvers halve an interval, so even a [0, 1e300] bracket
+// collapses below any representable tolerance in ~2000 steps.
+const MaxIterations = 20000
+
+// ErrNoBracket is returned when a bracketing solver is given an interval
+// whose endpoints do not straddle a root.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// ErrMaxIterations is returned when a solver fails to converge within
+// MaxIterations steps.
+var ErrMaxIterations = errors.New("numeric: maximum iterations exceeded")
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must
+// have opposite signs (an exact zero at an endpoint is accepted). The
+// returned x satisfies |interval| <= tol around a sign change.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if a > b {
+		a, b = b, a
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.IsNaN(fa) || math.IsNaN(fb) {
+		return 0, fmt.Errorf("numeric: Bisect endpoint is NaN: f(%g)=%g f(%g)=%g", a, fa, b, fb)
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	for i := 0; i < MaxIterations; i++ {
+		mid := a + (b-a)/2
+		if b-a <= tol || mid == a || mid == b {
+			return mid, nil
+		}
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (fb > 0) {
+			b, fb = mid, fm
+		} else {
+			a, fa = mid, fm
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// BisectPredicate finds the boundary point of a monotone predicate on
+// [a, b]: it returns x such that pred is false on [a, x) and true on
+// (x, b], to within tol. pred(b) must be true; if pred(a) is already
+// true the left endpoint is returned. This is the primitive the paper's
+// Find_λ′ algorithm uses: pred(λ) ≡ (∂T′/∂λ′_i at λ) ≥ φ, which is
+// monotone because T′ is convex in λ′_i.
+func BisectPredicate(pred func(float64) bool, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if pred(a) {
+		return a, nil
+	}
+	if !pred(b) {
+		return 0, fmt.Errorf("%w: predicate false at both endpoints [%g, %g]", ErrNoBracket, a, b)
+	}
+	for i := 0; i < MaxIterations; i++ {
+		mid := a + (b-a)/2
+		if b-a <= tol || mid == a || mid == b {
+			return mid, nil
+		}
+		if pred(mid) {
+			b = mid
+		} else {
+			a = mid
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// Brent finds a root of f in the bracket [a, b] using Brent's method
+// (inverse quadratic interpolation with bisection fallback). It
+// typically converges superlinearly and is used as an ablation and
+// cross-check against Bisect.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	// Ensure |f(b)| <= |f(a)|: b is the current best estimate.
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < MaxIterations; i++ {
+		if fb == 0 || math.Abs(b-a) <= tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if (fa > 0) != (fs > 0) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// Newton finds a root of f starting at x0 using Newton's method with the
+// supplied derivative df. It returns ErrMaxIterations if the iteration
+// does not converge, and an error if the derivative vanishes.
+func Newton(f, df func(float64) float64, x0, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	x := x0
+	for i := 0; i < MaxIterations; i++ {
+		fx := f(x)
+		if math.Abs(fx) <= tol {
+			return x, nil
+		}
+		dfx := df(x)
+		if dfx == 0 || math.IsNaN(dfx) || math.IsInf(dfx, 0) {
+			return 0, fmt.Errorf("numeric: Newton derivative unusable at x=%g: %g", x, dfx)
+		}
+		step := fx / dfx
+		nx := x - step
+		if math.Abs(nx-x) <= tol*(1+math.Abs(x)) {
+			return nx, nil
+		}
+		x = nx
+	}
+	return 0, ErrMaxIterations
+}
+
+// ExpandUpper grows an upper bound ub by doubling until pred(ub) holds
+// or ub exceeds cap, in which case cap (shrunk slightly inside the open
+// interval, as the paper's line (7) does with (1−ε)) is returned. It
+// mirrors lines (3)–(8) of Find_λ′ and lines (2)–(10) of Calculate T′.
+// pred must be monotone (false then true as its argument grows).
+// capShrink is the fraction retained when clamping at cap; pass 0 to use
+// the default 1−1e-9.
+func ExpandUpper(pred func(float64) bool, start, cap, capShrink float64) (float64, error) {
+	if start <= 0 {
+		start = 1e-6
+	}
+	if capShrink <= 0 || capShrink >= 1 {
+		capShrink = 1 - 1e-9
+	}
+	ub := start
+	for i := 0; i < MaxIterations; i++ {
+		if cap > 0 && ub >= cap {
+			return capShrink * cap, nil
+		}
+		if pred(ub) {
+			return ub, nil
+		}
+		ub *= 2
+	}
+	return 0, ErrMaxIterations
+}

@@ -1,0 +1,233 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectLinear(t *testing.T) {
+	f := func(x float64) float64 { return 2*x - 3 }
+	x, err := Bisect(f, 0, 10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1.5) > 1e-11 {
+		t.Fatalf("root = %g, want 1.5", x)
+	}
+}
+
+func TestBisectCubic(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - 2*x - 5 }
+	x, err := Bisect(f, 2, 3, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic Wallis cubic root.
+	if math.Abs(x-2.0945514815423265) > 1e-11 {
+		t.Fatalf("root = %.16g", x)
+	}
+}
+
+func TestBisectReversedInterval(t *testing.T) {
+	f := func(x float64) float64 { return x - 1 }
+	x, err := Bisect(f, 5, -5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1) > 1e-11 {
+		t.Fatalf("root = %g, want 1", x)
+	}
+}
+
+func TestBisectExactEndpoint(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	x, err := Bisect(f, 0, 1, 1e-12)
+	if err != nil || x != 0 {
+		t.Fatalf("x=%g err=%v, want 0, nil", x, err)
+	}
+	x, err = Bisect(f, -1, 0, 1e-12)
+	if err != nil || x != 0 {
+		t.Fatalf("x=%g err=%v, want 0, nil", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	_, err := Bisect(f, -1, 1, 1e-12)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectNaNEndpoint(t *testing.T) {
+	f := func(x float64) float64 { return math.NaN() }
+	if _, err := Bisect(f, 0, 1, 1e-12); err == nil {
+		t.Fatal("want error for NaN endpoint")
+	}
+}
+
+func TestBisectDefaultTol(t *testing.T) {
+	f := func(x float64) float64 { return x - math.Pi }
+	x, err := Bisect(f, 0, 10, 0) // 0 → DefaultTol
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Pi) > 1e-10 {
+		t.Fatalf("root = %g", x)
+	}
+}
+
+func TestBisectPredicate(t *testing.T) {
+	// Boundary at x = 4.25.
+	pred := func(x float64) bool { return x >= 4.25 }
+	x, err := BisectPredicate(pred, 0, 10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-4.25) > 1e-10 {
+		t.Fatalf("boundary = %g, want 4.25", x)
+	}
+}
+
+func TestBisectPredicateTrueAtLeft(t *testing.T) {
+	pred := func(x float64) bool { return true }
+	x, err := BisectPredicate(pred, 2, 10, 1e-12)
+	if err != nil || x != 2 {
+		t.Fatalf("x=%g err=%v, want left endpoint 2", x, err)
+	}
+}
+
+func TestBisectPredicateFalseEverywhere(t *testing.T) {
+	pred := func(x float64) bool { return false }
+	if _, err := BisectPredicate(pred, 0, 1, 1e-12); !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentMatchesBisect(t *testing.T) {
+	fns := []func(float64) float64{
+		func(x float64) float64 { return math.Exp(x) - 5 },
+		func(x float64) float64 { return x*x*x - 2*x - 5 },
+		func(x float64) float64 { return math.Cos(x) - x },
+	}
+	brackets := [][2]float64{{0, 5}, {1, 4}, {0, 2}}
+	for i, f := range fns {
+		a, b := brackets[i][0], brackets[i][1]
+		xb, err := Bisect(f, a, b, 1e-13)
+		if err != nil {
+			t.Fatalf("fn %d bisect: %v", i, err)
+		}
+		xr, err := Brent(f, a, b, 1e-13)
+		if err != nil {
+			t.Fatalf("fn %d brent: %v", i, err)
+		}
+		if math.Abs(xb-xr) > 1e-9 {
+			t.Fatalf("fn %d: bisect %.15g vs brent %.15g", i, xb, xr)
+		}
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Brent(f, -1, 1, 1e-12); !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentExactEndpoints(t *testing.T) {
+	f := func(x float64) float64 { return x - 2 }
+	if x, err := Brent(f, 2, 5, 1e-12); err != nil || x != 2 {
+		t.Fatalf("x=%g err=%v", x, err)
+	}
+	if x, err := Brent(f, 0, 2, 1e-12); err != nil || x != 2 {
+		t.Fatalf("x=%g err=%v", x, err)
+	}
+}
+
+func TestNewtonQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	df := func(x float64) float64 { return 2 * x }
+	x, err := Newton(f, df, 1, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-12 {
+		t.Fatalf("root = %.16g, want sqrt(2)", x)
+	}
+}
+
+func TestNewtonZeroDerivative(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	df := func(x float64) float64 { return 0 }
+	if _, err := Newton(f, df, 1, 1e-12); err == nil {
+		t.Fatal("want error for zero derivative")
+	}
+}
+
+func TestExpandUpperFindsBound(t *testing.T) {
+	pred := func(x float64) bool { return x >= 37 }
+	ub, err := ExpandUpper(pred, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(ub) {
+		t.Fatalf("ub = %g does not satisfy predicate", ub)
+	}
+	if ub > 64 {
+		t.Fatalf("ub = %g, doubling from 1 should stop at 64", ub)
+	}
+}
+
+func TestExpandUpperClampsAtCap(t *testing.T) {
+	pred := func(x float64) bool { return false } // never satisfied
+	ub, err := ExpandUpper(pred, 1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub >= 10 || ub < 9.9 {
+		t.Fatalf("ub = %g, want just under cap 10", ub)
+	}
+}
+
+func TestExpandUpperDefaultStart(t *testing.T) {
+	pred := func(x float64) bool { return x > 0.5 }
+	ub, err := ExpandUpper(pred, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(ub) {
+		t.Fatalf("ub = %g", ub)
+	}
+}
+
+// Property: for any monotone-increasing affine function crossing zero in
+// the interval, Bisect recovers the root within tolerance.
+func TestBisectAffineProperty(t *testing.T) {
+	prop := func(slope, rootSeed float64) bool {
+		s := 0.1 + math.Mod(math.Abs(slope), 10) // slope in (0.1, 10.1)
+		r := math.Mod(rootSeed, 100)             // root in (-100, 100)
+		f := func(x float64) float64 { return s * (x - r) }
+		x, err := Bisect(f, r-150, r+150, 1e-10)
+		return err == nil && math.Abs(x-r) <= 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BisectPredicate and Bisect agree on monotone functions
+// (pred(x) ≡ f(x) ≥ 0).
+func TestPredicateAgreesWithSignProperty(t *testing.T) {
+	prop := func(rootSeed float64) bool {
+		r := math.Mod(rootSeed, 50)
+		f := func(x float64) float64 { return x - r }
+		x1, err1 := Bisect(f, r-60, r+60, 1e-10)
+		x2, err2 := BisectPredicate(func(x float64) bool { return f(x) >= 0 }, r-60, r+60, 1e-10)
+		return err1 == nil && err2 == nil && math.Abs(x1-x2) <= 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

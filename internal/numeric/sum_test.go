@@ -1,0 +1,94 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKahanSumBasic(t *testing.T) {
+	var k KahanSum
+	for i := 0; i < 10; i++ {
+		k.Add(0.1)
+	}
+	if math.Abs(k.Value()-1.0) > 1e-15 {
+		t.Fatalf("sum = %.17g, want 1", k.Value())
+	}
+}
+
+func TestKahanSumCancellation(t *testing.T) {
+	// 1 + 1e-16 repeated: naive summation loses the tail entirely.
+	var k KahanSum
+	k.Add(1)
+	for i := 0; i < 1_000_000; i++ {
+		k.Add(1e-16)
+	}
+	got := k.Value()
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-13 {
+		t.Fatalf("compensated sum = %.17g, want %.17g", got, want)
+	}
+	// Demonstrate the naive sum actually loses it (guards against the
+	// test silently passing on a naive implementation).
+	naive := 1.0
+	for i := 0; i < 1_000_000; i++ {
+		naive += 1e-16
+	}
+	if naive != 1.0 {
+		t.Skip("platform FPU keeps extra precision; cancellation check not meaningful")
+	}
+}
+
+func TestKahanSumNeumaierOrdering(t *testing.T) {
+	// Neumaier's variant handles a large addend arriving after small
+	// ones; classic Kahan fails this case.
+	var k KahanSum
+	k.Add(1)
+	k.Add(1e100)
+	k.Add(1)
+	k.Add(-1e100)
+	if got := k.Value(); got != 2 {
+		t.Fatalf("sum = %g, want 2", got)
+	}
+}
+
+func TestSumSlice(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3, 4.5}); got != 10.5 {
+		t.Fatalf("got %g", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("empty sum = %g, want 0", got)
+	}
+}
+
+func TestKahanReset(t *testing.T) {
+	var k KahanSum
+	k.Add(5)
+	k.Reset()
+	if k.Value() != 0 {
+		t.Fatalf("after reset: %g", k.Value())
+	}
+}
+
+// Property: Kahan sum of shuffled values equals (to 1 ulp-ish) the sum
+// in sorted order.
+func TestKahanPermutationInvarianceProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, v := range xs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, math.Mod(v, 1e6))
+			}
+		}
+		fwd := Sum(clean)
+		rev := make([]float64, len(clean))
+		for i, v := range clean {
+			rev[len(clean)-1-i] = v
+		}
+		bwd := Sum(rev)
+		return WithinTol(fwd, bwd, 1e-9, 1e-12)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

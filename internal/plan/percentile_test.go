@@ -1,0 +1,72 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+func TestMaxAdmissibleRatePercentile(t *testing.T) {
+	g := model.LiExample1Group()
+	const p, sla = 0.95, 2.5
+	lim, err := MaxAdmissibleRatePercentile(g, p, sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim <= 0 || lim >= g.MaxGenericRate() {
+		t.Fatalf("limit %g out of range", lim)
+	}
+	// At the limit, the optimal allocation's P95 sits at the SLA.
+	res, err := core.Optimize(g, lim, core.Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.GroupGenericQuantile(g, res.Rates, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q > sla*1.001 || q < sla*0.99 {
+		t.Fatalf("P95 at the limit = %.4f, want ≈ %.2f", q, sla)
+	}
+	// Percentile SLAs are tighter than mean SLAs at the same number.
+	meanLim, err := MaxAdmissibleRate(g, queueing.FCFS, sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim >= meanLim {
+		t.Fatalf("P95 limit %g should be below mean-SLA limit %g", lim, meanLim)
+	}
+}
+
+func TestMaxAdmissibleRatePercentileValidation(t *testing.T) {
+	g := model.LiExample1Group()
+	if _, err := MaxAdmissibleRatePercentile(g, 0, 1); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := MaxAdmissibleRatePercentile(g, 1, 1); err == nil {
+		t.Error("p=1 should fail")
+	}
+	if _, err := MaxAdmissibleRatePercentile(g, 0.95, 0); err == nil {
+		t.Error("zero SLA should fail")
+	}
+	// Floor: even an idle system's P95 exceeds a tiny SLA.
+	if _, err := MaxAdmissibleRatePercentile(g, 0.95, 0.2); err == nil {
+		t.Error("impossible percentile SLA should fail")
+	}
+	if _, err := MaxAdmissibleRatePercentile(&model.Group{TaskSize: 1}, 0.95, 1); err == nil {
+		t.Error("invalid group should fail")
+	}
+}
+
+func TestMaxAdmissibleRatePercentileLooseSLA(t *testing.T) {
+	g := model.LiExample1Group()
+	lim, err := MaxAdmissibleRatePercentile(g, 0.5, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim < 0.999*g.MaxGenericRate() {
+		t.Fatalf("loose SLA limit %g, want ≈ saturation", lim)
+	}
+}

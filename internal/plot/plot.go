@@ -1,0 +1,169 @@
+// Package plot renders multi-series line charts as plain text, so the
+// paper's figures can be *seen*, not just tabulated, in a terminal and
+// in golden files. It is intentionally small: fixed-size character
+// grid, one marker per series, linear axes, a legend, and sensible
+// handling of infinities (series leaving the plot near saturation).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one curve: a label and the y-values over the shared grid.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Chart configures rendering.
+type Chart struct {
+	// Width and Height are the plot-area size in characters
+	// (excluding axes and labels). Zero values default to 72×20.
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// YMax clips the vertical scale; 0 means autoscale to the largest
+	// finite value. Clipping is how diverging curves near saturation
+	// stay readable (the paper's figures do the same by axis choice).
+	YMax float64
+}
+
+// markers distinguish series; reused cyclically beyond len(markers).
+var markers = []byte{'o', '*', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series over the common x grid.
+func Render(w io.Writer, c Chart, x []float64, series []Series) error {
+	if len(x) < 2 {
+		return fmt.Errorf("plot: need at least 2 x points, got %d", len(x))
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	for _, s := range series {
+		if len(s.Y) != len(x) {
+			return fmt.Errorf("plot: series %q has %d points for %d x values", s.Label, len(s.Y), len(x))
+		}
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	xmin, xmax := x[0], x[len(x)-1]
+	if xmax <= xmin {
+		return fmt.Errorf("plot: x grid must be increasing (%g … %g)", xmin, xmax)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return fmt.Errorf("plot: no finite data")
+	}
+	if c.YMax > 0 && c.YMax > ymin {
+		ymax = c.YMax
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1 // flat data: give the axis some room
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(xv float64) int {
+		f := (xv - xmin) / (xmax - xmin)
+		ci := int(math.Round(f * float64(width-1)))
+		if ci < 0 {
+			ci = 0
+		}
+		if ci >= width {
+			ci = width - 1
+		}
+		return ci
+	}
+	row := func(yv float64) (int, bool) {
+		if math.IsNaN(yv) {
+			return 0, false
+		}
+		if yv > ymax {
+			return 0, true // clipped to the top row
+		}
+		f := (yv - ymin) / (ymax - ymin)
+		r := (height - 1) - int(math.Round(f*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r, true
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i, v := range s.Y {
+			r, ok := row(v)
+			if !ok {
+				continue
+			}
+			grid[r][col(x[i])] = mark
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	labelWidth := len(yTop)
+	if len(yBot) > labelWidth {
+		labelWidth = len(yBot)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yBot)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, grid[r]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xAxis := fmt.Sprintf("%-*.4g%*s", width/2, xmin, width-width/2, fmt.Sprintf("%.4g", xmax))
+	if _, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", labelWidth), xAxis); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s  x: %s   y: %s\n",
+			strings.Repeat(" ", labelWidth), c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", markers[si%len(markers)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c Chart, x []float64, s []Series) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Render(&buf, c, x, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRenderValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Chart{}, []float64{1}, []Series{{Label: "a", Y: []float64{1}}}); err == nil {
+		t.Error("single x point should fail")
+	}
+	if err := Render(&buf, Chart{}, []float64{1, 2}, nil); err == nil {
+		t.Error("no series should fail")
+	}
+	if err := Render(&buf, Chart{}, []float64{1, 2}, []Series{{Label: "a", Y: []float64{1}}}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := Render(&buf, Chart{}, []float64{2, 1}, []Series{{Label: "a", Y: []float64{1, 2}}}); err == nil {
+		t.Error("non-increasing x should fail")
+	}
+	nan := math.NaN()
+	if err := Render(&buf, Chart{}, []float64{1, 2}, []Series{{Label: "a", Y: []float64{nan, nan}}}); err == nil {
+		t.Error("no finite data should fail")
+	}
+}
+
+func TestRenderBasicStructure(t *testing.T) {
+	out := render(t, Chart{Title: "demo", Width: 40, Height: 10, XLabel: "load", YLabel: "T"},
+		[]float64{0, 1, 2, 3},
+		[]Series{
+			{Label: "up", Y: []float64{0, 1, 2, 3}},
+			{Label: "down", Y: []float64{3, 2, 1, 0}},
+		})
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	for _, want := range []string{"o up", "* down", "x: load   y: T", "+----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 10 grid rows + axis + xlabels + xy label + 2 legend + trailing.
+	if len(lines) != 17 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderMonotonePlacement(t *testing.T) {
+	// An increasing series must place its leftmost marker on the
+	// bottom row and its rightmost marker on the top row.
+	out := render(t, Chart{Width: 20, Height: 5},
+		[]float64{0, 1, 2, 3, 4},
+		[]Series{{Label: "lin", Y: []float64{0, 1, 2, 3, 4}}})
+	rows := strings.Split(out, "\n")
+	grid := rows[:5]
+	top := grid[0][strings.Index(grid[0], "|")+1:]
+	bottom := grid[4][strings.Index(grid[4], "|")+1:]
+	if strings.IndexByte(top, 'o') < strings.IndexByte(bottom, 'o') {
+		t.Fatalf("increasing series should rise left→right:\n%s", out)
+	}
+	if !strings.Contains(bottom[:3], "o") {
+		t.Fatalf("minimum should sit bottom-left:\n%s", out)
+	}
+}
+
+func TestRenderAxisLabels(t *testing.T) {
+	out := render(t, Chart{Width: 30, Height: 6},
+		[]float64{2, 4, 6},
+		[]Series{{Label: "s", Y: []float64{10, 20, 30}}})
+	for _, want := range []string{"30", "10", "2", "6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing axis value %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderClipsInfinity(t *testing.T) {
+	// A series diverging to +Inf must not break rendering; the Inf
+	// point is skipped, values above YMax clip to the top row.
+	out := render(t, Chart{Width: 24, Height: 6, YMax: 5},
+		[]float64{0, 1, 2, 3},
+		[]Series{{Label: "div", Y: []float64{1, 2, 100, math.Inf(1)}}})
+	rows := strings.Split(out, "\n")
+	top := rows[0]
+	if !strings.Contains(top, "o") {
+		t.Fatalf("clipped point should appear on the top row:\n%s", out)
+	}
+	if !strings.Contains(top, "5") {
+		t.Fatalf("YMax should label the top row:\n%s", out)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	// Constant data must not divide by zero.
+	out := render(t, Chart{Width: 20, Height: 4},
+		[]float64{0, 1, 2},
+		[]Series{{Label: "flat", Y: []float64{7, 7, 7}}})
+	if !strings.Contains(out, "o") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderManySeriesMarkersCycle(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Label: "s", Y: []float64{float64(i), float64(i + 1)}}
+	}
+	out := render(t, Chart{Width: 12, Height: 12}, []float64{0, 1}, series)
+	// Marker list has 8 entries; series 8 and 9 reuse 'o' and '*'.
+	if strings.Count(out, "o s") != 2 || strings.Count(out, "* s") != 2 {
+		t.Fatalf("markers should cycle:\n%s", out)
+	}
+}
+
+func TestRenderDefaultDimensions(t *testing.T) {
+	out := render(t, Chart{}, []float64{0, 1}, []Series{{Label: "d", Y: []float64{0, 1}}})
+	lines := strings.Split(out, "\n")
+	// 20 rows + axis + labels + legend + trailing newline artifact.
+	if len(lines) < 23 {
+		t.Fatalf("default height not applied: %d lines", len(lines))
+	}
+	var gridLine string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLine = l
+			break
+		}
+	}
+	if len(gridLine[strings.Index(gridLine, "|")+1:]) != 72 {
+		t.Fatalf("default width not applied: %q", gridLine)
+	}
+}

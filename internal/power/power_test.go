@@ -1,0 +1,248 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+)
+
+// smallConfig keeps outer searches fast: 3 servers, modest load.
+func smallConfig() Config {
+	return Config{
+		Sizes:           []int{2, 4, 8},
+		SpecialFraction: 0.2,
+		TaskSize:        1.0,
+		GenericRate:     4.0,
+		Discipline:      queueing.FCFS,
+		Alpha:           3,
+		Budget:          40,
+		Tolerance:       1e-5,
+		InnerEpsilon:    1e-8,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ok := smallConfig()
+	if err := ok.validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(*Config)) Config {
+		c := smallConfig()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.Sizes = nil }),
+		mut(func(c *Config) { c.Sizes = []int{0, 2} }),
+		mut(func(c *Config) { c.SpecialFraction = 1 }),
+		mut(func(c *Config) { c.SpecialFraction = -0.1 }),
+		mut(func(c *Config) { c.TaskSize = 0 }),
+		mut(func(c *Config) { c.GenericRate = 0 }),
+		mut(func(c *Config) { c.Discipline = queueing.Discipline(9) }),
+		mut(func(c *Config) { c.Alpha = 1 }),
+		mut(func(c *Config) { c.Budget = 0 }),
+	}
+	for i, c := range bad {
+		if err := c.validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestUniformSpeedsSpendBudget(t *testing.T) {
+	sizes := []int{2, 4, 8}
+	speeds := UniformSpeeds(sizes, 3, 42)
+	if got := TotalPower(sizes, speeds, 3); math.Abs(got-42) > 1e-9 {
+		t.Fatalf("uniform speeds spend %g, want 42", got)
+	}
+	for i := 1; i < len(speeds); i++ {
+		if speeds[i] != speeds[0] {
+			t.Fatal("uniform speeds should be equal")
+		}
+	}
+}
+
+func TestOptimizeSpeedsBeatsUniform(t *testing.T) {
+	cfg := smallConfig()
+	res, err := OptimizeSpeeds(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := cfg.Evaluate(UniformSpeeds(cfg.Sizes, cfg.Alpha, cfg.Budget))
+	if res.Allocation.AvgResponseTime > uniform+1e-9 {
+		t.Fatalf("optimized T′ %.6f worse than uniform %.6f", res.Allocation.AvgResponseTime, uniform)
+	}
+	// On a heterogeneous size mix the optimum is strictly better.
+	if uniform-res.Allocation.AvgResponseTime < 1e-5 {
+		t.Fatalf("expected a strict improvement over uniform (%.6f vs %.6f)",
+			res.Allocation.AvgResponseTime, uniform)
+	}
+}
+
+func TestOptimizeSpeedsBudgetRespected(t *testing.T) {
+	cfg := smallConfig()
+	res, err := OptimizeSpeeds(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.WithinTol(res.Power, cfg.Budget, 1e-6*cfg.Budget, 1e-6) {
+		t.Fatalf("consumed %g of budget %g", res.Power, cfg.Budget)
+	}
+	for i, s := range res.Speeds {
+		if s <= 0 || math.IsNaN(s) {
+			t.Fatalf("speed %d = %g", i+1, s)
+		}
+	}
+	if res.Passes < 1 {
+		t.Fatal("no passes recorded")
+	}
+}
+
+func TestOptimizeSpeedsLightLoadConcentrates(t *testing.T) {
+	// At light load, concentrating the budget into fewer, faster
+	// blades beats spreading it (service time dominates over queueing)
+	// even on a size-symmetric system. Verify the optimizer discovers
+	// this and still beats uniform.
+	cfg := smallConfig()
+	cfg.Sizes = []int{4, 4, 4}
+	cfg.GenericRate = 3
+	res, err := OptimizeSpeeds(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := cfg.Evaluate(UniformSpeeds(cfg.Sizes, cfg.Alpha, cfg.Budget))
+	if res.Allocation.AvgResponseTime > uniform+1e-9 {
+		t.Fatalf("optimized T′ %.6f worse than uniform %.6f", res.Allocation.AvgResponseTime, uniform)
+	}
+	min, max := res.Speeds[0], res.Speeds[0]
+	for _, s := range res.Speeds {
+		min = math.Min(min, s)
+		max = math.Max(max, s)
+	}
+	if max/min < 2 {
+		t.Fatalf("expected strong concentration at light load, speeds %v", res.Speeds)
+	}
+}
+
+func TestOptimizeSpeedsHeavyLoadNeverLosesCapacity(t *testing.T) {
+	// Near saturation the solution must keep enough aggregate capacity
+	// for λ′ and still not lose to uniform.
+	cfg := smallConfig()
+	cfg.Sizes = []int{4, 4, 4}
+	// Uniform capacity: 12·(40/12)^(1/3)·0.8 ≈ 14.3; load close to it.
+	cfg.GenericRate = 12
+	res, err := OptimizeSpeeds(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GenericRate >= res.Group.MaxGenericRate() {
+		t.Fatalf("solution cannot carry the load: λ′_max = %g", res.Group.MaxGenericRate())
+	}
+	uniform := cfg.Evaluate(UniformSpeeds(cfg.Sizes, cfg.Alpha, cfg.Budget))
+	if res.Allocation.AvgResponseTime > uniform+1e-9 {
+		t.Fatalf("optimized T′ %.6f worse than uniform %.6f", res.Allocation.AvgResponseTime, uniform)
+	}
+}
+
+func TestOptimizeSpeedsMonotoneInBudget(t *testing.T) {
+	cfg := smallConfig()
+	prev := math.Inf(1)
+	for _, budget := range []float64{30, 40, 60} {
+		c := cfg
+		c.Budget = budget
+		res, err := OptimizeSpeeds(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Allocation.AvgResponseTime >= prev {
+			t.Fatalf("budget %g: T′ %.6f did not improve on %.6f",
+				budget, res.Allocation.AvgResponseTime, prev)
+		}
+		prev = res.Allocation.AvgResponseTime
+	}
+}
+
+func TestOptimizeSpeedsInsufficientBudget(t *testing.T) {
+	cfg := smallConfig()
+	// Capacity at uniform speeds: Σ m s (1−y). Make it below λ′.
+	cfg.Budget = 0.1
+	if _, err := OptimizeSpeeds(cfg); err == nil {
+		t.Fatal("starved budget should fail")
+	}
+}
+
+func TestOptimizeSpeedsKKTEqualMarginalWatts(t *testing.T) {
+	// At an interior optimum, moving a marginal watt between any two
+	// servers cannot help: the numerical directional derivatives of T′
+	// with respect to each server's power share must agree.
+	cfg := smallConfig()
+	res, err := OptimizeSpeeds(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := make([]float64, len(cfg.Sizes))
+	for i, m := range cfg.Sizes {
+		shares[i] = float64(m) * math.Pow(res.Speeds[i], cfg.Alpha)
+	}
+	// dT/dp_i holding the others fixed (violating the budget by h,
+	// which cancels when comparing pairs). Only servers holding a
+	// non-negligible share are interior; boundary servers (share → 0)
+	// legitimately have unbounded marginals.
+	h := 1e-4 * cfg.Budget
+	var interior []float64
+	for i := range shares {
+		if shares[i] < 0.05*cfg.Budget {
+			continue
+		}
+		bump := func(delta float64) float64 {
+			sp := make([]float64, len(shares))
+			for j := range sp {
+				p := shares[j]
+				if j == i {
+					p += delta
+				}
+				sp[j] = math.Pow(p/float64(cfg.Sizes[j]), 1/cfg.Alpha)
+			}
+			return cfg.Evaluate(sp)
+		}
+		interior = append(interior, (bump(h)-bump(-h))/(2*h))
+	}
+	if len(interior) < 2 {
+		t.Skip("optimum is at a boundary; interior KKT vacuous")
+	}
+	for i := 1; i < len(interior); i++ {
+		if !numeric.WithinTol(interior[i], interior[0], 5e-4, 0.05) {
+			t.Fatalf("marginal watts not equalized among interior servers: %v", interior)
+		}
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	cfg := smallConfig()
+	if !math.IsInf(cfg.Evaluate([]float64{-1, 1, 1}), 1) {
+		t.Error("negative speed should evaluate to +Inf")
+	}
+	if !math.IsInf(cfg.Evaluate([]float64{0.01, 0.01, 0.01}), 1) {
+		t.Error("insufficient capacity should evaluate to +Inf")
+	}
+}
+
+func TestOptimizeSpeedsPriorityDiscipline(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Discipline = queueing.Priority
+	res, err := OptimizeSpeeds(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs := smallConfig()
+	fcfsRes, err := OptimizeSpeeds(fcfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocation.AvgResponseTime <= fcfsRes.Allocation.AvgResponseTime {
+		t.Fatalf("priority optimum %.6f should exceed FCFS optimum %.6f",
+			res.Allocation.AvgResponseTime, fcfsRes.Allocation.AvgResponseTime)
+	}
+}

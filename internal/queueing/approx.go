@@ -1,0 +1,59 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MGmWait returns the Allen–Cunneen approximation of the mean waiting
+// time in an M/G/m queue: Poisson arrivals, general service times with
+// mean xbar and squared coefficient of variation scv (= Var/mean²):
+//
+//	W ≈ (1 + C²_s)/2 · P_q · x̄ / (m(1−ρ)),
+//
+// where P_q is the Erlang-C probability at the same ρ. The formula is
+// exact for exponential service (C²_s = 1, reducing to the paper's
+// M/M/m wait) and for M/G/1 (Pollaczek–Khinchine); elsewhere it is the
+// standard engineering approximation, used here to quantify how far the
+// paper's exponential assumption is from deterministic or bursty
+// workloads (see the simulator's service distributions).
+func MGmWait(m int, rho, xbar, scv float64) (float64, error) {
+	if m < 1 {
+		return 0, fmt.Errorf("queueing: M/G/m needs m ≥ 1, got %d", m)
+	}
+	if err := ValidateRho(rho); err != nil {
+		return 0, err
+	}
+	if xbar <= 0 || math.IsNaN(xbar) {
+		return 0, fmt.Errorf("queueing: service mean %g must be positive", xbar)
+	}
+	if scv < 0 || math.IsNaN(scv) {
+		return 0, fmt.Errorf("queueing: service SCV %g must be non-negative", scv)
+	}
+	return (1 + scv) / 2 * WaitTime(m, rho, xbar), nil
+}
+
+// MGmResponseTime returns x̄ plus the Allen–Cunneen waiting time.
+func MGmResponseTime(m int, rho, xbar, scv float64) (float64, error) {
+	w, err := MGmWait(m, rho, xbar, scv)
+	if err != nil {
+		return 0, err
+	}
+	return xbar + w, nil
+}
+
+// GGmWait extends the approximation to G/G/m with arrival-process
+// squared coefficient of variation scvA (Poisson: 1):
+//
+//	W ≈ (C²_a + C²_s)/2 · P_q · x̄ / (m(1−ρ)).
+func GGmWait(m int, rho, xbar, scvA, scvS float64) (float64, error) {
+	if scvA < 0 || math.IsNaN(scvA) {
+		return 0, fmt.Errorf("queueing: arrival SCV %g must be non-negative", scvA)
+	}
+	w, err := MGmWait(m, rho, xbar, scvS)
+	if err != nil {
+		return 0, err
+	}
+	// MGmWait already applied (1+scvS)/2; rescale to (scvA+scvS)/2.
+	return w * (scvA + scvS) / (1 + scvS), nil
+}

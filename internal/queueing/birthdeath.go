@@ -1,0 +1,125 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// BirthDeath solves a finite birth–death chain with state-dependent
+// birth rates birth(k) (k → k+1) and death rates death(k) (k → k−1),
+// truncated at states 0..K. It is an independent oracle: the M/M/m
+// closed forms must agree with it when birth(k) = λ and
+// death(k) = min(k, m)·μ and K is large enough for the tail to be
+// negligible.
+type BirthDeath struct {
+	pi []float64 // steady-state probabilities, normalized
+}
+
+// SolveBirthDeath computes steady-state probabilities of the truncated
+// chain. All death(k) for 1 ≤ k ≤ K must be positive.
+func SolveBirthDeath(K int, birth, death func(k int) float64) (*BirthDeath, error) {
+	if K < 0 {
+		return nil, fmt.Errorf("queueing: birth–death truncation K=%d < 0", K)
+	}
+	pi := make([]float64, K+1)
+	// Work in log space: log π_k − log π_0 = Σ log(birth(j)/death(j+1)).
+	logw := make([]float64, K+1)
+	for k := 1; k <= K; k++ {
+		b, d := birth(k-1), death(k)
+		if d <= 0 {
+			return nil, fmt.Errorf("queueing: death rate %g at state %d must be positive", d, k)
+		}
+		if b < 0 {
+			return nil, fmt.Errorf("queueing: birth rate %g at state %d must be non-negative", b, k-1)
+		}
+		if b == 0 {
+			// All further states unreachable.
+			for j := k; j <= K; j++ {
+				logw[j] = math.Inf(-1)
+			}
+			break
+		}
+		logw[k] = logw[k-1] + math.Log(b) - math.Log(d)
+	}
+	// Normalize against the max to avoid overflow.
+	maxLog := logw[0]
+	for _, lw := range logw[1:] {
+		if lw > maxLog {
+			maxLog = lw
+		}
+	}
+	var norm numeric.KahanSum
+	for k := range logw {
+		pi[k] = math.Exp(logw[k] - maxLog)
+		norm.Add(pi[k])
+	}
+	z := norm.Value()
+	for k := range pi {
+		pi[k] /= z
+	}
+	return &BirthDeath{pi: pi}, nil
+}
+
+// Probability returns π_k (0 for k outside the truncation).
+func (bd *BirthDeath) Probability(k int) float64 {
+	if k < 0 || k >= len(bd.pi) {
+		return 0
+	}
+	return bd.pi[k]
+}
+
+// States returns the number of states (K+1).
+func (bd *BirthDeath) States() int { return len(bd.pi) }
+
+// MeanState returns E[k] = Σ k·π_k.
+func (bd *BirthDeath) MeanState() float64 {
+	var s numeric.KahanSum
+	for k, p := range bd.pi {
+		s.Add(float64(k) * p)
+	}
+	return s.Value()
+}
+
+// TailProbability returns P(k ≥ threshold).
+func (bd *BirthDeath) TailProbability(threshold int) float64 {
+	if threshold < 0 {
+		threshold = 0
+	}
+	var s numeric.KahanSum
+	for k := threshold; k < len(bd.pi); k++ {
+		s.Add(bd.pi[k])
+	}
+	return s.Value()
+}
+
+// MMmOracle evaluates an M/M/m station of utilization ρ by solving the
+// truncated birth–death chain directly (no Erlang formulas), returning
+// mean number in system and probability of queueing. Truncation is
+// chosen so the geometric tail beyond K is below 1e-14 of mass.
+func MMmOracle(m int, rho float64) (meanTasks, probQueue float64, err error) {
+	if err := ValidateRho(rho); err != nil {
+		return 0, 0, err
+	}
+	if rho == 0 {
+		return 0, 0, nil
+	}
+	lambda := float64(m) * rho // with μ = 1
+	// Tail mass beyond K decays like ρ^{K−m}; pick K so ρ^{K−m} < 1e-16.
+	extra := int(math.Ceil(-40 / math.Log(rho)))
+	if extra < 64 {
+		extra = 64
+	}
+	K := m + extra
+	bd, err := SolveBirthDeath(K, func(int) float64 { return lambda }, func(k int) float64 {
+		if k > m {
+			return float64(m)
+		}
+		return float64(k)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return bd.MeanState(), bd.TailProbability(m), nil
+}

@@ -1,0 +1,108 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestBirthDeathMM1(t *testing.T) {
+	// M/M/1 with λ=0.6, μ=1: π_k = (1−ρ)ρ^k.
+	rho := 0.6
+	bd, err := SolveBirthDeath(400, func(int) float64 { return rho }, func(int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		want := (1 - rho) * math.Pow(rho, float64(k))
+		if !numeric.WithinTol(bd.Probability(k), want, 1e-12, 1e-10) {
+			t.Errorf("π_%d = %.14g, want %.14g", k, bd.Probability(k), want)
+		}
+	}
+	// Mean: ρ/(1−ρ) = 1.5.
+	if !numeric.WithinTol(bd.MeanState(), 1.5, 1e-9, 1e-9) {
+		t.Errorf("mean = %.12g, want 1.5", bd.MeanState())
+	}
+}
+
+func TestBirthDeathValidation(t *testing.T) {
+	if _, err := SolveBirthDeath(-1, nil, nil); err == nil {
+		t.Error("negative K should fail")
+	}
+	if _, err := SolveBirthDeath(3, func(int) float64 { return 1 }, func(int) float64 { return 0 }); err == nil {
+		t.Error("zero death rate should fail")
+	}
+	if _, err := SolveBirthDeath(3, func(int) float64 { return -1 }, func(int) float64 { return 1 }); err == nil {
+		t.Error("negative birth rate should fail")
+	}
+}
+
+func TestBirthDeathAbsorbing(t *testing.T) {
+	// Birth rate 0 after state 2: states 3+ unreachable.
+	bd, err := SolveBirthDeath(10, func(k int) float64 {
+		if k >= 2 {
+			return 0
+		}
+		return 1
+	}, func(int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Probability(3) != 0 || bd.Probability(10) != 0 {
+		t.Error("unreachable states should have zero probability")
+	}
+	var sum float64
+	for k := 0; k <= 2; k++ {
+		sum += bd.Probability(k)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("reachable mass = %g", sum)
+	}
+}
+
+func TestBirthDeathOutOfRange(t *testing.T) {
+	bd, err := SolveBirthDeath(5, func(int) float64 { return 1 }, func(int) float64 { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Probability(-1) != 0 || bd.Probability(6) != 0 {
+		t.Error("out-of-range states should be 0")
+	}
+	if bd.States() != 6 {
+		t.Errorf("States() = %d, want 6", bd.States())
+	}
+	if bd.TailProbability(-5) != bd.TailProbability(0) {
+		t.Error("negative threshold should clamp to 0")
+	}
+}
+
+func TestMMmOracleAgreesWithClosedForms(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 8, 14} {
+		for _, rho := range []float64{0.1, 0.45, 0.75, 0.93} {
+			n, pq, err := MMmOracle(m, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !numeric.WithinTol(n, MeanTasks(m, rho), 1e-9, 1e-9) {
+				t.Errorf("m=%d ρ=%g: oracle N̄=%.13g closed=%.13g", m, rho, n, MeanTasks(m, rho))
+			}
+			if !numeric.WithinTol(pq, ProbQueue(m, rho), 1e-9, 1e-9) {
+				t.Errorf("m=%d ρ=%g: oracle Pq=%.13g closed=%.13g", m, rho, pq, ProbQueue(m, rho))
+			}
+		}
+	}
+}
+
+func TestMMmOracleZeroLoad(t *testing.T) {
+	n, pq, err := MMmOracle(3, 0)
+	if err != nil || n != 0 || pq != 0 {
+		t.Fatalf("n=%g pq=%g err=%v", n, pq, err)
+	}
+}
+
+func TestMMmOracleUnstable(t *testing.T) {
+	if _, _, err := MMmOracle(3, 1.0); err == nil {
+		t.Fatal("ρ=1 should error")
+	}
+}

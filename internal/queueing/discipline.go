@@ -1,0 +1,143 @@
+package queueing
+
+import "math"
+
+// Discipline selects how special tasks are scheduled relative to
+// generic tasks on a blade server (§2 of the paper).
+type Discipline int
+
+const (
+	// FCFS mixes generic and special tasks in one first-come-first-
+	// served queue (§3: "special tasks without priority").
+	FCFS Discipline = iota
+	// Priority places special tasks ahead of all generic tasks in the
+	// waiting queue, non-preemptively (§4: "special tasks of higher
+	// priority").
+	Priority
+)
+
+// String returns the discipline name.
+func (d Discipline) String() string {
+	switch d {
+	case FCFS:
+		return "fcfs"
+	case Priority:
+		return "priority"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether d is a known discipline.
+func (d Discipline) Valid() bool { return d == FCFS || d == Priority }
+
+// GenericResponseTime returns T′_i, the mean response time of generic
+// tasks on an m-blade station with total utilization ρ = ρ′ + ρ″,
+// special-task utilization ρ″ (ignored for FCFS), and per-blade mean
+// service time x̄:
+//
+//	FCFS:     T′ = x̄ (1 + P_q / (m(1−ρ)))                  (§3)
+//	Priority: T′ = x̄ (1 + P_q / (m(1−ρ″)(1−ρ)))            (Theorem 2)
+//
+// Returns +Inf when ρ ≥ 1 (or, under Priority, when ρ″ ≥ 1).
+func GenericResponseTime(d Discipline, m int, rho, rhoSpecial, xbar float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	pq := ProbQueue(m, rho)
+	switch d {
+	case Priority:
+		if rhoSpecial >= 1 {
+			return math.Inf(1)
+		}
+		return xbar * (1 + pq/(float64(m)*(1-rhoSpecial)*(1-rho)))
+	default:
+		return xbar * (1 + pq/(float64(m)*(1-rho)))
+	}
+}
+
+// SpecialWaitTime returns W″, the mean waiting time of the
+// higher-priority special tasks under the Priority discipline (§4):
+//
+//	W″ = P_q · x̄ / (m(1−ρ″)),
+//
+// evaluated at the station's total utilization ρ (P_q depends on ρ:
+// specials still wait behind whatever is in service, including generic
+// tasks, because service is non-preemptive).
+func SpecialWaitTime(m int, rho, rhoSpecial, xbar float64) float64 {
+	if rho >= 1 || rhoSpecial >= 1 {
+		return math.Inf(1)
+	}
+	return ProbQueue(m, rho) * xbar / (float64(m) * (1 - rhoSpecial))
+}
+
+// GenericWaitTime returns W′ = T′ − x̄ for the given discipline.
+func GenericWaitTime(d Discipline, m int, rho, rhoSpecial, xbar float64) float64 {
+	t := GenericResponseTime(d, m, rho, rhoSpecial, xbar)
+	if math.IsInf(t, 1) {
+		return t
+	}
+	return t - xbar
+}
+
+// DGenericResponseDRho returns ∂T′/∂ρ for the given discipline, holding
+// ρ″ fixed (ρ varies only through the generic load ρ′). It uses the
+// numerically stable Erlang-C derivative and therefore remains valid
+// for station sizes where the paper's factorial form overflows:
+//
+//	FCFS:     T′ = x̄ (1 + C(ρ)/(m(1−ρ)))
+//	          ∂T′/∂ρ = (x̄/m) · (C′(ρ)(1−ρ) + C(ρ)) / (1−ρ)²
+//	Priority: extra constant factor 1/(1−ρ″).
+func DGenericResponseDRho(d Discipline, m int, rho, rhoSpecial, xbar float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	c := ProbQueue(m, rho)
+	dc := DErlangCdRho(m, rho)
+	base := xbar / float64(m) * (dc*(1-rho) + c) / ((1 - rho) * (1 - rho))
+	if d == Priority {
+		if rhoSpecial >= 1 {
+			return math.Inf(1)
+		}
+		return base / (1 - rhoSpecial)
+	}
+	return base
+}
+
+// NaiveDGenericResponseDRho is the paper's literal derivative (§3 for
+// FCFS; §4 adds the 1/(1−ρ″) factor):
+//
+//	∂T′/∂ρ = x̄ · m^{m−1}/m! · [ ∂p_0/∂ρ · ρ^m/(1−ρ)²
+//	          + p_0 · ρ^{m−1}(m−(m−2)ρ)/(1−ρ)³ ]
+func NaiveDGenericResponseDRho(d Discipline, m int, rho, rhoSpecial, xbar float64) float64 {
+	mf := float64(m)
+	p0 := NaiveP0(m, rho)
+	dp0 := NaiveDP0DRho(m, rho)
+	term := dp0*math.Pow(rho, mf)/((1-rho)*(1-rho)) +
+		p0*math.Pow(rho, mf-1)*(mf-(mf-2)*rho)/math.Pow(1-rho, 3)
+	v := xbar * mPowOverFact(m) * term
+	if d == Priority {
+		v /= 1 - rhoSpecial
+	}
+	return v
+}
+
+// NaiveDP0DRho is the paper's ∂p_0/∂ρ:
+//
+//	∂p_0/∂ρ = −p_0² [ Σ_{k=1}^{m−1} m^k ρ^{k−1}/(k−1)!
+//	           + m^m/m! · ρ^{m−1}(m−(m−1)ρ)/(1−ρ)² ]
+func NaiveDP0DRho(m int, rho float64) float64 {
+	mf := float64(m)
+	p0 := NaiveP0(m, rho)
+	sum := 0.0
+	term := mf // m^k ρ^{k−1}/(k−1)! at k = 1
+	for k := 1; k < m; k++ {
+		if k > 1 {
+			term *= mf * rho / float64(k-1)
+		}
+		sum += term
+	}
+	mmOverFact := mPowOverFact(m) * mf // m^m/m!
+	sum += mmOverFact * math.Pow(rho, mf-1) * (mf - (mf-1)*rho) / ((1 - rho) * (1 - rho))
+	return -p0 * p0 * sum
+}

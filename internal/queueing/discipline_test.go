@@ -1,0 +1,214 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestDisciplineString(t *testing.T) {
+	if FCFS.String() != "fcfs" || Priority.String() != "priority" {
+		t.Fatalf("got %q, %q", FCFS.String(), Priority.String())
+	}
+	if Discipline(99).String() != "unknown" {
+		t.Fatal("unknown discipline should stringify as unknown")
+	}
+	if !FCFS.Valid() || !Priority.Valid() || Discipline(99).Valid() {
+		t.Fatal("Valid() misbehaves")
+	}
+}
+
+func TestGenericResponseTimeFCFSEqualsPlainMMm(t *testing.T) {
+	// Without priority, generic tasks see the plain M/M/m response time
+	// at the station's total utilization (§3: T′_i = T_i).
+	for _, m := range []int{1, 2, 8, 14} {
+		for _, rho := range []float64{0.2, 0.6, 0.9} {
+			got := GenericResponseTime(FCFS, m, rho, 0.3, 1.25)
+			want := ResponseTime(m, rho, 1.25)
+			if got != want {
+				t.Errorf("m=%d ρ=%g: T′=%g, want %g", m, rho, got, want)
+			}
+		}
+	}
+}
+
+func TestPriorityFactor(t *testing.T) {
+	// Theorem 2: priority multiplies the waiting term by 1/(1−ρ″).
+	m, rho, rhoS, xbar := 6, 0.7, 0.3, 1.0
+	fcfs := GenericResponseTime(FCFS, m, rho, rhoS, xbar)
+	prio := GenericResponseTime(Priority, m, rho, rhoS, xbar)
+	wantPrioWait := (fcfs - xbar) / (1 - rhoS)
+	if !numeric.WithinTol(prio-xbar, wantPrioWait, 1e-13, 1e-12) {
+		t.Fatalf("priority wait = %.15g, want %.15g", prio-xbar, wantPrioWait)
+	}
+	if prio <= fcfs {
+		t.Fatal("priority discipline must slow generic tasks down")
+	}
+}
+
+func TestGenericResponseTimePriorityTheorem2Form(t *testing.T) {
+	// Direct check of T′ = x̄(1 + p0·m^{m−1}/m!·ρ^m/((1−ρ″)(1−ρ)²)).
+	m, rho, rhoS, xbar := 5, 0.65, 0.25, 0.8
+	p0 := NaiveP0(m, rho)
+	want := xbar * (1 + p0*mPowOverFact(m)*math.Pow(rho, float64(m))/((1-rhoS)*(1-rho)*(1-rho)))
+	got := GenericResponseTime(Priority, m, rho, rhoS, xbar)
+	if !numeric.WithinTol(got, want, 1e-13, 1e-11) {
+		t.Fatalf("T′ = %.15g, want %.15g", got, want)
+	}
+}
+
+func TestGenericResponseTimeUnstable(t *testing.T) {
+	if !math.IsInf(GenericResponseTime(FCFS, 4, 1, 0, 1), 1) {
+		t.Error("ρ=1 should give +Inf")
+	}
+	if !math.IsInf(GenericResponseTime(Priority, 4, 0.5, 1, 1), 1) {
+		t.Error("ρ″=1 should give +Inf under priority")
+	}
+	if !math.IsInf(GenericWaitTime(FCFS, 4, 1, 0, 1), 1) {
+		t.Error("wait at ρ=1 should be +Inf")
+	}
+}
+
+func TestSpecialWaitTime(t *testing.T) {
+	// W″ = P_q x̄/(m(1−ρ″)); specials are slowed only by other specials
+	// in the queue (plus residual service).
+	m, rho, rhoS, xbar := 4, 0.8, 0.3, 1.0
+	got := SpecialWaitTime(m, rho, rhoS, xbar)
+	want := ProbQueue(m, rho) * xbar / (float64(m) * (1 - rhoS))
+	if got != want {
+		t.Fatalf("W″ = %g, want %g", got, want)
+	}
+	// Specials wait less than generics under priority.
+	generic := GenericWaitTime(Priority, m, rho, rhoS, xbar)
+	if got >= generic {
+		t.Fatalf("W″=%g should be < W′=%g", got, generic)
+	}
+	if !math.IsInf(SpecialWaitTime(m, 1, rhoS, xbar), 1) {
+		t.Error("unstable station should give +Inf")
+	}
+}
+
+func TestWorkConservationTwoClass(t *testing.T) {
+	// Non-preemptive priority does not change the total mean queue
+	// length: λ′W′ + λ″W″ = N̄_q of the aggregate M/M/m system.
+	m := 6
+	xbar := 1.0
+	lambdaG, lambdaS := 2.4, 1.8
+	rho := (lambdaG + lambdaS) * xbar / float64(m)
+	rhoS := lambdaS * xbar / float64(m)
+	wG := GenericWaitTime(Priority, m, rho, rhoS, xbar)
+	wS := SpecialWaitTime(m, rho, rhoS, xbar)
+	got := lambdaG*wG + lambdaS*wS
+	want := MeanQueueLength(m, rho)
+	if !numeric.WithinTol(got, want, 1e-12, 1e-10) {
+		t.Fatalf("work conservation: λ′W′+λ″W″ = %.15g, want N̄_q = %.15g", got, want)
+	}
+}
+
+func TestDGenericResponseDRhoMatchesNumericalFCFS(t *testing.T) {
+	for _, m := range []int{1, 2, 5, 10, 14, 80} {
+		for _, rho := range []float64{0.1, 0.4, 0.7, 0.92} {
+			analytic := DGenericResponseDRho(FCFS, m, rho, 0, 1.0)
+			numerical := numeric.Derivative(func(x float64) float64 {
+				return GenericResponseTime(FCFS, m, x, 0, 1.0)
+			}, rho)
+			if !numeric.WithinTol(analytic, numerical, 1e-6, 1e-5) {
+				t.Errorf("m=%d ρ=%g: analytic=%.12g numeric=%.12g", m, rho, analytic, numerical)
+			}
+		}
+	}
+}
+
+func TestDGenericResponseDRhoMatchesNumericalPriority(t *testing.T) {
+	for _, m := range []int{1, 3, 8, 14} {
+		for _, rho := range []float64{0.45, 0.7, 0.9} {
+			rhoS := 0.3
+			analytic := DGenericResponseDRho(Priority, m, rho, rhoS, 1.0)
+			numerical := numeric.Derivative(func(x float64) float64 {
+				return GenericResponseTime(Priority, m, x, rhoS, 1.0)
+			}, rho)
+			if !numeric.WithinTol(analytic, numerical, 1e-6, 1e-5) {
+				t.Errorf("m=%d ρ=%g: analytic=%.12g numeric=%.12g", m, rho, analytic, numerical)
+			}
+		}
+	}
+}
+
+func TestStableDerivativeMatchesPaperForm(t *testing.T) {
+	for _, d := range []Discipline{FCFS, Priority} {
+		for _, m := range []int{1, 2, 5, 10, 14} {
+			for _, rho := range []float64{0.35, 0.6, 0.85} {
+				rhoS := 0.3
+				if rhoS >= rho {
+					rhoS = rho / 2
+				}
+				stable := DGenericResponseDRho(d, m, rho, rhoS, 1.0)
+				naive := NaiveDGenericResponseDRho(d, m, rho, rhoS, 1.0)
+				if !numeric.WithinTol(stable, naive, 1e-10, 1e-8) {
+					t.Errorf("%v m=%d ρ=%g: stable=%.14g paper=%.14g", d, m, rho, stable, naive)
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveDP0DRhoMatchesNumerical(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 9, 14} {
+		for _, rho := range []float64{0.2, 0.55, 0.85} {
+			analytic := NaiveDP0DRho(m, rho)
+			numerical := numeric.Derivative(func(x float64) float64 { return NaiveP0(m, x) }, rho)
+			if !numeric.WithinTol(analytic, numerical, 1e-7, 1e-5) {
+				t.Errorf("m=%d ρ=%g: analytic dp0/dρ=%.12g numeric=%.12g", m, rho, analytic, numerical)
+			}
+		}
+	}
+}
+
+func TestDerivativeUnstableInputs(t *testing.T) {
+	if !math.IsInf(DGenericResponseDRho(FCFS, 3, 1, 0, 1), 1) {
+		t.Error("derivative at ρ=1 should be +Inf")
+	}
+	if !math.IsInf(DGenericResponseDRho(Priority, 3, 0.5, 1, 1), 1) {
+		t.Error("derivative at ρ″=1 should be +Inf under priority")
+	}
+}
+
+// Property: T′ is convex in ρ on (0, 1) — the paper's key observation
+// that makes bisection on the marginal cost valid. We verify the
+// derivative is increasing.
+func TestResponseTimeConvexityProperty(t *testing.T) {
+	prop := func(mSeed uint8, rhoSeed float64, prio bool) bool {
+		m := 1 + int(mSeed%16)
+		rho := 0.05 + 0.85*math.Abs(math.Mod(rhoSeed, 1))
+		d := FCFS
+		rhoS := 0.0
+		if prio {
+			d = Priority
+			rhoS = 0.3
+		}
+		d1 := DGenericResponseDRho(d, m, rho, rhoS, 1)
+		d2 := DGenericResponseDRho(d, m, rho+0.01, rhoS, 1)
+		return d2 >= d1-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: priority response ≥ FCFS response for the same loads, with
+// equality only as ρ″ → 0.
+func TestPriorityDominatesFCFSProperty(t *testing.T) {
+	prop := func(mSeed uint8, rhoSeed, fracSeed float64) bool {
+		m := 1 + int(mSeed%16)
+		rho := 0.1 + 0.85*math.Abs(math.Mod(rhoSeed, 1))
+		frac := 0.1 + 0.8*math.Abs(math.Mod(fracSeed, 1))
+		rhoS := rho * frac
+		return GenericResponseTime(Priority, m, rho, rhoS, 1) >=
+			GenericResponseTime(FCFS, m, rho, rhoS, 1)-1e-15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

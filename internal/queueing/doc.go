@@ -1,0 +1,25 @@
+// Package queueing implements the M/M/m queueing theory the paper's
+// blade-server model rests on (§2–§4 of Li, J. Grid Computing 2013).
+//
+// Each blade server S_i with m_i blades of speed s_i is an M/M/m system
+// with service-time mean x̄_i = r̄/s_i and utilization ρ_i = λ_i x̄_i/m_i.
+// The package provides:
+//
+//   - Erlang-B and Erlang-C evaluated by numerically stable recurrences
+//     (the paper's literal factorial formulas overflow float64 near
+//     m ≈ 170; the recurrences are exact for any m);
+//   - the paper's literal formulas (Naive*) for cross-checking;
+//   - steady-state metrics: p_0, queueing probability P_q, mean number
+//     in system N̄, response time T, waiting time W;
+//   - generic-task response times under both disciplines of the paper
+//     (shared FCFS, and special tasks with non-preemptive priority,
+//     Theorem 2);
+//   - analytic derivatives ∂T′/∂ρ for both disciplines, in both the
+//     paper's literal form and a stable Erlang-based form;
+//   - a general birth–death chain solver used as an independent oracle
+//     in tests.
+//
+// Throughout, m is the number of blades (servers of the M/M/m system),
+// ρ ∈ [0, 1) is per-blade utilization, a = mρ is offered load, and xbar
+// is the mean service time of one task on one blade.
+package queueing

@@ -1,0 +1,94 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErlangB returns the Erlang-B blocking probability B(m, a) for m
+// servers and offered load a = λ/μ, computed with the standard stable
+// recurrence
+//
+//	B(0, a) = 1,  B(k, a) = a·B(k−1, a) / (k + a·B(k−1, a)).
+//
+// Valid for any m ≥ 0 and a ≥ 0 without overflow. ErlangB is
+// monotonically decreasing in m and increasing in a.
+func ErlangB(m int, a float64) float64 {
+	if m < 0 {
+		panic(fmt.Sprintf("queueing: ErlangB with negative m=%d", m))
+	}
+	if a < 0 || math.IsNaN(a) {
+		return math.NaN()
+	}
+	if a == 0 {
+		if m == 0 {
+			return 1
+		}
+		return 0
+	}
+	b := 1.0
+	for k := 1; k <= m; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// ErlangC returns the Erlang-C probability of queueing C(m, a) — the
+// probability that an arriving task finds all m servers busy — for
+// offered load a = mρ < m. It is computed from Erlang-B via
+//
+//	C = B / (1 − ρ(1 − B)),  ρ = a/m.
+//
+// For a ≥ m (ρ ≥ 1) the system is unstable and C = 1 is returned, the
+// limit as ρ↑1.
+func ErlangC(m int, a float64) float64 {
+	if m <= 0 {
+		panic(fmt.Sprintf("queueing: ErlangC with non-positive m=%d", m))
+	}
+	if a < 0 || math.IsNaN(a) {
+		return math.NaN()
+	}
+	rho := a / float64(m)
+	if rho >= 1 {
+		return 1
+	}
+	b := ErlangB(m, a)
+	return b / (1 - rho*(1-b))
+}
+
+// dErlangBdA returns ∂B/∂a at (m, a), using the identity
+//
+//	∂B/∂a = B·(m/a − 1 + B),
+//
+// which follows from B = t_m/S_m with t_k = a^k/k!, S_m = Σ_{k≤m} t_k.
+func dErlangBdA(m int, a float64) float64 {
+	if a == 0 {
+		// lim_{a→0} B(m,a)/a^m = 1/m!; derivative is 0 for m ≥ 2, 1 for m = 1.
+		if m == 1 {
+			return 1
+		}
+		return 0
+	}
+	b := ErlangB(m, a)
+	return b * (float64(m)/a - 1 + b)
+}
+
+// DErlangCdRho returns ∂C/∂ρ at per-blade utilization ρ for an m-blade
+// station, differentiating C(ρ) = B/(1 − ρ(1−B)) with a = mρ. This is
+// the stable building block for the marginal-cost derivatives the
+// optimizer needs; it stays finite for any m where the paper's literal
+// factorial form overflows.
+func DErlangCdRho(m int, rho float64) float64 {
+	if rho <= 0 {
+		if m == 1 {
+			return 1 // C(1, ρ) = ρ
+		}
+		return 0
+	}
+	a := float64(m) * rho
+	b := ErlangB(m, a)
+	db := float64(m) * dErlangBdA(m, a) // dB/dρ
+	d := 1 - rho*(1-b)
+	dd := -(1 - b) + rho*db // dD/dρ
+	return (db*d - b*dd) / (d * d)
+}

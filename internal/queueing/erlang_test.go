@@ -1,0 +1,190 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Hand-computable values: B(1,a) = a/(1+a); B(2,a) = (a²/2)/(1+a+a²/2).
+	cases := []struct {
+		m    int
+		a    float64
+		want float64
+	}{
+		{1, 1, 0.5},
+		{1, 2, 2.0 / 3},
+		{2, 1, 0.2},
+		{2, 2, 0.4},
+		{3, 2, (8.0 / 6) / (1 + 2 + 2 + 8.0/6)},
+		{0, 5, 1},
+	}
+	for _, c := range cases {
+		got := ErlangB(c.m, c.a)
+		if math.Abs(got-c.want) > 1e-14 {
+			t.Errorf("ErlangB(%d, %g) = %.16g, want %.16g", c.m, c.a, got, c.want)
+		}
+	}
+}
+
+func TestErlangBEdgeCases(t *testing.T) {
+	if got := ErlangB(5, 0); got != 0 {
+		t.Errorf("B(5,0) = %g, want 0", got)
+	}
+	if got := ErlangB(0, 0); got != 1 {
+		t.Errorf("B(0,0) = %g, want 1", got)
+	}
+	if !math.IsNaN(ErlangB(3, -1)) {
+		t.Error("negative load should give NaN")
+	}
+}
+
+func TestErlangBPanicsOnNegativeM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for m < 0")
+		}
+	}()
+	ErlangB(-1, 1)
+}
+
+func TestErlangBLargeM(t *testing.T) {
+	// The whole point of the recurrence: no overflow at m = 2000.
+	got := ErlangB(2000, 1900)
+	if math.IsNaN(got) || got <= 0 || got >= 1 {
+		t.Fatalf("B(2000, 1900) = %g, want in (0,1)", got)
+	}
+}
+
+func TestErlangBAgainstDirectSum(t *testing.T) {
+	// Direct evaluation of B = t_m / Σ t_k for small m.
+	for m := 1; m <= 12; m++ {
+		for _, a := range []float64{0.1, 0.5, 1, 3, float64(m) * 0.9} {
+			term := 1.0
+			sum := 1.0
+			for k := 1; k <= m; k++ {
+				term *= a / float64(k)
+				sum += term
+			}
+			want := term / sum
+			got := ErlangB(m, a)
+			if !numeric.WithinTol(got, want, 1e-14, 1e-12) {
+				t.Errorf("B(%d,%g) = %.16g, want %.16g", m, a, got, want)
+			}
+		}
+	}
+}
+
+func TestErlangCMM1IsRho(t *testing.T) {
+	// For m = 1 Erlang C equals ρ.
+	for _, rho := range []float64{0.01, 0.3, 0.5, 0.9, 0.99} {
+		got := ErlangC(1, rho)
+		if math.Abs(got-rho) > 1e-14 {
+			t.Errorf("C(1, %g) = %.16g, want %g", rho, got, rho)
+		}
+	}
+}
+
+func TestErlangCRange(t *testing.T) {
+	for m := 1; m <= 64; m *= 2 {
+		for _, rho := range []float64{0.05, 0.3, 0.7, 0.95, 0.999} {
+			c := ErlangC(m, float64(m)*rho)
+			if c < 0 || c > 1 || math.IsNaN(c) {
+				t.Errorf("C(%d, mρ=%g) = %g out of [0,1]", m, float64(m)*rho, c)
+			}
+		}
+	}
+}
+
+func TestErlangCUnstable(t *testing.T) {
+	if got := ErlangC(4, 4); got != 1 {
+		t.Errorf("C at ρ=1 should be 1, got %g", got)
+	}
+	if got := ErlangC(4, 10); got != 1 {
+		t.Errorf("C at ρ>1 should be 1, got %g", got)
+	}
+}
+
+func TestErlangCPanicsOnNonPositiveM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for m <= 0")
+		}
+	}()
+	ErlangC(0, 1)
+}
+
+// Property: Erlang B decreases in m and increases in a.
+func TestErlangBMonotoneProperty(t *testing.T) {
+	prop := func(mSeed uint8, aSeed float64) bool {
+		m := 1 + int(mSeed%50)
+		a := 0.01 + math.Abs(math.Mod(aSeed, 40))
+		return ErlangB(m+1, a) <= ErlangB(m, a)+1e-15 &&
+			ErlangB(m, a+0.5) >= ErlangB(m, a)-1e-15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Erlang C is monotone increasing in ρ and bounded by [B, 1].
+func TestErlangCMonotoneProperty(t *testing.T) {
+	prop := func(mSeed uint8, rhoSeed float64) bool {
+		m := 1 + int(mSeed%32)
+		rho := 0.01 + 0.9*math.Abs(math.Mod(rhoSeed, 1))
+		c1 := ErlangC(m, float64(m)*rho)
+		c2 := ErlangC(m, float64(m)*(rho+0.01))
+		b := ErlangB(m, float64(m)*rho)
+		return c2 >= c1-1e-15 && c1 >= b-1e-15 && c1 <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDErlangBdAMatchesNumerical(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 8, 16, 64} {
+		for _, a := range []float64{0.1, 0.5, float64(m) * 0.5, float64(m) * 0.9} {
+			analytic := dErlangBdA(m, a)
+			numerical := numeric.Derivative(func(x float64) float64 { return ErlangB(m, x) }, a)
+			if !numeric.WithinTol(analytic, numerical, 1e-7, 1e-5) {
+				t.Errorf("m=%d a=%g: analytic dB/da=%.12g numeric=%.12g", m, a, analytic, numerical)
+			}
+		}
+	}
+}
+
+func TestDErlangBdAZeroLoad(t *testing.T) {
+	if got := dErlangBdA(1, 0); got != 1 {
+		t.Errorf("dB/da(1,0) = %g, want 1", got)
+	}
+	if got := dErlangBdA(3, 0); got != 0 {
+		t.Errorf("dB/da(3,0) = %g, want 0", got)
+	}
+}
+
+func TestDErlangCdRhoMatchesNumerical(t *testing.T) {
+	for _, m := range []int{1, 2, 5, 10, 14, 50} {
+		for _, rho := range []float64{0.05, 0.3, 0.6, 0.9} {
+			analytic := DErlangCdRho(m, rho)
+			numerical := numeric.Derivative(func(x float64) float64 {
+				return ErlangC(m, float64(m)*x)
+			}, rho)
+			if !numeric.WithinTol(analytic, numerical, 1e-7, 1e-5) {
+				t.Errorf("m=%d ρ=%g: analytic dC/dρ=%.12g numeric=%.12g", m, rho, analytic, numerical)
+			}
+		}
+	}
+}
+
+func TestDErlangCdRhoAtZero(t *testing.T) {
+	if got := DErlangCdRho(1, 0); got != 1 {
+		t.Errorf("dC/dρ(1,0) = %g, want 1 (C=ρ for m=1)", got)
+	}
+	if got := DErlangCdRho(4, 0); got != 0 {
+		t.Errorf("dC/dρ(4,0) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,380 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+// --- M/M/m/K ---
+
+func TestMMmKValidation(t *testing.T) {
+	if _, err := SolveMMmK(0, 5, 1); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := SolveMMmK(4, 3, 1); err == nil {
+		t.Error("K<m should fail")
+	}
+	if _, err := SolveMMmK(2, 4, -1); err == nil {
+		t.Error("negative λ should fail")
+	}
+	if _, err := SolveMMmK(2, 4, math.NaN()); err == nil {
+		t.Error("NaN λ should fail")
+	}
+}
+
+func TestMMmKErlangLossCorner(t *testing.T) {
+	// K = m is the Erlang loss system: blocking = ErlangB(m, λ).
+	for _, m := range []int{1, 2, 5, 12} {
+		for _, lambda := range []float64{0.5, float64(m) * 0.8, float64(m) * 1.5} {
+			loss, err := ErlangLoss(m, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ErlangB(m, lambda)
+			if !numeric.WithinTol(loss, want, 1e-10, 1e-10) {
+				t.Errorf("m=%d λ=%g: loss %.12g vs ErlangB %.12g", m, lambda, loss, want)
+			}
+		}
+	}
+}
+
+func TestMMmKMM1KClosedForm(t *testing.T) {
+	// M/M/1/K: p_K = (1−ρ)ρ^K/(1−ρ^{K+1}).
+	m, k, lambda := 1, 5, 0.7
+	q, err := SolveMMmK(m, k, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda
+	want := (1 - rho) * math.Pow(rho, float64(k)) / (1 - math.Pow(rho, float64(k+1)))
+	if !numeric.WithinTol(q.Blocking, want, 1e-12, 1e-10) {
+		t.Fatalf("blocking %.14g, closed form %.14g", q.Blocking, want)
+	}
+}
+
+func TestMMmKConvergesToMMm(t *testing.T) {
+	// As K grows the finite system approaches the infinite M/M/m.
+	m, lambda := 3, 2.1 // ρ = 0.7
+	prev := math.Inf(1)
+	for _, k := range []int{3, 6, 12, 24, 48, 96} {
+		q, err := SolveMMmK(m, k, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap, err := q.ConvergesToMMm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap > prev+1e-12 {
+			t.Fatalf("gap not shrinking at K=%d: %g after %g", k, gap, prev)
+		}
+		prev = gap
+	}
+	if prev > 1e-6 {
+		t.Fatalf("K=96 should be near-infinite, gap %g", prev)
+	}
+}
+
+func TestMMmKUnstableOfferedLoadStillFinite(t *testing.T) {
+	q, err := SolveMMmK(2, 10, 5) // ρ = 2.5 offered
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Blocking <= 0.5 {
+		t.Fatalf("overloaded system should block most arrivals, got %g", q.Blocking)
+	}
+	if q.EffectiveRate >= 2.0+1e-9 {
+		t.Fatalf("effective rate %g cannot exceed capacity 2", q.EffectiveRate)
+	}
+	if _, err := q.ConvergesToMMm(); err == nil {
+		t.Fatal("comparison at ρ ≥ 1 should fail")
+	}
+}
+
+func TestMMmKBlockingMonotoneInK(t *testing.T) {
+	prop := func(mSeed, kSeed uint8, lamSeed float64) bool {
+		m := 1 + int(mSeed%8)
+		k := m + int(kSeed%20)
+		lambda := 0.1 + math.Abs(math.Mod(lamSeed, float64(2*m)))
+		a, err1 := SolveMMmK(m, k, lambda)
+		b, err2 := SolveMMmK(m, k+1, lambda)
+		return err1 == nil && err2 == nil && b.Blocking <= a.Blocking+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinRoomFor(t *testing.T) {
+	m, lambda, target := 4, 3.2, 0.01 // ρ = 0.8
+	k, err := MinRoomFor(m, lambda, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := SolveMMmK(m, k, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Blocking > target {
+		t.Fatalf("K=%d blocks %g > %g", k, q.Blocking, target)
+	}
+	if k > m {
+		smaller, err := SolveMMmK(m, k-1, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smaller.Blocking <= target {
+			t.Fatalf("K=%d is not minimal: K−1 blocks %g", k, smaller.Blocking)
+		}
+	}
+}
+
+func TestMinRoomForValidation(t *testing.T) {
+	if _, err := MinRoomFor(2, 1, 0); err == nil {
+		t.Error("target 0 should fail")
+	}
+	if _, err := MinRoomFor(2, 1, 1); err == nil {
+		t.Error("target 1 should fail")
+	}
+	// Offered load 4 on 2 servers: blocking floor 1 − 2/4 = 0.5.
+	if _, err := MinRoomFor(2, 4, 0.4); err == nil {
+		t.Error("unreachable target below the overload floor should fail")
+	}
+	// Above the floor it must succeed.
+	if _, err := MinRoomFor(2, 4, 0.6); err != nil {
+		t.Errorf("reachable overloaded target failed: %v", err)
+	}
+}
+
+// --- Multi-class priority ---
+
+func TestMultiClassReducesToPaperTwoClass(t *testing.T) {
+	// Class 0 = specials, class 1 = generics: must equal the paper's
+	// W″ and W′ exactly.
+	m, xbar := 5, 0.8
+	lambdaS, lambdaG := 1.5, 2.0
+	waits, err := MultiClassWaits(m, []float64{lambdaS, lambdaG}, xbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := (lambdaS + lambdaG) * xbar / float64(m)
+	rhoS := lambdaS * xbar / float64(m)
+	wantS := SpecialWaitTime(m, rho, rhoS, xbar)
+	wantG := GenericWaitTime(Priority, m, rho, rhoS, xbar)
+	if !numeric.WithinTol(waits[0], wantS, 1e-13, 1e-12) {
+		t.Fatalf("class 0 wait %.15g vs paper W″ %.15g", waits[0], wantS)
+	}
+	if !numeric.WithinTol(waits[1], wantG, 1e-13, 1e-12) {
+		t.Fatalf("class 1 wait %.15g vs paper W′ %.15g", waits[1], wantG)
+	}
+}
+
+func TestMultiClassValidation(t *testing.T) {
+	if _, err := MultiClassWaits(0, []float64{1}, 1); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := MultiClassWaits(2, nil, 1); err == nil {
+		t.Error("no classes should fail")
+	}
+	if _, err := MultiClassWaits(2, []float64{-1}, 1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := MultiClassWaits(2, []float64{1}, 0); err == nil {
+		t.Error("zero service mean should fail")
+	}
+	if _, err := MultiClassWaits(2, []float64{3}, 1); err == nil {
+		t.Error("unstable load should fail")
+	}
+}
+
+func TestMultiClassOrdering(t *testing.T) {
+	// Higher-priority classes wait less.
+	waits, err := MultiClassWaits(4, []float64{0.5, 0.8, 1.0, 0.6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c < len(waits); c++ {
+		if waits[c] <= waits[c-1] {
+			t.Fatalf("class %d wait %.9g should exceed class %d wait %.9g",
+				c, waits[c], c-1, waits[c-1])
+		}
+	}
+}
+
+func TestMultiClassWorkConservation(t *testing.T) {
+	// The rate-weighted mean wait equals the class-blind M/M/m wait,
+	// whatever the class structure.
+	m, xbar := 6, 1.2
+	rates := []float64{0.6, 0.9, 0.4, 1.1}
+	agg, err := AggregateWait(m, rates, xbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lambda float64
+	for _, r := range rates {
+		lambda += r
+	}
+	want := WaitTime(m, lambda*xbar/float64(m), xbar)
+	if !numeric.WithinTol(agg, want, 1e-12, 1e-11) {
+		t.Fatalf("aggregate wait %.14g vs M/M/m %.14g", agg, want)
+	}
+}
+
+func TestMultiClassMergeInvariance(t *testing.T) {
+	// Merging adjacent classes preserves their combined rate-weighted
+	// wait (identical service times make the interchange neutral).
+	m, xbar := 3, 0.9
+	three, err := MultiClassWaits(m, []float64{0.4, 0.7, 0.5}, xbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := MultiClassWaits(m, []float64{0.4, 1.2}, xbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := (0.7*three[1] + 0.5*three[2]) / 1.2
+	if !numeric.WithinTol(merged, two[1], 1e-13, 1e-12) {
+		t.Fatalf("merged wait %.15g vs two-class %.15g", merged, two[1])
+	}
+}
+
+func TestMultiClassResponseTimes(t *testing.T) {
+	rates := []float64{0.5, 0.5}
+	waits, err := MultiClassWaits(2, rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := MultiClassResponseTimes(2, rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range resp {
+		if !numeric.WithinTol(resp[c], waits[c]+1, 1e-14, 1e-14) {
+			t.Fatalf("class %d: response %.15g vs wait+x̄ %.15g", c, resp[c], waits[c]+1)
+		}
+	}
+	if _, err := MultiClassResponseTimes(2, []float64{9}, 1); err == nil {
+		t.Fatal("unstable should fail")
+	}
+	if _, err := AggregateWait(2, []float64{9}, 1); err == nil {
+		t.Fatal("unstable should fail")
+	}
+}
+
+func TestAggregateWaitZeroRates(t *testing.T) {
+	agg, err := AggregateWait(2, []float64{0, 0}, 1)
+	if err != nil || agg != 0 {
+		t.Fatalf("agg=%g err=%v", agg, err)
+	}
+}
+
+// --- Allen–Cunneen M/G/m ---
+
+func TestMGmExactForExponential(t *testing.T) {
+	// SCV = 1 must reduce to the M/M/m wait exactly.
+	for _, m := range []int{1, 4, 14} {
+		for _, rho := range []float64{0.3, 0.7, 0.9} {
+			got, err := MGmWait(m, rho, 1.0, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := WaitTime(m, rho, 1.0)
+			if !numeric.WithinTol(got, want, 1e-14, 1e-13) {
+				t.Errorf("m=%d ρ=%g: %.15g vs %.15g", m, rho, got, want)
+			}
+		}
+	}
+}
+
+func TestMGmExactForMG1(t *testing.T) {
+	// m=1 is Pollaczek–Khinchine: W = ρx̄(1+C²)/(2(1−ρ)).
+	rho, xbar, scv := 0.6, 1.5, 0.25
+	got, err := MGmWait(1, rho, xbar, scv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rho * xbar * (1 + scv) / (2 * (1 - rho))
+	if !numeric.WithinTol(got, want, 1e-13, 1e-12) {
+		t.Fatalf("P-K mismatch: %.15g vs %.15g", got, want)
+	}
+}
+
+func TestMGmDeterministicHalvesWait(t *testing.T) {
+	// SCV = 0 gives exactly half the exponential wait.
+	m, rho := 5, 0.8
+	det, err := MGmWait(m, rho, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := WaitTime(m, rho, 1)
+	if !numeric.WithinTol(det, exp/2, 1e-13, 1e-12) {
+		t.Fatalf("deterministic wait %.12g, want half of %.12g", det, exp)
+	}
+}
+
+func TestMGmValidation(t *testing.T) {
+	if _, err := MGmWait(0, 0.5, 1, 1); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := MGmWait(2, 1.0, 1, 1); err == nil {
+		t.Error("ρ=1 should fail")
+	}
+	if _, err := MGmWait(2, 0.5, 0, 1); err == nil {
+		t.Error("zero mean should fail")
+	}
+	if _, err := MGmWait(2, 0.5, 1, -1); err == nil {
+		t.Error("negative SCV should fail")
+	}
+}
+
+func TestMGmResponseTime(t *testing.T) {
+	w, err := MGmWait(3, 0.6, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MGmResponseTime(3, 0.6, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.WithinTol(r, w+2, 1e-14, 1e-14) {
+		t.Fatalf("response %.15g vs wait+x̄ %.15g", r, w+2)
+	}
+	if _, err := MGmResponseTime(3, 1.2, 2, 0.5); err == nil {
+		t.Fatal("unstable should fail")
+	}
+}
+
+func TestGGmReducesToMGm(t *testing.T) {
+	// Poisson arrivals (C²_a = 1) must match MGmWait.
+	a, err := GGmWait(4, 0.7, 1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MGmWait(4, 0.7, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.WithinTol(a, b, 1e-14, 1e-13) {
+		t.Fatalf("G/G/m %.15g vs M/G/m %.15g", a, b)
+	}
+	if _, err := GGmWait(4, 0.7, 1, -1, 0.5); err == nil {
+		t.Fatal("negative arrival SCV should fail")
+	}
+}
+
+func TestGGmSmoothArrivalsWaitLess(t *testing.T) {
+	smooth, err := GGmWait(4, 0.8, 1, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson, err := GGmWait(4, 0.8, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smooth >= poisson {
+		t.Fatalf("smoother arrivals should wait less: %.9g vs %.9g", smooth, poisson)
+	}
+}

@@ -1,0 +1,70 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzErlangBounds asserts the hard range and cross-formula invariants
+// of the Erlang machinery for arbitrary (m, ρ).
+func FuzzErlangBounds(f *testing.F) {
+	f.Add(uint8(1), 0.5)
+	f.Add(uint8(14), 0.93)
+	f.Add(uint8(200), 0.01)
+	f.Fuzz(func(t *testing.T, mSeed uint8, rhoSeed float64) {
+		m := 1 + int(mSeed)%512
+		rho := math.Mod(math.Abs(rhoSeed), 1)
+		if math.IsNaN(rho) || rho >= 0.999999 {
+			t.Skip()
+		}
+		a := float64(m) * rho
+		b := ErlangB(m, a)
+		c := ErlangC(m, a)
+		if b < 0 || b > 1 || math.IsNaN(b) {
+			t.Fatalf("B(%d, %g) = %g", m, a, b)
+		}
+		if c < b-1e-15 || c > 1 || math.IsNaN(c) {
+			t.Fatalf("C(%d, %g) = %g (B = %g)", m, a, c, b)
+		}
+		p0 := P0(m, rho)
+		if p0 < 0 || p0 > 1 || math.IsNaN(p0) {
+			t.Fatalf("P0(%d, %g) = %g", m, rho, p0)
+		}
+		if rho > 0 {
+			if tt := ResponseTime(m, rho, 1); tt < 1 || math.IsNaN(tt) {
+				t.Fatalf("T(%d, %g) = %g below service time", m, rho, tt)
+			}
+			if n := MeanTasks(m, rho); n < float64(m)*rho-1e-9 {
+				t.Fatalf("N̄(%d, %g) = %g below busy blades", m, rho, n)
+			}
+		}
+	})
+}
+
+// FuzzPriorityFactor asserts Theorem 2's structure for arbitrary load
+// splits: the priority response is the FCFS response inflated by
+// exactly 1/(1−ρ″) on the waiting term, and specials always do at
+// least as well as generics.
+func FuzzPriorityFactor(f *testing.F) {
+	f.Add(uint8(3), 0.6, 0.4)
+	f.Add(uint8(1), 0.9, 0.1)
+	f.Fuzz(func(t *testing.T, mSeed uint8, rhoSeed, splitSeed float64) {
+		m := 1 + int(mSeed)%64
+		rho := math.Mod(math.Abs(rhoSeed), 1)
+		split := math.Mod(math.Abs(splitSeed), 1)
+		if math.IsNaN(rho) || math.IsNaN(split) || rho <= 0 || rho >= 0.999 {
+			t.Skip()
+		}
+		rhoS := rho * split
+		xbar := 1.0
+		fc := GenericResponseTime(FCFS, m, rho, rhoS, xbar)
+		pr := GenericResponseTime(Priority, m, rho, rhoS, xbar)
+		wantWait := (fc - xbar) / (1 - rhoS)
+		if math.Abs((pr-xbar)-wantWait) > 1e-9*(1+wantWait) {
+			t.Fatalf("m=%d ρ=%g ρ″=%g: priority wait %g, want %g", m, rho, rhoS, pr-xbar, wantWait)
+		}
+		if ws := SpecialWaitTime(m, rho, rhoS, xbar); ws > pr-xbar+1e-12 {
+			t.Fatalf("specials wait %g more than generics %g", ws, pr-xbar)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// ValidateRho returns an error unless 0 ≤ rho < 1 (strict stability).
+func ValidateRho(rho float64) error {
+	if math.IsNaN(rho) || rho < 0 {
+		return fmt.Errorf("queueing: utilization %g out of range [0, 1)", rho)
+	}
+	if rho >= 1 {
+		return fmt.Errorf("queueing: utilization %g ≥ 1, system unstable", rho)
+	}
+	return nil
+}
+
+// P0 returns the empty-system probability p_0 of an M/M/m queue at
+// per-blade utilization ρ:
+//
+//	p_0 = ( Σ_{k=0}^{m−1} (mρ)^k/k! + (mρ)^m/m! · 1/(1−ρ) )^{−1},
+//
+// evaluated by log-sum-exp over the terms so it neither overflows for
+// large offered load (where the naive factorial form does) nor loses
+// precision for tiny ρ at large m (where inverting through Erlang-C
+// would amplify underflow). For ρ = 0, p_0 = 1.
+func P0(m int, rho float64) float64 {
+	if m <= 0 {
+		panic(fmt.Sprintf("queueing: P0 with non-positive m=%d", m))
+	}
+	if rho == 0 {
+		return 1
+	}
+	if rho >= 1 || rho < 0 {
+		return 0
+	}
+	a := float64(m) * rho
+	logA := math.Log(a)
+	// log t_k = k·ln a − ln k!; track the running max for a stable
+	// log-sum-exp without a second pass (terms are unimodal in k, but
+	// a two-pass max-then-sum is simplest and m is bounded in
+	// practice).
+	logs := make([]float64, m+1)
+	logT := 0.0 // k = 0
+	maxLog := logT
+	logs[0] = logT
+	for k := 1; k <= m; k++ {
+		logT += logA - math.Log(float64(k))
+		logs[k] = logT
+		if k == m {
+			logs[k] -= math.Log(1 - rho)
+		}
+		if logs[k] > maxLog {
+			maxLog = logs[k]
+		}
+	}
+	var sum numeric.KahanSum
+	for _, lt := range logs {
+		sum.Add(math.Exp(lt - maxLog))
+	}
+	return math.Exp(-maxLog - math.Log(sum.Value()))
+}
+
+// ProbQueue returns P_q, the probability that an arriving task must
+// wait because all m blades are busy (Erlang-C at a = mρ).
+func ProbQueue(m int, rho float64) float64 {
+	return ErlangC(m, float64(m)*rho)
+}
+
+// MeanTasks returns N̄, the mean number of tasks (waiting or in
+// service) in an M/M/m station at utilization ρ:
+//
+//	N̄ = mρ + ρ/(1−ρ) · P_q.
+func MeanTasks(m int, rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return float64(m)*rho + rho/(1-rho)*ProbQueue(m, rho)
+}
+
+// MeanQueueLength returns N̄_q = N̄ − mρ = ρ/(1−ρ)·P_q, the mean number
+// of waiting tasks.
+func MeanQueueLength(m int, rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho) * ProbQueue(m, rho)
+}
+
+// ResponseTime returns T, the mean response time (wait + service) of an
+// M/M/m station at utilization ρ and mean service time xbar:
+//
+//	T = x̄ (1 + P_q / (m(1−ρ))).
+func ResponseTime(m int, rho, xbar float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return xbar * (1 + ProbQueue(m, rho)/(float64(m)*(1-rho)))
+}
+
+// WaitTime returns W = T − x̄, the mean time spent in the waiting queue.
+func WaitTime(m int, rho, xbar float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return ProbQueue(m, rho) / (float64(m) * (1 - rho)) * xbar
+}
+
+// StateProbability returns p_k, the steady-state probability of k tasks
+// in an M/M/m station at utilization ρ, evaluated in log space.
+func StateProbability(m, k int, rho float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if rho == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if err := ValidateRho(rho); err != nil {
+		return math.NaN()
+	}
+	p0 := P0(m, rho)
+	a := float64(m) * rho
+	var logTerm float64
+	if k <= m {
+		lg, _ := math.Lgamma(float64(k) + 1)
+		logTerm = float64(k)*math.Log(a) - lg
+	} else {
+		lg, _ := math.Lgamma(float64(m) + 1)
+		logTerm = float64(m)*math.Log(float64(m)) + float64(k)*math.Log(rho) - lg
+	}
+	return p0 * math.Exp(logTerm)
+}
+
+// --- The paper's literal formulas (naive factorial forms). ---
+//
+// These are transcriptions of §3 of the paper. They are exact for small
+// m but the factorials overflow float64 near m ≈ 170; the optimizer
+// uses the stable Erlang forms above, and tests cross-check the two.
+
+// NaiveP0 is the paper's p_{i,0} formula:
+//
+//	p_0 = ( Σ_{k=0}^{m−1} (mρ)^k/k! + (mρ)^m/m! · 1/(1−ρ) )^{−1}.
+func NaiveP0(m int, rho float64) float64 {
+	sum := 0.0
+	term := 1.0 // (mρ)^k / k! at k = 0
+	a := float64(m) * rho
+	for k := 0; k < m; k++ {
+		if k > 0 {
+			term *= a / float64(k)
+		}
+		sum += term
+	}
+	// term now holds (mρ)^{m−1}/(m−1)!; advance to k = m.
+	last := term * a / float64(m)
+	sum += last / (1 - rho)
+	return 1 / sum
+}
+
+// NaiveProbQueue is the paper's P_{q,i} = p_m/(1−ρ).
+func NaiveProbQueue(m int, rho float64) float64 {
+	a := float64(m) * rho
+	pm := NaiveP0(m, rho)
+	for k := 1; k <= m; k++ {
+		pm *= a / float64(k)
+	}
+	return pm / (1 - rho)
+}
+
+// NaiveResponseTime is the paper's
+//
+//	T′ = x̄ (1 + p_0 · m^{m−1}/m! · ρ^m/(1−ρ)²).
+func NaiveResponseTime(m int, rho, xbar float64) float64 {
+	return xbar * (1 + NaiveP0(m, rho)*mPowOverFact(m)*math.Pow(rho, float64(m))/((1-rho)*(1-rho)))
+}
+
+// mPowOverFact returns m^{m−1}/m! by incremental multiplication, which
+// stays in range far longer than computing numerator and denominator
+// separately (both overflow near m ≈ 170 individually; the ratio decays).
+func mPowOverFact(m int) float64 {
+	r := 1.0 / float64(m) // m^{-1} · (m^m/m!) built below
+	for k := 1; k <= m; k++ {
+		r *= float64(m) / float64(k)
+	}
+	return r
+}

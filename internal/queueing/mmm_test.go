@@ -1,0 +1,232 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestValidateRho(t *testing.T) {
+	if err := ValidateRho(0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if err := ValidateRho(bad); err == nil {
+			t.Errorf("ValidateRho(%g) should fail", bad)
+		}
+	}
+}
+
+func TestP0MM1(t *testing.T) {
+	// For M/M/1, p_0 = 1 − ρ.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		got := P0(1, rho)
+		if math.Abs(got-(1-rho)) > 1e-13 {
+			t.Errorf("P0(1, %g) = %.15g, want %g", rho, got, 1-rho)
+		}
+	}
+}
+
+func TestP0MatchesNaive(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 8, 14, 40, 100} {
+		for _, rho := range []float64{0.05, 0.3, 0.65, 0.9, 0.99} {
+			stable := P0(m, rho)
+			naive := NaiveP0(m, rho)
+			if !numeric.WithinTol(stable, naive, 1e-13, 1e-10) {
+				t.Errorf("m=%d ρ=%g: stable P0=%.15g naive=%.15g", m, rho, stable, naive)
+			}
+		}
+	}
+}
+
+func TestP0Boundaries(t *testing.T) {
+	if got := P0(5, 0); got != 1 {
+		t.Errorf("P0 at ρ=0 = %g, want 1", got)
+	}
+	if got := P0(5, 1); got != 0 {
+		t.Errorf("P0 at ρ=1 = %g, want 0", got)
+	}
+}
+
+func TestP0LargeM(t *testing.T) {
+	// m = 500: naive factorial form would overflow; log-space must not.
+	got := P0(500, 0.8)
+	if math.IsNaN(got) || got < 0 || got > 1 {
+		t.Fatalf("P0(500, 0.8) = %g", got)
+	}
+}
+
+func TestProbQueueMatchesNaive(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 7, 14, 60} {
+		for _, rho := range []float64{0.1, 0.5, 0.85, 0.98} {
+			stable := ProbQueue(m, rho)
+			naive := NaiveProbQueue(m, rho)
+			if !numeric.WithinTol(stable, naive, 1e-13, 1e-10) {
+				t.Errorf("m=%d ρ=%g: stable Pq=%.15g naive=%.15g", m, rho, stable, naive)
+			}
+		}
+	}
+}
+
+func TestResponseTimeMatchesNaive(t *testing.T) {
+	for _, m := range []int{1, 3, 8, 14} {
+		for _, rho := range []float64{0.2, 0.5, 0.8, 0.95} {
+			for _, xbar := range []float64{0.5, 1, 2} {
+				stable := ResponseTime(m, rho, xbar)
+				naive := NaiveResponseTime(m, rho, xbar)
+				if !numeric.WithinTol(stable, naive, 1e-12, 1e-10) {
+					t.Errorf("m=%d ρ=%g x̄=%g: stable T=%.15g naive=%.15g", m, rho, xbar, stable, naive)
+				}
+			}
+		}
+	}
+}
+
+func TestResponseTimeMM1ClosedForm(t *testing.T) {
+	// M/M/1: T = x̄/(1−ρ).
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		got := ResponseTime(1, rho, 2.0)
+		want := 2.0 / (1 - rho)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("T(1, %g) = %.15g, want %.15g", rho, got, want)
+		}
+	}
+}
+
+func TestResponseTimeUnstable(t *testing.T) {
+	if !math.IsInf(ResponseTime(4, 1.0, 1), 1) {
+		t.Error("T at ρ=1 should be +Inf")
+	}
+	if !math.IsInf(MeanTasks(4, 1.0), 1) {
+		t.Error("N̄ at ρ=1 should be +Inf")
+	}
+	if !math.IsInf(WaitTime(4, 1.0, 1), 1) {
+		t.Error("W at ρ=1 should be +Inf")
+	}
+	if !math.IsInf(MeanQueueLength(4, 1.0), 1) {
+		t.Error("N̄_q at ρ=1 should be +Inf")
+	}
+}
+
+func TestLittleLawConsistency(t *testing.T) {
+	// N̄ = λT with λ = mρμ = mρ/x̄ (take x̄ = 1).
+	for _, m := range []int{1, 2, 6, 14} {
+		for _, rho := range []float64{0.2, 0.6, 0.9} {
+			lambda := float64(m) * rho
+			n := MeanTasks(m, rho)
+			twice := lambda * ResponseTime(m, rho, 1)
+			if !numeric.WithinTol(n, twice, 1e-12, 1e-11) {
+				t.Errorf("m=%d ρ=%g: N̄=%.14g λT=%.14g", m, rho, n, twice)
+			}
+		}
+	}
+}
+
+func TestQueueLengthDecomposition(t *testing.T) {
+	// N̄ = mρ + N̄_q.
+	for _, m := range []int{1, 4, 14} {
+		for _, rho := range []float64{0.3, 0.8} {
+			lhs := MeanTasks(m, rho)
+			rhs := float64(m)*rho + MeanQueueLength(m, rho)
+			if !numeric.WithinTol(lhs, rhs, 1e-13, 1e-12) {
+				t.Errorf("m=%d ρ=%g: N̄=%.15g decomposition=%.15g", m, rho, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestStateProbabilitiesSumToOne(t *testing.T) {
+	for _, m := range []int{1, 3, 8} {
+		for _, rho := range []float64{0.3, 0.7} {
+			var sum numeric.KahanSum
+			for k := 0; k < 4000; k++ {
+				sum.Add(StateProbability(m, k, rho))
+			}
+			if math.Abs(sum.Value()-1) > 1e-10 {
+				t.Errorf("m=%d ρ=%g: Σp_k = %.14g", m, rho, sum.Value())
+			}
+		}
+	}
+}
+
+func TestStateProbabilityEdges(t *testing.T) {
+	if got := StateProbability(3, -1, 0.5); got != 0 {
+		t.Errorf("p_{-1} = %g", got)
+	}
+	if got := StateProbability(3, 0, 0); got != 1 {
+		t.Errorf("p_0 at ρ=0 = %g", got)
+	}
+	if got := StateProbability(3, 2, 0); got != 0 {
+		t.Errorf("p_2 at ρ=0 = %g", got)
+	}
+	if !math.IsNaN(StateProbability(3, 2, 1.5)) {
+		t.Error("unstable ρ should give NaN")
+	}
+}
+
+func TestStateProbabilityMatchesPaperFormula(t *testing.T) {
+	// p_k = p_0 (mρ)^k/k! for k ≤ m; p_0 m^m ρ^k/m! for k ≥ m.
+	m, rho := 4, 0.6
+	p0 := NaiveP0(m, rho)
+	a := float64(m) * rho
+	fact := 1.0
+	pow := 1.0
+	for k := 0; k <= m+6; k++ {
+		if k > 0 {
+			fact *= float64(k)
+			pow *= a
+		}
+		var want float64
+		if k <= m {
+			want = p0 * pow / fact
+		} else {
+			want = p0 * math.Pow(float64(m), float64(m)) * math.Pow(rho, float64(k)) / 24.0 // 4! = 24
+		}
+		got := StateProbability(m, k, rho)
+		if !numeric.WithinTol(got, want, 1e-14, 1e-11) {
+			t.Errorf("p_%d = %.15g, want %.15g", k, got, want)
+		}
+	}
+}
+
+// Property: mean tasks and response time are increasing in ρ.
+func TestMetricsMonotoneInRhoProperty(t *testing.T) {
+	prop := func(mSeed uint8, rhoSeed float64) bool {
+		m := 1 + int(mSeed%20)
+		rho := 0.02 + 0.9*math.Abs(math.Mod(rhoSeed, 1))
+		return MeanTasks(m, rho+0.005) >= MeanTasks(m, rho)-1e-12 &&
+			ResponseTime(m, rho+0.005, 1) >= ResponseTime(m, rho, 1)-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: response time is at least the service time and P0 ∈ (0, 1].
+func TestBasicBoundsProperty(t *testing.T) {
+	prop := func(mSeed uint8, rhoSeed, xSeed float64) bool {
+		m := 1 + int(mSeed%20)
+		rho := 0.9 * math.Abs(math.Mod(rhoSeed, 1))
+		xbar := 0.1 + math.Abs(math.Mod(xSeed, 5))
+		p0 := P0(m, rho)
+		return ResponseTime(m, rho, xbar) >= xbar && p0 > 0 && p0 <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPowOverFact(t *testing.T) {
+	// m^{m−1}/m!: m=1 → 1/1 = 1; m=2 → 2/2 = 1; m=3 → 9/6 = 1.5; m=4 → 64/24.
+	cases := []struct {
+		m    int
+		want float64
+	}{{1, 1}, {2, 1}, {3, 1.5}, {4, 64.0 / 24}}
+	for _, c := range cases {
+		if got := mPowOverFact(c.m); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("mPowOverFact(%d) = %g, want %g", c.m, got, c.want)
+		}
+	}
+}

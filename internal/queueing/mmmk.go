@@ -1,0 +1,141 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMmK holds the steady-state metrics of an M/M/m/K queue: m servers,
+// room for K tasks total (waiting + in service), arrivals beyond K
+// blocked and lost. It extends the paper's infinite-queue model to the
+// finite waiting rooms of real admission-controlled blade chassis.
+type MMmK struct {
+	M, K int
+	// Rho is the offered per-server utilization λ/(mμ) (may be ≥ 1:
+	// finite systems remain stable).
+	Rho float64
+	// Blocking is the probability an arrival is lost (PASTA: equals
+	// the fraction of time the system is full).
+	Blocking float64
+	// MeanTasks is the mean number in system.
+	MeanTasks float64
+	// EffectiveRate is λ(1 − Blocking), the accepted throughput, in
+	// units of μ = 1.
+	EffectiveRate float64
+	// ResponseTime is the mean response time of *accepted* tasks, in
+	// units of 1/μ = 1.
+	ResponseTime float64
+}
+
+// SolveMMmK computes the metrics of an M/M/m/K system with service
+// rate 1 per server and arrival rate lambda. K must be ≥ m ≥ 1.
+func SolveMMmK(m, k int, lambda float64) (*MMmK, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("queueing: M/M/m/K needs m ≥ 1, got %d", m)
+	}
+	if k < m {
+		return nil, fmt.Errorf("queueing: M/M/m/K needs K ≥ m, got K=%d m=%d", k, m)
+	}
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("queueing: arrival rate %g must be non-negative and finite", lambda)
+	}
+	bd, err := SolveBirthDeath(k, func(int) float64 { return lambda }, func(j int) float64 {
+		if j > m {
+			return float64(m)
+		}
+		return float64(j)
+	})
+	if err != nil {
+		return nil, err
+	}
+	blocking := bd.Probability(k)
+	mean := bd.MeanState()
+	eff := lambda * (1 - blocking)
+	res := &MMmK{
+		M: m, K: k,
+		Rho:           lambda / float64(m),
+		Blocking:      blocking,
+		MeanTasks:     mean,
+		EffectiveRate: eff,
+	}
+	if eff > 0 {
+		res.ResponseTime = mean / eff // Little's law on accepted tasks
+	}
+	return res, nil
+}
+
+// ConvergesToMMm reports how close this finite system is to the
+// infinite-queue M/M/m at the same (stable) utilization: the relative
+// difference in mean response time. It is a diagnostic for choosing K
+// in admission-controlled deployments.
+func (q *MMmK) ConvergesToMMm() (float64, error) {
+	if q.Rho >= 1 {
+		return 0, fmt.Errorf("queueing: infinite-queue comparison needs ρ < 1, have %g", q.Rho)
+	}
+	inf := ResponseTime(q.M, q.Rho, 1)
+	return math.Abs(q.ResponseTime-inf) / inf, nil
+}
+
+// MinRoomFor returns the smallest K such that the M/M/m/K system at
+// arrival rate lambda blocks at most maxBlocking of arrivals. Blocking
+// is decreasing in K, so the search expands then bisects. maxBlocking
+// must be in (0, 1); for unstable offered loads (λ ≥ m) a finite K
+// always exists as long as maxBlocking ≥ the ρ→∞ floor, otherwise an
+// error is returned after the search cap.
+func MinRoomFor(m int, lambda, maxBlocking float64) (int, error) {
+	if maxBlocking <= 0 || maxBlocking >= 1 {
+		return 0, fmt.Errorf("queueing: blocking target %g must be in (0, 1)", maxBlocking)
+	}
+	blockingAt := func(k int) (float64, error) {
+		q, err := SolveMMmK(m, k, lambda)
+		if err != nil {
+			return 0, err
+		}
+		return q.Blocking, nil
+	}
+	// With λ ≥ m the blocking probability has a positive limit
+	// 1 − m/λ as K→∞; no finite K helps below that.
+	if lambda >= float64(m) && maxBlocking < 1-float64(m)/lambda {
+		return 0, fmt.Errorf("queueing: offered load %g on %d servers cannot reach blocking %g (floor %g)",
+			lambda, m, maxBlocking, 1-float64(m)/lambda)
+	}
+	hi := m
+	for range [64]struct{}{} {
+		b, err := blockingAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if b <= maxBlocking {
+			break
+		}
+		hi *= 2
+		if hi > 1<<24 {
+			return 0, fmt.Errorf("queueing: no K ≤ 2^24 meets blocking %g", maxBlocking)
+		}
+	}
+	lo := m
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		b, err := blockingAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if b <= maxBlocking {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// ErlangLoss returns the Erlang-B loss system M/M/m/m blocking
+// probability, the K = m corner of M/M/m/K; provided for symmetry and
+// cross-checked against ErlangB in tests.
+func ErlangLoss(m int, lambda float64) (float64, error) {
+	q, err := SolveMMmK(m, m, lambda)
+	if err != nil {
+		return 0, err
+	}
+	return q.Blocking, nil
+}

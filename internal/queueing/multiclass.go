@@ -1,0 +1,85 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// MultiClassWaits generalizes the paper's two-class derivation (§4) to
+// C non-preemptive priority classes on an m-blade station. rates[c] is
+// the arrival rate of class c, with class 0 highest priority; every
+// class has the same exponential service mean xbar (the paper's
+// assumption: one task-size distribution for all work). The returned
+// slice holds the mean waiting time of each class:
+//
+//	W_c = W_0 / ((1 − σ_{c−1})(1 − σ_c)),   σ_c = Σ_{j ≤ c} ρ_j,
+//
+// where W_0 = P_q·x̄/m is the expected delay until a blade frees. With
+// C = 2 this reduces exactly to the paper's W″ (class 0) and W′
+// (class 1), as tests verify.
+func MultiClassWaits(m int, rates []float64, xbar float64) ([]float64, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("queueing: multi-class needs m ≥ 1, got %d", m)
+	}
+	if xbar <= 0 || math.IsNaN(xbar) {
+		return nil, fmt.Errorf("queueing: service mean %g must be positive", xbar)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("queueing: no classes")
+	}
+	var total numeric.KahanSum
+	for c, r := range rates {
+		if r < 0 || math.IsNaN(r) {
+			return nil, fmt.Errorf("queueing: class %d rate %g must be non-negative", c, r)
+		}
+		total.Add(r)
+	}
+	rho := total.Value() * xbar / float64(m)
+	if rho >= 1 {
+		return nil, fmt.Errorf("queueing: total utilization %g ≥ 1", rho)
+	}
+	w0 := ProbQueue(m, rho) * xbar / float64(m)
+	waits := make([]float64, len(rates))
+	sigmaPrev := 0.0
+	var sigma numeric.KahanSum
+	for c, r := range rates {
+		sigma.Add(r * xbar / float64(m))
+		s := sigma.Value()
+		waits[c] = w0 / ((1 - sigmaPrev) * (1 - s))
+		sigmaPrev = s
+	}
+	return waits, nil
+}
+
+// MultiClassResponseTimes returns W_c + x̄ for each class.
+func MultiClassResponseTimes(m int, rates []float64, xbar float64) ([]float64, error) {
+	waits, err := MultiClassWaits(m, rates, xbar)
+	if err != nil {
+		return nil, err
+	}
+	for c := range waits {
+		waits[c] += xbar
+	}
+	return waits, nil
+}
+
+// AggregateWait returns the rate-weighted mean waiting time across
+// classes, which by work conservation must equal the class-blind M/M/m
+// waiting time W = N̄_q/λ regardless of the priority order.
+func AggregateWait(m int, rates []float64, xbar float64) (float64, error) {
+	waits, err := MultiClassWaits(m, rates, xbar)
+	if err != nil {
+		return 0, err
+	}
+	var num, den numeric.KahanSum
+	for c, r := range rates {
+		num.Add(r * waits[c])
+		den.Add(r)
+	}
+	if den.Value() == 0 {
+		return 0, nil
+	}
+	return num.Value() / den.Value(), nil
+}

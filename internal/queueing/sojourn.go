@@ -1,0 +1,83 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// ResponseTimeCDF returns P(T ≤ t) for the sojourn time (wait +
+// service) of an M/M/m FCFS station at utilization ρ with mean service
+// time x̄. The distribution is the mixture
+//
+//	T = S                 with probability 1 − C   (no queueing)
+//	T = S + W̃             with probability C       (queued)
+//
+// where S ~ Exp(1/x̄), W̃ ~ Exp(m(1−ρ)/x̄) (the conditional wait of
+// M/M/m is exponential), and C is the Erlang-C probability. The sum
+// S + W̃ is hypoexponential; for m = 1 the whole expression collapses
+// to the classic exponential sojourn with rate (1−ρ)/x̄.
+//
+// The paper only uses mean response times; the distribution extends
+// the model to percentile SLAs, and the simulator's P95 measurements
+// validate it.
+func ResponseTimeCDF(m int, rho, xbar, t float64) (float64, error) {
+	if m < 1 {
+		return 0, fmt.Errorf("queueing: CDF needs m ≥ 1, got %d", m)
+	}
+	if err := ValidateRho(rho); err != nil {
+		return 0, err
+	}
+	if xbar <= 0 || math.IsNaN(xbar) {
+		return 0, fmt.Errorf("queueing: service mean %g must be positive", xbar)
+	}
+	if t <= 0 || math.IsNaN(t) {
+		return 0, nil
+	}
+	mu := 1 / xbar
+	theta := float64(m) * (1 - rho) / xbar
+	c := ProbQueue(m, rho)
+	direct := 1 - math.Exp(-mu*t)
+	var queued float64
+	if math.Abs(theta-mu) < 1e-12*mu {
+		// Equal rates: Gamma(2, μ).
+		queued = 1 - (1+mu*t)*math.Exp(-mu*t)
+	} else {
+		queued = 1 - (theta*math.Exp(-mu*t)-mu*math.Exp(-theta*t))/(theta-mu)
+	}
+	return (1-c)*direct + c*queued, nil
+}
+
+// ResponseTimeQuantile returns the p-quantile of the M/M/m FCFS
+// sojourn time, found by bracketed bisection on the CDF.
+func ResponseTimeQuantile(m int, rho, xbar, p float64) (float64, error) {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("queueing: quantile %g must be in (0, 1)", p)
+	}
+	if _, err := ResponseTimeCDF(m, rho, xbar, xbar); err != nil {
+		return 0, err
+	}
+	cdfAtLeast := func(t float64) bool {
+		v, err := ResponseTimeCDF(m, rho, xbar, t)
+		return err == nil && v >= p
+	}
+	hi, err := numeric.ExpandUpper(cdfAtLeast, xbar, 0, 0)
+	if err != nil {
+		return 0, fmt.Errorf("queueing: quantile bracket failed: %w", err)
+	}
+	q, err := numeric.BisectPredicate(cdfAtLeast, 0, hi, 1e-12*hi)
+	if err != nil {
+		return 0, fmt.Errorf("queueing: quantile search failed: %w", err)
+	}
+	return q, nil
+}
+
+// ResponseTimeTail returns P(T > t) = 1 − CDF(t).
+func ResponseTimeTail(m int, rho, xbar, t float64) (float64, error) {
+	c, err := ResponseTimeCDF(m, rho, xbar, t)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - c, nil
+}

@@ -1,0 +1,163 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestResponseTimeCDFValidation(t *testing.T) {
+	if _, err := ResponseTimeCDF(0, 0.5, 1, 1); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := ResponseTimeCDF(2, 1.0, 1, 1); err == nil {
+		t.Error("ρ=1 should fail")
+	}
+	if _, err := ResponseTimeCDF(2, 0.5, 0, 1); err == nil {
+		t.Error("zero service mean should fail")
+	}
+	if v, err := ResponseTimeCDF(2, 0.5, 1, -1); err != nil || v != 0 {
+		t.Errorf("negative t: v=%g err=%v, want 0, nil", v, err)
+	}
+}
+
+func TestResponseTimeCDFMM1Exponential(t *testing.T) {
+	// M/M/1 sojourn is Exp((1−ρ)/x̄).
+	rho, xbar := 0.7, 2.0
+	rate := (1 - rho) / xbar
+	for _, tt := range []float64{0.5, 1, 3, 10, 30} {
+		got, err := ResponseTimeCDF(1, rho, xbar, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-rate*tt)
+		if !numeric.WithinTol(got, want, 1e-12, 1e-10) {
+			t.Errorf("t=%g: CDF %.14g, want %.14g", tt, got, want)
+		}
+	}
+}
+
+func TestResponseTimeCDFMonotoneTo1(t *testing.T) {
+	m, rho, xbar := 5, 0.8, 1.0
+	prev := 0.0
+	for _, tt := range []float64{0.1, 0.5, 1, 2, 4, 8, 16, 64} {
+		v, err := ResponseTimeCDF(m, rho, xbar, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-14 || v < 0 || v > 1 {
+			t.Fatalf("CDF not monotone in [0,1]: %g after %g at t=%g", v, prev, tt)
+		}
+		prev = v
+	}
+	if prev < 0.999 {
+		t.Fatalf("CDF at t=64 only %g", prev)
+	}
+}
+
+func TestResponseTimeCDFMeanMatchesFormula(t *testing.T) {
+	// E[T] from the tail integral ∫P(T>t)dt must equal the paper's
+	// mean response time.
+	for _, m := range []int{1, 2, 4, 9} {
+		for _, rho := range []float64{0.3, 0.7, 0.9} {
+			xbar := 1.0
+			// Trapezoid over a fine grid far into the tail.
+			const dt = 0.005
+			var integral numeric.KahanSum
+			for tt := 0.0; tt < 200; tt += dt {
+				tail1, err := ResponseTimeTail(m, rho, xbar, tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tail2, err := ResponseTimeTail(m, rho, xbar, tt+dt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				integral.Add((tail1 + tail2) / 2 * dt)
+			}
+			want := ResponseTime(m, rho, xbar)
+			if !numeric.WithinTol(integral.Value(), want, 1e-3, 1e-3) {
+				t.Errorf("m=%d ρ=%g: ∫tail = %.6f, mean = %.6f", m, rho, integral.Value(), want)
+			}
+		}
+	}
+}
+
+func TestResponseTimeQuantile(t *testing.T) {
+	m, rho, xbar := 3, 0.75, 1.0
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		q, err := ResponseTimeQuantile(m, rho, xbar, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ResponseTimeCDF(m, rho, xbar, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(back-p) > 1e-9 {
+			t.Errorf("p=%g: CDF(quantile) = %.12g", p, back)
+		}
+	}
+}
+
+func TestResponseTimeQuantileValidation(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.1, math.NaN()} {
+		if _, err := ResponseTimeQuantile(2, 0.5, 1, bad); err == nil {
+			t.Errorf("p=%g should fail", bad)
+		}
+	}
+	if _, err := ResponseTimeQuantile(2, 1.5, 1, 0.5); err == nil {
+		t.Error("unstable ρ should fail")
+	}
+}
+
+func TestResponseTimeQuantileMM1ClosedForm(t *testing.T) {
+	// M/M/1: q_p = −x̄ ln(1−p)/(1−ρ).
+	rho, xbar, p := 0.6, 1.5, 0.95
+	q, err := ResponseTimeQuantile(1, rho, xbar, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -xbar * math.Log(1-p) / (1 - rho)
+	if !numeric.WithinTol(q, want, 1e-9, 1e-9) {
+		t.Fatalf("q = %.12g, want %.12g", q, want)
+	}
+}
+
+// Property: quantiles are monotone in p and at least the service-time
+// quantile (waiting only adds).
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(mSeed uint8, rhoSeed, pSeed float64) bool {
+		m := 1 + int(mSeed%12)
+		rho := 0.05 + 0.9*math.Abs(math.Mod(rhoSeed, 1))
+		p := 0.05 + 0.85*math.Abs(math.Mod(pSeed, 1))
+		q1, err1 := ResponseTimeQuantile(m, rho, 1, p)
+		q2, err2 := ResponseTimeQuantile(m, rho, 1, p+0.05)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		serviceQ := -math.Log(1 - p) // Exp(1) quantile
+		return q2 >= q1-1e-12 && q1 >= serviceQ-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualRatesBranch(t *testing.T) {
+	// θ = μ ⇔ m(1−ρ) = 1; e.g. m=2, ρ=0.5. The Gamma(2) branch must
+	// connect continuously with the hypoexponential one.
+	v1, err := ResponseTimeCDF(2, 0.5, 1, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := ResponseTimeCDF(2, 0.5000001, 1, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1-v2) > 1e-5 {
+		t.Fatalf("branch discontinuity: %.10g vs %.10g", v1, v2)
+	}
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunWithoutSimulation(t *testing.T) {
+	r, err := Run(Options{Points: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed() {
+		for _, c := range r.Checks {
+			if !c.Passed {
+				t.Errorf("check failed: %s — %s", c.Name, c.Detail)
+			}
+		}
+	}
+	// Analytical audit: 2 tables + KKT + 2 theorems + 4 figure claims.
+	if len(r.Checks) != 9 {
+		t.Fatalf("%d checks, want 9", len(r.Checks))
+	}
+	if r.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}
+
+func TestRunWithSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	r, err := Run(Options{Points: 5, Simulate: true, SimHorizon: 8000, SimReps: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Checks) != 12 {
+		t.Fatalf("%d checks, want 12", len(r.Checks))
+	}
+	if !r.Passed() {
+		for _, c := range r.Checks {
+			if !c.Passed {
+				t.Errorf("check failed: %s — %s", c.Name, c.Detail)
+			}
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	r, err := Run(Options{Points: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Reproduction audit", "ALL CHECKS PASSED", "Table 1 digits", "Theorem 3", "| ✅ |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFailedReportRenders(t *testing.T) {
+	r := &Report{Checks: []Check{{Name: "x", Passed: false, Detail: "boom"}}}
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SOME CHECKS FAILED") || !strings.Contains(buf.String(), "❌") {
+		t.Fatalf("failure not rendered:\n%s", buf.String())
+	}
+	if r.Passed() {
+		t.Fatal("Passed() should be false")
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}
+	if o.simHorizon() != 20000 || o.simReps() != 8 || o.points() != 7 {
+		t.Fatalf("defaults: %g %d %d", o.simHorizon(), o.simReps(), o.points())
+	}
+}

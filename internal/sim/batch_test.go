@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+func TestBatchMeansSingleRunCI(t *testing.T) {
+	// A single long run with batch means should produce a valid CI
+	// around the analytic mean, despite autocorrelated sojourn times.
+	m, speed, rho := 2, 1.0, 0.7
+	lambda := rho * float64(m) * speed
+	cfg := Config{
+		Group: singleStation(m, speed, 0), Discipline: queueing.FCFS,
+		GenericRate: lambda, Dispatcher: toOnly{},
+		Horizon: 300000, Warmup: 3000, Seed: 19, BatchSize: 5000,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GenericBatches == nil {
+		t.Fatal("batches not accumulated")
+	}
+	if res.GenericBatches.Batches() < 30 {
+		t.Fatalf("only %d batches", res.GenericBatches.Batches())
+	}
+	iv, err := res.GenericBatches.Interval(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queueing.ResponseTime(m, rho, 1/speed)
+	if !iv.Contains(want) {
+		t.Fatalf("99%% batch-means CI %v misses analytic %.4f", iv, want)
+	}
+	if iv.HalfWidth <= 0 || iv.HalfWidth > 0.2*want {
+		t.Fatalf("implausible half width %g", iv.HalfWidth)
+	}
+}
+
+func TestBatchMeansDisabledByDefault(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(1, 1, 0), GenericRate: 0.5,
+		Dispatcher: toOnly{}, Horizon: 1000, Seed: 1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GenericBatches != nil {
+		t.Fatal("batches should be nil when BatchSize is 0")
+	}
+}
+
+func TestBatchSizeNegativeIgnored(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(1, 1, 0), GenericRate: 0.5,
+		Dispatcher: toOnly{}, Horizon: 1000, Seed: 1, BatchSize: -5,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GenericBatches != nil {
+		t.Fatal("negative batch size should disable batching")
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+// TestFiniteRoomAgainstMMmK validates the capacity-bounded simulator
+// against the exact M/M/m/K solution: blocking probability and the
+// response time of accepted tasks.
+func TestFiniteRoomAgainstMMmK(t *testing.T) {
+	m, k := 2, 6
+	lambda := 2.4 // offered ρ = 1.2: overloaded, blocking is material
+	cfg := Config{
+		Group: singleStation(m, 1, 0), Discipline: queueing.FCFS,
+		GenericRate: lambda, Dispatcher: toOnly{},
+		Horizon: 200000, Warmup: 2000, Seed: 33, QueueCapacity: k,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := queueing.SolveMMmK(m, k, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBlock := float64(res.BlockedGeneric) / float64(res.ArrivedGeneric)
+	if math.Abs(gotBlock-want.Blocking) > 0.01 {
+		t.Fatalf("blocking %.4f vs analytic %.4f", gotBlock, want.Blocking)
+	}
+	gotT := res.GenericResponse.Mean()
+	if math.Abs(gotT-want.ResponseTime)/want.ResponseTime > 0.03 {
+		t.Fatalf("accepted-task T %.4f vs analytic %.4f", gotT, want.ResponseTime)
+	}
+	// Throughput of accepted tasks matches λ(1−B).
+	gotRate := float64(res.CompletedGeneric) / (cfg.Horizon - cfg.Warmup)
+	if math.Abs(gotRate-want.EffectiveRate)/want.EffectiveRate > 0.03 {
+		t.Fatalf("effective rate %.4f vs analytic %.4f", gotRate, want.EffectiveRate)
+	}
+}
+
+func TestFiniteRoomStableSystemRarelyBlocks(t *testing.T) {
+	// Generous room on a stable station: blocking ≈ analytic tiny value.
+	cfg := Config{
+		Group: singleStation(4, 1, 0), Discipline: queueing.FCFS,
+		GenericRate: 2.0, Dispatcher: toOnly{}, // ρ = 0.5
+		Horizon: 50000, Warmup: 500, Seed: 35, QueueCapacity: 40,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockedGeneric > res.ArrivedGeneric/1000 {
+		t.Fatalf("blocked %d of %d on a lightly loaded bounded station",
+			res.BlockedGeneric, res.ArrivedGeneric)
+	}
+}
+
+func TestUnboundedNeverBlocks(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(1, 1, 0.3), Discipline: queueing.FCFS,
+		GenericRate: 0.5, Dispatcher: toOnly{}, Horizon: 20000, Seed: 37,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockedGeneric != 0 || res.BlockedSpecial != 0 {
+		t.Fatalf("unbounded run blocked %d/%d", res.BlockedGeneric, res.BlockedSpecial)
+	}
+}
+
+func TestHistogramCapture(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(1, 1, 0), Discipline: queueing.FCFS,
+		GenericRate: 0.5, Dispatcher: toOnly{},
+		Horizon: 50000, Warmup: 500, Seed: 39,
+		HistogramBins: 50, HistogramMax: 20,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.GenericHistogram
+	if h == nil {
+		t.Fatal("histogram not captured")
+	}
+	if h.Total() != res.CompletedGeneric {
+		t.Fatalf("histogram total %d vs completed %d", h.Total(), res.CompletedGeneric)
+	}
+	// M/M/1 sojourn mean 2: the histogram mean must agree with the
+	// Welford mean exactly (same observations).
+	if math.Abs(h.Mean()-res.GenericResponse.Mean()) > 1e-12 {
+		t.Fatalf("histogram mean %.6f vs accumulator %.6f", h.Mean(), res.GenericResponse.Mean())
+	}
+	// The modal mass must be in the early bins for a sojourn starting
+	// at Exp-like shape.
+	if h.Count(0)+h.Count(1)+h.Count(2) == 0 {
+		t.Fatal("no mass in the early bins")
+	}
+	// Default: no histogram.
+	cfg.HistogramBins = 0
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.GenericHistogram != nil {
+		t.Fatal("histogram should be nil by default")
+	}
+}

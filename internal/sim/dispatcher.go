@@ -1,0 +1,31 @@
+package sim
+
+import "math/rand"
+
+// StationView is the dispatcher-visible snapshot of one station at a
+// generic-task arrival instant.
+type StationView struct {
+	// Index identifies the station (0-based).
+	Index int
+	// Blades is the station size m_i.
+	Blades int
+	// Speed is the blade speed s_i.
+	Speed float64
+	// ServiceMean is x̄_i = r̄/s_i for the configured workload.
+	ServiceMean float64
+	// Busy is the number of blades currently serving.
+	Busy int
+	// QueueLen is the number of waiting tasks (both classes).
+	QueueLen int
+}
+
+// Dispatcher routes each arriving generic task to a station. Pick is
+// called once per generic arrival with fresh views; it must return a
+// valid station index. Implementations must be deterministic given the
+// supplied rng.
+type Dispatcher interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick selects the station for the arriving task.
+	Pick(views []StationView, rng *rand.Rand) int
+}

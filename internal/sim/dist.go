@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ServiceDistribution draws task execution requirements. The paper
+// assumes exponential requirements (the M in M/M/m); the alternatives
+// here let the simulator quantify how sensitive the optimized system is
+// to that assumption — deterministic and Erlang-k are smoother
+// (SCV < 1), hyperexponential is burstier (SCV > 1). All samples have
+// the requested mean.
+type ServiceDistribution interface {
+	// Name identifies the distribution in reports.
+	Name() string
+	// SCV returns the squared coefficient of variation Var/mean².
+	SCV() float64
+	// Sample draws one requirement with the given mean.
+	Sample(rng *rand.Rand, mean float64) float64
+}
+
+// Exponential is the paper's assumption: SCV 1.
+type Exponential struct{}
+
+// Name implements ServiceDistribution.
+func (Exponential) Name() string { return "exponential" }
+
+// SCV implements ServiceDistribution.
+func (Exponential) SCV() float64 { return 1 }
+
+// Sample implements ServiceDistribution.
+func (Exponential) Sample(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// Deterministic issues constant requirements: SCV 0, the smoothest
+// workload (think fixed-size transcoding chunks).
+type Deterministic struct{}
+
+// Name implements ServiceDistribution.
+func (Deterministic) Name() string { return "deterministic" }
+
+// SCV implements ServiceDistribution.
+func (Deterministic) SCV() float64 { return 0 }
+
+// Sample implements ServiceDistribution.
+func (Deterministic) Sample(_ *rand.Rand, mean float64) float64 { return mean }
+
+// ErlangK is the sum of K exponential phases: SCV 1/K, interpolating
+// between exponential (K=1) and deterministic (K→∞).
+type ErlangK struct {
+	// K is the phase count (≥ 1).
+	K int
+}
+
+// Name implements ServiceDistribution.
+func (e ErlangK) Name() string { return fmt.Sprintf("erlang-%d", e.K) }
+
+// SCV implements ServiceDistribution.
+func (e ErlangK) SCV() float64 { return 1 / float64(e.K) }
+
+// Sample implements ServiceDistribution.
+func (e ErlangK) Sample(rng *rand.Rand, mean float64) float64 {
+	var sum float64
+	for i := 0; i < e.K; i++ {
+		sum += rng.ExpFloat64()
+	}
+	return sum * mean / float64(e.K)
+}
+
+// HyperExp2 is a two-phase hyperexponential with balanced means: with
+// probability P1 the task is "small" (rate R1), otherwise "large"
+// (rate R2), both rates normalized to unit mean. SCV > 1 models bursty
+// mixes of short interactive requests and long batch jobs.
+type HyperExp2 struct {
+	P1, R1, R2 float64
+	scv        float64
+}
+
+// NewHyperExp builds a balanced-means two-phase hyperexponential with
+// the requested SCV > 1.
+func NewHyperExp(scv float64) (*HyperExp2, error) {
+	if scv <= 1 || math.IsNaN(scv) || math.IsInf(scv, 0) {
+		return nil, fmt.Errorf("sim: hyperexponential needs SCV > 1, got %g", scv)
+	}
+	p1 := (1 + math.Sqrt((scv-1)/(scv+1))) / 2
+	return &HyperExp2{P1: p1, R1: 2 * p1, R2: 2 * (1 - p1), scv: scv}, nil
+}
+
+// Name implements ServiceDistribution.
+func (h *HyperExp2) Name() string { return fmt.Sprintf("hyperexp(scv=%.3g)", h.scv) }
+
+// SCV implements ServiceDistribution.
+func (h *HyperExp2) SCV() float64 { return h.scv }
+
+// Sample implements ServiceDistribution.
+func (h *HyperExp2) Sample(rng *rand.Rand, mean float64) float64 {
+	if rng.Float64() < h.P1 {
+		return rng.ExpFloat64() / h.R1 * mean
+	}
+	return rng.ExpFloat64() / h.R2 * mean
+}
+
+// validateDistribution checks implementation-specific invariants that
+// Config.validate applies when a non-default distribution is set.
+func validateDistribution(d ServiceDistribution) error {
+	if d == nil {
+		return nil
+	}
+	if e, ok := d.(ErlangK); ok && e.K < 1 {
+		return fmt.Errorf("sim: Erlang needs K ≥ 1, got %d", e.K)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/queueing"
+)
+
+// checkMoments samples a distribution and verifies mean and SCV.
+func checkMoments(t *testing.T, d ServiceDistribution, mean float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var w metrics.Welford
+	for i := 0; i < 400000; i++ {
+		x := d.Sample(rng, mean)
+		if x < 0 {
+			t.Fatalf("%s: negative sample %g", d.Name(), x)
+		}
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-mean)/mean > 0.01 {
+		t.Errorf("%s: sample mean %.4f, want %.4f", d.Name(), w.Mean(), mean)
+	}
+	scv := w.Variance() / (w.Mean() * w.Mean())
+	want := d.SCV()
+	tol := 0.02 + 0.05*want
+	if math.Abs(scv-want) > tol {
+		t.Errorf("%s: sample SCV %.4f, want %.4f", d.Name(), scv, want)
+	}
+}
+
+func TestDistributionMoments(t *testing.T) {
+	h4, err := NewHyperExp(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h16, err := NewHyperExp(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []ServiceDistribution{
+		Exponential{}, Deterministic{}, ErlangK{K: 2}, ErlangK{K: 8}, h4, h16,
+	} {
+		checkMoments(t, d, 1.0)
+		checkMoments(t, d, 2.5)
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	h, _ := NewHyperExp(4)
+	for _, d := range []ServiceDistribution{Exponential{}, Deterministic{}, ErlangK{K: 3}, h} {
+		if d.Name() == "" {
+			t.Errorf("%T has empty name", d)
+		}
+	}
+	if (ErlangK{K: 3}).SCV() != 1.0/3 {
+		t.Error("Erlang-3 SCV")
+	}
+}
+
+func TestNewHyperExpValidation(t *testing.T) {
+	for _, bad := range []float64{1, 0.5, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewHyperExp(bad); err == nil {
+			t.Errorf("SCV %g should fail", bad)
+		}
+	}
+}
+
+func TestErlangValidationInConfig(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(1, 1, 0), GenericRate: 0.5, Dispatcher: toOnly{},
+		Horizon: 10, Service: ErlangK{K: 0},
+	}
+	if err := cfg.validate(); err == nil {
+		t.Fatal("Erlang K=0 should fail validation")
+	}
+}
+
+func TestMD1AgainstPollaczekKhinchine(t *testing.T) {
+	// M/D/1: the Allen–Cunneen form is exact (P-K with SCV 0).
+	rho := 0.7
+	cfg := Config{
+		Group: singleStation(1, 1, 0), Discipline: queueing.FCFS,
+		GenericRate: rho, Dispatcher: toOnly{}, Horizon: 300000, Warmup: 3000,
+		Seed: 5, Service: Deterministic{},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWait, err := queueing.MGmWait(1, rho, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + wantWait
+	got := res.GenericResponse.Mean()
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("M/D/1 T = %.4f, P-K gives %.4f", got, want)
+	}
+}
+
+func TestMDmAgainstAllenCunneen(t *testing.T) {
+	// M/D/4: Allen–Cunneen is approximate; simulation should land
+	// within a few percent and clearly below the exponential value.
+	m, rho := 4, 0.8
+	cfg := Config{
+		Group: singleStation(m, 1, 0), Discipline: queueing.FCFS,
+		GenericRate: rho * float64(m), Dispatcher: toOnly{},
+		Horizon: 200000, Warmup: 2000, Seed: 7, Service: Deterministic{},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxWait, err := queueing.MGmWait(m, rho, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.GenericResponse.Mean()
+	want := 1 + approxWait
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("M/D/4 T = %.4f, Allen–Cunneen gives %.4f", got, want)
+	}
+	expT := queueing.ResponseTime(m, rho, 1)
+	if got >= expT {
+		t.Fatalf("deterministic service (%.4f) should beat exponential (%.4f)", got, expT)
+	}
+}
+
+func TestHyperExpIncreasesWait(t *testing.T) {
+	// Bursty service (SCV 4) should wait roughly (1+4)/2 = 2.5× the
+	// exponential wait; verify direction and rough magnitude.
+	m, rho := 2, 0.7
+	h, err := NewHyperExp(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Group: singleStation(m, 1, 0), Discipline: queueing.FCFS,
+		GenericRate: rho * float64(m), Dispatcher: toOnly{},
+		Horizon: 400000, Warmup: 4000, Seed: 11, Service: h,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotWait := res.GenericResponse.Mean() - 1
+	expWait := queueing.WaitTime(m, rho, 1)
+	ratio := gotWait / expWait
+	if ratio < 1.8 || ratio > 3.2 {
+		t.Fatalf("hyperexp wait ratio %.2f, expected near 2.5", ratio)
+	}
+	approxWait, err := queueing.MGmWait(m, rho, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotWait-approxWait)/approxWait > 0.25 {
+		t.Fatalf("hyperexp wait %.4f vs Allen–Cunneen %.4f", gotWait, approxWait)
+	}
+}
+
+func TestErlangServiceBetweenDetAndExp(t *testing.T) {
+	m, rho := 2, 0.75
+	run := func(d ServiceDistribution) float64 {
+		res, err := Run(Config{
+			Group: singleStation(m, 1, 0), Discipline: queueing.FCFS,
+			GenericRate: rho * float64(m), Dispatcher: toOnly{},
+			Horizon: 150000, Warmup: 2000, Seed: 13, Service: d,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GenericResponse.Mean()
+	}
+	det := run(Deterministic{})
+	erl := run(ErlangK{K: 4})
+	exp := run(Exponential{})
+	if !(det < erl && erl < exp) {
+		t.Fatalf("expected det < erlang4 < exp, got %.4f, %.4f, %.4f", det, erl, exp)
+	}
+}
+
+func TestOptimalAllocationRobustToServiceDistribution(t *testing.T) {
+	// The optimizer assumes exponential service; with deterministic
+	// service the realized T′ should only improve (less variance).
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	g := singleStation(3, 1.2, 1.0)
+	genRate := 0.5 * g.MaxGenericRate()
+	base := Config{
+		Group: g, Discipline: queueing.FCFS, GenericRate: genRate,
+		Dispatcher: toOnly{}, Horizon: 100000, Warmup: 2000, Seed: 17,
+	}
+	expRes, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := base
+	det.Service = Deterministic{}
+	detRes, err := Run(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detRes.GenericResponse.Mean() >= expRes.GenericResponse.Mean() {
+		t.Fatalf("deterministic workload should not be slower: %.4f vs %.4f",
+			detRes.GenericResponse.Mean(), expRes.GenericResponse.Mean())
+	}
+}

@@ -1,0 +1,22 @@
+// Package sim is a discrete-event simulator of the paper's blade-server
+// group. The paper is purely analytical — it evaluates its model with
+// numerical examples, not a real system — so this simulator is the
+// closest executable substrate: it generates the exact stochastic
+// assumptions of the model (Poisson arrivals, exponentially distributed
+// task requirements, m_i-blade stations, FCFS or non-preemptive
+// priority scheduling) and measures the response times the formulas
+// predict.
+//
+// The simulator serves two roles:
+//
+//  1. Validation: every analytic quantity (T′_i, W″, optimal T′) is
+//     checked against simulation with confidence intervals.
+//  2. A systems substrate: the dispatcher interface lets online
+//     policies (probabilistic splitting with the optimal rates, round
+//     robin, join-shortest-queue, …) be exercised on a live task
+//     stream, which is how a downstream user would deploy the paper's
+//     result.
+//
+// Runs are deterministic given a seed. Replications execute in
+// parallel, one goroutine per replication, bounded by GOMAXPROCS.
+package sim

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+// Config describes one simulation scenario.
+type Config struct {
+	// Group is the blade-server system to simulate.
+	Group *model.Group
+	// Discipline selects FCFS or priority scheduling of special tasks.
+	Discipline queueing.Discipline
+	// GenericRate is the total generic arrival rate λ′. Zero disables
+	// the generic stream (special-only runs are allowed).
+	GenericRate float64
+	// Dispatcher routes generic tasks. Required when GenericRate > 0.
+	Dispatcher Dispatcher
+	// Horizon is the simulated duration. Must be positive.
+	Horizon float64
+	// Warmup drops observations from tasks arriving before this time,
+	// removing initial-transient bias. Must be < Horizon.
+	Warmup float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// Service draws task execution requirements for both classes.
+	// Nil means Exponential (the paper's M/M/m assumption); set
+	// Deterministic, ErlangK, or HyperExp2 to probe how the optimized
+	// system behaves when the assumption is violated.
+	Service ServiceDistribution
+	// BatchSize, when positive, additionally accumulates generic
+	// response times into batch means of this size, enabling a valid
+	// single-run confidence interval despite the autocorrelation of
+	// consecutive sojourn times (see RunResult.GenericBatches).
+	BatchSize int
+	// QueueCapacity, when positive, bounds every station at that many
+	// tasks in system (waiting + in service): arrivals finding a full
+	// station are dropped and counted in RunResult.Blocked*. This is
+	// the M/M/m/K regime of queueing.SolveMMmK; zero keeps the paper's
+	// infinite waiting rooms.
+	QueueCapacity int
+	// HistogramBins/HistogramMax, when both positive, record generic
+	// response times into a fixed-bin histogram over [0, HistogramMax)
+	// (see RunResult.GenericHistogram).
+	HistogramBins int
+	HistogramMax  float64
+}
+
+// service returns the configured distribution or the default.
+func (c Config) service() ServiceDistribution {
+	if c.Service == nil {
+		return Exponential{}
+	}
+	return c.Service
+}
+
+func (c Config) validate() error {
+	if c.Group == nil {
+		return fmt.Errorf("sim: nil group")
+	}
+	if err := c.Group.Validate(); err != nil {
+		return err
+	}
+	if !c.Discipline.Valid() {
+		return fmt.Errorf("sim: unknown discipline %d", int(c.Discipline))
+	}
+	if c.GenericRate < 0 || math.IsNaN(c.GenericRate) {
+		return fmt.Errorf("sim: generic rate %g must be non-negative", c.GenericRate)
+	}
+	if c.GenericRate > 0 && c.Dispatcher == nil {
+		return fmt.Errorf("sim: generic rate %g requires a dispatcher", c.GenericRate)
+	}
+	if c.Horizon <= 0 || math.IsNaN(c.Horizon) {
+		return fmt.Errorf("sim: horizon %g must be positive", c.Horizon)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Horizon {
+		return fmt.Errorf("sim: warmup %g must be in [0, horizon)", c.Warmup)
+	}
+	if err := validateDistribution(c.Service); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunResult reports one simulation run.
+type RunResult struct {
+	// GenericResponse accumulates response times of generic tasks that
+	// arrived after warmup and completed before the horizon.
+	GenericResponse metrics.Welford
+	// SpecialResponse is the same for special tasks.
+	SpecialResponse metrics.Welford
+	// GenericP95 estimates the 95th percentile of generic response
+	// times (P² streaming estimator).
+	GenericP95 float64
+	// GenericBatches holds batch means of generic response times when
+	// Config.BatchSize > 0 (nil otherwise); use its Interval method
+	// for a single-run confidence interval.
+	GenericBatches *metrics.BatchMeans
+	// GenericHistogram bins generic response times when configured
+	// (nil otherwise).
+	GenericHistogram *metrics.Histogram
+	// PerStationGeneric holds generic response-time accumulators per
+	// station.
+	PerStationGeneric []metrics.Welford
+	// Utilizations are measured per-blade utilizations over the run.
+	Utilizations []float64
+	// ArrivedGeneric / ArrivedSpecial count post-warmup arrivals.
+	ArrivedGeneric, ArrivedSpecial int64
+	// CompletedGeneric / CompletedSpecial count recorded completions.
+	CompletedGeneric, CompletedSpecial int64
+	// BlockedGeneric / BlockedSpecial count post-warmup arrivals
+	// dropped by full stations (only with Config.QueueCapacity > 0).
+	BlockedGeneric, BlockedSpecial int64
+	// Clock is the final simulation time (= horizon).
+	Clock float64
+}
+
+// Run executes one simulation run and returns its statistics.
+func Run(cfg Config) (*RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	svc := cfg.service()
+	g := cfg.Group
+	n := g.N()
+	cal := newCalendar()
+
+	stations := make([]*station, n)
+	for i, s := range g.Servers {
+		stations[i] = &station{index: i, blades: s.Size, speed: s.Speed, discipline: cfg.Discipline}
+		if s.SpecialRate > 0 {
+			cal.schedule(event{time: rng.ExpFloat64() / s.SpecialRate, kind: evSpecialArrival, station: i})
+		}
+	}
+	if cfg.GenericRate > 0 {
+		cal.schedule(event{time: rng.ExpFloat64() / cfg.GenericRate, kind: evGenericArrival})
+	}
+
+	res := &RunResult{
+		PerStationGeneric: make([]metrics.Welford, n),
+		Utilizations:      make([]float64, n),
+	}
+	p95, err := metrics.NewP2Quantile(0.95)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BatchSize > 0 {
+		bm, err := metrics.NewBatchMeans(cfg.BatchSize)
+		if err != nil {
+			return nil, err
+		}
+		res.GenericBatches = bm
+	}
+	if cfg.HistogramBins > 0 && cfg.HistogramMax > 0 {
+		h, err := metrics.NewHistogram(0, cfg.HistogramMax, cfg.HistogramBins)
+		if err != nil {
+			return nil, err
+		}
+		res.GenericHistogram = h
+	}
+	views := make([]StationView, n)
+
+	for {
+		ev, ok := cal.next()
+		if !ok || ev.time > cfg.Horizon {
+			break
+		}
+		now := ev.time
+		switch ev.kind {
+		case evGenericArrival:
+			// Schedule the next generic arrival first (Poisson stream).
+			cal.schedule(event{time: now + rng.ExpFloat64()/cfg.GenericRate, kind: evGenericArrival})
+			for i, st := range stations {
+				views[i] = StationView{
+					Index:       i,
+					Blades:      st.blades,
+					Speed:       st.speed,
+					ServiceMean: g.TaskSize / st.speed,
+					Busy:        st.busy,
+					QueueLen:    st.queueLen(),
+				}
+			}
+			target := cfg.Dispatcher.Pick(views, rng)
+			if target < 0 || target >= n {
+				return nil, fmt.Errorf("sim: dispatcher %q picked invalid station %d", cfg.Dispatcher.Name(), target)
+			}
+			t := task{class: Generic, arrival: now, req: svc.Sample(rng, g.TaskSize)}
+			if now >= cfg.Warmup {
+				res.ArrivedGeneric++
+			}
+			if full(stations[target], cfg.QueueCapacity) {
+				if now >= cfg.Warmup {
+					res.BlockedGeneric++
+				}
+				continue
+			}
+			stations[target].admit(t, now, cal)
+
+		case evSpecialArrival:
+			st := stations[ev.station]
+			rate := g.Servers[ev.station].SpecialRate
+			cal.schedule(event{time: now + rng.ExpFloat64()/rate, kind: evSpecialArrival, station: ev.station})
+			t := task{class: Special, arrival: now, req: svc.Sample(rng, g.TaskSize)}
+			if now >= cfg.Warmup {
+				res.ArrivedSpecial++
+			}
+			if full(st, cfg.QueueCapacity) {
+				if now >= cfg.Warmup {
+					res.BlockedSpecial++
+				}
+				continue
+			}
+			st.admit(t, now, cal)
+
+		case evDeparture:
+			st := stations[ev.station]
+			st.depart(now, cal)
+			if ev.task.arrival >= cfg.Warmup {
+				resp := now - ev.task.arrival
+				if ev.task.class == Generic {
+					res.GenericResponse.Add(resp)
+					res.PerStationGeneric[ev.station].Add(resp)
+					p95.Add(resp)
+					if res.GenericBatches != nil {
+						res.GenericBatches.Add(resp)
+					}
+					if res.GenericHistogram != nil {
+						res.GenericHistogram.Add(resp)
+					}
+					res.CompletedGeneric++
+				} else {
+					res.SpecialResponse.Add(resp)
+					res.CompletedSpecial++
+				}
+			}
+		}
+	}
+	for i, st := range stations {
+		res.Utilizations[i] = st.utilization(cfg.Horizon)
+	}
+	res.GenericP95 = p95.Value()
+	res.Clock = cfg.Horizon
+	return res, nil
+}
+
+// full reports whether a station has reached the capacity bound (0
+// means unbounded, the paper's model).
+func full(st *station, capacity int) bool {
+	if capacity <= 0 {
+		return false
+	}
+	return st.busy+st.queueLen() >= capacity
+}

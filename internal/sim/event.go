@@ -1,0 +1,129 @@
+package sim
+
+import "container/heap"
+
+// Class distinguishes the two task populations of the model.
+type Class int
+
+const (
+	// Generic tasks arrive in one stream and may run on any server.
+	Generic Class = iota
+	// Special tasks are dedicated to one server.
+	Special
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	if c == Special {
+		return "special"
+	}
+	return "generic"
+}
+
+// task is one unit of work flowing through the simulation.
+type task struct {
+	class   Class
+	arrival float64 // absolute arrival time
+	req     float64 // execution requirement (instructions)
+}
+
+// eventKind discriminates scheduler events.
+type eventKind int
+
+const (
+	evGenericArrival eventKind = iota // next generic-stream arrival
+	evSpecialArrival                  // next special-stream arrival at .station
+	evDeparture                       // task completes on a blade of .station
+)
+
+// event is a scheduled occurrence. Departure events carry the finishing
+// task so its response time can be recorded.
+type event struct {
+	time    float64
+	kind    eventKind
+	station int
+	task    task
+	seq     uint64 // FIFO tie-break for equal times
+}
+
+// eventHeap is a min-heap on (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// calendar wraps the heap with sequence numbering.
+type calendar struct {
+	h   eventHeap
+	seq uint64
+}
+
+func newCalendar() *calendar {
+	c := &calendar{h: make(eventHeap, 0, 1024)}
+	heap.Init(&c.h)
+	return c
+}
+
+func (c *calendar) schedule(e event) {
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.h, e)
+}
+
+func (c *calendar) next() (event, bool) {
+	if len(c.h) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&c.h).(event), true
+}
+
+func (c *calendar) empty() bool { return len(c.h) == 0 }
+
+// peekTime returns the time of the earliest scheduled event; ok is
+// false when the calendar is empty.
+func (c *calendar) peekTime() (float64, bool) {
+	if len(c.h) == 0 {
+		return 0, false
+	}
+	return c.h[0].time, true
+}
+
+// fifo is an allocation-friendly FIFO queue of tasks backed by a
+// sliding window over a slice.
+type fifo struct {
+	buf  []task
+	head int
+}
+
+func (q *fifo) push(t task) { q.buf = append(q.buf, t) }
+
+func (q *fifo) pop() (task, bool) {
+	if q.head >= len(q.buf) {
+		return task{}, false
+	}
+	t := q.buf[q.head]
+	q.head++
+	// Compact once the dead prefix dominates, amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return t, true
+}
+
+func (q *fifo) len() int { return len(q.buf) - q.head }

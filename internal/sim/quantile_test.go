@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+// TestP95MatchesAnalyticQuantile validates the simulator's streaming
+// P95 against the exact M/M/m sojourn-time quantile for several
+// station shapes — the distributional counterpart of the mean-value
+// checks.
+func TestP95MatchesAnalyticQuantile(t *testing.T) {
+	cases := []struct {
+		m     int
+		speed float64
+		rho   float64
+	}{
+		{1, 1.0, 0.5},
+		{2, 1.3, 0.7},
+		{6, 0.9, 0.8},
+	}
+	for _, c := range cases {
+		lambda := c.rho * float64(c.m) * c.speed
+		cfg := Config{
+			Group: singleStation(c.m, c.speed, 0), Discipline: queueing.FCFS,
+			GenericRate: lambda, Dispatcher: toOnly{},
+			Horizon: 150000, Warmup: 2000, Seed: 61,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := queueing.ResponseTimeQuantile(c.m, c.rho, 1/c.speed, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.GenericP95-want) / want; rel > 0.05 {
+			t.Errorf("m=%d ρ=%g: simulated P95 %.4f vs analytic %.4f (rel %.3f)",
+				c.m, c.rho, res.GenericP95, want, rel)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/trace"
+)
+
+func TestReplayValidation(t *testing.T) {
+	g := singleStation(2, 1, 0.5)
+	tr, err := trace.Generate(trace.Config{Group: g, GenericRate: 1, Horizon: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := ReplayConfig{Group: g, Trace: tr, Dispatcher: toOnly{}}
+	if _, err := Replay(ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ReplayConfig{
+		{Trace: tr, Dispatcher: toOnly{}}, // nil group
+		{Group: g},                        // nil trace
+		{Group: g, Trace: tr},             // generic arrivals, no dispatcher
+		{Group: g, Trace: tr, Dispatcher: toOnly{}, Warmup: tr.Horizon + 1}, // warmup too large
+		{Group: g, Trace: tr, Dispatcher: toOnly{}, Discipline: queueing.Discipline(9)},
+	}
+	for i, c := range bad {
+		if _, err := Replay(c); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Trace referencing a station the group lacks.
+	small := singleStation(1, 1, 0)
+	two := &model.Group{Servers: []model.Server{
+		{Size: 1, Speed: 1, SpecialRate: 0.2},
+		{Size: 1, Speed: 1, SpecialRate: 0.2},
+	}, TaskSize: 1}
+	tr2, err := trace.Generate(trace.Config{Group: two, GenericRate: 0, Horizon: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(ReplayConfig{Group: small, Trace: tr2}); err == nil {
+		t.Error("trace with out-of-range station should fail")
+	}
+	if _, err := Replay(ReplayConfig{Group: small, Trace: tr, Dispatcher: invalid{}}); err == nil {
+		t.Error("invalid dispatcher target should fail")
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	g := singleStation(3, 1.2, 0.8)
+	tr, err := trace.Generate(trace.Config{Group: g, GenericRate: 1.5, Horizon: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ReplayConfig{Group: g, Trace: tr, Dispatcher: toOnly{}, Warmup: 100, Seed: 4}
+	a, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GenericResponse.Mean() != b.GenericResponse.Mean() ||
+		a.CompletedGeneric != b.CompletedGeneric ||
+		a.CompletedSpecial != b.CompletedSpecial {
+		t.Fatal("replay should be deterministic")
+	}
+}
+
+func TestReplayMatchesTheory(t *testing.T) {
+	// Replaying a generated trace must agree with queueing theory just
+	// like the live engine does.
+	m, speed := 2, 1.0
+	genRate, speRate := 0.7, 0.5
+	g := singleStation(m, speed, speRate)
+	tr, err := trace.Generate(trace.Config{Group: g, GenericRate: genRate, Horizon: 200000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(ReplayConfig{Group: g, Trace: tr, Dispatcher: toOnly{}, Warmup: 2000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := (genRate + speRate) / (float64(m) * speed)
+	want := queueing.ResponseTime(m, rho, 1/speed)
+	got := res.GenericResponse.Mean()
+	if math.Abs(got-want)/want > 0.04 {
+		t.Fatalf("replayed T = %.4f, theory %.4f", got, want)
+	}
+	if math.Abs(res.Utilizations[0]-rho) > 0.02 {
+		t.Fatalf("replayed ρ = %.4f, want %.4f", res.Utilizations[0], rho)
+	}
+}
+
+func TestReplayPriorityDiscipline(t *testing.T) {
+	g := singleStation(2, 1, 0.6)
+	tr, err := trace.Generate(trace.Config{Group: g, GenericRate: 0.6, Horizon: 100000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(ReplayConfig{
+		Group: g, Trace: tr, Discipline: queueing.Priority,
+		Dispatcher: toOnly{}, Warmup: 1000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecialResponse.Mean() >= res.GenericResponse.Mean() {
+		t.Fatalf("priority should favor specials: special %.4f vs generic %.4f",
+			res.SpecialResponse.Mean(), res.GenericResponse.Mean())
+	}
+}
+
+func TestReplaySpecialOnlyTrace(t *testing.T) {
+	g := singleStation(2, 1, 0.9)
+	tr, err := trace.Generate(trace.Config{Group: g, GenericRate: 0, Horizon: 10000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No dispatcher needed when the trace has no generic arrivals.
+	res, err := Replay(ReplayConfig{Group: g, Trace: tr, Warmup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedGeneric != 0 || res.CompletedSpecial == 0 {
+		t.Fatalf("generic=%d special=%d", res.CompletedGeneric, res.CompletedSpecial)
+	}
+}
+
+func TestReplayAgreesWithLiveEngineStatistically(t *testing.T) {
+	// Live generation and trace replay of the same scenario must agree
+	// on the mean response time (they use different RNG consumption
+	// orders, so only statistical agreement is expected).
+	g := singleStation(4, 1.3, 1.5)
+	genRate := 2.0
+	live, err := Run(Config{
+		Group: g, GenericRate: genRate, Dispatcher: toOnly{},
+		Horizon: 150000, Warmup: 2000, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(trace.Config{Group: g, GenericRate: genRate, Horizon: 150000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(ReplayConfig{Group: g, Trace: tr, Dispatcher: toOnly{}, Warmup: 2000, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := live.GenericResponse.Mean(), rep.GenericResponse.Mean()
+	if math.Abs(a-b)/a > 0.05 {
+		t.Fatalf("live %.4f vs replay %.4f diverge", a, b)
+	}
+}

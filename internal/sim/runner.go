@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// RepResult aggregates independent replications of one scenario.
+type RepResult struct {
+	// GenericT is the confidence interval over per-replication mean
+	// generic response times — the simulated counterpart of the
+	// paper's T′.
+	GenericT metrics.Interval
+	// SpecialT is the same for special tasks.
+	SpecialT metrics.Interval
+	// Utilizations are per-station utilizations averaged across
+	// replications.
+	Utilizations []float64
+	// Replications is the number of runs aggregated.
+	Replications int
+	// Runs holds the individual run results, in replication order.
+	Runs []*RunResult
+}
+
+// RunReplications executes reps independent replications of cfg in
+// parallel (seeds cfg.Seed, cfg.Seed+1, …) and aggregates them into
+// confidence intervals at the given confidence level. Parallelism is
+// bounded by GOMAXPROCS; results are deterministic regardless of
+// scheduling because each replication is seeded independently.
+func RunReplications(cfg Config, reps int, confidence float64) (*RepResult, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("sim: replications %d must be ≥ 1", reps)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	runs := make([]*RunResult, reps)
+	errs := make([]error, reps)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > reps {
+		workers = reps
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)
+				runs[i], errs[i] = Run(c)
+			}
+		}()
+	}
+	for i := 0; i < reps; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var genMeans, speMeans metrics.Welford
+	utils := make([]float64, cfg.Group.N())
+	for _, r := range runs {
+		if r.GenericResponse.Count() > 0 {
+			genMeans.Add(r.GenericResponse.Mean())
+		}
+		if r.SpecialResponse.Count() > 0 {
+			speMeans.Add(r.SpecialResponse.Mean())
+		}
+		for i, u := range r.Utilizations {
+			utils[i] += u / float64(reps)
+		}
+	}
+	genIv, err := metrics.ConfidenceInterval(&genMeans, confidence)
+	if err != nil {
+		return nil, err
+	}
+	speIv, err := metrics.ConfidenceInterval(&speMeans, confidence)
+	if err != nil {
+		return nil, err
+	}
+	return &RepResult{
+		GenericT:     genIv,
+		SpecialT:     speIv,
+		Utilizations: utils,
+		Replications: reps,
+		Runs:         runs,
+	}, nil
+}

@@ -1,0 +1,372 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+// toOnly routes every generic task to one station.
+type toOnly struct{ idx int }
+
+func (d toOnly) Name() string                           { return "to-only" }
+func (d toOnly) Pick(v []StationView, _ *rand.Rand) int { return d.idx }
+
+// invalid always returns an out-of-range index.
+type invalid struct{}
+
+func (invalid) Name() string                           { return "invalid" }
+func (invalid) Pick(v []StationView, _ *rand.Rand) int { return len(v) + 3 }
+
+func singleStation(m int, speed, specialRate float64) *model.Group {
+	return &model.Group{
+		Servers:  []model.Server{{Size: m, Speed: speed, SpecialRate: specialRate}},
+		TaskSize: 1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := singleStation(1, 1, 0)
+	ok := Config{Group: g, GenericRate: 0.5, Dispatcher: toOnly{}, Horizon: 10}
+	if err := ok.validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{GenericRate: 1, Dispatcher: toOnly{}, Horizon: 10},                                               // nil group
+		{Group: &model.Group{TaskSize: 1}, GenericRate: 1, Dispatcher: toOnly{}, Horizon: 10},             // invalid group
+		{Group: g, GenericRate: -1, Dispatcher: toOnly{}, Horizon: 10},                                    // negative rate
+		{Group: g, GenericRate: 1, Horizon: 10},                                                           // missing dispatcher
+		{Group: g, GenericRate: 1, Dispatcher: toOnly{}, Horizon: 0},                                      // zero horizon
+		{Group: g, GenericRate: 1, Dispatcher: toOnly{}, Horizon: 10, Warmup: 10},                         // warmup = horizon
+		{Group: g, GenericRate: 1, Dispatcher: toOnly{}, Horizon: 10, Warmup: -1},                         // negative warmup
+		{Group: g, GenericRate: 1, Dispatcher: toOnly{}, Horizon: 10, Discipline: queueing.Discipline(9)}, // bad discipline
+	}
+	for i, c := range bad {
+		if err := c.validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(2, 1, 0.4), Discipline: queueing.FCFS,
+		GenericRate: 0.8, Dispatcher: toOnly{}, Horizon: 2000, Warmup: 200, Seed: 5,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GenericResponse.Mean() != b.GenericResponse.Mean() ||
+		a.CompletedGeneric != b.CompletedGeneric {
+		t.Fatal("same seed should reproduce identical results")
+	}
+	c := cfg
+	c.Seed = 6
+	d, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.GenericResponse.Mean() == a.GenericResponse.Mean() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRunInvalidDispatcherIndex(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(1, 1, 0), GenericRate: 0.5,
+		Dispatcher: invalid{}, Horizon: 100, Seed: 1,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid dispatcher target should error")
+	}
+}
+
+func TestMM1AgainstTheory(t *testing.T) {
+	// Single blade, no specials: T = x̄/(1−ρ) = 1/(1−0.6) = 2.5.
+	cfg := Config{
+		Group: singleStation(1, 1, 0), Discipline: queueing.FCFS,
+		GenericRate: 0.6, Dispatcher: toOnly{}, Horizon: 200000, Warmup: 2000, Seed: 17,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.GenericResponse.Mean()
+	if math.Abs(got-2.5) > 0.08 {
+		t.Fatalf("simulated T = %.4f, theory 2.5", got)
+	}
+	if math.Abs(res.Utilizations[0]-0.6) > 0.02 {
+		t.Fatalf("measured ρ = %.4f, want 0.6", res.Utilizations[0])
+	}
+}
+
+func TestMMmAgainstTheory(t *testing.T) {
+	// m=4 blades at speed 1.3, λ=3.8: ρ = 3.8/(4·1.3) ≈ 0.7308.
+	m, speed, lambda := 4, 1.3, 3.8
+	cfg := Config{
+		Group: singleStation(m, speed, 0), Discipline: queueing.FCFS,
+		GenericRate: lambda, Dispatcher: toOnly{}, Horizon: 100000, Warmup: 2000, Seed: 23,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / (float64(m) * speed)
+	want := queueing.ResponseTime(m, rho, 1/speed)
+	got := res.GenericResponse.Mean()
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("simulated T = %.4f, theory %.4f", got, want)
+	}
+}
+
+func TestMixedFCFSAgainstTheory(t *testing.T) {
+	// Generic + special merged FCFS stream: both classes see the same
+	// M/M/m response time at total ρ (§3 of the paper).
+	m, speed := 3, 1.0
+	genRate, speRate := 1.2, 0.9
+	cfg := Config{
+		Group: singleStation(m, speed, speRate), Discipline: queueing.FCFS,
+		GenericRate: genRate, Dispatcher: toOnly{}, Horizon: 100000, Warmup: 2000, Seed: 31,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := (genRate + speRate) / (float64(m) * speed)
+	want := queueing.ResponseTime(m, rho, 1/speed)
+	if got := res.GenericResponse.Mean(); math.Abs(got-want)/want > 0.04 {
+		t.Fatalf("generic T = %.4f, theory %.4f", got, want)
+	}
+	if got := res.SpecialResponse.Mean(); math.Abs(got-want)/want > 0.04 {
+		t.Fatalf("special T = %.4f, theory %.4f (FCFS treats classes identically)", got, want)
+	}
+}
+
+func TestPriorityAgainstTheorem2(t *testing.T) {
+	// Non-preemptive priority: generic T′ gains the 1/(1−ρ″) factor
+	// (Theorem 2); special waiting time is W″ = P_q x̄/(m(1−ρ″)).
+	m, speed := 2, 1.0
+	genRate, speRate := 0.7, 0.6
+	cfg := Config{
+		Group: singleStation(m, speed, speRate), Discipline: queueing.Priority,
+		GenericRate: genRate, Dispatcher: toOnly{}, Horizon: 300000, Warmup: 3000, Seed: 41,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xbar := 1 / speed
+	rho := (genRate + speRate) * xbar / float64(m)
+	rhoS := speRate * xbar / float64(m)
+	wantGen := queueing.GenericResponseTime(queueing.Priority, m, rho, rhoS, xbar)
+	gotGen := res.GenericResponse.Mean()
+	if math.Abs(gotGen-wantGen)/wantGen > 0.04 {
+		t.Fatalf("generic T′ = %.4f, Theorem 2 gives %.4f", gotGen, wantGen)
+	}
+	wantSpe := xbar + queueing.SpecialWaitTime(m, rho, rhoS, xbar)
+	gotSpe := res.SpecialResponse.Mean()
+	if math.Abs(gotSpe-wantSpe)/wantSpe > 0.04 {
+		t.Fatalf("special T = %.4f, theory %.4f", gotSpe, wantSpe)
+	}
+	// Priority must actually help specials relative to generics.
+	if gotSpe >= gotGen {
+		t.Fatalf("specials (%.4f) should beat generics (%.4f) under priority", gotSpe, gotGen)
+	}
+}
+
+func TestConservationCounts(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(2, 1, 0.5), Discipline: queueing.FCFS,
+		GenericRate: 0.9, Dispatcher: toOnly{}, Horizon: 5000, Warmup: 0, Seed: 3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completions cannot exceed arrivals; the gap is bounded by what
+	// the station can hold plus what's still in flight (loose check:
+	// non-negative and small relative to throughput).
+	if res.CompletedGeneric > res.ArrivedGeneric {
+		t.Fatalf("completed %d > arrived %d", res.CompletedGeneric, res.ArrivedGeneric)
+	}
+	if res.CompletedSpecial > res.ArrivedSpecial {
+		t.Fatalf("completed %d > arrived %d (special)", res.CompletedSpecial, res.ArrivedSpecial)
+	}
+	inFlight := res.ArrivedGeneric - res.CompletedGeneric
+	if inFlight > res.ArrivedGeneric/10+100 {
+		t.Fatalf("suspiciously many generic tasks unfinished: %d of %d", inFlight, res.ArrivedGeneric)
+	}
+	if res.Clock != cfg.Horizon {
+		t.Fatalf("clock = %g", res.Clock)
+	}
+}
+
+func TestArrivalRateMatchesConfig(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(4, 2, 1.5), Discipline: queueing.FCFS,
+		GenericRate: 2.0, Dispatcher: toOnly{}, Horizon: 50000, Warmup: 0, Seed: 77,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genRate := float64(res.ArrivedGeneric) / cfg.Horizon
+	if math.Abs(genRate-2.0)/2.0 > 0.02 {
+		t.Fatalf("observed generic rate %.4f, want 2.0", genRate)
+	}
+	speRate := float64(res.ArrivedSpecial) / cfg.Horizon
+	if math.Abs(speRate-1.5)/1.5 > 0.02 {
+		t.Fatalf("observed special rate %.4f, want 1.5", speRate)
+	}
+}
+
+func TestSpecialOnlyRun(t *testing.T) {
+	// GenericRate = 0 is allowed: a pure preload simulation.
+	cfg := Config{
+		Group: singleStation(2, 1, 0.8), Discipline: queueing.FCFS,
+		Horizon: 20000, Warmup: 500, Seed: 9,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ArrivedGeneric != 0 || res.CompletedGeneric != 0 {
+		t.Fatal("no generic tasks expected")
+	}
+	if res.SpecialResponse.Count() == 0 {
+		t.Fatal("special tasks should have completed")
+	}
+	// ρ = 0.8/2 = 0.4.
+	if math.Abs(res.Utilizations[0]-0.4) > 0.02 {
+		t.Fatalf("ρ = %.4f, want 0.4", res.Utilizations[0])
+	}
+}
+
+func TestP95Reported(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(1, 1, 0), Discipline: queueing.FCFS,
+		GenericRate: 0.5, Dispatcher: toOnly{}, Horizon: 50000, Warmup: 1000, Seed: 2,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M/M/1 sojourn is Exp(μ(1−ρ)) with mean 2: P95 = −2·ln(0.05) ≈ 5.99.
+	want := -2 * math.Log(0.05)
+	if math.Abs(res.GenericP95-want)/want > 0.08 {
+		t.Fatalf("P95 = %.4f, want %.4f", res.GenericP95, want)
+	}
+	if res.GenericP95 <= res.GenericResponse.Mean() {
+		t.Fatal("P95 should exceed the mean for a right-skewed distribution")
+	}
+}
+
+func TestRunReplications(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(2, 1, 0.4), Discipline: queueing.FCFS,
+		GenericRate: 1.0, Dispatcher: toOnly{}, Horizon: 20000, Warmup: 500, Seed: 100,
+	}
+	rep, err := RunReplications(cfg, 8, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replications != 8 || len(rep.Runs) != 8 {
+		t.Fatalf("replications = %d, runs = %d", rep.Replications, len(rep.Runs))
+	}
+	// Theory: ρ = 1.4/2 = 0.7.
+	rho := 0.7
+	want := queueing.ResponseTime(2, rho, 1)
+	if !rep.GenericT.Contains(want) && math.Abs(rep.GenericT.Mean-want)/want > 0.03 {
+		t.Fatalf("replicated T = %v, theory %.4f", rep.GenericT, want)
+	}
+	if rep.GenericT.HalfWidth <= 0 {
+		t.Fatal("CI half width should be positive")
+	}
+	if math.Abs(rep.Utilizations[0]-rho) > 0.02 {
+		t.Fatalf("mean utilization %.4f, want %.2f", rep.Utilizations[0], rho)
+	}
+}
+
+func TestRunReplicationsValidation(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(1, 1, 0), GenericRate: 0.5,
+		Dispatcher: toOnly{}, Horizon: 10,
+	}
+	if _, err := RunReplications(cfg, 0, 0.95); err == nil {
+		t.Error("0 replications should fail")
+	}
+	bad := cfg
+	bad.Horizon = 0
+	if _, err := RunReplications(bad, 2, 0.95); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := RunReplications(cfg, 2, 0); err == nil {
+		t.Error("invalid confidence should fail")
+	}
+}
+
+func TestRunReplicationsDeterministicAcrossSchedules(t *testing.T) {
+	cfg := Config{
+		Group: singleStation(2, 1, 0.3), Discipline: queueing.Priority,
+		GenericRate: 0.8, Dispatcher: toOnly{}, Horizon: 5000, Warmup: 100, Seed: 55,
+	}
+	a, err := RunReplications(cfg, 6, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplications(cfg, 6, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GenericT.Mean != b.GenericT.Mean || a.GenericT.HalfWidth != b.GenericT.HalfWidth {
+		t.Fatal("replicated results should be deterministic")
+	}
+}
+
+func TestFifoQueue(t *testing.T) {
+	var q fifo
+	if _, ok := q.pop(); ok {
+		t.Fatal("empty pop should fail")
+	}
+	for i := 0; i < 300; i++ {
+		q.push(task{arrival: float64(i)})
+	}
+	if q.len() != 300 {
+		t.Fatalf("len = %d", q.len())
+	}
+	for i := 0; i < 300; i++ {
+		tk, ok := q.pop()
+		if !ok || tk.arrival != float64(i) {
+			t.Fatalf("pop %d: ok=%v arrival=%g", i, ok, tk.arrival)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d after drain", q.len())
+	}
+	// Interleaved push/pop exercises compaction.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			q.push(task{arrival: float64(round*10 + i)})
+		}
+		for i := 0; i < 9; i++ {
+			q.pop()
+		}
+	}
+	if q.len() != 50 {
+		t.Fatalf("len = %d after interleaving, want 50", q.len())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Generic.String() != "generic" || Special.String() != "special" {
+		t.Fatal("class names")
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import "repro/internal/queueing"
+
+// station is the runtime state of one blade server: m blades, a waiting
+// room (one queue under FCFS, two under priority), and busy-time
+// accounting for utilization measurements.
+type station struct {
+	index      int
+	blades     int
+	speed      float64
+	discipline queueing.Discipline
+
+	busy     int  // blades currently serving
+	generics fifo // waiting generic tasks (FCFS uses only this, mixed)
+	specials fifo // waiting special tasks (priority discipline only)
+
+	busyIntegral float64 // ∫ busy dt, for measured utilization
+	lastChange   float64 // time of last busy-count change
+}
+
+// queueLen returns the number of waiting tasks of both classes.
+func (s *station) queueLen() int { return s.generics.len() + s.specials.len() }
+
+// accrue advances the busy-time integral to time now.
+func (s *station) accrue(now float64) {
+	s.busyIntegral += float64(s.busy) * (now - s.lastChange)
+	s.lastChange = now
+}
+
+// admit handles a task arriving at the station at time now. If a blade
+// is free the task enters service and its departure is scheduled;
+// otherwise it joins the waiting room. Under FCFS both classes share
+// one queue (arrival order); under priority specials queue separately
+// and are always drained first.
+func (s *station) admit(t task, now float64, cal *calendar) {
+	if s.busy < s.blades {
+		s.accrue(now)
+		s.busy++
+		cal.schedule(event{time: now + t.req/s.speed, kind: evDeparture, station: s.index, task: t})
+		return
+	}
+	if s.discipline == queueing.Priority && t.class == Special {
+		s.specials.push(t)
+		return
+	}
+	s.generics.push(t)
+}
+
+// depart handles a service completion at time now: frees the blade and,
+// if anyone is waiting, starts the next task (specials first under
+// priority; strict arrival order under FCFS, where the two classes
+// share the generics queue).
+func (s *station) depart(now float64, cal *calendar) {
+	s.accrue(now)
+	s.busy--
+	next, ok := s.specials.pop() // empty unless priority discipline
+	if !ok {
+		next, ok = s.generics.pop()
+	}
+	if !ok {
+		return
+	}
+	s.busy++
+	cal.schedule(event{time: now + next.req/s.speed, kind: evDeparture, station: s.index, task: next})
+}
+
+// utilization returns the measured per-blade utilization over [0, now].
+func (s *station) utilization(now float64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	s.accrue(now)
+	return s.busyIntegral / (float64(s.blades) * now)
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// MMPPConfig parameterizes a two-state Markov-modulated Poisson process
+// for the generic stream: the arrival rate alternates between a high
+// (burst) and a low (lull) state, each held for an exponential sojourn.
+// MMPP arrivals are over-dispersed relative to Poisson (count
+// index of dispersion > 1), the standard model for bursty cloud
+// traffic; replaying an MMPP trace quantifies how the paper's
+// Poisson-based optimum degrades under burstiness. Special streams
+// remain Poisson per server, as in the model.
+type MMPPConfig struct {
+	// Group supplies special rates and the task-size distribution.
+	Group *model.Group
+	// RateHigh and RateLow are the generic arrival rates in the burst
+	// and lull states (RateHigh ≥ RateLow ≥ 0, RateHigh > 0).
+	RateHigh, RateLow float64
+	// MeanHigh and MeanLow are the mean sojourn times in each state
+	// (both positive).
+	MeanHigh, MeanLow float64
+	// Horizon is the duration to generate. Must be positive.
+	Horizon float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// MeanRate returns the long-run average generic arrival rate of the
+// modulated process.
+func (c MMPPConfig) MeanRate() float64 {
+	return (c.RateHigh*c.MeanHigh + c.RateLow*c.MeanLow) / (c.MeanHigh + c.MeanLow)
+}
+
+func (c MMPPConfig) validate() error {
+	if c.Group == nil {
+		return fmt.Errorf("trace: nil group")
+	}
+	if err := c.Group.Validate(); err != nil {
+		return err
+	}
+	if c.RateHigh <= 0 || c.RateLow < 0 || c.RateHigh < c.RateLow ||
+		math.IsNaN(c.RateHigh) || math.IsNaN(c.RateLow) {
+		return fmt.Errorf("trace: MMPP rates high=%g low=%g must satisfy high ≥ low ≥ 0, high > 0",
+			c.RateHigh, c.RateLow)
+	}
+	if c.MeanHigh <= 0 || c.MeanLow <= 0 || math.IsNaN(c.MeanHigh) || math.IsNaN(c.MeanLow) {
+		return fmt.Errorf("trace: MMPP sojourns high=%g low=%g must be positive", c.MeanHigh, c.MeanLow)
+	}
+	if c.Horizon <= 0 || math.IsNaN(c.Horizon) {
+		return fmt.Errorf("trace: horizon %g must be positive", c.Horizon)
+	}
+	return nil
+}
+
+// GenerateMMPP produces a trace whose generic stream is the two-state
+// MMPP and whose special streams are Poisson, all with Exp(r̄)
+// requirements. The trace records MeanRate as its GenericRate.
+func GenerateMMPP(cfg MMPPConfig) (*Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{
+		GenericRate:  cfg.MeanRate(),
+		SpecialRates: make([]float64, cfg.Group.N()),
+		TaskSize:     cfg.Group.TaskSize,
+		Horizon:      cfg.Horizon,
+		Seed:         cfg.Seed,
+	}
+	// Generic stream: walk state intervals, emit Poisson arrivals
+	// within each at that state's rate.
+	now := 0.0
+	high := rng.Intn(2) == 0 // random initial state
+	for now < cfg.Horizon {
+		rate, mean := cfg.RateLow, cfg.MeanLow
+		if high {
+			rate, mean = cfg.RateHigh, cfg.MeanHigh
+		}
+		stateEnd := now + rng.ExpFloat64()*mean
+		if stateEnd > cfg.Horizon {
+			stateEnd = cfg.Horizon
+		}
+		if rate > 0 {
+			for t := now + rng.ExpFloat64()/rate; t < stateEnd; t += rng.ExpFloat64() / rate {
+				tr.Arrivals = append(tr.Arrivals, Arrival{
+					Time: t, Station: -1, Requirement: rng.ExpFloat64() * cfg.Group.TaskSize,
+				})
+			}
+		}
+		now = stateEnd
+		high = !high
+	}
+	// Special streams: plain Poisson, as in Generate.
+	for i, s := range cfg.Group.Servers {
+		tr.SpecialRates[i] = s.SpecialRate
+		if s.SpecialRate <= 0 {
+			continue
+		}
+		for t := rng.ExpFloat64() / s.SpecialRate; t < cfg.Horizon; t += rng.ExpFloat64() / s.SpecialRate {
+			tr.Arrivals = append(tr.Arrivals, Arrival{
+				Time: t, Station: i, Requirement: rng.ExpFloat64() * cfg.Group.TaskSize,
+			})
+		}
+	}
+	sort.SliceStable(tr.Arrivals, func(i, j int) bool {
+		return tr.Arrivals[i].Time < tr.Arrivals[j].Time
+	})
+	return tr, nil
+}
+
+// IndexOfDispersion measures burstiness of the generic stream: the
+// variance-to-mean ratio of arrival counts in windows of the given
+// width. Poisson gives 1; MMPP gives > 1, growing with the rate gap.
+func (t *Trace) IndexOfDispersion(window float64) (float64, error) {
+	if window <= 0 || math.IsNaN(window) {
+		return 0, fmt.Errorf("trace: window %g must be positive", window)
+	}
+	bins := int(t.Horizon / window)
+	if bins < 2 {
+		return 0, fmt.Errorf("trace: horizon %g too short for window %g", t.Horizon, window)
+	}
+	counts := make([]float64, bins)
+	for _, a := range t.Arrivals {
+		if !a.IsGeneric() {
+			continue
+		}
+		idx := int(a.Time / window)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(bins)
+	if mean == 0 {
+		return 0, fmt.Errorf("trace: no generic arrivals")
+	}
+	var variance float64
+	for _, c := range counts {
+		variance += (c - mean) * (c - mean)
+	}
+	variance /= float64(bins - 1)
+	return variance / mean, nil
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func mmppConfig() MMPPConfig {
+	return MMPPConfig{
+		Group:    testGroup(),
+		RateHigh: 6, RateLow: 0.5,
+		MeanHigh: 20, MeanLow: 20,
+		Horizon: 50000, Seed: 5,
+	}
+}
+
+func TestMMPPValidation(t *testing.T) {
+	mut := func(f func(*MMPPConfig)) MMPPConfig {
+		c := mmppConfig()
+		f(&c)
+		return c
+	}
+	bad := []MMPPConfig{
+		mut(func(c *MMPPConfig) { c.Group = nil }),
+		mut(func(c *MMPPConfig) { c.Group = &model.Group{TaskSize: 1} }),
+		mut(func(c *MMPPConfig) { c.RateHigh = 0 }),
+		mut(func(c *MMPPConfig) { c.RateLow = -1 }),
+		mut(func(c *MMPPConfig) { c.RateHigh, c.RateLow = 1, 2 }),
+		mut(func(c *MMPPConfig) { c.MeanHigh = 0 }),
+		mut(func(c *MMPPConfig) { c.MeanLow = -1 }),
+		mut(func(c *MMPPConfig) { c.Horizon = 0 }),
+	}
+	for i, c := range bad {
+		if _, err := GenerateMMPP(c); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestMMPPMeanRate(t *testing.T) {
+	cfg := mmppConfig()
+	// Equal sojourns: mean = (6 + 0.5)/2 = 3.25.
+	if got := cfg.MeanRate(); math.Abs(got-3.25) > 1e-12 {
+		t.Fatalf("mean rate %g, want 3.25", got)
+	}
+	tr, err := GenerateMMPP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if math.Abs(s.ObservedGenericRate-3.25)/3.25 > 0.05 {
+		t.Fatalf("observed rate %.4f, want ≈ 3.25", s.ObservedGenericRate)
+	}
+	if tr.GenericRate != cfg.MeanRate() {
+		t.Fatalf("trace records rate %g", tr.GenericRate)
+	}
+}
+
+func TestMMPPDeterministic(t *testing.T) {
+	a, err := GenerateMMPP(mmppConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMMPP(mmppConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Arrivals) != len(b.Arrivals) {
+		t.Fatal("same seed should reproduce the trace")
+	}
+}
+
+func TestMMPPOverdispersed(t *testing.T) {
+	tr, err := GenerateMMPP(mmppConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iod, err := tr.IndexOfDispersion(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iod < 2 {
+		t.Fatalf("MMPP index of dispersion %.2f, expected clearly > 1", iod)
+	}
+	// A Poisson trace at the same mean rate has IoD ≈ 1.
+	poisson, err := Generate(Config{Group: testGroup(), GenericRate: 3.25, Horizon: 50000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pIod, err := poisson.IndexOfDispersion(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pIod-1) > 0.15 {
+		t.Fatalf("Poisson index of dispersion %.2f, want ≈ 1", pIod)
+	}
+	if iod <= pIod {
+		t.Fatalf("MMPP (%.2f) should be burstier than Poisson (%.2f)", iod, pIod)
+	}
+}
+
+func TestMMPPDegeneratesToPoisson(t *testing.T) {
+	// Equal rates in both states: the modulation is invisible.
+	cfg := mmppConfig()
+	cfg.RateHigh, cfg.RateLow = 2, 2
+	tr, err := GenerateMMPP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iod, err := tr.IndexOfDispersion(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iod-1) > 0.15 {
+		t.Fatalf("degenerate MMPP IoD %.2f, want ≈ 1", iod)
+	}
+}
+
+func TestIndexOfDispersionValidation(t *testing.T) {
+	tr, err := Generate(Config{Group: testGroup(), GenericRate: 1, Horizon: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.IndexOfDispersion(0); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := tr.IndexOfDispersion(200); err == nil {
+		t.Error("window beyond horizon should fail")
+	}
+	empty, err := Generate(Config{Group: testGroup(), GenericRate: 0, Horizon: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.IndexOfDispersion(10); err == nil {
+		t.Error("no generic arrivals should fail")
+	}
+}

@@ -1,0 +1,254 @@
+// Package trace generates, stores, and replays synthetic workload
+// traces for the blade-server model. The paper has no real system and
+// therefore no production traces; this package supplies the synthetic
+// equivalent — seeded Poisson arrival streams with exponentially
+// distributed execution requirements, which is exactly the stochastic
+// input the model assumes — together with CSV and JSON round-trips so
+// experiments can be archived and replayed bit-for-bit.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"repro/internal/model"
+)
+
+// Arrival is one task arrival in a trace.
+type Arrival struct {
+	// Time is the absolute arrival time.
+	Time float64 `json:"time"`
+	// Station is the target server for special tasks (0-based), or -1
+	// for generic tasks (which are routed by a dispatcher at replay).
+	Station int `json:"station"`
+	// Requirement is the task's execution requirement (instructions).
+	Requirement float64 `json:"requirement"`
+}
+
+// IsGeneric reports whether the arrival belongs to the generic stream.
+func (a Arrival) IsGeneric() bool { return a.Station < 0 }
+
+// Trace is a time-ordered sequence of arrivals plus the parameters that
+// generated it.
+type Trace struct {
+	// Arrivals in non-decreasing time order.
+	Arrivals []Arrival `json:"arrivals"`
+	// GenericRate is the generic-stream rate λ′ used at generation.
+	GenericRate float64 `json:"generic_rate"`
+	// SpecialRates are the per-station special rates λ″_i.
+	SpecialRates []float64 `json:"special_rates"`
+	// TaskSize is the mean execution requirement r̄.
+	TaskSize float64 `json:"task_size"`
+	// Horizon is the generated duration.
+	Horizon float64 `json:"horizon"`
+	// Seed reproduces the trace.
+	Seed int64 `json:"seed"`
+}
+
+// Config parameterizes trace generation.
+type Config struct {
+	// Group supplies the special rates and task size.
+	Group *model.Group
+	// GenericRate is the total generic arrival rate λ′ (≥ 0).
+	GenericRate float64
+	// Horizon is the duration to generate. Must be positive.
+	Horizon float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Generate produces a synthetic trace: one Poisson generic stream at
+// GenericRate and one Poisson special stream per station, each arrival
+// carrying an Exp(r̄) execution requirement. The result is sorted by
+// time.
+func Generate(cfg Config) (*Trace, error) {
+	if cfg.Group == nil {
+		return nil, fmt.Errorf("trace: nil group")
+	}
+	if err := cfg.Group.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.GenericRate < 0 || math.IsNaN(cfg.GenericRate) {
+		return nil, fmt.Errorf("trace: generic rate %g must be non-negative", cfg.GenericRate)
+	}
+	if cfg.Horizon <= 0 || math.IsNaN(cfg.Horizon) {
+		return nil, fmt.Errorf("trace: horizon %g must be positive", cfg.Horizon)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{
+		GenericRate:  cfg.GenericRate,
+		SpecialRates: make([]float64, cfg.Group.N()),
+		TaskSize:     cfg.Group.TaskSize,
+		Horizon:      cfg.Horizon,
+		Seed:         cfg.Seed,
+	}
+	appendStream := func(rate float64, station int) {
+		if rate <= 0 {
+			return
+		}
+		for t := rng.ExpFloat64() / rate; t < cfg.Horizon; t += rng.ExpFloat64() / rate {
+			tr.Arrivals = append(tr.Arrivals, Arrival{
+				Time:        t,
+				Station:     station,
+				Requirement: rng.ExpFloat64() * cfg.Group.TaskSize,
+			})
+		}
+	}
+	appendStream(cfg.GenericRate, -1)
+	for i, s := range cfg.Group.Servers {
+		tr.SpecialRates[i] = s.SpecialRate
+		appendStream(s.SpecialRate, i)
+	}
+	sort.SliceStable(tr.Arrivals, func(i, j int) bool {
+		return tr.Arrivals[i].Time < tr.Arrivals[j].Time
+	})
+	return tr, nil
+}
+
+// Stats summarizes a trace for sanity checks.
+type Stats struct {
+	// Generic and Special count arrivals per class.
+	Generic, Special int
+	// ObservedGenericRate is generic arrivals divided by the horizon.
+	ObservedGenericRate float64
+	// MeanRequirement is the sample mean execution requirement.
+	MeanRequirement float64
+}
+
+// Summarize computes summary statistics of the trace.
+func (t *Trace) Summarize() Stats {
+	var s Stats
+	var reqSum float64
+	for _, a := range t.Arrivals {
+		if a.IsGeneric() {
+			s.Generic++
+		} else {
+			s.Special++
+		}
+		reqSum += a.Requirement
+	}
+	if t.Horizon > 0 {
+		s.ObservedGenericRate = float64(s.Generic) / t.Horizon
+	}
+	if n := len(t.Arrivals); n > 0 {
+		s.MeanRequirement = reqSum / float64(n)
+	}
+	return s
+}
+
+// Validate checks internal consistency: sorted times within the
+// horizon, station indices in range, positive requirements.
+func (t *Trace) Validate() error {
+	prev := 0.0
+	for i, a := range t.Arrivals {
+		if a.Time < prev {
+			return fmt.Errorf("trace: arrival %d out of order (%g after %g)", i, a.Time, prev)
+		}
+		if a.Time < 0 || a.Time > t.Horizon {
+			return fmt.Errorf("trace: arrival %d time %g outside [0, %g]", i, a.Time, t.Horizon)
+		}
+		if a.Station >= len(t.SpecialRates) {
+			return fmt.Errorf("trace: arrival %d station %d out of range", i, a.Station)
+		}
+		if a.Requirement <= 0 || math.IsNaN(a.Requirement) {
+			return fmt.Errorf("trace: arrival %d requirement %g must be positive", i, a.Requirement)
+		}
+		prev = a.Time
+	}
+	return nil
+}
+
+// WriteJSON encodes the trace as JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// ReadJSON decodes a trace written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// csvHeader is the column layout of the CSV encoding.
+var csvHeader = []string{"time", "station", "requirement"}
+
+// WriteCSV encodes the arrivals as CSV with a header row. The
+// generation parameters are not stored; use JSON for full round-trips.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, 3)
+	for _, a := range t.Arrivals {
+		row[0] = strconv.FormatFloat(a.Time, 'g', 17, 64)
+		row[1] = strconv.Itoa(a.Station)
+		row[2] = strconv.FormatFloat(a.Requirement, 'g', 17, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes arrivals written by WriteCSV. Horizon is set to the
+// last arrival time; other parameters are zero.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	if len(header) != 3 || header[0] != "time" || header[1] != "station" || header[2] != "requirement" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", header)
+	}
+	t := &Trace{}
+	maxStation := -1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV: %w", err)
+		}
+		tm, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad time %q: %w", rec[0], err)
+		}
+		st, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad station %q: %w", rec[1], err)
+		}
+		req, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad requirement %q: %w", rec[2], err)
+		}
+		t.Arrivals = append(t.Arrivals, Arrival{Time: tm, Station: st, Requirement: req})
+		if st > maxStation {
+			maxStation = st
+		}
+	}
+	if len(t.Arrivals) > 0 {
+		t.Horizon = t.Arrivals[len(t.Arrivals)-1].Time
+	}
+	t.SpecialRates = make([]float64, maxStation+1)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

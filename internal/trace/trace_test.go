@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func testGroup() *model.Group {
+	return &model.Group{
+		Servers: []model.Server{
+			{Size: 2, Speed: 1.0, SpecialRate: 0.5},
+			{Size: 4, Speed: 1.5, SpecialRate: 1.0},
+		},
+		TaskSize: 1.0,
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := testGroup()
+	if _, err := Generate(Config{GenericRate: 1, Horizon: 10}); err == nil {
+		t.Error("nil group should fail")
+	}
+	if _, err := Generate(Config{Group: g, GenericRate: -1, Horizon: 10}); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := Generate(Config{Group: g, GenericRate: 1, Horizon: 0}); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if _, err := Generate(Config{Group: &model.Group{TaskSize: 1}, GenericRate: 1, Horizon: 10}); err == nil {
+		t.Error("invalid group should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Group: testGroup(), GenericRate: 2, Horizon: 100, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Arrivals) != len(b.Arrivals) {
+		t.Fatal("same seed should give same trace")
+	}
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+}
+
+func TestGenerateStatisticalProperties(t *testing.T) {
+	cfg := Config{Group: testGroup(), GenericRate: 3, Horizon: 50000, Seed: 13}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if math.Abs(s.ObservedGenericRate-3)/3 > 0.02 {
+		t.Errorf("generic rate %.4f, want 3", s.ObservedGenericRate)
+	}
+	// Special arrivals: rates 0.5 + 1.0 = 1.5 total.
+	speRate := float64(s.Special) / cfg.Horizon
+	if math.Abs(speRate-1.5)/1.5 > 0.02 {
+		t.Errorf("special rate %.4f, want 1.5", speRate)
+	}
+	if math.Abs(s.MeanRequirement-1) > 0.02 {
+		t.Errorf("mean requirement %.4f, want 1", s.MeanRequirement)
+	}
+}
+
+func TestGenerateZeroGenericRate(t *testing.T) {
+	tr, err := Generate(Config{Group: testGroup(), GenericRate: 0, Horizon: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Summarize().Generic != 0 {
+		t.Fatal("no generic arrivals expected")
+	}
+	if tr.Summarize().Special == 0 {
+		t.Fatal("special arrivals expected")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr, err := Generate(Config{Group: testGroup(), GenericRate: 2, Horizon: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Arrivals) != len(tr.Arrivals) || back.Seed != tr.Seed ||
+		back.GenericRate != tr.GenericRate || back.Horizon != tr.Horizon {
+		t.Fatal("JSON round-trip lost data")
+	}
+	for i := range tr.Arrivals {
+		if tr.Arrivals[i] != back.Arrivals[i] {
+			t.Fatalf("arrival %d differs after round-trip", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("invalid JSON should fail")
+	}
+	// Valid JSON, invalid trace (negative requirement).
+	bad := `{"arrivals":[{"time":1,"station":-1,"requirement":-5}],"horizon":10}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid trace should fail validation")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr, err := Generate(Config{Group: testGroup(), GenericRate: 2, Horizon: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Arrivals) != len(tr.Arrivals) {
+		t.Fatalf("lengths differ: %d vs %d", len(back.Arrivals), len(tr.Arrivals))
+	}
+	for i := range tr.Arrivals {
+		if tr.Arrivals[i] != back.Arrivals[i] {
+			t.Fatalf("arrival %d differs after CSV round-trip", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // no header
+		"a,b\n",                             // wrong header
+		"time,station,requirement\nx,0,1\n", // bad time
+		"time,station,requirement\n1,x,1\n", // bad station
+		"time,station,requirement\n1,0,x\n", // bad requirement
+		"time,station,requirement\n5,0,1\n1,0,1\n", // out of order
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr, err := Generate(Config{Group: testGroup(), GenericRate: 1, Horizon: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) < 2 {
+		t.Skip("trace too short")
+	}
+	corrupt := *tr
+	corrupt.Arrivals = append([]Arrival(nil), tr.Arrivals...)
+	corrupt.Arrivals[1].Time = corrupt.Arrivals[0].Time - 1
+	if err := corrupt.Validate(); err == nil {
+		t.Error("out-of-order arrival should fail")
+	}
+	corrupt.Arrivals[1] = tr.Arrivals[1]
+	corrupt.Arrivals[0].Station = 99
+	if err := corrupt.Validate(); err == nil {
+		t.Error("out-of-range station should fail")
+	}
+	corrupt.Arrivals[0] = tr.Arrivals[0]
+	corrupt.Arrivals[0].Time = tr.Horizon + 5
+	if err := corrupt.Validate(); err == nil {
+		t.Error("beyond-horizon arrival should fail")
+	}
+}
+
+func TestInterarrivalExponential(t *testing.T) {
+	// Kolmogorov-ish check: generic inter-arrival CV² should be ≈ 1
+	// (exponential), not ≈ 0 (deterministic) or ≫ 1.
+	tr, err := Generate(Config{Group: testGroup(), GenericRate: 5, Horizon: 20000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	for _, a := range tr.Arrivals {
+		if a.IsGeneric() {
+			times = append(times, a.Time)
+		}
+	}
+	var sum, sumSq float64
+	for i := 1; i < len(times); i++ {
+		d := times[i] - times[i-1]
+		sum += d
+		sumSq += d * d
+	}
+	n := float64(len(times) - 1)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	cv2 := variance / (mean * mean)
+	if math.Abs(cv2-1) > 0.05 {
+		t.Fatalf("inter-arrival CV² = %.4f, want ≈ 1 (exponential)", cv2)
+	}
+}

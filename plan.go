@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// BladePlacement is one blade added by PlanBlades: the receiving
+// server index and the optimal T′ after the addition.
+type BladePlacement = plan.BladePlacement
+
+// MaxAdmissibleRate returns the largest total generic rate the cluster
+// can admit while the optimally distributed generic response time stays
+// at or below slaT — the admission-control limit of the group.
+func MaxAdmissibleRate(c *Cluster, d Discipline, slaT float64) (float64, error) {
+	return plan.MaxAdmissibleRate(c, d, slaT)
+}
+
+// PlanBlades finds a greedy minimal sequence of single-blade additions
+// that brings the optimal T′ at load genericRate under slaT, bounded by
+// maxBlades. It returns the expanded cluster and the placements; the
+// input cluster is not modified.
+func PlanBlades(c *Cluster, d Discipline, genericRate, slaT float64, maxBlades int) (*Cluster, []BladePlacement, error) {
+	return plan.PlanBlades(c, d, genericRate, slaT, maxBlades)
+}
+
+// GenericResponseQuantile returns the p-quantile of the generic
+// response time for a feasible allocation under FCFS — percentile SLAs
+// on top of the paper's mean-value model ("95 % of generic tasks
+// finish within …").
+func GenericResponseQuantile(c *Cluster, rates []float64, p float64) (float64, error) {
+	return core.GroupGenericQuantile(c, rates, p)
+}
+
+// MaxAdmissibleRatePercentile returns the largest generic rate whose
+// optimal FCFS distribution keeps the p-quantile of generic response
+// times at or below slaT.
+func MaxAdmissibleRatePercentile(c *Cluster, p, slaT float64) (float64, error) {
+	return plan.MaxAdmissibleRatePercentile(c, p, slaT)
+}
+
+// MinSpeedScale returns the smallest uniform speed multiplier k ≥ 1
+// (hardware refresh factor) that meets T′ ≤ slaT at the given load,
+// searching up to maxScale.
+func MinSpeedScale(c *Cluster, d Discipline, genericRate, slaT, maxScale float64) (float64, error) {
+	return plan.MinSpeedScale(c, d, genericRate, slaT, maxScale)
+}

@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxAdmissibleRateFacade(t *testing.T) {
+	c := PaperExampleCluster()
+	lim, err := MaxAdmissibleRate(c, FCFS, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim <= 0 || lim >= c.MaxGenericRate() {
+		t.Fatalf("limit %g out of range", lim)
+	}
+	// The limit's own optimal T′ sits at the SLA.
+	alloc, err := Optimize(c, lim, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.AvgResponseTime-0.95) > 1e-3 {
+		t.Fatalf("T′ at the limit = %.5f, want ≈ 0.95", alloc.AvgResponseTime)
+	}
+}
+
+func TestPlanBladesFacade(t *testing.T) {
+	c := PaperExampleCluster()
+	lambda := 0.6 * c.MaxGenericRate()
+	base, err := Optimize(c, lambda, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sla := base.AvgResponseTime * 0.97
+	expanded, placements, err := PlanBlades(c, FCFS, lambda, sla, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) == 0 || expanded.TotalBlades() <= c.TotalBlades() {
+		t.Fatalf("expected added blades, got %d placements", len(placements))
+	}
+	after, err := Optimize(expanded, lambda, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.AvgResponseTime > sla {
+		t.Fatalf("T′ = %.5f > SLA %.5f", after.AvgResponseTime, sla)
+	}
+}
+
+func TestMinSpeedScaleFacade(t *testing.T) {
+	c := PaperExampleCluster()
+	lambda := 0.6 * c.MaxGenericRate()
+	base, err := Optimize(c, lambda, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := MinSpeedScale(c, FCFS, lambda, base.AvgResponseTime*0.9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 1 || k > 10 {
+		t.Fatalf("scale %g out of range", k)
+	}
+}

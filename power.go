@@ -1,0 +1,31 @@
+package repro
+
+import (
+	"repro/internal/power"
+)
+
+// PowerConfig parameterizes power-budgeted speed optimization: choose
+// blade speeds under Σ m_i·s_i^α ≤ Budget so that the optimally
+// distributed generic response time is minimized. This extends the
+// paper's model along the axis its conclusions highlight (server speed
+// is the dominant lever on T′, and speed costs power).
+type PowerConfig = power.Config
+
+// PowerResult is the outcome of OptimizeSpeeds: the chosen speeds, the
+// resulting cluster, and its optimal load distribution.
+type PowerResult = power.Result
+
+// OptimizeSpeeds minimizes the optimal T′ over blade speeds subject to
+// the power budget (coordinate descent over power shares; see
+// internal/power for convergence notes — at light load the optimum
+// concentrates power into few fast blades, near saturation it spreads
+// out).
+func OptimizeSpeeds(cfg PowerConfig) (*PowerResult, error) {
+	return power.OptimizeSpeeds(cfg)
+}
+
+// UniformBladePower returns the baseline speed assignment that spends
+// the budget evenly per blade.
+func UniformBladePower(sizes []int, alpha, budget float64) []float64 {
+	return power.UniformSpeeds(sizes, alpha, budget)
+}
