@@ -7,6 +7,8 @@
 //
 //	bladesim [-frac 0.5] [-horizon 20000] [-reps 10] [-seed 1]
 //	bladesim -policies      # also compare online dispatch policies
+//	bladesim -chaos         # seeded failure injection: static vs adaptive dispatch
+//	bladesim -chaos -mtbf 1000 -mttr 300 -retries 3 -drop
 package main
 
 import (
@@ -16,7 +18,10 @@ import (
 	"text/tabwriter"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/failure"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -26,9 +31,20 @@ func main() {
 	reps := flag.Int("reps", 10, "independent replications")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	policies := flag.Bool("policies", false, "also compare online dispatch policies (FCFS only)")
+	chaos := flag.Bool("chaos", false, "inject seeded station failures and compare static vs failure-aware dispatch")
+	mtbf := flag.Float64("mtbf", 2000, "chaos: mean time between failures per station")
+	mttr := flag.Float64("mttr", 400, "chaos: mean time to repair per station")
+	retries := flag.Int("retries", 0, "chaos: retry attempts with capped exponential backoff (0 = tasks wait out outages in queue)")
+	drop := flag.Bool("drop", false, "chaos: drop in-flight tasks on failure instead of requeueing them")
 	flag.Parse()
 
-	if err := run(*frac, *horizon, *reps, *seed, *policies); err != nil {
+	var err error
+	if *chaos {
+		err = runChaos(*frac, *horizon, *reps, *seed, *mtbf, *mttr, *retries, *drop)
+	} else {
+		err = run(*frac, *horizon, *reps, *seed, *policies)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bladesim:", err)
 		os.Exit(1)
 	}
@@ -90,4 +106,118 @@ func run(frac, horizon float64, reps int, seed int64, policies bool) error {
 			disp.Name(), rep.GenericT.Mean, rep.GenericT.HalfWidth, rel*100)
 	}
 	return tw.Flush()
+}
+
+// runChaos is the chaos harness: every station of the paper's example
+// system fails and recovers as an exponential MTBF/MTTR process (seeded,
+// so runs are reproducible), and the same failure traces are replayed
+// against a static paper-optimal split, a health-filtered state-aware
+// policy, and the re-optimizing dispatcher that re-solves the paper's
+// problem over the surviving subset on every transition.
+func runChaos(frac, horizon float64, reps int, seed int64, mtbf, mttr float64, retries int, drop bool) error {
+	if frac <= 0 || frac >= 1 {
+		return fmt.Errorf("-frac %g must be in (0, 1)", frac)
+	}
+	cluster := repro.PaperExampleCluster()
+	lambda := frac * cluster.MaxGenericRate()
+
+	plan := &failure.Plan{Stations: make([]failure.Params, cluster.N())}
+	for i := range plan.Stations {
+		plan.Stations[i] = failure.Params{MTBF: mtbf, MTTR: mttr}
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	avail := failure.Params{MTBF: mtbf, MTTR: mttr}.Availability()
+	sizes := make([]int, cluster.N())
+	speeds := make([]float64, cluster.N())
+	for i, s := range cluster.Servers {
+		sizes[i], speeds[i] = s.Size, s.Speed
+	}
+	effCap, err := plan.EffectiveCapacity(sizes, speeds, cluster.TaskSize)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Chaos run: paper example, λ′ = %.4f (%.0f%% of nameplate saturation)\n", lambda, frac*100)
+	fmt.Printf("per-station MTBF %.0f, MTTR %.0f → availability %.4f; availability-weighted capacity %.2f (load %.0f%% of it)\n",
+		mtbf, mttr, avail, effCap, 100*lambda/effCap)
+	policy := "requeue in-flight tasks with residual work"
+	if drop {
+		policy = "drop in-flight tasks"
+	}
+	fmt.Printf("on failure: %s; retries: %d\n\n", policy, retries)
+
+	healthy, err := repro.Optimize(cluster, lambda, repro.FCFS)
+	if err != nil {
+		return err
+	}
+	static, err := dispatch.NewProbabilistic(healthy.Rates)
+	if err != nil {
+		return err
+	}
+	filtered, err := dispatch.NewHealthFiltered(dispatch.LeastExpectedWait{})
+	if err != nil {
+		return err
+	}
+	reopt, err := dispatch.NewReWeighting(cluster, lambda, core.Options{Discipline: repro.FCFS})
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.Config{
+		Group: cluster, Discipline: repro.FCFS, GenericRate: lambda,
+		Horizon: horizon, Warmup: horizon / 10, Seed: seed,
+		Failures: plan,
+	}
+	if drop {
+		cfg.FailurePolicy = sim.DropInFlight
+	}
+	if retries > 0 {
+		cfg.Retry = &sim.RetryPolicy{MaxAttempts: retries, Base: 0.1, Cap: 10}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "policy\tT′\t95% CI ±\tcompleted\t95% CI\tlost\trequeued\tavail\t")
+	for _, disp := range []sim.Dispatcher{static, filtered, reopt} {
+		c := cfg
+		c.Dispatcher = disp
+		rep, err := sim.RunReplications(c, reps, 0.95)
+		if err != nil {
+			return err
+		}
+		var arrived, completed, lost, requeued int64
+		availSum, availRuns := 0.0, 0
+		for _, r := range rep.Runs {
+			arrived += r.ArrivedGeneric
+			completed += r.CompletedGeneric
+			lost += r.LostGeneric + r.LostSpecial
+			requeued += r.RequeuedGeneric + r.RequeuedSpecial
+			if len(r.Availability) > 0 {
+				availRuns++
+				for _, a := range r.Availability {
+					availSum += a / float64(len(r.Availability))
+				}
+			}
+		}
+		measuredAvail := 1.0 // Availability is nil when no station can fail
+		if availRuns > 0 {
+			measuredAvail = availSum / float64(availRuns)
+		}
+		frIv, err := metrics.ProportionInterval(completed, arrived, 0.95)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.2f%%\t[%.2f%%, %.2f%%]\t%d\t%d\t%.4f\t\n",
+			disp.Name(), rep.GenericT.Mean, rep.GenericT.HalfWidth,
+			100*float64(completed)/float64(arrived), 100*frIv.Lo(), 100*frIv.Hi(),
+			lost, requeued, measuredAvail)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nT′ counts only completed tasks; with few or no retries the static split's")
+	fmt.Println("losses show up as a low completed fraction (tasks stranded behind an outage),")
+	fmt.Println("while the adaptive policies steer around down stations.")
+	return nil
 }

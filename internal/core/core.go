@@ -53,6 +53,13 @@ type Options struct {
 	// the sequential path; worthwhile from a few hundred servers up
 	// (see BenchmarkOptimizeN512Parallel).
 	Parallel bool
+	// WarmPhi, when positive, warm-starts the outer bracketing of the
+	// Lagrange multiplier from a previous solve's Phi — the failover
+	// fast path: after a failure or recovery the optimal φ moves by a
+	// bounded factor, so doubling from WarmPhi/16 brackets it in a
+	// handful of F(φ) evaluations instead of growing from 1e-12. Zero
+	// reproduces the paper's cold start exactly.
+	WarmPhi float64
 }
 
 // DefaultEpsilon is the default bisection tolerance. It reproduces the
@@ -174,7 +181,12 @@ func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
 
 	// Grow φ until F(φ) ≥ λ′ (Fig. 3 lines 1–10). The marginal cost of
 	// an empty server is T′_i(0)/λ′ > 0, so a tiny φ yields F = 0.
-	phiHi, err := numeric.ExpandUpper(func(phi float64) bool { return total(phi) >= lambda }, 1e-12, 0, 0)
+	// A warm start from a previous solve shortcuts the doubling.
+	phiStart := 1e-12
+	if opts.WarmPhi > 0 && !math.IsInf(opts.WarmPhi, 0) && !math.IsNaN(opts.WarmPhi) {
+		phiStart = opts.WarmPhi / 16
+	}
+	phiHi, err := numeric.ExpandUpper(func(phi float64) bool { return total(phi) >= lambda }, phiStart, 0, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: failed to bracket φ: %w", err)
 	}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+)
+
+// DefaultAdmissionMargin is the stability headroom kept by admission
+// control: shedding targets (1 − margin)·λ′_max of the survivors, since
+// admitting the full saturation rate would drive T′ → ∞.
+const DefaultAdmissionMargin = 1e-3
+
+// DegradedResult is an optimal load distribution over the surviving
+// subset of a partially failed group.
+type DegradedResult struct {
+	Result
+	// Up echoes the availability vector the solve was run against.
+	Up []bool
+	// Survivors is the number of servers carrying load.
+	Survivors int
+	// Admitted is the generic rate actually distributed; Shed is the
+	// rate admission control had to reject (λ′ − Admitted, ≥ 0). Shed
+	// is zero whenever the survivors can absorb the full stream.
+	Admitted, Shed float64
+}
+
+// OptimizeDegraded re-solves the paper's optimal distribution over the
+// servers still up. It is the failover path of the system: on a
+// failure or recovery event the dispatcher calls it with the fresh
+// availability vector (and, for speed, the previous solve's Phi as
+// Options.WarmPhi) and swaps in the returned rates.
+//
+// Unlike Optimize, a λ′ beyond the survivors' capacity is not an
+// error: admission control computes the minimal shed rate that leaves
+// the remaining load serviceable with DefaultAdmissionMargin headroom
+// (tighter of that and Options.MaxUtilization, when set).
+//
+// With every server up and no shedding required, the result is
+// identical to Optimize — the degraded path is a strict generalization,
+// guarded by the Table 1/2 regression tests.
+func OptimizeDegraded(g *model.Group, lambda float64, up []bool, opts Options) (*DegradedResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if up != nil && len(up) != g.N() {
+		return nil, fmt.Errorf("core: availability vector has %d entries for %d servers", len(up), g.N())
+	}
+	if math.IsNaN(lambda) || lambda <= 0 {
+		return nil, fmt.Errorf("core: total generic rate λ′=%g must be positive", lambda)
+	}
+	idx := make([]int, 0, g.N())
+	for i := range g.Servers {
+		if up == nil || up[i] {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("core: no surviving servers")
+	}
+	sub := g
+	if len(idx) < g.N() {
+		servers := make([]model.Server, len(idx))
+		for k, i := range idx {
+			servers[k] = g.Servers[i]
+		}
+		sub = &model.Group{Servers: servers, TaskSize: g.TaskSize}
+		if err := sub.Validate(); err != nil {
+			return nil, fmt.Errorf("core: surviving subset invalid: %w", err)
+		}
+	}
+
+	// Admission control: cap λ′ below the survivors' (possibly
+	// utilization-capped) saturation point instead of failing.
+	capacity := sub.MaxGenericRate()
+	if opts.MaxUtilization > 0 && opts.MaxUtilization < 1 {
+		var capTotal numeric.KahanSum
+		for _, s := range sub.Servers {
+			if r := opts.MaxUtilization*s.Capacity(sub.TaskSize) - s.SpecialRate; r > 0 {
+				capTotal.Add(r)
+			}
+		}
+		capacity = capTotal.Value()
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: surviving servers have no generic capacity")
+	}
+	admitted, shed := lambda, 0.0
+	if ceiling := (1 - DefaultAdmissionMargin) * capacity; lambda >= ceiling {
+		admitted = ceiling
+		shed = lambda - admitted
+	}
+
+	res, err := Optimize(sub, admitted, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &DegradedResult{
+		Result:    *res,
+		Survivors: len(idx),
+		Admitted:  admitted,
+		Shed:      shed,
+	}
+	if up != nil {
+		out.Up = append([]bool(nil), up...)
+	}
+	if len(idx) < g.N() {
+		// Expand to full-length vectors; down servers carry no generic
+		// load and report zero utilization/response time.
+		rates := make([]float64, g.N())
+		utils := make([]float64, g.N())
+		resps := make([]float64, g.N())
+		for k, i := range idx {
+			rates[i] = res.Rates[k]
+			utils[i] = res.Utilizations[k]
+			resps[i] = res.ResponseTimes[k]
+		}
+		out.Rates, out.Utilizations, out.ResponseTimes = rates, utils, resps
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+// TestDegradedEmptyFailureSetReproducesTables is the guard rail for the
+// failover refactor: with every server up and no shedding, the degraded
+// path must reproduce the paper's published Table 1 and Table 2 digits
+// exactly — the same pinned 1e-6 reproduction the plain optimizer is
+// held to.
+func TestDegradedEmptyFailureSetReproducesTables(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	for _, tc := range []struct {
+		name  string
+		d     queueing.Discipline
+		table []struct{ rate, rho float64 }
+		wantT float64
+	}{
+		{"fcfs/table1", queueing.FCFS, table1, table1T},
+		{"priority/table2", queueing.Priority, table2, table2T},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, up := range [][]bool{nil, {true, true, true, true, true, true, true}} {
+				res, err := OptimizeDegraded(g, lambda, up, Options{Discipline: tc.d})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Shed != 0 {
+					t.Errorf("shed = %g, want 0", res.Shed)
+				}
+				if res.Survivors != 7 {
+					t.Errorf("survivors = %d, want 7", res.Survivors)
+				}
+				if math.Abs(res.AvgResponseTime-tc.wantT) > digitsT {
+					t.Errorf("T′ = %.7f, want %.7f", res.AvgResponseTime, tc.wantT)
+				}
+				for i, want := range tc.table {
+					if math.Abs(res.Rates[i]-want.rate) > digitsT {
+						t.Errorf("λ′_%d = %.7f, want %.7f", i+1, res.Rates[i], want.rate)
+					}
+					if math.Abs(res.Utilizations[i]-want.rho) > digitsT {
+						t.Errorf("ρ_%d = %.7f, want %.7f", i+1, res.Utilizations[i], want.rho)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDegradedMatchesOptimizeBitwise pins the stronger property: the
+// degraded path with all servers up delegates to the very same solve.
+func TestDegradedMatchesOptimizeBitwise(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	want, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OptimizeDegraded(g, lambda, nil, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phi != want.Phi || got.AvgResponseTime != want.AvgResponseTime {
+		t.Errorf("degraded φ=%g T′=%g differs from plain φ=%g T′=%g",
+			got.Phi, got.AvgResponseTime, want.Phi, want.AvgResponseTime)
+	}
+	for i := range want.Rates {
+		if got.Rates[i] != want.Rates[i] {
+			t.Errorf("rate %d: %g != %g", i+1, got.Rates[i], want.Rates[i])
+		}
+	}
+}
+
+func TestDegradedSubsetSolve(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	up := []bool{true, true, true, false, true, true, false}
+	res, err := OptimizeDegraded(g, lambda, up, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Survivors != 5 {
+		t.Fatalf("survivors = %d, want 5", res.Survivors)
+	}
+	if res.Rates[3] != 0 || res.Rates[6] != 0 {
+		t.Errorf("down servers carry load: λ′_4=%g λ′_7=%g", res.Rates[3], res.Rates[6])
+	}
+	var sum float64
+	for _, r := range res.Rates {
+		sum += r
+	}
+	if math.Abs(sum-res.Admitted) > 1e-9 {
+		t.Errorf("Σλ′_i = %.12g, want admitted %.12g", sum, res.Admitted)
+	}
+	// λ′ = 23.52, surviving capacity (1−0.3)·Σ m_i s_i for the five
+	// survivors ≈ 33.04 > λ′, so nothing is shed.
+	if res.Shed != 0 {
+		t.Errorf("shed = %g, want 0", res.Shed)
+	}
+	// The survivors-only optimum must satisfy the KKT conditions on the
+	// surviving subgroup.
+	subServers := []model.Server{}
+	subRates := []float64{}
+	for i, u := range up {
+		if u {
+			subServers = append(subServers, g.Servers[i])
+			subRates = append(subRates, res.Rates[i])
+		}
+	}
+	sub := &model.Group{Servers: subServers, TaskSize: g.TaskSize}
+	resid, err := KKTResidual(sub, queueing.FCFS, subRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resid > 1e-6 {
+		t.Errorf("KKT residual %g on surviving subgroup", resid)
+	}
+	// And it must be strictly worse than the healthy optimum.
+	healthy, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgResponseTime <= healthy.AvgResponseTime {
+		t.Errorf("degraded T′=%g not worse than healthy T′=%g", res.AvgResponseTime, healthy.AvgResponseTime)
+	}
+}
+
+func TestDegradedAdmissionControlSheds(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.9 * g.MaxGenericRate() // feasible healthy, infeasible on 2 survivors
+	up := []bool{false, false, false, false, false, true, true}
+	// Plain Optimize on the subset would fail: capacity of survivors is
+	// far below λ′. The degraded path sheds instead.
+	res, err := OptimizeDegraded(g, lambda, up, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed <= 0 {
+		t.Fatalf("expected shedding, got shed = %g", res.Shed)
+	}
+	if math.Abs(res.Admitted+res.Shed-lambda) > 1e-9 {
+		t.Errorf("admitted %g + shed %g ≠ λ′ %g", res.Admitted, res.Shed, lambda)
+	}
+	// Minimality: admitted sits at the margin below surviving capacity.
+	subCap := g.Servers[5].MaxGenericRate(g.TaskSize) + g.Servers[6].MaxGenericRate(g.TaskSize)
+	want := (1 - DefaultAdmissionMargin) * subCap
+	if math.Abs(res.Admitted-want) > 1e-9 {
+		t.Errorf("admitted = %.9g, want (1−margin)·cap = %.9g", res.Admitted, want)
+	}
+	if !math.IsInf(res.AvgResponseTime, 0) && res.AvgResponseTime <= 0 {
+		t.Errorf("T′ = %g not positive", res.AvgResponseTime)
+	}
+}
+
+func TestDegradedErrors(t *testing.T) {
+	g := model.LiExample1Group()
+	if _, err := OptimizeDegraded(g, 1, []bool{true}, Options{Discipline: queueing.FCFS}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := OptimizeDegraded(g, 1, make([]bool, 7), Options{Discipline: queueing.FCFS}); err == nil {
+		t.Error("no survivors should fail")
+	}
+	if _, err := OptimizeDegraded(g, -1, nil, Options{Discipline: queueing.FCFS}); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := OptimizeDegraded(g, math.NaN(), nil, Options{Discipline: queueing.FCFS}); err == nil {
+		t.Error("NaN rate should fail")
+	}
+}
+
+// TestWarmStartAgreement checks the failover fast path: warm-starting
+// the φ bracket from a neighbouring solve must land on the same optimum
+// (to solver tolerance) as a cold start.
+func TestWarmStartAgreement(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.5 * g.MaxGenericRate()
+	healthy, err := Optimize(g, lambda, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := []bool{true, true, true, true, true, true, false}
+	cold, err := OptimizeDegraded(g, lambda, up, Options{Discipline: queueing.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := OptimizeDegraded(g, lambda, up, Options{Discipline: queueing.FCFS, WarmPhi: healthy.Phi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.AvgResponseTime-cold.AvgResponseTime) > 1e-9 {
+		t.Errorf("warm T′ = %.12g, cold T′ = %.12g", warm.AvgResponseTime, cold.AvgResponseTime)
+	}
+	for i := range cold.Rates {
+		if math.Abs(warm.Rates[i]-cold.Rates[i]) > 1e-6 {
+			t.Errorf("rate %d: warm %.9g vs cold %.9g", i+1, warm.Rates[i], cold.Rates[i])
+		}
+	}
+	// An absurd warm start must still converge (correctness does not
+	// depend on warm quality, only speed does).
+	wild, err := OptimizeDegraded(g, lambda, up, Options{Discipline: queueing.FCFS, WarmPhi: 1e6 * healthy.Phi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wild.AvgResponseTime-cold.AvgResponseTime) > 1e-9 {
+		t.Errorf("wild warm T′ = %.12g, cold T′ = %.12g", wild.AvgResponseTime, cold.AvgResponseTime)
+	}
+}

@@ -10,6 +10,7 @@ package dispatch
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/numeric"
 	"repro/internal/sim"
@@ -50,13 +51,17 @@ func (p *Probabilistic) Name() string { return "probabilistic" }
 
 // Pick implements sim.Dispatcher.
 func (p *Probabilistic) Pick(views []sim.StationView, rng *rand.Rand) int {
-	u := rng.Float64()
-	for i, c := range p.cum {
-		if u <= c {
-			return i
-		}
-	}
-	return len(p.cum) - 1
+	return pickCumulative(p.cum, rng.Float64())
+}
+
+// pickCumulative binary-searches the cumulative weights for the first
+// station whose cumulative weight strictly exceeds u ∈ [0, 1) — the
+// O(log n) replacement for the linear scan. The strict comparison (vs
+// sort.SearchFloat64s's ≥) is what guarantees a zero-weight station i
+// (cum[i] == cum[i−1], e.g. drained or failed) can never be returned:
+// that would require cum[i−1] ≤ u < cum[i], an empty interval.
+func pickCumulative(cum []float64, u float64) int {
+	return sort.Search(len(cum), func(i int) bool { return cum[i] > u })
 }
 
 // RoundRobin cycles through stations in index order, ignoring state and
@@ -74,6 +79,9 @@ func (r *RoundRobin) Pick(views []sim.StationView, _ *rand.Rand) int {
 	r.next++
 	return i
 }
+
+// Fork implements sim.Forker: each replication restarts the cycle.
+func (r *RoundRobin) Fork() sim.Dispatcher { return &RoundRobin{} }
 
 // JSQ (join-shortest-queue) sends the task to the station with the
 // fewest waiting-plus-in-service tasks per blade, breaking ties toward
@@ -137,4 +145,5 @@ var (
 	_ sim.Dispatcher = (*RoundRobin)(nil)
 	_ sim.Dispatcher = JSQ{}
 	_ sim.Dispatcher = LeastExpectedWait{}
+	_ sim.Forker     = (*RoundRobin)(nil)
 )

@@ -61,6 +61,43 @@ func TestProbabilisticZeroWeightNeverPicked(t *testing.T) {
 	}
 }
 
+// TestPickCumulativeBoundaries pins the exact boundary behaviour of the
+// binary search: zero-weight (drained or failed) stations must be
+// unreachable even when u lands exactly on a cumulative boundary — the
+// cases the old linear scan (u <= cum[i]) got wrong.
+func TestPickCumulativeBoundaries(t *testing.T) {
+	// Stations 0 and 2 drained; weights {0, 1, 0, 1}.
+	p, err := NewProbabilistic([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		u    float64
+		want int
+	}{
+		{0, 1},                    // leading zero weight: u=0 must skip station 0
+		{0.25, 1},                 //
+		{0.5, 3},                  // exactly on station 1's boundary: next positive weight
+		{0.75, 3},                 //
+		{math.Nextafter(1, 0), 3}, // largest representable u < 1
+	}
+	for _, c := range cases {
+		if got := pickCumulative(p.cum, c.u); got != c.want {
+			t.Errorf("pickCumulative(u=%v) = %d, want %d", c.u, got, c.want)
+		}
+	}
+	// All-boundary stress: every cumulative value fed back as u must
+	// still land on a positively weighted station.
+	for _, u := range p.cum {
+		if u >= 1 {
+			continue
+		}
+		if got := pickCumulative(p.cum, u); got == 0 || got == 2 {
+			t.Errorf("pickCumulative(boundary %v) picked drained station %d", u, got)
+		}
+	}
+}
+
 func TestRoundRobinCycles(t *testing.T) {
 	rr := &RoundRobin{}
 	views := make([]sim.StationView, 3)

@@ -1,0 +1,137 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+)
+
+// TestForkIsolation pins the sim.Forker contract for every stateful
+// policy: a fork starts in the initial state and mutating it leaves the
+// parent untouched. Without this, RunReplications' parallel workers
+// would race on shared counters/buffers and entangle replications.
+func TestForkIsolation(t *testing.T) {
+	views := make([]sim.StationView, 3)
+	for i := range views {
+		views[i] = sim.StationView{Index: i, Blades: 2, Speed: 1, ServiceMean: 1, Up: true, AvailableBlades: 2}
+	}
+
+	t.Run("round-robin", func(t *testing.T) {
+		rr := &RoundRobin{}
+		rr.Pick(views, nil)
+		rr.Pick(views, nil) // parent mid-cycle at 2
+		fork := rr.Fork().(*RoundRobin)
+		if got := fork.Pick(views, nil); got != 0 {
+			t.Errorf("fork first pick = %d, want fresh cycle start 0", got)
+		}
+		if got := rr.Pick(views, nil); got != 2 {
+			t.Errorf("parent pick after fork = %d, want 2 (cycle undisturbed)", got)
+		}
+	})
+
+	t.Run("weighted-round-robin", func(t *testing.T) {
+		w, err := NewWeightedRoundRobin([]float64{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parent, forked []int
+		for i := 0; i < 6; i++ {
+			parent = append(parent, w.Pick(views, nil))
+		}
+		f := w.Fork().(*WeightedRoundRobin)
+		for i := 0; i < 6; i++ {
+			forked = append(forked, f.Pick(views, nil))
+		}
+		// Deterministic policy: a fresh fork must replay the exact
+		// sequence the parent produced from its own initial state.
+		for i := range parent {
+			if parent[i] != forked[i] {
+				t.Fatalf("fork sequence %v diverges from initial-state sequence %v", forked, parent)
+			}
+		}
+	})
+
+	t.Run("re-weighting", func(t *testing.T) {
+		g := model.LiExample1Group()
+		lambda := 0.4 * g.MaxGenericRate()
+		r, err := NewReWeighting(g, lambda, core.Options{Discipline: queueing.FCFS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		gviews := make([]sim.StationView, g.N())
+		for i, s := range g.Servers {
+			gviews[i] = sim.StationView{Index: i, Blades: s.Size, Speed: s.Speed,
+				ServiceMean: g.TaskSize / s.Speed, Up: true, AvailableBlades: s.Size}
+		}
+		gviews[0].Up, gviews[0].AvailableBlades = false, 0
+		r.Pick(gviews, rng) // parent degrades and re-solves
+		if n, _ := r.Resolves(); n != 1 {
+			t.Fatalf("parent resolves = %d, want 1", n)
+		}
+		f := r.Fork().(*ReWeighting)
+		if n, _ := f.Resolves(); n != 0 {
+			t.Errorf("fork resolves = %d, want 0 (healthy initial state)", n)
+		}
+		// The fork believes every station is up: handing it all-up views
+		// must not trigger a re-solve, and station 0 must receive traffic.
+		for i := range gviews {
+			gviews[i].Up = true
+			gviews[i].AvailableBlades = g.Servers[i].Size
+		}
+		picked0 := false
+		for trial := 0; trial < 2000; trial++ {
+			if f.Pick(gviews, rng) == 0 {
+				picked0 = true
+			}
+		}
+		if n, _ := f.Resolves(); n != 0 {
+			t.Errorf("fork re-solved on all-up views: resolves = %d", n)
+		}
+		if !picked0 {
+			t.Error("fork never routed to station 0 — inherited parent's degraded weights")
+		}
+		// Parent state survived the fork's activity.
+		if n, _ := r.Resolves(); n != 1 {
+			t.Errorf("parent resolves changed to %d after fork activity", n)
+		}
+	})
+
+	t.Run("health-filtered", func(t *testing.T) {
+		h, err := NewHealthFiltered(&RoundRobin{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Pick(views, nil) // inner cycle at 1
+		f := h.Fork().(*HealthFiltered)
+		if f.Inner == h.Inner {
+			t.Fatal("fork shares the stateful inner dispatcher")
+		}
+		if got := f.Pick(views, nil); got != 0 {
+			t.Errorf("forked inner cycle starts at %d, want 0", got)
+		}
+	})
+}
+
+// TestRunReplicationsForksDispatcher verifies the runner actually uses
+// the Forker hook: after parallel replications the configured parent
+// dispatcher must still be in its initial state.
+func TestRunReplicationsForksDispatcher(t *testing.T) {
+	g := model.LiExample1Group()
+	lambda := 0.3 * g.MaxGenericRate()
+	rr := &RoundRobin{}
+	if _, err := sim.RunReplications(sim.Config{
+		Group: g, Discipline: queueing.FCFS, GenericRate: lambda,
+		Dispatcher: rr, Horizon: 200, Warmup: 10, Seed: 5,
+	}, 4, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	views := make([]sim.StationView, g.N())
+	if got := rr.Pick(views, nil); got != 0 {
+		t.Errorf("parent round-robin advanced to %d during replications; forks not used", got)
+	}
+}

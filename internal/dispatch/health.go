@@ -1,0 +1,224 @@
+package dispatch
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// HealthFiltered wraps a state-aware dispatcher so it only ever sees
+// the stations that are up: down stations are filtered out of the view
+// slice before the inner Pick runs, and the inner pick is mapped back
+// to the original station index. Use it to make JSQ, PowerOfD,
+// LeastExpectedWait, or RoundRobin failure-aware.
+//
+// The inner dispatcher must pick by the views it is handed (their
+// positions change as stations fail); positional-weight policies like
+// Probabilistic belong behind ReWeighting instead.
+type HealthFiltered struct {
+	// Inner is the wrapped policy.
+	Inner sim.Dispatcher
+
+	filtered []sim.StationView // reused across picks
+}
+
+// NewHealthFiltered wraps inner.
+func NewHealthFiltered(inner sim.Dispatcher) (*HealthFiltered, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("dispatch: nil inner dispatcher")
+	}
+	return &HealthFiltered{Inner: inner}, nil
+}
+
+// Name implements sim.Dispatcher.
+func (h *HealthFiltered) Name() string {
+	return "health-filtered(" + h.Inner.Name() + ")"
+}
+
+// Pick implements sim.Dispatcher. With every station down there is
+// nothing sensible to do; the pick falls through to the inner policy
+// on the unfiltered views (the task will queue or be lost either way).
+func (h *HealthFiltered) Pick(views []sim.StationView, rng *rand.Rand) int {
+	h.filtered = h.filtered[:0]
+	for _, v := range views {
+		if v.Up {
+			h.filtered = append(h.filtered, v)
+		}
+	}
+	if len(h.filtered) == 0 {
+		return h.Inner.Pick(views, rng)
+	}
+	pick := h.Inner.Pick(h.filtered, rng)
+	if pick < 0 || pick >= len(h.filtered) {
+		return -1 // surface the inner policy's bug to the engine
+	}
+	return h.filtered[pick].Index
+}
+
+// Fork implements sim.Forker: a wrapper with its own scratch buffer,
+// forking the inner policy too when it is stateful.
+func (h *HealthFiltered) Fork() sim.Dispatcher {
+	inner := h.Inner
+	if f, ok := inner.(sim.Forker); ok {
+		inner = f.Fork()
+	}
+	return &HealthFiltered{Inner: inner}
+}
+
+// ReWeighting is the failover dispatcher: it routes probabilistically
+// with the optimal rates for the *currently alive* subset, re-solving
+// the paper's optimization whenever a station fails or recovers. The
+// re-solve warm-starts the Lagrange-multiplier bracket from the
+// previous solution (core.Options.WarmPhi) so failover is cheap, and
+// admission control inside core.OptimizeDegraded keeps the solve
+// feasible even when the survivors cannot carry the full stream.
+//
+// Compared against a static Probabilistic built from the healthy
+// optimum, this is exactly the robustness win the chaos harness
+// measures: the static split keeps feeding a dead station, the
+// re-weighting split never does.
+type ReWeighting struct {
+	group      *model.Group
+	lambda     float64
+	opts       core.Options
+	healthyCum []float64 // all-up weights, for forking without a re-solve
+	healthyPhi float64
+
+	mu       sync.Mutex
+	up       []bool
+	cum      []float64
+	phi      float64
+	resolves int
+	lastErr  error
+}
+
+// NewReWeighting solves the healthy-state optimum and returns the
+// dispatcher ready to adapt.
+func NewReWeighting(g *model.Group, lambda float64, opts core.Options) (*ReWeighting, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dispatch: nil group")
+	}
+	res, err := core.Optimize(g, lambda, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: healthy solve: %w", err)
+	}
+	r := &ReWeighting{
+		group:      g.Clone(),
+		lambda:     lambda,
+		opts:       opts,
+		healthyCum: cumulative(res.Rates),
+		healthyPhi: res.Phi,
+		up:         make([]bool, g.N()),
+		phi:        res.Phi,
+	}
+	for i := range r.up {
+		r.up[i] = true
+	}
+	r.cum = r.healthyCum
+	return r, nil
+}
+
+// Fork implements sim.Forker: an independent dispatcher reset to the
+// healthy all-up state (the group, options, and healthy solution are
+// shared read-only; the adaptive state is fresh), so each replication
+// observes its own failure trace without inheriting another run's
+// degraded weights.
+func (r *ReWeighting) Fork() sim.Dispatcher {
+	n := &ReWeighting{
+		group:      r.group,
+		lambda:     r.lambda,
+		opts:       r.opts,
+		healthyCum: r.healthyCum,
+		healthyPhi: r.healthyPhi,
+		up:         make([]bool, len(r.healthyCum)),
+		phi:        r.healthyPhi,
+	}
+	for i := range n.up {
+		n.up[i] = true
+	}
+	n.cum = n.healthyCum
+	return n
+}
+
+// Name implements sim.Dispatcher.
+func (r *ReWeighting) Name() string { return "re-optimizing" }
+
+// Resolves returns how many degraded-mode re-optimizations have run
+// (failure and recovery events observed), and the error of the last
+// re-solve that failed, if any.
+func (r *ReWeighting) Resolves() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resolves, r.lastErr
+}
+
+// Pick implements sim.Dispatcher.
+func (r *ReWeighting) Pick(views []sim.StationView, rng *rand.Rand) int {
+	r.mu.Lock()
+	changed := false
+	for i, v := range views {
+		if i < len(r.up) && r.up[i] != v.Up {
+			r.up[i] = v.Up
+			changed = true
+		}
+	}
+	if changed {
+		r.resolve()
+	}
+	cum := r.cum
+	r.mu.Unlock()
+	return pickCumulative(cum, rng.Float64())
+}
+
+// resolve recomputes the optimal rates over the alive subset. Called
+// with r.mu held. On failure (e.g. every station down) the previous
+// weights are kept — the tasks have nowhere better to go — and the
+// error is reported through Resolves.
+func (r *ReWeighting) resolve() {
+	r.resolves++
+	opts := r.opts
+	opts.WarmPhi = r.phi
+	res, err := core.OptimizeDegraded(r.group, r.lambda, r.up, opts)
+	if err != nil {
+		r.lastErr = err
+		return
+	}
+	r.lastErr = nil
+	r.phi = res.Phi
+	r.cum = cumulative(res.Rates)
+}
+
+// cumulative normalizes non-negative weights into a cumulative
+// distribution for pickCumulative. A zero total (cannot happen for an
+// optimizer result) falls back to uniform.
+func cumulative(weights []float64) []float64 {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		for i := range cum {
+			cum[i] = float64(i+1) / float64(len(cum))
+		}
+		return cum
+	}
+	run := 0.0
+	for i, w := range weights {
+		run += w / total
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1 // guard rounding
+	return cum
+}
+
+var (
+	_ sim.Dispatcher = (*HealthFiltered)(nil)
+	_ sim.Dispatcher = (*ReWeighting)(nil)
+	_ sim.Forker     = (*HealthFiltered)(nil)
+	_ sim.Forker     = (*ReWeighting)(nil)
+)

@@ -96,7 +96,18 @@ func (w *WeightedRoundRobin) Pick(views []sim.StationView, _ *rand.Rand) int {
 	return best
 }
 
+// Fork implements sim.Forker: a copy with zeroed credits, sharing the
+// immutable weights.
+func (w *WeightedRoundRobin) Fork() sim.Dispatcher {
+	return &WeightedRoundRobin{
+		weights: w.weights,
+		credit:  make([]float64, len(w.credit)),
+		total:   w.total,
+	}
+}
+
 var (
 	_ sim.Dispatcher = (*PowerOfD)(nil)
 	_ sim.Dispatcher = (*WeightedRoundRobin)(nil)
+	_ sim.Forker     = (*WeightedRoundRobin)(nil)
 )

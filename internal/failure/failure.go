@@ -1,0 +1,288 @@
+// Package failure models server availability: per-server alternating
+// up/down renewal processes with exponential time-to-failure (MTBF) and
+// time-to-repair (MTTR), seeded schedule generation for the simulator,
+// and the steady-state availability and effective-capacity formulas the
+// degraded-mode optimizer and the chaos harness rely on.
+//
+// The paper assumes every blade server is permanently up; this package
+// is the repo's answer to what happens when that assumption breaks. A
+// two-state Markov process with failure rate 1/MTBF and repair rate
+// 1/MTTR has steady-state availability
+//
+//	A = MTBF / (MTBF + MTTR),
+//
+// so a server of capacity m·s/r̄ delivers only A·m·s/r̄ in the long run.
+// Schedules generated here are deterministic given a seed, which makes
+// chaos scenarios reproducible and lets static and re-optimizing
+// dispatchers be compared under the identical failure trace.
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Params describes the failure behaviour of one server (or one blade).
+// The zero value means "never fails".
+type Params struct {
+	// MTBF is the mean time between failures (mean up period). Must be
+	// positive when the process is enabled.
+	MTBF float64
+	// MTTR is the mean time to repair (mean down period). Must be
+	// positive when the process is enabled.
+	MTTR float64
+	// Blades, when positive, limits each failure to that many blades of
+	// the station instead of taking the whole station down. Zero means
+	// whole-station failures.
+	Blades int
+}
+
+// Enabled reports whether the process generates any failures at all.
+func (p Params) Enabled() bool { return p.MTBF > 0 || p.MTTR > 0 }
+
+// Validate checks the parameters. The zero value is valid (no failures).
+func (p Params) Validate() error {
+	if !p.Enabled() {
+		if p.Blades != 0 {
+			return fmt.Errorf("failure: blades %d without mtbf/mttr", p.Blades)
+		}
+		return nil
+	}
+	if p.MTBF <= 0 || math.IsNaN(p.MTBF) || math.IsInf(p.MTBF, 0) {
+		return fmt.Errorf("failure: mtbf %g must be positive and finite", p.MTBF)
+	}
+	if p.MTTR <= 0 || math.IsNaN(p.MTTR) || math.IsInf(p.MTTR, 0) {
+		return fmt.Errorf("failure: mttr %g must be positive and finite", p.MTTR)
+	}
+	if p.Blades < 0 {
+		return fmt.Errorf("failure: blades %d must be non-negative", p.Blades)
+	}
+	return nil
+}
+
+// Availability returns the steady-state fraction of time the process is
+// up: MTBF/(MTBF+MTTR). A disabled process is always up.
+func (p Params) Availability() float64 {
+	if !p.Enabled() {
+		return 1
+	}
+	return p.MTBF / (p.MTBF + p.MTTR)
+}
+
+// Transition is one point of a failure schedule: at Time, the station
+// has Down blades unavailable (0 = fully healthy; ≥ m = fully down).
+type Transition struct {
+	Time float64
+	Down int
+}
+
+// Schedule is the failure trace of one station over a horizon: a
+// time-ordered list of transitions, starting implicitly from a fully-up
+// state at time 0.
+type Schedule []Transition
+
+// Validate checks ordering and non-negativity.
+func (sch Schedule) Validate() error {
+	prev := 0.0
+	for i, tr := range sch {
+		if math.IsNaN(tr.Time) || tr.Time < 0 {
+			return fmt.Errorf("failure: transition %d at invalid time %g", i, tr.Time)
+		}
+		if tr.Time < prev {
+			return fmt.Errorf("failure: transition %d at %g before predecessor %g", i, tr.Time, prev)
+		}
+		if tr.Down < 0 {
+			return fmt.Errorf("failure: transition %d has negative down count %d", i, tr.Down)
+		}
+		prev = tr.Time
+	}
+	return nil
+}
+
+// DownAt returns the number of blades down at time t under the schedule
+// (0 before the first transition).
+func (sch Schedule) DownAt(t float64) int {
+	// First transition strictly after t; state is the one before it.
+	i := sort.Search(len(sch), func(i int) bool { return sch[i].Time > t })
+	if i == 0 {
+		return 0
+	}
+	return sch[i-1].Down
+}
+
+// Downtime returns the total time in [0, horizon] during which at least
+// `threshold` blades are down. With threshold = m this is full-station
+// downtime.
+func (sch Schedule) Downtime(horizon float64, threshold int) float64 {
+	if horizon <= 0 || threshold <= 0 {
+		return 0
+	}
+	total := 0.0
+	down := 0
+	last := 0.0
+	for _, tr := range sch {
+		t := math.Min(tr.Time, horizon)
+		if t > last && down >= threshold {
+			total += t - last
+		}
+		if tr.Time >= horizon {
+			return total
+		}
+		down = tr.Down
+		last = t
+	}
+	if down >= threshold && horizon > last {
+		total += horizon - last
+	}
+	return total
+}
+
+// Generate draws a seeded up/down schedule for a station of m blades
+// over [0, horizon]. Whole-station params (Blades == 0) alternate
+// exponential up periods of mean MTBF with down periods of mean MTTR
+// taking all m blades out. With Blades = k ∈ (0, m), each failure takes
+// min(k, available) additional blades down; repairs restore the same
+// batch, so overlapping batch failures stack up to m.
+func Generate(p Params, m int, horizon float64, rng *rand.Rand) (Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("failure: station size %d must be ≥ 1", m)
+	}
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return nil, fmt.Errorf("failure: horizon %g must be positive and finite", horizon)
+	}
+	if !p.Enabled() {
+		return nil, nil
+	}
+	batch := p.Blades
+	if batch <= 0 || batch > m {
+		batch = m
+	}
+	// Event-driven generation: one failure clock (exp MTBF) while any
+	// blade is still up, plus one repair clock (exp MTTR) per failed
+	// batch. This keeps the whole-station case exactly the alternating
+	// renewal process whose availability is MTBF/(MTBF+MTTR).
+	var sch Schedule
+	down := 0
+	t := 0.0
+	var repairs []float64 // pending repair completion times, sorted asc
+	for t < horizon {
+		var next float64
+		if down < m {
+			next = t + rng.ExpFloat64()*p.MTBF
+		} else {
+			next = math.Inf(1)
+		}
+		if len(repairs) > 0 && repairs[0] < next {
+			t = repairs[0]
+			repairs = repairs[1:]
+			down -= batch
+			if down < 0 {
+				down = 0
+			}
+		} else {
+			if math.IsInf(next, 1) {
+				break
+			}
+			t = next
+			if t >= horizon {
+				break
+			}
+			take := batch
+			if down+take > m {
+				take = m - down
+			}
+			down += take
+			at := t + rng.ExpFloat64()*p.MTTR
+			i := sort.SearchFloat64s(repairs, at)
+			repairs = append(repairs, 0)
+			copy(repairs[i+1:], repairs[i:])
+			repairs[i] = at
+		}
+		if t >= horizon {
+			break
+		}
+		sch = append(sch, Transition{Time: t, Down: down})
+	}
+	return sch, nil
+}
+
+// Plan bundles per-station failure behaviour for a group of n stations.
+type Plan struct {
+	// Stations holds one Params per station, aligned with the group's
+	// server order. Zero values never fail.
+	Stations []Params
+}
+
+// Validate checks every station's parameters.
+func (pl *Plan) Validate() error {
+	for i, p := range pl.Stations {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("station %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether any station can fail.
+func (pl *Plan) Enabled() bool {
+	if pl == nil {
+		return false
+	}
+	for _, p := range pl.Stations {
+		if p.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// Availabilities returns the steady-state availability of each station.
+func (pl *Plan) Availabilities() []float64 {
+	out := make([]float64, len(pl.Stations))
+	for i, p := range pl.Stations {
+		out[i] = p.Availability()
+	}
+	return out
+}
+
+// GenerateAll draws one seeded schedule per station; sizes[i] is the
+// blade count m_i of station i.
+func (pl *Plan) GenerateAll(sizes []int, horizon float64, seed int64) ([]Schedule, error) {
+	if len(sizes) != len(pl.Stations) {
+		return nil, fmt.Errorf("failure: %d sizes for %d stations", len(sizes), len(pl.Stations))
+	}
+	out := make([]Schedule, len(pl.Stations))
+	for i, p := range pl.Stations {
+		// One independent substream per station so adding a station
+		// does not perturb the others' traces.
+		rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
+		sch, err := Generate(p, sizes[i], horizon, rng)
+		if err != nil {
+			return nil, fmt.Errorf("station %d: %w", i+1, err)
+		}
+		out[i] = sch
+	}
+	return out, nil
+}
+
+// EffectiveCapacity returns the availability-weighted capacity
+// Σ A_i·m_i·s_i/r̄ of a group with per-station speeds and sizes — the
+// long-run throughput ceiling under the failure plan.
+func (pl *Plan) EffectiveCapacity(sizes []int, speeds []float64, taskSize float64) (float64, error) {
+	if len(sizes) != len(pl.Stations) || len(speeds) != len(pl.Stations) {
+		return 0, fmt.Errorf("failure: sizes/speeds length mismatch with %d stations", len(pl.Stations))
+	}
+	if taskSize <= 0 || math.IsNaN(taskSize) || math.IsInf(taskSize, 0) {
+		return 0, fmt.Errorf("failure: task size %g must be positive and finite", taskSize)
+	}
+	total := 0.0
+	for i, p := range pl.Stations {
+		total += p.Availability() * float64(sizes[i]) * speeds[i] / taskSize
+	}
+	return total, nil
+}

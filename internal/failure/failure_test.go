@@ -1,0 +1,226 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{Params{}, true},
+		{Params{MTBF: 100, MTTR: 5}, true},
+		{Params{MTBF: 100, MTTR: 5, Blades: 2}, true},
+		{Params{MTBF: -1, MTTR: 5}, false},
+		{Params{MTBF: 100, MTTR: 0}, false},
+		{Params{MTBF: 0, MTTR: 5}, false},
+		{Params{MTBF: math.NaN(), MTTR: 5}, false},
+		{Params{MTBF: 100, MTTR: math.Inf(1)}, false},
+		{Params{MTBF: 100, MTTR: 5, Blades: -1}, false},
+		{Params{Blades: 2}, false},
+	}
+	for i, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestAvailabilityFormula(t *testing.T) {
+	p := Params{MTBF: 90, MTTR: 10}
+	if got := p.Availability(); math.Abs(got-0.9) > 1e-15 {
+		t.Errorf("availability = %g, want 0.9", got)
+	}
+	if got := (Params{}).Availability(); got != 1 {
+		t.Errorf("disabled availability = %g, want 1", got)
+	}
+}
+
+func TestScheduleDownAtAndDowntime(t *testing.T) {
+	sch := Schedule{{Time: 10, Down: 4}, {Time: 15, Down: 0}, {Time: 30, Down: 2}}
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    float64
+		down int
+	}{{0, 0}, {9.99, 0}, {10, 4}, {12, 4}, {15, 0}, {29, 0}, {30, 2}, {100, 2}}
+	for _, c := range cases {
+		if got := sch.DownAt(c.t); got != c.down {
+			t.Errorf("DownAt(%g) = %d, want %d", c.t, got, c.down)
+		}
+	}
+	// Fully down (threshold 4) during [10, 15): 5 units.
+	if got := sch.Downtime(40, 4); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Downtime(40, 4) = %g, want 5", got)
+	}
+	// Any blade down (threshold 1): [10,15) ∪ [30,40) = 15 units.
+	if got := sch.Downtime(40, 1); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Downtime(40, 1) = %g, want 15", got)
+	}
+	// Horizon cuts the open-ended tail.
+	if got := sch.Downtime(35, 1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Downtime(35, 1) = %g, want 10", got)
+	}
+}
+
+func TestScheduleValidateRejectsDisorder(t *testing.T) {
+	if err := (Schedule{{Time: 5, Down: 1}, {Time: 4, Down: 0}}).Validate(); err == nil {
+		t.Error("out-of-order schedule should fail")
+	}
+	if err := (Schedule{{Time: math.NaN(), Down: 1}}).Validate(); err == nil {
+		t.Error("NaN time should fail")
+	}
+	if err := (Schedule{{Time: 1, Down: -1}}).Validate(); err == nil {
+		t.Error("negative down count should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{MTBF: 50, MTTR: 10}
+	a, err := Generate(p, 4, 1000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 4, 1000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transition %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("expected some failures over 20 MTBFs")
+	}
+}
+
+func TestGenerateWholeStationAlternates(t *testing.T) {
+	sch, err := Generate(Params{MTBF: 20, MTTR: 5}, 8, 500, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range sch {
+		want := 0
+		if i%2 == 0 {
+			want = 8
+		}
+		if tr.Down != want {
+			t.Fatalf("transition %d: down = %d, want %d (whole-station schedules alternate m, 0)", i, tr.Down, want)
+		}
+	}
+}
+
+func TestGeneratePartialBladesBounded(t *testing.T) {
+	sch, err := Generate(Params{MTBF: 5, MTTR: 20, Blades: 3}, 8, 2000, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPartial, sawStacked := false, false
+	for _, tr := range sch {
+		if tr.Down < 0 || tr.Down > 8 {
+			t.Fatalf("down count %d outside [0, 8]", tr.Down)
+		}
+		if tr.Down > 0 && tr.Down < 8 {
+			sawPartial = true
+		}
+		if tr.Down > 3 {
+			sawStacked = true
+		}
+	}
+	if !sawPartial || !sawStacked {
+		t.Errorf("expected partial (got %v) and stacked (got %v) failures with MTTR ≫ MTBF", sawPartial, sawStacked)
+	}
+}
+
+// TestAvailabilityOracle validates the generated schedules against the
+// analytic two-state formula, in the style of the birth–death
+// cross-checks in internal/queueing: over independent replications the
+// measured uptime fraction must bracket MTBF/(MTBF+MTTR) within a 99%
+// confidence interval.
+func TestAvailabilityOracle(t *testing.T) {
+	p := Params{MTBF: 80, MTTR: 20}
+	want := p.Availability() // 0.8
+	const (
+		m       = 4
+		horizon = 5000.0
+		reps    = 40
+	)
+	var avail metrics.Welford
+	for r := 0; r < reps; r++ {
+		sch, err := Generate(p, m, horizon, rand.New(rand.NewSource(100+int64(r))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		avail.Add(1 - sch.Downtime(horizon, m)/horizon)
+	}
+	iv, err := metrics.ConfidenceInterval(&avail, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(want) {
+		t.Errorf("simulated availability %v does not cover analytic %g", iv, want)
+	}
+	// The interval must also be tight enough to mean something.
+	if iv.HalfWidth > 0.05 {
+		t.Errorf("interval %v too wide to validate anything", iv)
+	}
+}
+
+func TestPlanGenerateAllAndEffectiveCapacity(t *testing.T) {
+	pl := &Plan{Stations: []Params{{}, {MTBF: 90, MTTR: 10}}}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Enabled() {
+		t.Error("plan with one failing station should be enabled")
+	}
+	scheds, err := pl.GenerateAll([]int{2, 4}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheds[0] != nil {
+		t.Error("never-failing station should have a nil schedule")
+	}
+	if len(scheds[1]) == 0 {
+		t.Error("failing station should have transitions")
+	}
+	// Determinism across calls.
+	again, err := pl.GenerateAll([]int{2, 4}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again[1]) != len(scheds[1]) {
+		t.Error("GenerateAll not deterministic for fixed seed")
+	}
+	// Capacity: 2·1/1 + 0.9·4·2/1 = 9.2.
+	cap, err := pl.EffectiveCapacity([]int{2, 4}, []float64{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cap-9.2) > 1e-12 {
+		t.Errorf("effective capacity = %g, want 9.2", cap)
+	}
+	if _, err := pl.EffectiveCapacity([]int{2}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if !(&Plan{Stations: []Params{{}, {}}}).Enabled() == false {
+		t.Error("all-zero plan should be disabled")
+	}
+	var nilPlan *Plan
+	if nilPlan.Enabled() {
+		t.Error("nil plan should be disabled")
+	}
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProportionInterval returns the Wilson score confidence interval for a
+// binomial proportion: k successes out of n trials (e.g. completed out
+// of arrived tasks, up-samples out of total samples). Unlike the naive
+// Wald interval p̂ ± z·√(p̂(1−p̂)/n), the Wilson interval stays inside
+// [0, 1] and remains informative at the extremes (k = 0 still yields a
+// positive upper bound), which matters for rare-loss measurements in
+// chaos runs. The returned Interval is centered on the Wilson midpoint
+// (p̂ + z²/2n)/(1 + z²/n), not on p̂ itself.
+func ProportionInterval(k, n int64, confidence float64) (Interval, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, fmt.Errorf("metrics: confidence %g must be in (0, 1)", confidence)
+	}
+	if n <= 0 {
+		return Interval{}, fmt.Errorf("metrics: proportion needs n ≥ 1 trials, got %d", n)
+	}
+	if k < 0 || k > n {
+		return Interval{}, fmt.Errorf("metrics: successes %d outside [0, %d]", k, n)
+	}
+	z := normQuantile(1 - (1-confidence)/2)
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	hw := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	return Interval{Mean: center, HalfWidth: hw, Confidence: confidence, N: n}, nil
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProportionIntervalKnownValues(t *testing.T) {
+	// 50/100 at 95%: the textbook Wilson interval (0.4038, 0.5962).
+	iv, err := ProportionInterval(50, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-0.5) > 1e-12 {
+		t.Errorf("symmetric case center = %g, want 0.5", iv.Mean)
+	}
+	if math.Abs(iv.Lo()-0.40383) > 5e-4 || math.Abs(iv.Hi()-0.59617) > 5e-4 {
+		t.Errorf("interval [%g, %g], want ≈ [0.4038, 0.5962]", iv.Lo(), iv.Hi())
+	}
+}
+
+func TestProportionIntervalExtremes(t *testing.T) {
+	// Zero successes: lower bound 0, but a positive, finite upper bound
+	// (≈ 0.1611 for n = 20 at 95%) — the property Wald lacks.
+	iv, err := ProportionInterval(0, 20, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Lo()) > 1e-12 {
+		t.Errorf("k=0 lower bound = %g, want 0", iv.Lo())
+	}
+	if math.Abs(iv.Hi()-0.1611) > 1e-3 {
+		t.Errorf("k=0 upper bound = %g, want ≈ 0.1611", iv.Hi())
+	}
+	// All successes mirrors it.
+	iv, err = ProportionInterval(20, 20, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Hi()-1) > 1e-12 || math.Abs(iv.Lo()-0.8389) > 1e-3 {
+		t.Errorf("k=n interval [%g, %g], want ≈ [0.8389, 1]", iv.Lo(), iv.Hi())
+	}
+}
+
+func TestProportionIntervalValidation(t *testing.T) {
+	for _, c := range []struct {
+		k, n int64
+		conf float64
+	}{
+		{1, 0, 0.95}, {-1, 10, 0.95}, {11, 10, 0.95}, {5, 10, 0}, {5, 10, 1},
+	} {
+		if _, err := ProportionInterval(c.k, c.n, c.conf); err == nil {
+			t.Errorf("ProportionInterval(%d, %d, %g) accepted invalid input", c.k, c.n, c.conf)
+		}
+	}
+}
+
+// TestProportionIntervalCoverage checks the interval does its job:
+// across repeated binomial experiments the true p must be covered close
+// to the nominal rate (Wilson's actual coverage oscillates around
+// nominal, so the check allows a generous band).
+func TestProportionIntervalCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const p, n, experiments = 0.3, 60, 2000
+	covered := 0
+	for e := 0; e < experiments; e++ {
+		k := int64(0)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		iv, err := ProportionInterval(k, n, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(p) {
+			covered++
+		}
+	}
+	rate := float64(covered) / experiments
+	if rate < 0.92 || rate > 0.99 {
+		t.Errorf("coverage %.3f outside [0.92, 0.99] for nominal 0.95", rate)
+	}
+}

@@ -17,6 +17,13 @@ type StationView struct {
 	Busy int
 	// QueueLen is the number of waiting tasks (both classes).
 	QueueLen int
+	// AvailableBlades is the number of non-failed blades (= Blades
+	// unless failure injection is active).
+	AvailableBlades int
+	// Up reports whether the station can serve at all (at least one
+	// blade available). Health-aware dispatchers should not route to
+	// down stations; state-oblivious ones ignore this and pay for it.
+	Up bool
 }
 
 // Dispatcher routes each arriving generic task to a station. Pick is
@@ -28,4 +35,14 @@ type Dispatcher interface {
 	Name() string
 	// Pick selects the station for the arriving task.
 	Pick(views []StationView, rng *rand.Rand) int
+}
+
+// Forker is implemented by stateful dispatchers (cycling counters,
+// reusable buffers, adaptive weights). Fork returns an independent
+// dispatcher in its initial state so that parallel replications neither
+// race on shared fields nor leak state from one run into another.
+// RunReplications forks the configured dispatcher once per replication
+// when this interface is present; stateless dispatchers don't need it.
+type Forker interface {
+	Fork() Dispatcher
 }

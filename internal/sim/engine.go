@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/failure"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/queueing"
@@ -49,6 +50,26 @@ type Config struct {
 	// (see RunResult.GenericHistogram).
 	HistogramBins int
 	HistogramMax  float64
+	// Failures, when non-nil with any enabled station, injects
+	// per-station up/down processes: schedules are generated from the
+	// run seed, stations lose blades (or go fully down) mid-run, and
+	// the Lost*/Requeued*/Downtime/Availability fields of RunResult are
+	// populated. Must cover exactly the group's stations.
+	Failures *failure.Plan
+	// FailureSchedules supplies explicit per-station failure traces and
+	// takes precedence over Failures. Use it to replay the identical
+	// outage scenario under different dispatchers or policies. Length
+	// must equal the group size (nil entries never fail).
+	FailureSchedules []failure.Schedule
+	// FailurePolicy selects requeue-with-residual-work (default) or
+	// drop for tasks in flight on a failing blade.
+	FailurePolicy FailurePolicy
+	// Retry, when non-nil, models clients that bounce off fully-down or
+	// full stations: the task is re-dispatched (fresh Pick) after a
+	// capped exponential backoff, and is lost once MaxAttempts retries
+	// are exhausted. Without it, tasks sent to a down station wait in
+	// its queue until repair (service is suspended, not admission).
+	Retry *RetryPolicy
 }
 
 // service returns the configured distribution or the default.
@@ -84,6 +105,19 @@ func (c Config) validate() error {
 	if err := validateDistribution(c.Service); err != nil {
 		return err
 	}
+	if !c.FailurePolicy.Valid() {
+		return fmt.Errorf("sim: unknown failure policy %d", int(c.FailurePolicy))
+	}
+	if c.Failures != nil {
+		if err := c.Failures.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Retry != nil {
+		if err := c.Retry.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -94,6 +128,11 @@ type RunResult struct {
 	GenericResponse metrics.Welford
 	// SpecialResponse is the same for special tasks.
 	SpecialResponse metrics.Welford
+	// GenericHealthy/GenericDegraded split GenericResponse by system
+	// state at the task's arrival: degraded means at least one station
+	// was fully down. Both are zero-valued without failure injection.
+	GenericHealthy  metrics.Welford
+	GenericDegraded metrics.Welford
 	// GenericP95 estimates the 95th percentile of generic response
 	// times (P² streaming estimator).
 	GenericP95 float64
@@ -107,8 +146,13 @@ type RunResult struct {
 	// PerStationGeneric holds generic response-time accumulators per
 	// station.
 	PerStationGeneric []metrics.Welford
-	// Utilizations are measured per-blade utilizations over the run.
+	// Utilizations are measured per-blade utilizations over the run
+	// (relative to nameplate blade counts, so outages depress them).
 	Utilizations []float64
+	// Downtime is the per-station full-outage time within the horizon;
+	// Availability is 1 − Downtime/Horizon. Nil without failures.
+	Downtime     []float64
+	Availability []float64
 	// ArrivedGeneric / ArrivedSpecial count post-warmup arrivals.
 	ArrivedGeneric, ArrivedSpecial int64
 	// CompletedGeneric / CompletedSpecial count recorded completions.
@@ -116,13 +160,37 @@ type RunResult struct {
 	// BlockedGeneric / BlockedSpecial count post-warmup arrivals
 	// dropped by full stations (only with Config.QueueCapacity > 0).
 	BlockedGeneric, BlockedSpecial int64
+	// LostGeneric counts post-warmup generic tasks lost to outages:
+	// retries against down stations exhausted (Config.Retry), or
+	// evicted in flight under DropInFlight. LostSpecial counts
+	// in-flight evictions of special tasks under DropInFlight.
+	LostGeneric, LostSpecial int64
+	// RequeuedGeneric / RequeuedSpecial count in-flight tasks put back
+	// in queue by blade failures under RequeueInFlight.
+	RequeuedGeneric, RequeuedSpecial int64
+	// RetriedGeneric counts backoff retries performed (Config.Retry).
+	RetriedGeneric int64
 	// Clock is the final simulation time (= horizon).
 	Clock float64
+}
+
+// CompletedGenericFraction returns the fraction of post-warmup generic
+// arrivals that completed within the horizon — the robustness headline
+// number next to T′. Returns 1 when nothing arrived.
+func (r *RunResult) CompletedGenericFraction() float64 {
+	if r.ArrivedGeneric == 0 {
+		return 1
+	}
+	return float64(r.CompletedGeneric) / float64(r.ArrivedGeneric)
 }
 
 // Run executes one simulation run and returns its statistics.
 func Run(cfg Config) (*RunResult, error) {
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	scheds, err := cfg.buildSchedules()
+	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -134,6 +202,18 @@ func Run(cfg Config) (*RunResult, error) {
 	stations := make([]*station, n)
 	for i, s := range g.Servers {
 		stations[i] = &station{index: i, blades: s.Size, speed: s.Speed, discipline: cfg.Discipline}
+	}
+	// Failure transitions are known upfront; schedule them first so
+	// that, on time ties, the state change precedes arrivals.
+	for i, sch := range scheds {
+		for _, tr := range sch {
+			if tr.Time > cfg.Horizon {
+				break
+			}
+			cal.schedule(event{time: tr.Time, kind: evFailure, station: i, down: tr.Down})
+		}
+	}
+	for i, s := range g.Servers {
 		if s.SpecialRate > 0 {
 			cal.schedule(event{time: rng.ExpFloat64() / s.SpecialRate, kind: evSpecialArrival, station: i})
 		}
@@ -165,6 +245,66 @@ func Run(cfg Config) (*RunResult, error) {
 		res.GenericHistogram = h
 	}
 	views := make([]StationView, n)
+	refreshViews := func() {
+		for i, st := range stations {
+			views[i] = StationView{
+				Index:           i,
+				Blades:          st.blades,
+				Speed:           st.speed,
+				ServiceMean:     g.TaskSize / st.speed,
+				Busy:            st.busy,
+				QueueLen:        st.queueLen(),
+				AvailableBlades: st.available(),
+				Up:              st.available() > 0,
+			}
+		}
+	}
+	fullyDown := 0 // stations with zero available blades
+
+	// dispatchGeneric routes t through the dispatcher and places it. A
+	// fully-down station suspends service, not admission (the classic
+	// server-breakdown model): tasks sent there by a health-oblivious
+	// dispatcher pile up in its queue until repair. A retry policy
+	// models clients that bounce off down/full stations instead — they
+	// re-dispatch after a capped exponential backoff and give up (lost)
+	// after MaxAttempts. A full bounded waiting room always drops.
+	dispatchGeneric := func(t task, now float64, attempt int) error {
+		refreshViews()
+		target := cfg.Dispatcher.Pick(views, rng)
+		if target < 0 || target >= n {
+			return fmt.Errorf("sim: dispatcher %q picked invalid station %d", cfg.Dispatcher.Name(), target)
+		}
+		st := stations[target]
+		blocked := full(st, cfg.QueueCapacity)
+		downTarget := st.available() == 0
+		if blocked || downTarget {
+			if cfg.Retry != nil {
+				if attempt < cfg.Retry.MaxAttempts {
+					if now >= cfg.Warmup {
+						res.RetriedGeneric++
+					}
+					cal.schedule(event{time: now + cfg.Retry.delay(attempt), kind: evRetry, task: t, attempt: attempt + 1})
+					return nil
+				}
+				if now >= cfg.Warmup {
+					if blocked {
+						res.BlockedGeneric++
+					} else {
+						res.LostGeneric++
+					}
+				}
+				return nil
+			}
+			if blocked {
+				if now >= cfg.Warmup {
+					res.BlockedGeneric++
+				}
+				return nil
+			}
+		}
+		st.admit(t, now, cal)
+		return nil
+	}
 
 	for {
 		ev, ok := cal.next()
@@ -176,40 +316,30 @@ func Run(cfg Config) (*RunResult, error) {
 		case evGenericArrival:
 			// Schedule the next generic arrival first (Poisson stream).
 			cal.schedule(event{time: now + rng.ExpFloat64()/cfg.GenericRate, kind: evGenericArrival})
-			for i, st := range stations {
-				views[i] = StationView{
-					Index:       i,
-					Blades:      st.blades,
-					Speed:       st.speed,
-					ServiceMean: g.TaskSize / st.speed,
-					Busy:        st.busy,
-					QueueLen:    st.queueLen(),
-				}
-			}
-			target := cfg.Dispatcher.Pick(views, rng)
-			if target < 0 || target >= n {
-				return nil, fmt.Errorf("sim: dispatcher %q picked invalid station %d", cfg.Dispatcher.Name(), target)
-			}
-			t := task{class: Generic, arrival: now, req: svc.Sample(rng, g.TaskSize)}
+			t := task{class: Generic, arrival: now, req: svc.Sample(rng, g.TaskSize), degraded: fullyDown > 0}
 			if now >= cfg.Warmup {
 				res.ArrivedGeneric++
 			}
-			if full(stations[target], cfg.QueueCapacity) {
-				if now >= cfg.Warmup {
-					res.BlockedGeneric++
-				}
-				continue
+			if err := dispatchGeneric(t, now, 0); err != nil {
+				return nil, err
 			}
-			stations[target].admit(t, now, cal)
+
+		case evRetry:
+			if err := dispatchGeneric(ev.task, now, ev.attempt); err != nil {
+				return nil, err
+			}
 
 		case evSpecialArrival:
 			st := stations[ev.station]
 			rate := g.Servers[ev.station].SpecialRate
 			cal.schedule(event{time: now + rng.ExpFloat64()/rate, kind: evSpecialArrival, station: ev.station})
-			t := task{class: Special, arrival: now, req: svc.Sample(rng, g.TaskSize)}
+			t := task{class: Special, arrival: now, req: svc.Sample(rng, g.TaskSize), degraded: fullyDown > 0}
 			if now >= cfg.Warmup {
 				res.ArrivedSpecial++
 			}
+			// Special tasks are dedicated to their station: while it is
+			// down they wait in queue rather than being lost, but a
+			// bounded waiting room still blocks them.
 			if full(st, cfg.QueueCapacity) {
 				if now >= cfg.Warmup {
 					res.BlockedSpecial++
@@ -218,14 +348,39 @@ func Run(cfg Config) (*RunResult, error) {
 			}
 			st.admit(t, now, cal)
 
+		case evFailure:
+			st := stations[ev.station]
+			wasFull := st.available() == 0
+			out := st.setDown(ev.down, now, cal, cfg.FailurePolicy == DropInFlight)
+			if now >= cfg.Warmup {
+				res.RequeuedGeneric += int64(out.requeuedGeneric)
+				res.RequeuedSpecial += int64(out.requeuedSpecial)
+				res.LostGeneric += int64(out.lostGeneric)
+				res.LostSpecial += int64(out.lostSpecial)
+			}
+			if isFull := st.available() == 0; isFull != wasFull {
+				if isFull {
+					fullyDown++
+				} else {
+					fullyDown--
+				}
+			}
+
 		case evDeparture:
 			st := stations[ev.station]
-			st.depart(now, cal)
+			if !st.depart(now, cal, ev.id) {
+				continue // stale: task was evicted by a failure
+			}
 			if ev.task.arrival >= cfg.Warmup {
 				resp := now - ev.task.arrival
 				if ev.task.class == Generic {
 					res.GenericResponse.Add(resp)
 					res.PerStationGeneric[ev.station].Add(resp)
+					if ev.task.degraded {
+						res.GenericDegraded.Add(resp)
+					} else {
+						res.GenericHealthy.Add(resp)
+					}
 					p95.Add(resp)
 					if res.GenericBatches != nil {
 						res.GenericBatches.Add(resp)
@@ -243,6 +398,14 @@ func Run(cfg Config) (*RunResult, error) {
 	}
 	for i, st := range stations {
 		res.Utilizations[i] = st.utilization(cfg.Horizon)
+	}
+	if scheds != nil {
+		res.Downtime = make([]float64, n)
+		res.Availability = make([]float64, n)
+		for i, st := range stations {
+			res.Downtime[i] = st.downtime(cfg.Horizon)
+			res.Availability[i] = 1 - res.Downtime[i]/cfg.Horizon
+		}
 	}
 	res.GenericP95 = p95.Value()
 	res.Clock = cfg.Horizon

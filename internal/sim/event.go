@@ -22,9 +22,10 @@ func (c Class) String() string {
 
 // task is one unit of work flowing through the simulation.
 type task struct {
-	class   Class
-	arrival float64 // absolute arrival time
-	req     float64 // execution requirement (instructions)
+	class    Class
+	arrival  float64 // absolute arrival time
+	req      float64 // execution requirement (instructions)
+	degraded bool    // arrived while some station was fully down
 }
 
 // eventKind discriminates scheduler events.
@@ -34,15 +35,22 @@ const (
 	evGenericArrival eventKind = iota // next generic-stream arrival
 	evSpecialArrival                  // next special-stream arrival at .station
 	evDeparture                       // task completes on a blade of .station
+	evFailure                         // failure-schedule transition at .station
+	evRetry                           // backoff retry of a blocked generic task
 )
 
 // event is a scheduled occurrence. Departure events carry the finishing
-// task so its response time can be recorded.
+// task so its response time can be recorded, plus the service id that
+// lets a blade failure invalidate them; failure events carry the new
+// down-blade count; retry events carry the task and its attempt count.
 type event struct {
 	time    float64
 	kind    eventKind
 	station int
 	task    task
+	id      uint64 // service id (departures), see station.active
+	down    int    // new down-blade count (failures)
+	attempt int    // retries already performed (retry events)
 	seq     uint64 // FIFO tie-break for equal times
 }
 

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/failure"
+)
+
+// FailurePolicy selects what happens to tasks that are in service on a
+// blade when it fails.
+type FailurePolicy int
+
+const (
+	// RequeueInFlight puts evicted tasks back into the station's queue
+	// with their residual work (resume semantics). The default.
+	RequeueInFlight FailurePolicy = iota
+	// DropInFlight loses evicted tasks; they count in RunResult.Lost*.
+	DropInFlight
+)
+
+// Valid reports whether the policy is known.
+func (p FailurePolicy) Valid() bool {
+	return p == RequeueInFlight || p == DropInFlight
+}
+
+// String returns the policy name.
+func (p FailurePolicy) String() string {
+	if p == DropInFlight {
+		return "drop-in-flight"
+	}
+	return "requeue-in-flight"
+}
+
+// RetryPolicy re-dispatches generic tasks that find their chosen
+// station fully down or full, after a capped exponential backoff. Each
+// retry re-runs the dispatcher against fresh station views, so a
+// health-aware policy gets a chance to route around the outage.
+type RetryPolicy struct {
+	// MaxAttempts is the number of retries after the initial dispatch
+	// (≥ 1). A task whose last retry also fails is lost.
+	MaxAttempts int
+	// Base is the backoff before the first retry; attempt k waits
+	// Base·2^k, capped at Cap. Must be positive.
+	Base float64
+	// Cap bounds the backoff delay. Zero means uncapped.
+	Cap float64
+}
+
+// Validate checks the policy.
+func (r *RetryPolicy) Validate() error {
+	if r.MaxAttempts < 1 {
+		return fmt.Errorf("sim: retry MaxAttempts %d must be ≥ 1", r.MaxAttempts)
+	}
+	if r.Base <= 0 || math.IsNaN(r.Base) || math.IsInf(r.Base, 0) {
+		return fmt.Errorf("sim: retry Base %g must be positive and finite", r.Base)
+	}
+	if r.Cap < 0 || math.IsNaN(r.Cap) || math.IsInf(r.Cap, 0) {
+		return fmt.Errorf("sim: retry Cap %g must be non-negative and finite", r.Cap)
+	}
+	return nil
+}
+
+// delay returns the backoff before retry number attempt (0-based).
+func (r *RetryPolicy) delay(attempt int) float64 {
+	d := r.Base * math.Pow(2, float64(attempt))
+	if r.Cap > 0 && d > r.Cap {
+		d = r.Cap
+	}
+	return d
+}
+
+// failureSeedOffset decorrelates the failure-schedule stream from the
+// arrival/service streams that consume cfg.Seed directly.
+const failureSeedOffset = 1_000_000_007
+
+// buildSchedules resolves the configured failure trace: explicit
+// schedules win, otherwise a plan generates seeded ones, otherwise nil.
+func (c Config) buildSchedules() ([]failure.Schedule, error) {
+	n := c.Group.N()
+	if c.FailureSchedules != nil {
+		if len(c.FailureSchedules) != n {
+			return nil, fmt.Errorf("sim: %d failure schedules for %d stations", len(c.FailureSchedules), n)
+		}
+		for i, sch := range c.FailureSchedules {
+			if err := sch.Validate(); err != nil {
+				return nil, fmt.Errorf("sim: station %d: %w", i+1, err)
+			}
+		}
+		return c.FailureSchedules, nil
+	}
+	if !c.Failures.Enabled() {
+		return nil, nil
+	}
+	if len(c.Failures.Stations) != n {
+		return nil, fmt.Errorf("sim: failure plan covers %d stations, group has %d", len(c.Failures.Stations), n)
+	}
+	sizes := make([]int, n)
+	for i, s := range c.Group.Servers {
+		sizes[i] = s.Size
+	}
+	return c.Failures.GenerateAll(sizes, c.Horizon, c.Seed+failureSeedOffset)
+}

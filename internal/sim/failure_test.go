@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+// twoStations is a small symmetric system for failure tests.
+func twoStations(t *testing.T) *model.Group {
+	t.Helper()
+	g := &model.Group{
+		Servers:  []model.Server{{Size: 2, Speed: 1}, {Size: 2, Speed: 1}},
+		TaskSize: 1,
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// uniformDispatcher splits arrivals 50/50, health-oblivious.
+type uniformDispatcher struct{}
+
+func (uniformDispatcher) Name() string { return "uniform" }
+func (uniformDispatcher) Pick(views []StationView, rng *rand.Rand) int {
+	return rng.Intn(len(views))
+}
+
+// healthyUniform routes only to up stations.
+type healthyUniform struct{}
+
+func (healthyUniform) Name() string { return "healthy-uniform" }
+func (healthyUniform) Pick(views []StationView, rng *rand.Rand) int {
+	up := make([]int, 0, len(views))
+	for i, v := range views {
+		if v.Up {
+			up = append(up, i)
+		}
+	}
+	if len(up) == 0 {
+		return rng.Intn(len(views))
+	}
+	return up[rng.Intn(len(up))]
+}
+
+func TestFailureDowntimeAccounting(t *testing.T) {
+	g := twoStations(t)
+	// Station 1 fully down over [100, 300): exactly 200 units.
+	scheds := []failure.Schedule{
+		nil,
+		{{Time: 100, Down: 2}, {Time: 300, Down: 0}},
+	}
+	res, err := Run(Config{
+		Group: g, Discipline: queueing.FCFS, GenericRate: 1,
+		Dispatcher: uniformDispatcher{}, Horizon: 1000, Seed: 7,
+		FailureSchedules: scheds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Downtime == nil || res.Availability == nil {
+		t.Fatal("downtime/availability not populated with failure schedules")
+	}
+	if math.Abs(res.Downtime[0]) > 1e-12 {
+		t.Errorf("station 1 downtime = %g, want 0", res.Downtime[0])
+	}
+	if math.Abs(res.Downtime[1]-200) > 1e-9 {
+		t.Errorf("station 2 downtime = %g, want 200", res.Downtime[1])
+	}
+	if math.Abs(res.Availability[1]-0.8) > 1e-9 {
+		t.Errorf("station 2 availability = %g, want 0.8", res.Availability[1])
+	}
+	// Degraded/healthy split must cover all completed generics.
+	if res.GenericDegraded.Count() == 0 {
+		t.Error("no degraded-period completions recorded")
+	}
+	total := res.GenericDegraded.Count() + res.GenericHealthy.Count()
+	if total != res.GenericResponse.Count() {
+		t.Errorf("degraded %d + healthy %d ≠ total %d",
+			res.GenericDegraded.Count(), res.GenericHealthy.Count(), res.GenericResponse.Count())
+	}
+	// Tasks routed to the down station wait for repair: degraded-period
+	// arrivals must be slower on average than healthy-period ones.
+	if res.GenericDegraded.Mean() <= res.GenericHealthy.Mean() {
+		t.Errorf("degraded mean %g not worse than healthy mean %g",
+			res.GenericDegraded.Mean(), res.GenericHealthy.Mean())
+	}
+}
+
+func TestFailureRequeueVsDrop(t *testing.T) {
+	g := twoStations(t)
+	scheds := []failure.Schedule{
+		{{Time: 200, Down: 2}, {Time: 220, Down: 0}, {Time: 500, Down: 1}, {Time: 520, Down: 0}},
+		nil,
+	}
+	base := Config{
+		Group: g, Discipline: queueing.FCFS, GenericRate: 1.5,
+		Dispatcher: uniformDispatcher{}, Horizon: 1000, Seed: 3,
+		FailureSchedules: scheds,
+	}
+
+	requeue, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeue.RequeuedGeneric == 0 {
+		t.Error("expected in-flight generic requeues under RequeueInFlight")
+	}
+	if requeue.LostGeneric != 0 || requeue.LostSpecial != 0 {
+		t.Errorf("requeue policy lost tasks: %d generic, %d special",
+			requeue.LostGeneric, requeue.LostSpecial)
+	}
+
+	drop := base
+	drop.FailurePolicy = DropInFlight
+	dropped, err := Run(drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.RequeuedGeneric != 0 {
+		t.Error("drop policy should not requeue")
+	}
+	if dropped.LostGeneric == 0 {
+		t.Error("expected in-flight generic losses under DropInFlight")
+	}
+	if f := dropped.CompletedGenericFraction(); f >= 1 {
+		t.Errorf("completed fraction %g should reflect losses", f)
+	}
+}
+
+func TestFailureRetryReroutesAroundOutage(t *testing.T) {
+	g := twoStations(t)
+	scheds := []failure.Schedule{
+		nil,
+		{{Time: 100, Down: 2}, {Time: 600, Down: 0}},
+	}
+	base := Config{
+		Group: g, Discipline: queueing.FCFS, GenericRate: 1,
+		Dispatcher: uniformDispatcher{}, Horizon: 1000, Warmup: 50, Seed: 11,
+		FailureSchedules: scheds,
+	}
+	noRetry, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRetry := base
+	withRetry.Retry = &RetryPolicy{MaxAttempts: 6, Base: 0.5, Cap: 8}
+	retried, err := Run(withRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retried.RetriedGeneric == 0 {
+		t.Fatal("expected retries against the down station")
+	}
+	// Bouncing clients end up on the healthy station instead of
+	// waiting out the 500-unit outage in the dead station's queue, so
+	// the mean response time must improve substantially.
+	if retried.GenericResponse.Mean() >= noRetry.GenericResponse.Mean() {
+		t.Errorf("retry mean %g not better than hang-in-queue mean %g",
+			retried.GenericResponse.Mean(), noRetry.GenericResponse.Mean())
+	}
+	// A 50/50 coin against a down station survives 6 retries often
+	// enough that some tasks are lost — but far fewer than the number
+	// of retried dispatches.
+	if retried.LostGeneric == 0 {
+		t.Error("expected some tasks to exhaust retries")
+	}
+	if retried.LostGeneric >= retried.RetriedGeneric {
+		t.Errorf("lost %d ≥ retried %d", retried.LostGeneric, retried.RetriedGeneric)
+	}
+}
+
+func TestFailurePartialBladeLossKeepsServing(t *testing.T) {
+	g := twoStations(t)
+	// Station 1 loses one of two blades over [100, 900): it keeps
+	// serving at half capacity, so nothing is fully down.
+	scheds := []failure.Schedule{
+		{{Time: 100, Down: 1}, {Time: 900, Down: 0}},
+		nil,
+	}
+	res, err := Run(Config{
+		Group: g, Discipline: queueing.FCFS, GenericRate: 1,
+		Dispatcher: uniformDispatcher{}, Horizon: 1000, Seed: 5,
+		FailureSchedules: scheds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Downtime[0] != 0 {
+		t.Errorf("partial loss counted as full downtime: %g", res.Downtime[0])
+	}
+	if res.GenericDegraded.Count() != 0 {
+		t.Error("no station was fully down; degraded accumulator should be empty")
+	}
+	if res.CompletedGeneric == 0 {
+		t.Error("station with one blade left should still complete tasks")
+	}
+}
+
+func TestFailurePlanGeneratesSeededOutages(t *testing.T) {
+	g := twoStations(t)
+	plan := &failure.Plan{Stations: []failure.Params{
+		{MTBF: 100, MTTR: 25},
+		{MTBF: 100, MTTR: 25},
+	}}
+	cfg := Config{
+		Group: g, Discipline: queueing.FCFS, GenericRate: 1,
+		Dispatcher: healthyUniform{}, Horizon: 4000, Seed: 2,
+		Failures: plan,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Downtime[0] != b.Downtime[0] || a.Downtime[1] != b.Downtime[1] {
+		t.Error("seeded failure runs are not reproducible")
+	}
+	for i, d := range a.Downtime {
+		if d <= 0 {
+			t.Errorf("station %d saw no downtime over 40 MTBFs", i+1)
+		}
+		// Loose sanity band around the analytic 20% unavailability.
+		if got := 1 - a.Availability[i]; got < 0.05 || got > 0.5 {
+			t.Errorf("station %d unavailability %g wildly off MTTR/(MTBF+MTTR)=0.2", i+1, got)
+		}
+	}
+}
+
+func TestFailureConfigValidation(t *testing.T) {
+	g := twoStations(t)
+	base := Config{
+		Group: g, Discipline: queueing.FCFS, GenericRate: 1,
+		Dispatcher: uniformDispatcher{}, Horizon: 100, Seed: 1,
+	}
+
+	bad := base
+	bad.FailureSchedules = []failure.Schedule{nil} // wrong length
+	if _, err := Run(bad); err == nil {
+		t.Error("schedule length mismatch should fail")
+	}
+
+	bad = base
+	bad.FailureSchedules = []failure.Schedule{{{Time: 5, Down: 1}, {Time: 4, Down: 0}}, nil}
+	if _, err := Run(bad); err == nil {
+		t.Error("unordered schedule should fail")
+	}
+
+	bad = base
+	bad.Failures = &failure.Plan{Stations: []failure.Params{{MTBF: -1, MTTR: 1}, {}}}
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid plan should fail")
+	}
+
+	bad = base
+	bad.Failures = &failure.Plan{Stations: []failure.Params{{MTBF: 10, MTTR: 1}}} // wrong length
+	if _, err := Run(bad); err == nil {
+		t.Error("plan length mismatch should fail")
+	}
+
+	bad = base
+	bad.FailurePolicy = FailurePolicy(99)
+	if _, err := Run(bad); err == nil {
+		t.Error("unknown failure policy should fail")
+	}
+
+	bad = base
+	bad.Retry = &RetryPolicy{MaxAttempts: 0, Base: 1}
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid retry policy should fail")
+	}
+	bad.Retry = &RetryPolicy{MaxAttempts: 3, Base: -1}
+	if _, err := Run(bad); err == nil {
+		t.Error("negative retry base should fail")
+	}
+}
+
+// TestNoFailuresMatchesBaseline guards the refactor: without failure
+// injection the engine must produce byte-identical statistics to the
+// pre-failure behaviour (same RNG draws, same event order).
+func TestNoFailuresMatchesBaseline(t *testing.T) {
+	g := twoStations(t)
+	cfg := Config{
+		Group: g, Discipline: queueing.FCFS, GenericRate: 1.2,
+		Dispatcher: uniformDispatcher{}, Horizon: 2000, Warmup: 100, Seed: 42,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Downtime != nil || a.Availability != nil {
+		t.Error("downtime populated without failures")
+	}
+	if a.GenericDegraded.Count() != 0 {
+		t.Error("degraded observations without failures")
+	}
+	if a.RequeuedGeneric != 0 || a.LostGeneric != 0 || a.RetriedGeneric != 0 {
+		t.Error("failure counters non-zero without failures")
+	}
+	if a.GenericHealthy.Count() != a.GenericResponse.Count() {
+		t.Error("healthy split should cover everything without failures")
+	}
+	// An all-disabled plan must behave exactly like no plan at all.
+	withPlan := cfg
+	withPlan.Failures = &failure.Plan{Stations: make([]failure.Params, g.N())}
+	b, err := Run(withPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GenericResponse.Mean() != b.GenericResponse.Mean() ||
+		a.CompletedGeneric != b.CompletedGeneric ||
+		a.GenericP95 != b.GenericP95 {
+		t.Error("disabled failure plan perturbed the simulation")
+	}
+}
+
+func TestRetryDelayCapped(t *testing.T) {
+	r := RetryPolicy{MaxAttempts: 10, Base: 1, Cap: 4}
+	want := []float64{1, 2, 4, 4, 4}
+	for k, w := range want {
+		if got := r.delay(k); got != w {
+			t.Errorf("delay(%d) = %g, want %g", k, got, w)
+		}
+	}
+	u := RetryPolicy{MaxAttempts: 3, Base: 0.5}
+	if got := u.delay(4); got != 8 {
+		t.Errorf("uncapped delay(4) = %g, want 8", got)
+	}
+}

@@ -110,6 +110,7 @@ func Replay(cfg ReplayConfig) (*RunResult, error) {
 					Index: i, Blades: st.blades, Speed: st.speed,
 					ServiceMean: g.TaskSize / st.speed,
 					Busy:        st.busy, QueueLen: st.queueLen(),
+					AvailableBlades: st.available(), Up: true,
 				}
 			}
 			target = cfg.Dispatcher.Pick(views, rng)
@@ -139,7 +140,9 @@ func Replay(cfg ReplayConfig) (*RunResult, error) {
 // for post-warmup tasks that finish within the horizon.
 func handleDeparture(ev event, stations []*station, cal *calendar, res *RunResult, p95 *metrics.P2Quantile, warmup float64) {
 	st := stations[ev.station]
-	st.depart(ev.time, cal)
+	if !st.depart(ev.time, cal, ev.id) {
+		return // stale event (only possible with failure injection)
+	}
 	if ev.task.arrival >= warmup {
 		resp := ev.time - ev.task.arrival
 		if ev.task.class == Generic {

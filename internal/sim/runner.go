@@ -29,7 +29,10 @@ type RepResult struct {
 // parallel (seeds cfg.Seed, cfg.Seed+1, …) and aggregates them into
 // confidence intervals at the given confidence level. Parallelism is
 // bounded by GOMAXPROCS; results are deterministic regardless of
-// scheduling because each replication is seeded independently.
+// scheduling because each replication is seeded independently and
+// dispatchers implementing Forker get a fresh copy per replication
+// (shared mutable dispatcher state would otherwise race across
+// workers and entangle the replications).
 func RunReplications(cfg Config, reps int, confidence float64) (*RepResult, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("sim: replications %d must be ≥ 1", reps)
@@ -53,6 +56,9 @@ func RunReplications(cfg Config, reps int, confidence float64) (*RepResult, erro
 			for i := range work {
 				c := cfg
 				c.Seed = cfg.Seed + int64(i)
+				if f, ok := cfg.Dispatcher.(Forker); ok {
+					c.Dispatcher = f.Fork()
+				}
 				runs[i], errs[i] = Run(c)
 			}
 		}()

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/failure"
 	"repro/internal/model"
 )
 
@@ -33,6 +34,19 @@ type ServerSpec struct {
 	// PreloadFraction is y ∈ [0, 1): λ″ = y·m·s/r̄. Mutually exclusive
 	// with SpecialRate.
 	PreloadFraction float64 `json:"preload_fraction,omitempty"`
+	// MTBF/MTTR, when both set, describe the server's up/down process
+	// (mean time between failures / to repair) for failure-aware
+	// simulation and planning. Omitted means the server never fails.
+	MTBF float64 `json:"mtbf,omitempty"`
+	MTTR float64 `json:"mttr,omitempty"`
+	// FailBlades, when positive, limits each failure to that many
+	// blades instead of the whole server. Requires MTBF/MTTR.
+	FailBlades int `json:"fail_blades,omitempty"`
+}
+
+// failureParams assembles the server's failure model.
+func (s ServerSpec) failureParams() failure.Params {
+	return failure.Params{MTBF: s.MTBF, MTTR: s.MTTR, Blades: s.FailBlades}
 }
 
 // ClusterSpec is the top-level document.
@@ -82,7 +96,8 @@ func (c *ClusterSpec) Build() (*model.Group, error) {
 		if ss.SpecialRate != 0 && ss.PreloadFraction != 0 {
 			return nil, fmt.Errorf("spec: %s sets both special_rate and preload_fraction", ss.label(i))
 		}
-		if ss.PreloadFraction < 0 || ss.PreloadFraction >= 1 {
+		if math.IsNaN(ss.PreloadFraction) || math.IsInf(ss.PreloadFraction, 0) ||
+			ss.PreloadFraction < 0 || ss.PreloadFraction >= 1 {
 			if ss.PreloadFraction != 0 {
 				return nil, fmt.Errorf("spec: %s preload_fraction %g must be in [0, 1)", ss.label(i), ss.PreloadFraction)
 			}
@@ -95,6 +110,17 @@ func (c *ClusterSpec) Build() (*model.Group, error) {
 		if err := servers[i].Validate(); err != nil {
 			return nil, fmt.Errorf("spec: %s: %w", ss.label(i), err)
 		}
+		// A derived rate can be non-finite even when every input is (a
+		// huge size times a large speed overflows); so can capacity.
+		if cap := servers[i].Capacity(taskSize); math.IsInf(cap, 0) || math.IsNaN(cap) {
+			return nil, fmt.Errorf("spec: %s capacity m·s/r̄ = %g is not finite", ss.label(i), cap)
+		}
+		if err := ss.failureParams().Validate(); err != nil {
+			return nil, fmt.Errorf("spec: %s: %w", ss.label(i), err)
+		}
+		if ss.FailBlades > ss.Size {
+			return nil, fmt.Errorf("spec: %s fail_blades %d exceeds size %d", ss.label(i), ss.FailBlades, ss.Size)
+		}
 	}
 	g := &model.Group{Servers: servers, TaskSize: taskSize}
 	if err := g.Validate(); err != nil {
@@ -103,9 +129,28 @@ func (c *ClusterSpec) Build() (*model.Group, error) {
 	return g, nil
 }
 
+// FailurePlan returns the cluster's failure model, aligned with the
+// built group's server order, or nil when no server declares one. Call
+// after Build has validated the spec.
+func (c *ClusterSpec) FailurePlan() *failure.Plan {
+	params := make([]failure.Params, len(c.Servers))
+	enabled := false
+	for i, ss := range c.Servers {
+		params[i] = ss.failureParams()
+		if params[i].Enabled() {
+			enabled = true
+		}
+	}
+	if !enabled {
+		return nil
+	}
+	return &failure.Plan{Stations: params}
+}
+
 // Warnings reports non-fatal conditions an operator should see: servers
-// preloaded beyond 90 % of capacity (almost no room for generic work)
-// and extreme speed ratios (> 20×) that make naive policies dangerous.
+// preloaded beyond 90 % of capacity (almost no room for generic work),
+// extreme speed ratios (> 20×) that make naive policies dangerous, and
+// servers expected to be down more than 5 % of the time.
 func (c *ClusterSpec) Warnings() []string {
 	g, err := c.Build()
 	if err != nil {
@@ -119,6 +164,10 @@ func (c *ClusterSpec) Warnings() []string {
 		}
 		minSpeed = math.Min(minSpeed, s.Speed)
 		maxSpeed = math.Max(maxSpeed, s.Speed)
+		if a := c.Servers[i].failureParams().Availability(); a < 0.95 {
+			warns = append(warns, fmt.Sprintf("%s expected down %.1f%% of the time (mtbf %g, mttr %g)",
+				c.Servers[i].label(i), (1-a)*100, c.Servers[i].MTBF, c.Servers[i].MTTR))
+		}
 	}
 	if maxSpeed/minSpeed > 20 {
 		warns = append(warns, fmt.Sprintf("speed ratio %.0f× across servers; state-oblivious policies other than the optimal split will behave poorly", maxSpeed/minSpeed))
