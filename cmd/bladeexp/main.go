@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -23,9 +24,20 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	format := flag.String("format", "text", "output format: text, csv, or plot (figures only)")
 	points := flag.Int("points", 0, "λ′ grid points for figures (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*list, *id, *all, *format, *points); err != nil {
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bladeexp:", err)
+		os.Exit(1)
+	}
+	err = run(*list, *id, *all, *format, *points)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bladeexp:", err)
 		os.Exit(1)
 	}

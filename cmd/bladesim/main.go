@@ -22,6 +22,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/failure"
 	"repro/internal/metrics"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 )
 
@@ -36,13 +37,22 @@ func main() {
 	mttr := flag.Float64("mttr", 400, "chaos: mean time to repair per station")
 	retries := flag.Int("retries", 0, "chaos: retry attempts with capped exponential backoff (0 = tasks wait out outages in queue)")
 	drop := flag.Bool("drop", false, "chaos: drop in-flight tasks on failure instead of requeueing them")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	var err error
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bladesim:", err)
+		os.Exit(1)
+	}
 	if *chaos {
 		err = runChaos(*frac, *horizon, *reps, *seed, *mtbf, *mttr, *retries, *drop)
 	} else {
 		err = run(*frac, *horizon, *reps, *seed, *policies)
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bladesim:", err)

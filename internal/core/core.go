@@ -60,6 +60,12 @@ type Options struct {
 	// handful of F(φ) evaluations instead of growing from 1e-12. Zero
 	// reproduces the paper's cold start exactly.
 	WarmPhi float64
+	// PureBisection disables the Newton-accelerated inner solver and
+	// runs the paper's literal Fig. 2 bisection (FindRateLimited) for
+	// every inner solve. Slower by several ×; it is the oracle path the
+	// Newton solver is verified against (TestNewtonMatchesBisection) and
+	// the faithful transcription for paper-fidelity ablations.
+	PureBisection bool
 }
 
 // DefaultEpsilon is the default bisection tolerance. It reproduces the
@@ -136,13 +142,31 @@ func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
 	}
 	eps := opts.epsilon()
 
+	// The per-station solvers cache kernels, service-time constants and
+	// saturation bounds once for the whole φ search; each holds its
+	// previous rate as a Newton warm start for the next φ. The paper's
+	// pure bisection stays available behind opts.PureBisection.
+	solvers := make([]stationSolver, g.N())
+	for i, s := range g.Servers {
+		solvers[i] = newStationSolver(s, g.TaskSize, lambda, opts.Discipline, eps, rhoCap)
+	}
+	solveOne := func(i int, phi float64) float64 {
+		if opts.PureBisection {
+			return FindRateLimited(g.Servers[i], g.TaskSize, lambda, phi, opts.Discipline, eps, rhoCap)
+		}
+		return solvers[i].findRate(phi)
+	}
+
 	ratesAt := func(phi float64) ([]float64, float64) {
 		rates := make([]float64, g.N())
 		workers := runtime.GOMAXPROCS(0)
 		if opts.Parallel && g.N() > 1 && workers > 1 {
 			// Per-server solves are independent; fan out over
 			// contiguous chunks, then sum sequentially so the result
-			// is bit-identical to the sequential path.
+			// is bit-identical to the sequential path. (Each solver's
+			// warm-start state is owned by exactly one chunk, and its
+			// evolution depends only on the per-server φ sequence, so
+			// parallel and sequential runs stay bit-identical too.)
 			if workers > g.N() {
 				workers = g.N()
 			}
@@ -157,14 +181,14 @@ func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
 				go func(lo, hi int) {
 					defer wg.Done()
 					for i := lo; i < hi; i++ {
-						rates[i] = FindRateLimited(g.Servers[i], g.TaskSize, lambda, phi, opts.Discipline, eps, rhoCap)
+						rates[i] = solveOne(i, phi)
 					}
 				}(lo, hi)
 			}
 			wg.Wait()
 		} else {
-			for i, s := range g.Servers {
-				rates[i] = FindRateLimited(s, g.TaskSize, lambda, phi, opts.Discipline, eps, rhoCap)
+			for i := range g.Servers {
+				rates[i] = solveOne(i, phi)
 			}
 		}
 		var sum numeric.KahanSum

@@ -117,11 +117,23 @@ func OptimizeTotal(g *model.Group, lambda float64, opts Options) (*TotalResult, 
 		}
 		return r
 	}
+	// Newton-accelerated per-station solvers on the fleet-wide marginal
+	// cost; rateFor above is the pure-bisection oracle they fall back to
+	// (and the only path under opts.PureBisection).
+	solvers := make([]stationSolver, g.N())
+	for i, s := range g.Servers {
+		solvers[i] = newStationSolver(s, g.TaskSize, bigLambda, opts.Discipline, eps, 1)
+		solvers[i].totalObj = true
+	}
 	ratesAt := func(phi float64) ([]float64, float64) {
 		rates := make([]float64, g.N())
 		var sum numeric.KahanSum
-		for i, s := range g.Servers {
-			rates[i] = rateFor(s, phi)
+		for i := range g.Servers {
+			if opts.PureBisection {
+				rates[i] = rateFor(g.Servers[i], phi)
+			} else {
+				rates[i] = solvers[i].findRate(phi)
+			}
 			sum.Add(rates[i])
 		}
 		return rates, sum.Value()

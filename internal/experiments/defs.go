@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/queueing"
@@ -253,24 +254,59 @@ func build() []*Experiment {
 	return exps
 }
 
-// All returns every experiment in paper order, freshly constructed.
-func All() []*Experiment { return build() }
+// registry builds the experiment list exactly once (validating every
+// group costs real work, and CLI paths used to pay it three times per
+// lookup). Accessors hand out copies, preserving the historical
+// contract that callers may freely mutate what they get back.
+var registry = sync.OnceValue(build)
+
+// registryIndex maps ID → position in the registry, built alongside it.
+var registryIndex = sync.OnceValue(func() map[string]int {
+	idx := make(map[string]int, len(registry()))
+	for i, e := range registry() {
+		idx[e.ID] = i
+	}
+	return idx
+})
+
+// snapshot returns an independent copy of a registry entry: callers own
+// the result outright, including the groups (tests tune GridPoints,
+// extensions rescale speeds, etc.).
+func snapshot(e *Experiment) *Experiment {
+	out := *e
+	out.Series = make([]Series, len(e.Series))
+	for i, s := range e.Series {
+		out.Series[i] = Series{Label: s.Label, Group: s.Group.Clone()}
+	}
+	return &out
+}
+
+// All returns every experiment in paper order. The returned experiments
+// are independent copies of the cached registry.
+func All() []*Experiment {
+	reg := registry()
+	out := make([]*Experiment, len(reg))
+	for i, e := range reg {
+		out[i] = snapshot(e)
+	}
+	return out
+}
 
 // IDs returns the experiment IDs in paper order.
 func IDs() []string {
-	var ids []string
-	for _, e := range build() {
-		ids = append(ids, e.ID)
+	reg := registry()
+	ids := make([]string, len(reg))
+	for i, e := range reg {
+		ids[i] = e.ID
 	}
 	return ids
 }
 
-// ByID returns the experiment with the given ID.
+// ByID returns the experiment with the given ID (an independent copy,
+// like All).
 func ByID(id string) (*Experiment, error) {
-	for _, e := range build() {
-		if e.ID == id {
-			return e, nil
-		}
+	if i, ok := registryIndex()[id]; ok {
+		return snapshot(registry()[i]), nil
 	}
 	known := IDs()
 	sort.Strings(known)

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestRegistrySnapshotIndependence pins the contract of the cached
+// registry: All and ByID hand out independent deep copies, so a caller
+// mutating grid parameters or server definitions (as the extension
+// tests and CLI paths do) cannot poison later lookups.
+func TestRegistrySnapshotIndependence(t *testing.T) {
+	a, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origPoints := a.GridPoints
+	origSpeed := a.Series[0].Group.Servers[0].Speed
+	a.GridPoints = 3
+	a.Series[0].Group.Servers[0].Speed = 999
+	a.Series[0].Group.TaskSize *= 7
+
+	b, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GridPoints != origPoints {
+		t.Errorf("ByID after mutation: GridPoints = %d, want %d", b.GridPoints, origPoints)
+	}
+	if b.Series[0].Group.Servers[0].Speed != origSpeed {
+		t.Errorf("ByID after mutation: speed = %g, want %g", b.Series[0].Group.Servers[0].Speed, origSpeed)
+	}
+	if a.Series[0].Group == b.Series[0].Group {
+		t.Error("ByID returned aliased groups across calls")
+	}
+
+	for _, e := range All() {
+		if e.ID == "fig4" && e.Series[0].Group.Servers[0].Speed != origSpeed {
+			t.Errorf("All after mutation: speed = %g, want %g", e.Series[0].Group.Servers[0].Speed, origSpeed)
+		}
+	}
+
+	// Two All() calls never alias each other's series slices or groups.
+	x, y := All(), All()
+	for i := range x {
+		if x[i] == y[i] {
+			t.Fatalf("All aliases experiment %s across calls", x[i].ID)
+		}
+		for j := range x[i].Series {
+			if x[i].Series[j].Group == y[i].Series[j].Group {
+				t.Fatalf("All aliases group %s/%d across calls", x[i].ID, j)
+			}
+		}
+	}
+}

@@ -64,12 +64,40 @@ func (e *Experiment) RunTable() (*TableResult, error) {
 	return out, nil
 }
 
+// runSeries sweeps one series over the grid in ascending λ′ order,
+// warm-starting each optimization's outer φ search from the previous
+// grid point's multiplier: φ grows smoothly along a curve, so the
+// doubling phase of the paper's Fig. 3 collapses to a couple of F(φ)
+// evaluations instead of ~40 cold doublings per point. Grid points at
+// or beyond the series' own saturation point yield +Inf (the curve's
+// asymptote) rather than an error, since the shared grid can exceed a
+// given group's λ′_max only at the top fraction and the paper draws
+// those curves diverging.
+func (e *Experiment) runSeries(si int, grid, values []float64) error {
+	s := e.Series[si]
+	maxRate := s.Group.MaxGenericRate()
+	warm := 0.0
+	for gi, lambda := range grid {
+		if lambda >= maxRate {
+			values[gi] = math.Inf(1)
+			continue
+		}
+		res, err := core.Optimize(s.Group, lambda, core.Options{Discipline: e.Discipline, WarmPhi: warm})
+		if err != nil {
+			return fmt.Errorf("experiments: %s series %q λ′=%g: %w", e.ID, s.Label, lambda, err)
+		}
+		values[gi] = res.AvgResponseTime
+		warm = res.Phi
+	}
+	return nil
+}
+
 // RunFigure sweeps a figure experiment, optimizing every (series, λ′)
-// point. Points are independent, so they run on a worker pool bounded
-// by GOMAXPROCS. Grid points at or beyond a series' own saturation
-// point yield +Inf (the curve's asymptote) rather than an error, since
-// the shared grid can exceed a given group's λ′_max only at the top
-// fraction and the paper draws those curves diverging.
+// point. Series are independent and run concurrently (bounded by
+// GOMAXPROCS); within a series the grid is swept in order so each point
+// warm-starts from the previous one (see runSeries). The result is
+// bit-identical to RunFigureSequential: the warm-start chain per series
+// is the same either way.
 func (e *Experiment) RunFigure() (*FigureResult, error) {
 	if e.Kind != Figure {
 		return nil, fmt.Errorf("experiments: %s is not a figure", e.ID)
@@ -79,41 +107,18 @@ func (e *Experiment) RunFigure() (*FigureResult, error) {
 	for i := range values {
 		values[i] = make([]float64, len(grid))
 	}
-
-	type point struct{ si, gi int }
-	jobs := make(chan point)
 	errs := make([]error, len(e.Series))
 	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range jobs {
-				s := e.Series[p.si]
-				lambda := grid[p.gi]
-				if lambda >= s.Group.MaxGenericRate() {
-					values[p.si][p.gi] = math.Inf(1)
-					continue
-				}
-				res, err := core.Optimize(s.Group, lambda, core.Options{Discipline: e.Discipline})
-				if err != nil {
-					if errs[p.si] == nil {
-						errs[p.si] = fmt.Errorf("experiments: %s series %q λ′=%g: %w", e.ID, s.Label, lambda, err)
-					}
-					values[p.si][p.gi] = math.NaN()
-					continue
-				}
-				values[p.si][p.gi] = res.AvgResponseTime
-			}
-		}()
-	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for si := range e.Series {
-		for gi := range grid {
-			jobs <- point{si, gi}
-		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[si] = e.runSeries(si, grid, values[si])
+		}(si)
 	}
-	close(jobs)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -123,27 +128,19 @@ func (e *Experiment) RunFigure() (*FigureResult, error) {
 	return &FigureResult{Experiment: e, Grid: grid, Values: values}, nil
 }
 
-// RunFigureSequential is RunFigure without the worker pool; it exists
+// RunFigureSequential is RunFigure without the concurrency; it exists
 // for the parallel-vs-sequential ablation bench and for deterministic
-// profiling.
+// profiling. Values are bit-identical to RunFigure's.
 func (e *Experiment) RunFigureSequential() (*FigureResult, error) {
 	if e.Kind != Figure {
 		return nil, fmt.Errorf("experiments: %s is not a figure", e.ID)
 	}
 	grid := e.Grid()
 	values := make([][]float64, len(e.Series))
-	for si, s := range e.Series {
+	for si := range e.Series {
 		values[si] = make([]float64, len(grid))
-		for gi, lambda := range grid {
-			if lambda >= s.Group.MaxGenericRate() {
-				values[si][gi] = math.Inf(1)
-				continue
-			}
-			res, err := core.Optimize(s.Group, lambda, core.Options{Discipline: e.Discipline})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s series %q λ′=%g: %w", e.ID, s.Label, lambda, err)
-			}
-			values[si][gi] = res.AvgResponseTime
+		if err := e.runSeries(si, grid, values[si]); err != nil {
+			return nil, err
 		}
 	}
 	return &FigureResult{Experiment: e, Grid: grid, Values: values}, nil

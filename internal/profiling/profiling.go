@@ -1,0 +1,50 @@
+// Package profiling wires the standard -cpuprofile / -memprofile flag
+// pair into the CLIs, so optimizer and simulator hot paths can be
+// inspected with `go tool pprof` without ad-hoc instrumentation.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (no-op when empty) and
+// returns a stop function for defer. The stop function also writes an
+// allocation profile to memPath when that is non-empty, after a final
+// GC so the heap profile reflects live objects plus cumulative
+// allocation counts.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

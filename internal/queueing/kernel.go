@@ -1,0 +1,181 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/numeric"
+)
+
+// Kernel precomputes every m-dependent constant of the M/M/m formulas —
+// the ln k table behind the P0 log-sum-exp and the blade count in float
+// form — so that the optimizer's inner loop, which evaluates T′, ∂T′/∂ρ
+// and ∂²T′/∂ρ² thousands of times per solve at a fixed station size,
+// neither re-takes logarithms of small integers nor allocates. A Kernel
+// is immutable after construction and safe for concurrent use.
+//
+// Every method is bit-identical to the corresponding package-level
+// function (P0, ErlangC, DErlangCdRho, GenericResponseTime,
+// DGenericResponseDRho): the same operations run in the same order on
+// the same values, only the integer logarithms come from the table.
+// Tests in kernel_test.go pin that equivalence exactly.
+type Kernel struct {
+	m  int
+	mf float64
+	// lnInt[k] = ln k for k = 1..m (index 0 unused). These are the only
+	// per-iteration logarithms of the P0 log-sum-exp.
+	lnInt []float64
+}
+
+// NewKernel builds the kernel for an m-blade station.
+func NewKernel(m int) *Kernel {
+	if m <= 0 {
+		panic(fmt.Sprintf("queueing: Kernel with non-positive m=%d", m))
+	}
+	k := &Kernel{m: m, mf: float64(m), lnInt: make([]float64, m+1)}
+	for i := 1; i <= m; i++ {
+		k.lnInt[i] = math.Log(float64(i))
+	}
+	return k
+}
+
+// kernelCache interns kernels by station size: fleets repeat a handful
+// of blade counts across thousands of stations, so the per-size tables
+// are shared rather than rebuilt per server.
+var kernelCache sync.Map // int → *Kernel
+
+// KernelFor returns the interned kernel for an m-blade station,
+// building it on first use.
+func KernelFor(m int) *Kernel {
+	if v, ok := kernelCache.Load(m); ok {
+		return v.(*Kernel)
+	}
+	v, _ := kernelCache.LoadOrStore(m, NewKernel(m))
+	return v.(*Kernel)
+}
+
+// M returns the station size the kernel was built for.
+func (k *Kernel) M() int { return k.m }
+
+// P0 returns the empty-system probability p_0, bit-identical to
+// queueing.P0(k.M(), rho) but with the integer logarithms taken from
+// the precomputed table and no per-call allocation (the log-sum-exp
+// runs in two passes over the recurrence instead of storing the terms).
+func (k *Kernel) P0(rho float64) float64 {
+	if rho == 0 {
+		return 1
+	}
+	if rho >= 1 || rho < 0 {
+		return 0
+	}
+	a := k.mf * rho
+	logA := math.Log(a)
+	logPenalty := math.Log(1 - rho)
+	// Pass 1: running max of log t_k (t_m carries the 1/(1−ρ) factor).
+	logT := 0.0
+	maxLog := logT
+	for i := 1; i <= k.m; i++ {
+		logT += logA - k.lnInt[i]
+		v := logT
+		if i == k.m {
+			v -= logPenalty
+		}
+		if v > maxLog {
+			maxLog = v
+		}
+	}
+	// Pass 2: Kahan-sum exp(log t_k − max) in the same k order.
+	var sum numeric.KahanSum
+	sum.Add(math.Exp(0 - maxLog))
+	logT = 0
+	for i := 1; i <= k.m; i++ {
+		logT += logA - k.lnInt[i]
+		v := logT
+		if i == k.m {
+			v -= logPenalty
+		}
+		sum.Add(math.Exp(v - maxLog))
+	}
+	return math.Exp(-maxLog - math.Log(sum.Value()))
+}
+
+// CDerivs returns the Erlang-C probability C(ρ) together with its first
+// and second derivatives in ρ, all from a single Erlang-B recurrence
+// pass. c and dc are bit-identical to ErlangC(m, mρ) and
+// DErlangCdRho(m, ρ); d2c is the analytic second derivative that powers
+// the optimizer's Newton step (see D2ErlangCdRho2). For ρ ≤ 0 the
+// ρ→0⁺ limits of c and dc are returned and d2c is reported as 0 (the
+// solver only differentiates at interior points).
+func (k *Kernel) CDerivs(rho float64) (c, dc, d2c float64) {
+	if rho <= 0 {
+		if k.m == 1 {
+			return 0, 1, 0
+		}
+		return 0, 0, 0
+	}
+	a := k.mf * rho
+	b := ErlangB(k.m, a)
+	// C, exactly as ErlangC computes it (note: via a/m, not rho).
+	rho2 := a / k.mf
+	if rho2 >= 1 {
+		return 1, math.Inf(1), math.Inf(1)
+	}
+	c = b / (1 - rho2*(1-b))
+	// dB/da = B(m/a − 1 + B); dB/dρ = m·dB/da.
+	dbda := b * (k.mf/a - 1 + b)
+	db := k.mf * dbda
+	d := 1 - rho*(1-b)
+	dd := -(1 - b) + rho*db
+	dc = (db*d - b*dd) / (d * d)
+	// d²B/da² from differentiating dB/da once more, then the quotient
+	// rule on C = B/D with D = 1 − ρ(1−B):
+	//   D′ = −(1−B) + ρB′,  D″ = 2B′ + ρB″  (′ ≡ d/dρ).
+	d2bda2 := dbda*(k.mf/a-1+b) + b*(dbda-k.mf/(a*a))
+	d2b := k.mf * k.mf * d2bda2
+	d2d := 2*db + rho*d2b
+	d2c = (d2b*d-b*d2d)/(d*d) - 2*dd*(db*d-b*dd)/(d*d*d)
+	return c, dc, d2c
+}
+
+// Response returns the generic-task response time T′ together with its
+// first and second derivatives in ρ (holding ρ″ fixed), for the given
+// discipline, sharing one Erlang-B recurrence across all three. t and
+// dt are bit-identical to GenericResponseTime and DGenericResponseDRho;
+// d2t extends the same quotient structure one derivative further:
+//
+//	T′ = x̄ (1 + u/m),  u = C/(1−ρ)  [priority: extra 1/(1−ρ″)]
+//	u′  = (C′(1−ρ) + C) / (1−ρ)²
+//	u″  = (C″(1−ρ)² + 2C′(1−ρ) + 2C) / (1−ρ)³
+func (k *Kernel) Response(d Discipline, rho, rhoSpecial, xbar float64) (t, dt, d2t float64) {
+	if rho >= 1 {
+		inf := math.Inf(1)
+		return inf, inf, inf
+	}
+	if d == Priority && rhoSpecial >= 1 {
+		inf := math.Inf(1)
+		return inf, inf, inf
+	}
+	c, dc, d2c := k.CDerivs(rho)
+	omr := 1 - rho
+	if d == Priority {
+		t = xbar * (1 + c/(k.mf*(1-rhoSpecial)*omr))
+		dt = xbar / k.mf * (dc*omr + c) / (omr * omr) / (1 - rhoSpecial)
+		d2t = xbar / k.mf * (d2c*omr*omr + 2*dc*omr + 2*c) / (omr * omr * omr) / (1 - rhoSpecial)
+		return t, dt, d2t
+	}
+	t = xbar * (1 + c/(k.mf*omr))
+	dt = xbar / k.mf * (dc*omr + c) / (omr * omr)
+	d2t = xbar / k.mf * (d2c*omr*omr + 2*dc*omr + 2*c) / (omr * omr * omr)
+	return t, dt, d2t
+}
+
+// D2ErlangCdRho2 returns ∂²C/∂ρ² at per-blade utilization ρ for an
+// m-blade station — the second-derivative companion of DErlangCdRho
+// that the Newton-accelerated inner solver uses for the slope of the
+// marginal cost. Cross-checked against a central finite difference of
+// DErlangCdRho in the tests.
+func D2ErlangCdRho2(m int, rho float64) float64 {
+	_, _, d2c := KernelFor(m).CDerivs(rho)
+	return d2c
+}

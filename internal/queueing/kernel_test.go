@@ -1,0 +1,152 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// kernelSizes covers the paper's station sizes (Tables 1–2 use m ≤ 8,
+// figures sweep larger groups) plus edge and stress sizes.
+var kernelSizes = []int{1, 2, 3, 5, 7, 8, 13, 16, 64, 200}
+
+var kernelRhos = []float64{1e-9, 1e-4, 0.01, 0.1, 0.25, 1.0 / 3.0, 0.5, 0.7, 0.85, 0.9, 0.975, 0.999, 0.9999}
+
+// TestKernelP0BitIdentical pins the contract the optimizer relies on:
+// the kernel's two-pass allocation-free P0 is bit-for-bit the package
+// log-sum-exp P0, not merely close to it.
+func TestKernelP0BitIdentical(t *testing.T) {
+	for _, m := range kernelSizes {
+		k := KernelFor(m)
+		for _, rho := range kernelRhos {
+			got := k.P0(rho)
+			want := P0(m, rho)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("m=%d ρ=%g: kernel P0 = %.17g, package P0 = %.17g (not bit-identical)", m, rho, got, want)
+			}
+		}
+		// Boundary cases.
+		for _, rho := range []float64{0, 1, 1.5, -0.25} {
+			got, want := k.P0(rho), P0(m, rho)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("m=%d ρ=%g boundary: kernel P0 = %g, package P0 = %g", m, rho, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelCDerivsBitIdentical pins c against ErlangC and dc against
+// DErlangCdRho bit-for-bit, and checks d2c against a central finite
+// difference of DErlangCdRho.
+func TestKernelCDerivsBitIdentical(t *testing.T) {
+	for _, m := range kernelSizes {
+		k := KernelFor(m)
+		for _, rho := range kernelRhos {
+			c, dc, d2c := k.CDerivs(rho)
+			wantC := ErlangC(m, float64(m)*rho)
+			wantDC := DErlangCdRho(m, rho)
+			if math.Float64bits(c) != math.Float64bits(wantC) {
+				t.Errorf("m=%d ρ=%g: kernel C = %.17g, ErlangC = %.17g (not bit-identical)", m, rho, c, wantC)
+			}
+			if math.Float64bits(dc) != math.Float64bits(wantDC) {
+				t.Errorf("m=%d ρ=%g: kernel dC = %.17g, DErlangCdRho = %.17g (not bit-identical)", m, rho, dc, wantDC)
+			}
+			if rho >= 0.01 && rho <= 0.975 {
+				num := numeric.Derivative(func(r float64) float64 { return DErlangCdRho(m, r) }, rho)
+				if relErr(d2c, num) > 2e-5 {
+					t.Errorf("m=%d ρ=%g: kernel d²C = %g, finite difference = %g", m, rho, d2c, num)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelResponseBitIdentical pins t against GenericResponseTime and
+// dt against DGenericResponseDRho bit-for-bit for both disciplines, and
+// d2t against a finite difference of DGenericResponseDRho.
+func TestKernelResponseBitIdentical(t *testing.T) {
+	const xbar = 1.375
+	for _, m := range kernelSizes {
+		k := KernelFor(m)
+		for _, d := range []Discipline{FCFS, Priority} {
+			for _, rhoS := range []float64{0, 0.15, 0.4} {
+				for _, rho := range kernelRhos {
+					if rho < rhoS {
+						continue
+					}
+					tt, dt, d2t := k.Response(d, rho, rhoS, xbar)
+					wantT := GenericResponseTime(d, m, rho, rhoS, xbar)
+					wantDT := DGenericResponseDRho(d, m, rho, rhoS, xbar)
+					if math.Float64bits(tt) != math.Float64bits(wantT) {
+						t.Errorf("d=%v m=%d ρ=%g ρ″=%g: kernel T′ = %.17g, package = %.17g", d, m, rho, rhoS, tt, wantT)
+					}
+					if math.Float64bits(dt) != math.Float64bits(wantDT) {
+						t.Errorf("d=%v m=%d ρ=%g ρ″=%g: kernel dT′ = %.17g, package = %.17g", d, m, rho, rhoS, dt, wantDT)
+					}
+					if rho >= 0.01 && rho <= 0.9 {
+						num := numeric.Derivative(func(r float64) float64 {
+							return DGenericResponseDRho(d, m, r, rhoS, xbar)
+						}, rho)
+						if relErr(d2t, num) > 5e-5 {
+							t.Errorf("d=%v m=%d ρ=%g ρ″=%g: kernel d²T′ = %g, finite difference = %g", d, m, rho, rhoS, d2t, num)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelSaturation checks the ρ ≥ 1 regime returns the same +Inf
+// sentinels the package functions produce.
+func TestKernelSaturation(t *testing.T) {
+	k := KernelFor(4)
+	if tt, dt, d2t := k.Response(FCFS, 1.0, 0, 1); !math.IsInf(tt, 1) || !math.IsInf(dt, 1) || !math.IsInf(d2t, 1) {
+		t.Errorf("Response at ρ=1: got (%g, %g, %g), want +Inf sentinels", tt, dt, d2t)
+	}
+	if tt, _, _ := k.Response(Priority, 0.5, 1.0, 1); !math.IsInf(tt, 1) {
+		t.Errorf("priority Response at ρ″=1: got %g, want +Inf", tt)
+	}
+	if c, dc, d2c := k.CDerivs(1.0); c != 1 || !math.IsInf(dc, 1) || !math.IsInf(d2c, 1) {
+		t.Errorf("CDerivs at ρ=1: got (%g, %g, %g)", c, dc, d2c)
+	}
+}
+
+// TestKernelForInterns checks the cache hands back the same kernel for
+// a repeated size and that D2ErlangCdRho2 routes through it.
+func TestKernelForInterns(t *testing.T) {
+	a, b := KernelFor(9), KernelFor(9)
+	if a != b {
+		t.Fatalf("KernelFor(9) returned distinct kernels %p, %p", a, b)
+	}
+	if a.M() != 9 {
+		t.Fatalf("M() = %d, want 9", a.M())
+	}
+	_, _, want := a.CDerivs(0.6)
+	if got := D2ErlangCdRho2(9, 0.6); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("D2ErlangCdRho2 = %g, kernel d2c = %g", got, want)
+	}
+}
+
+// TestKernelP0NoAllocs pins the zero-allocation contract of the hot
+// kernel evaluations.
+func TestKernelP0NoAllocs(t *testing.T) {
+	k := KernelFor(64)
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = k.P0(0.8)
+		_, _, _ = k.CDerivs(0.8)
+		_, _, _ = k.Response(FCFS, 0.8, 0.1, 1.2)
+	})
+	if allocs != 0 {
+		t.Fatalf("kernel evaluations allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if s := math.Abs(want); s > 1 {
+		return d / s
+	}
+	return d
+}

@@ -199,9 +199,20 @@ func Run(cfg Config) (*RunResult, error) {
 	n := g.N()
 	cal := newCalendar()
 
+	// One backing array for all stations, with the in-service tracking
+	// slice pre-sized to the blade count — a station can never hold more
+	// than m tasks in service, so start() never grows it.
+	backing := make([]station, n)
 	stations := make([]*station, n)
 	for i, s := range g.Servers {
-		stations[i] = &station{index: i, blades: s.Size, speed: s.Speed, discipline: cfg.Discipline}
+		backing[i] = station{
+			index:      i,
+			blades:     s.Size,
+			speed:      s.Speed,
+			discipline: cfg.Discipline,
+			active:     make([]serviceRec, 0, s.Size),
+		}
+		stations[i] = &backing[i]
 	}
 	// Failure transitions are known upfront; schedule them first so
 	// that, on time ties, the state change precedes arrivals.

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Class distinguishes the two task populations of the model.
 type Class int
 
@@ -54,24 +52,53 @@ type event struct {
 	seq     uint64 // FIFO tie-break for equal times
 }
 
-// eventHeap is a min-heap on (time, seq).
+// eventHeap is a min-heap on (time, seq), hand-rolled on the concrete
+// event type. container/heap's interface{}-based Push and Pop box every
+// event on the heap's way in AND out — two allocations per event, which
+// at simulator rates (millions of events per run) dominated the entire
+// allocation profile. The sift routines below keep events in the
+// backing slice, so scheduling is allocation-free once the slice has
+// grown to the run's working set. The (time, seq) key is a strict total
+// order (seq is unique), so any correct heap pops events in exactly the
+// same sequence as the old container/heap code — run results are
+// bit-for-bit unchanged.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // calendar wraps the heap with sequence numbering.
@@ -81,22 +108,28 @@ type calendar struct {
 }
 
 func newCalendar() *calendar {
-	c := &calendar{h: make(eventHeap, 0, 1024)}
-	heap.Init(&c.h)
-	return c
+	return &calendar{h: make(eventHeap, 0, 1024)}
 }
 
 func (c *calendar) schedule(e event) {
 	e.seq = c.seq
 	c.seq++
-	heap.Push(&c.h, e)
+	c.h = append(c.h, e)
+	c.h.up(len(c.h) - 1)
 }
 
 func (c *calendar) next() (event, bool) {
 	if len(c.h) == 0 {
 		return event{}, false
 	}
-	return heap.Pop(&c.h).(event), true
+	e := c.h[0]
+	last := len(c.h) - 1
+	c.h[0] = c.h[last]
+	c.h = c.h[:last]
+	if last > 0 {
+		c.h.down(0)
+	}
+	return e, true
 }
 
 func (c *calendar) empty() bool { return len(c.h) == 0 }
