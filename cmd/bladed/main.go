@@ -1,0 +1,188 @@
+// Command bladed is the online serving daemon: it loads a cluster
+// specification, solves the paper's optimal load distribution once,
+// and serves routing decisions from the resulting probabilistic plan
+// over HTTP, re-optimizing in the background when the observed arrival
+// rate drifts or a station is marked down.
+//
+// Usage:
+//
+//	bladed -example -frac 0.5                       # paper's system, λ′ at half saturation
+//	bladed -spec cluster.json -rate 23.52           # explicit spec and rate
+//	bladed -builtin fig12:1 -addr :9090 -drift 0.1  # built-in group, custom drift gate
+//
+// Endpoints: POST /v1/dispatch, GET|POST /v1/plan, GET|POST
+// /v1/health, GET /metrics (Prometheus text), GET /healthz,
+// /debug/pprof. SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "bladed:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and serves until a signal arrives. A non-nil ready
+// channel receives the bound address once the listener is up (used by
+// the end-to-end test).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("bladed", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	specPath := fs.String("spec", "", "path to JSON cluster specification")
+	example := fs.Bool("example", false, "use the paper's Example 1/2 system")
+	builtin := fs.String("builtin", "", "use a built-in system by name")
+	rate := fs.Float64("rate", 0, "planned total generic arrival rate λ′ (absolute)")
+	frac := fs.Float64("frac", 0.5, "λ′ as a fraction of the saturation point (used when -rate is 0)")
+	priority := fs.Bool("priority", false, "give special tasks non-preemptive priority (paper §4)")
+	drift := fs.Float64("drift", 0.2, "relative arrival-rate drift that triggers a re-solve")
+	window := fs.Duration("window", 30*time.Second, "arrival-rate estimation window")
+	minResolve := fs.Duration("min-resolve", time.Second, "minimum interval between drift re-solves")
+	maxInFlight := fs.Int("max-inflight", 256, "bound on concurrently served API requests")
+	reqTimeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	drainTimeout := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	cluster, names, err := loadCluster(*specPath, *example, *builtin, logger)
+	if err != nil {
+		return err
+	}
+	lambda := *rate
+	if lambda == 0 {
+		if *frac <= 0 || *frac >= 1 {
+			return fmt.Errorf("-frac %g must be in (0, 1)", *frac)
+		}
+		lambda = *frac * cluster.MaxGenericRate()
+	}
+	d := repro.FCFS
+	if *priority {
+		d = repro.PrioritySpecial
+	}
+
+	srv, err := serve.New(serve.Config{
+		Group:              cluster,
+		Lambda:             lambda,
+		Opts:               core.Options{Discipline: d},
+		Names:              names,
+		DriftThreshold:     *drift,
+		Window:             *window,
+		MinResolveInterval: *minResolve,
+		MaxInFlight:        *maxInFlight,
+		RequestTimeout:     *reqTimeout,
+		Logger:             logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	return serveHTTP(*addr, srv, *drainTimeout, logger, ready)
+}
+
+// serveHTTP runs the HTTP server until SIGINT/SIGTERM, then drains.
+func serveHTTP(addr string, srv *serve.Server, drain time.Duration, logger *slog.Logger, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	logger.Info("bladed listening", "addr", ln.Addr().String())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", "deadline", drain.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("bladed stopped cleanly")
+	return nil
+}
+
+// loadCluster mirrors the other CLIs' spec loading, additionally
+// returning station names for operator-facing dispatch responses.
+func loadCluster(specPath string, example bool, builtin string, logger *slog.Logger) (*repro.Cluster, []string, error) {
+	switch {
+	case example:
+		return repro.PaperExampleCluster(), nil, nil
+	case builtin != "":
+		g, err := spec.Builtin(builtin)
+		return g, nil, err
+	case specPath != "":
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		doc, err := spec.Parse(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing %s: %w", specPath, err)
+		}
+		for _, warn := range doc.Warnings() {
+			logger.Warn(warn)
+		}
+		g, err := doc.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		names := make([]string, len(doc.Servers))
+		named := false
+		for i, s := range doc.Servers {
+			names[i] = s.Name
+			named = named || s.Name != ""
+		}
+		if !named {
+			names = nil
+		}
+		return g, names, nil
+	default:
+		return nil, nil, fmt.Errorf("need -spec FILE, -example, or -builtin NAME")
+	}
+}

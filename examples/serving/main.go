@@ -1,0 +1,132 @@
+// Serving: the full online control loop of bladed, in process. The
+// daemon solves the paper's optimal distribution once, serves routing
+// decisions from the probabilistic plan, and — when the observed
+// arrival rate drifts far from the planned λ′, or a station is marked
+// down — re-solves in the background with a warm-started bracket and
+// atomically swaps the live plan. This example drives the HTTP API
+// against a deterministic clock so the drift trigger is reproducible.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func main() {
+	cluster := repro.PaperExampleCluster()
+	planned := 0.25 * cluster.MaxGenericRate()
+	clk := &clock{t: time.Now()}
+
+	s, err := serve.New(serve.Config{
+		Group:              cluster,
+		Lambda:             planned,
+		DriftThreshold:     0.5,
+		Window:             time.Second,
+		Buckets:            10,
+		MinResolveInterval: 0,
+		Now:                clk.now,
+		Logger:             slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	plan := s.Plan()
+	fmt.Printf("startup plan v%d: λ′ = %.2f, T′ = %.5f, capacity %.2f\n",
+		plan.Version, plan.Lambda, plan.AvgResponseTime, plan.Capacity)
+
+	// --- 1. Dispatch at the planned rate: the plan holds steady ------
+	dispatch := func(n int, interarrival time.Duration) (counts []int) {
+		counts = make([]int, cluster.N())
+		for i := 0; i < n; i++ {
+			resp, err := http.Post(ts.URL+"/v1/dispatch", "application/json", nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var d serve.DispatchResponse
+			if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+				log.Fatal(err)
+			}
+			resp.Body.Close()
+			counts[d.Station]++
+			clk.advance(interarrival)
+		}
+		return counts
+	}
+	counts := dispatch(200, time.Duration(float64(time.Second)/planned))
+	fmt.Printf("dispatched 200 tasks at planned rate; station spread %v (plan still v%d)\n",
+		counts, s.Plan().Version)
+
+	// --- 2. Traffic triples: drift triggers a background re-solve ----
+	surge := 3 * planned
+	dispatch(300, time.Duration(float64(time.Second)/surge))
+	for i := 0; i < 1000 && s.Plan().Version < 2; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	plan = s.Plan()
+	fmt.Printf("after surge to %.1f tasks/s: plan v%d re-solved for λ′ = %.2f, T′ = %.5f\n",
+		surge, plan.Version, plan.Lambda, plan.AvgResponseTime)
+
+	// --- 3. A station dies: health-triggered degraded re-solve -------
+	body, _ := json.Marshal(map[string]any{"station": 6, "up": false})
+	resp, err := http.Post(ts.URL+"/v1/health", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	v := plan.Version
+	for i := 0; i < 1000 && s.Plan().Version <= v; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	plan = s.Plan()
+	fmt.Printf("station 7 down: plan v%d over %d survivors, λ′_7 = %g\n",
+		plan.Version, plan.Survivors, plan.Rates[6])
+
+	// --- 4. Prometheus metrics snapshot ------------------------------
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "bladed_dispatch_total") ||
+			strings.HasPrefix(line, "bladed_resolve_total") ||
+			strings.HasPrefix(line, "bladed_plan_version") ||
+			strings.HasPrefix(line, "bladed_lambda_estimate") {
+			fmt.Println("metric:", line)
+		}
+	}
+}

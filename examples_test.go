@@ -25,6 +25,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/multicluster", []string{"campus grid", "best saving"}},
 		{"./examples/dispatcher", []string{"round-robin", "join-shortest-queue", "P95"}},
 		{"./examples/capacityplan", []string{"Admission limits", "Blade plan"}},
+		{"./examples/serving", []string{"startup plan v1", "re-solved for", "survivors", "bladed_dispatch_total"}},
 	}
 	for _, c := range cases {
 		c := c

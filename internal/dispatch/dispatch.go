@@ -35,14 +35,26 @@ func NewProbabilistic(weights []float64) (*Probabilistic, error) {
 	}
 	cum := make([]float64, len(weights))
 	run := 0.0
+	last := -1 // index of the last positive weight
 	for i, w := range weights {
 		if w < 0 {
 			return nil, fmt.Errorf("dispatch: negative weight %g at %d", w, i)
 		}
+		if w > 0 {
+			last = i
+		}
 		run += w / total
 		cum[i] = run
 	}
-	cum[len(cum)-1] = 1 // guard rounding
+	// The rounding guard must sit on the last *positive* weight: pinning
+	// cum[len-1] to 1 would open the interval (cum[last], 1) and make a
+	// zero-weight trailing station pickable (e.g. after HealthFiltered
+	// or a degraded re-solve drains the last station), violating the
+	// invariant pickCumulative documents. Trailing zero-weight entries
+	// share the guard value, so their intervals stay empty.
+	for i := last; i < len(cum); i++ {
+		cum[i] = 1
+	}
 	return &Probabilistic{cum: cum}, nil
 }
 
@@ -73,10 +85,16 @@ type RoundRobin struct {
 // Name implements sim.Dispatcher.
 func (r *RoundRobin) Name() string { return "round-robin" }
 
-// Pick implements sim.Dispatcher.
+// Pick implements sim.Dispatcher. The cursor wraps modulo the view
+// count instead of incrementing unboundedly: on a long-running daemon
+// an unbounded counter eventually overflows to negative and `next %
+// len` would return a negative station index.
 func (r *RoundRobin) Pick(views []sim.StationView, _ *rand.Rand) int {
 	i := r.next % len(views)
-	r.next++
+	if i < 0 { // a poisoned cursor (manual construction) recovers
+		i = 0
+	}
+	r.next = (i + 1) % len(views)
 	return i
 }
 

@@ -208,11 +208,21 @@ func cumulative(weights []float64) []float64 {
 		return cum
 	}
 	run := 0.0
+	last := -1
 	for i, w := range weights {
+		if w > 0 {
+			last = i
+		}
 		run += w / total
 		cum[i] = run
 	}
-	cum[len(cum)-1] = 1 // guard rounding
+	// Guard rounding at the last positive weight (see NewProbabilistic):
+	// pinning only the final entry would make a drained last station
+	// pickable. Down stations re-solved to zero rate must stay
+	// unpickable.
+	for i := last; i < len(cum); i++ {
+		cum[i] = 1
+	}
 	return cum
 }
 

@@ -1,0 +1,103 @@
+package dispatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestProbabilisticTrailingZeroWeights is the regression test for the
+// rounding-guard bug: NewProbabilistic used to force cum[len-1] = 1,
+// which opened the interval (cum[last-positive], 1) and made a
+// zero-weight *last* station pickable — exactly the state a degraded
+// re-solve or HealthFiltered drain leaves behind.
+func TestProbabilisticTrailingZeroWeights(t *testing.T) {
+	for _, weights := range [][]float64{
+		{1, 2, 0},       // one trailing zero
+		{3, 0, 0},       // several trailing zeros
+		{0, 1, 0, 0, 0}, // leading and trailing zeros
+	} {
+		p, err := NewProbabilistic(weights)
+		if err != nil {
+			t.Fatalf("weights %v: %v", weights, err)
+		}
+		last := -1
+		for i, w := range weights {
+			if w > 0 {
+				last = i
+			}
+		}
+		// The guard must sit on the last positive weight, and every
+		// trailing entry shares it (empty intervals).
+		for i := last; i < len(p.cum); i++ {
+			if p.cum[i] != 1 {
+				t.Errorf("weights %v: cum[%d] = %v, want 1", weights, i, p.cum[i])
+			}
+		}
+		// Direct boundary probes, including the largest u < 1 that used
+		// to fall into the phantom interval of the trailing zeros.
+		for _, u := range []float64{0, 0.5, 0.999999, math.Nextafter(1, 0)} {
+			if got := pickCumulative(p.cum, u); got > last || weights[got] == 0 {
+				t.Errorf("weights %v: u=%v picked zero-weight station %d", weights, u, got)
+			}
+		}
+		// Randomized sweep through Pick itself.
+		rng := rand.New(rand.NewSource(7))
+		views := make([]sim.StationView, len(weights))
+		for i := 0; i < 20000; i++ {
+			if got := p.Pick(views, rng); weights[got] == 0 {
+				t.Fatalf("weights %v: picked zero-weight station %d", weights, got)
+			}
+		}
+	}
+}
+
+// TestCumulativeTrailingZeroWeights covers the same guard in the
+// ReWeighting helper: a re-solve that zeroes the last station's rate
+// must leave it unpickable.
+func TestCumulativeTrailingZeroWeights(t *testing.T) {
+	cum := cumulative([]float64{2, 1, 0, 0})
+	for i := 1; i < len(cum); i++ {
+		if cum[i] != 1 {
+			t.Errorf("cum[%d] = %v, want 1", i, cum[i])
+		}
+	}
+	for _, u := range []float64{0.7, 0.999, math.Nextafter(1, 0)} {
+		if got := pickCumulative(cum, u); got > 1 {
+			t.Errorf("u=%v picked drained station %d", u, got)
+		}
+	}
+}
+
+// TestRoundRobinCursorWraps is the regression test for the unbounded
+// cursor: after the fix the cursor stays in [0, len), so a daemon
+// dispatching forever can never overflow into a negative index.
+func TestRoundRobinCursorWraps(t *testing.T) {
+	views := make([]sim.StationView, 3)
+	rr := &RoundRobin{}
+	for i := 0; i < 100; i++ {
+		if got := rr.Pick(views, nil); got != i%3 {
+			t.Fatalf("pick %d = %d, want %d", i, got, i%3)
+		}
+		if rr.next < 0 || rr.next >= len(views) {
+			t.Fatalf("cursor escaped range: %d", rr.next)
+		}
+	}
+	// A cursor at the overflow edge (what an unbounded increment would
+	// eventually produce) must still yield a valid index and recover.
+	rr = &RoundRobin{next: math.MaxInt}
+	for i := 0; i < 5; i++ {
+		if got := rr.Pick(views, nil); got < 0 || got >= len(views) {
+			t.Fatalf("pick after saturated cursor = %d", got)
+		}
+	}
+	// And a poisoned negative cursor recovers instead of panicking.
+	rr = &RoundRobin{next: -math.MaxInt}
+	for i := 0; i < 5; i++ {
+		if got := rr.Pick(views, nil); got < 0 || got >= len(views) {
+			t.Fatalf("pick after negative cursor = %d", got)
+		}
+	}
+}

@@ -44,12 +44,19 @@ func ConfidenceInterval(w *Welford, confidence float64) (Interval, error) {
 }
 
 // tQuantile returns the p-quantile of Student's t distribution with df
-// degrees of freedom, via the normal quantile plus the Cornish–Fisher
-// expansion in 1/df (accurate to ~1e-3 for df ≥ 3, exact as df → ∞).
+// degrees of freedom. For df < 5 the Cornish–Fisher expansion diverges
+// (df=1 at p=0.975 would return ≈7 instead of 12.706, silently
+// shrinking every 2–3-replication confidence interval), so small df
+// invert the exact CDF through the regularized incomplete beta
+// function; df ≥ 5 keep the expansion (accurate to ~1e-3 there, exact
+// as df → ∞).
 func tQuantile(p, df float64) float64 {
 	z := normQuantile(p)
 	if math.IsInf(df, 1) || df <= 0 {
 		return z
+	}
+	if df < 5 {
+		return tQuantileExact(p, df)
 	}
 	z2 := z * z
 	// Cornish–Fisher / Peiser expansion terms.
@@ -58,6 +65,108 @@ func tQuantile(p, df float64) float64 {
 	g3 := (((3*z2+19)*z2+17)*z2 - 15) * z / 384
 	g4 := ((((79*z2+776)*z2+1482)*z2-1920)*z2 - 945) * z / 92160
 	return z + g1/df + g2/(df*df) + g3/(df*df*df) + g4/(df*df*df*df)
+}
+
+// tQuantileExact inverts Student's t CDF. For t > 0 the upper tail is
+//
+//	1 − F(t) = I_x(df/2, 1/2) / 2,  x = df/(df + t²),
+//
+// and I_x(a, b) is monotone increasing in x, so the p-quantile follows
+// from a bisection for x with I_x(df/2, 1/2) = 2(1−p), mapped back via
+// t = √(df(1−x)/x). Negative quantiles come from symmetry.
+func tQuantileExact(p, df float64) float64 {
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	case p == 0.5:
+		return 0
+	case p < 0.5:
+		return -tQuantileExact(1-p, df)
+	}
+	target := 2 * (1 - p)
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200 && hi-lo > 1e-16; i++ {
+		mid := lo + (hi-lo)/2
+		if regIncBeta(df/2, 0.5, mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	x := lo + (hi-lo)/2
+	return math.Sqrt(df * (1 - x) / x)
+}
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a, b) with the continued fraction of Numerical Recipes §6.4,
+// switching to the symmetric form when x is past the saddle point so
+// the fraction always converges quickly.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lgab, _ := math.Lgamma(a + b)
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log1p(-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaContinuedFraction(a, b, x) / a
+	}
+	return 1 - front*betaContinuedFraction(b, a, 1-x)/b
+}
+
+// betaContinuedFraction evaluates the incomplete-beta continued
+// fraction by the modified Lentz method.
+func betaContinuedFraction(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-16
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
 }
 
 // normQuantile returns the p-quantile of the standard normal

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTQuantileSmallDF pins standard t-table values for the small
+// degrees of freedom where the Cornish–Fisher expansion diverges
+// (before the fix, df=1 at p=0.975 returned ≈7 instead of 12.706).
+// The acceptance bar is 1e-3 for df ∈ {1, 2, 3, 4, 30}; the exact
+// inverse-beta path is far tighter than that.
+func TestTQuantileSmallDF(t *testing.T) {
+	cases := []struct{ p, df, want, tol float64 }{
+		// p = 0.975 (two-sided 95 %)
+		{0.975, 1, 12.7062047, 1e-6},
+		{0.975, 2, 4.3026527, 1e-6},
+		{0.975, 3, 3.1824463, 1e-6},
+		{0.975, 4, 2.7764451, 1e-6},
+		{0.975, 30, 2.0422725, 1e-3},
+		// p = 0.95 (two-sided 90 %)
+		{0.95, 1, 6.3137515, 1e-6},
+		{0.95, 2, 2.9199856, 1e-6},
+		{0.95, 3, 2.3533634, 1e-6},
+		{0.95, 4, 2.1318468, 1e-6},
+		{0.95, 30, 1.6972609, 1e-3},
+		// p = 0.995 (two-sided 99 %) — the regime that diverged worst.
+		{0.995, 1, 63.6567412, 1e-5},
+		{0.995, 2, 9.9248432, 1e-6},
+		{0.995, 3, 5.8409093, 1e-6},
+		{0.995, 4, 4.6040949, 1e-6},
+		{0.995, 30, 2.7499957, 1e-3},
+	}
+	for _, c := range cases {
+		if got := tQuantile(c.p, c.df); math.Abs(got-c.want) > c.tol {
+			t.Errorf("tQuantile(%g, %g) = %.7f, want %.7f (±%g)", c.p, c.df, got, c.want, c.tol)
+		}
+	}
+}
+
+// TestTQuantileSymmetry checks the lower tail mirrors the upper and the
+// median is exactly zero on the exact small-df path.
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 2, 3, 4} {
+		if got := tQuantile(0.5, df); got != 0 {
+			t.Errorf("tQuantile(0.5, %g) = %g, want 0", df, got)
+		}
+		up, lo := tQuantile(0.975, df), tQuantile(0.025, df)
+		if math.Abs(up+lo) > 1e-9 {
+			t.Errorf("df=%g: asymmetric tails %g vs %g", df, up, lo)
+		}
+	}
+}
+
+// TestTQuantileContinuityAtSwitch ensures the exact path (df < 5) and
+// the Cornish–Fisher path (df ≥ 5) agree where they meet — a jump at
+// the switch would make interval widths non-monotone in n.
+func TestTQuantileContinuityAtSwitch(t *testing.T) {
+	for _, p := range []float64{0.95, 0.975, 0.995} {
+		below := tQuantile(p, 4.999999)
+		above := tQuantile(p, 5)
+		if math.Abs(below-above) > 5e-3 {
+			t.Errorf("p=%g: discontinuity at df=5: %.6f vs %.6f", p, below, above)
+		}
+	}
+}
+
+// TestRegIncBeta pins the regularized incomplete beta against known
+// values (B(0.5; 0.5, 0.5) symmetry, uniform case a=b=1, and the
+// t-CDF identity at a table point).
+func TestRegIncBeta(t *testing.T) {
+	if got := regIncBeta(1, 1, 0.3); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("I_0.3(1,1) = %g, want 0.3", got)
+	}
+	if got := regIncBeta(0.5, 0.5, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("I_0.5(0.5,0.5) = %g, want 0.5", got)
+	}
+	// t-CDF identity: for t = 12.7062047 at df = 1 the upper tail is
+	// 0.025, so I_x(0.5, 0.5) with x = df/(df+t²) must be 0.05.
+	tv := 12.7062047
+	x := 1 / (1 + tv*tv)
+	if got := regIncBeta(0.5, 0.5, x); math.Abs(got-0.05) > 1e-7 {
+		t.Errorf("I_x(0.5,0.5) = %g, want 0.05", got)
+	}
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Error("edge values must be exact")
+	}
+}
+
+// TestConfidenceIntervalTinySamples verifies end-to-end that 2- and
+// 3-observation intervals now use the exact critical values (the
+// motivating bug: every tiny-replication CI was materially too narrow).
+func TestConfidenceIntervalTinySamples(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(3)
+	iv, err := ConfidenceInterval(&w, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=2: df=1, s = √2, se = 1, half width = t(0.975, 1) = 12.7062.
+	if math.Abs(iv.HalfWidth-12.7062047) > 1e-4 {
+		t.Errorf("n=2 half width = %.5f, want 12.70620", iv.HalfWidth)
+	}
+	var w3 Welford
+	for _, x := range []float64{1, 2, 3} {
+		w3.Add(x)
+	}
+	iv3, err := ConfidenceInterval(&w3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=3: df=2, s = 1, se = 1/√3, half width = 4.30265/√3.
+	want := 4.3026527 / math.Sqrt(3)
+	if math.Abs(iv3.HalfWidth-want) > 1e-4 {
+		t.Errorf("n=3 half width = %.5f, want %.5f", iv3.HalfWidth, want)
+	}
+}

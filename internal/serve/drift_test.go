@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// TestDriftTriggersReoptimization drives the daemon with a
+// deterministic fake clock: traffic arrives at roughly four times the
+// planned rate, the windowed estimator crosses the drift threshold,
+// and the background goroutine must re-solve at the observed rate and
+// swap the plan — all without a single dispatch being dropped.
+func TestDriftTriggersReoptimization(t *testing.T) {
+	clk := newFakeClock()
+	g := model.LiExample1Group()
+	planned := 0.2 * g.MaxGenericRate() // ≈ 9.4 tasks/s
+	s := newTestServer(t, func(c *Config) {
+		c.Group = g
+		c.Lambda = planned
+		c.Window = time.Second
+		c.Buckets = 10
+		c.DriftThreshold = 0.5
+		c.MinResolveInterval = 0
+		c.Now = clk.Now
+	})
+	h := s.Handler()
+
+	// ≈40 requests/s: one dispatch every 25 ms of fake time. The first
+	// window warms the estimator; after that every request sees the
+	// drift (40 vs 9.4 ≈ 325 % > 50 %) and queues a re-solve.
+	observed := 40.0
+	for i := 0; i < 120; i++ {
+		w := postJSON(t, h, "/v1/dispatch", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d dropped with status %d: %s", i, w.Code, w.Body)
+		}
+		clk.Advance(25 * time.Millisecond)
+	}
+
+	// The resolver runs on a real goroutine; wait for the swap in real
+	// time while fake time stands still.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Plan().Version < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drift re-solve never landed (estimate %.2f, planned %.2f)",
+				s.est.Rate(), planned)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	plan := s.Plan()
+	if plan.Lambda <= planned*1.5 {
+		t.Fatalf("re-solved λ = %.3f, want ≈ observed %.3f ≫ planned %.3f",
+			plan.Lambda, observed, planned)
+	}
+	if plan.Lambda < observed*0.6 || plan.Lambda > observed*1.4 {
+		t.Fatalf("re-solved λ = %.3f not near observed %.3f", plan.Lambda, observed)
+	}
+	if plan.Shed != 0 {
+		t.Fatalf("unexpected shed %g at %.0f%% of saturation", plan.Shed, 100*plan.Lambda/g.MaxGenericRate())
+	}
+	// The new plan must still be a valid distribution over all stations.
+	sum := 0.0
+	for _, r := range plan.Rates {
+		sum += r
+	}
+	if diff := (sum - plan.Lambda) / plan.Lambda; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("rates sum %.9f ≠ λ %.9f", sum, plan.Lambda)
+	}
+
+	// Dispatching against the swapped plan keeps working and reports
+	// the new version.
+	w := postJSON(t, h, "/v1/dispatch", nil)
+	var resp DispatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PlanVersion < 2 {
+		t.Fatalf("dispatch still on plan v%d", resp.PlanVersion)
+	}
+}
+
+// TestStableRateDoesNotResolve is the negative control: traffic at the
+// planned rate must never trigger a re-solve.
+func TestStableRateDoesNotResolve(t *testing.T) {
+	clk := newFakeClock()
+	g := model.LiExample1Group()
+	planned := 0.4 * g.MaxGenericRate()
+	s := newTestServer(t, func(c *Config) {
+		c.Group = g
+		c.Lambda = planned
+		c.Window = time.Second
+		c.Buckets = 10
+		c.DriftThreshold = 0.3
+		c.MinResolveInterval = 0
+		c.Now = clk.Now
+	})
+	h := s.Handler()
+	step := time.Duration(float64(time.Second) / planned)
+	for i := 0; i < 100; i++ {
+		if w := postJSON(t, h, "/v1/dispatch", nil); w.Code != http.StatusOK {
+			t.Fatalf("status %d", w.Code)
+		}
+		clk.Advance(step)
+	}
+	time.Sleep(50 * time.Millisecond) // give a spurious resolver a chance to run
+	if v := s.Plan().Version; v != 1 {
+		t.Fatalf("plan version %d after stable traffic, want 1", v)
+	}
+}
+
+// TestShutdownDrainUnderLoad hammers dispatch from many goroutines
+// while health flips force plan swaps, then shuts down. Run under
+// -race (CI does) this doubles as the data-race check on the
+// plan-swap path; functionally it asserts no request is ever answered
+// with a 5xx other than deliberate shedding, and that Close is
+// idempotent while requests drain.
+func TestShutdownDrainUnderLoad(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MinResolveInterval = 0 })
+	ts := httptest.NewServer(s.Handler())
+
+	const workers = 8
+	const perWorker = 60
+	var wg sync.WaitGroup
+	var served, failed atomic.Int64
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := http.Post(ts.URL+"/v1/dispatch", "application/json", nil)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					served.Add(1)
+				} else {
+					failed.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Concurrent health flips: every flip queues a re-solve and swaps
+	// the plan under the feet of the dispatch workers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			for _, up := range []bool{false, true} {
+				w := postJSON(t, s.Handler(), "/v1/health", map[string]any{"station": 3, "up": up})
+				if w.Code != http.StatusAccepted {
+					failed.Add(1)
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	ts.Close() // waits for in-flight requests: the drain
+	s.Close()
+	s.Close() // idempotent
+
+	if f := failed.Load(); f != 0 {
+		t.Fatalf("%d requests failed during churn (%d served)", f, served.Load())
+	}
+	if served.Load() != workers*perWorker {
+		t.Fatalf("served %d of %d", served.Load(), workers*perWorker)
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// RateEstimator measures the arrival rate of the generic task stream
+// over a sliding window of fixed-width buckets — the online λ′
+// estimator the daemon compares against the plan's λ′ to detect drift.
+// The clock is injected so tests can drive it deterministically.
+type RateEstimator struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	window    time.Duration
+	bucket    time.Duration
+	counts    []float64
+	head      int       // bucket currently being filled
+	headStart time.Time // start of the head bucket
+	started   time.Time // first observation or reading
+	observed  int64     // lifetime arrivals, for metrics
+}
+
+// NewRateEstimator builds an estimator over the given window split
+// into the given number of buckets (finer buckets react faster at the
+// cost of more variance). A nil clock uses time.Now.
+func NewRateEstimator(window time.Duration, buckets int, now func() time.Time) *RateEstimator {
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &RateEstimator{
+		now:    now,
+		window: window,
+		bucket: window / time.Duration(buckets),
+		counts: make([]float64, buckets),
+	}
+}
+
+// Observe records n arrivals at the current clock reading.
+func (e *RateEstimator) Observe(n float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.advance(e.now())
+	e.counts[e.head] += n
+	e.observed += int64(n)
+}
+
+// Rate returns the estimated arrivals per second over the window.
+// Before a full window has elapsed the count is divided by the elapsed
+// span instead, so early readings are unbiased rather than low.
+func (e *RateEstimator) Rate() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.now()
+	e.advance(t)
+	var total float64
+	for _, c := range e.counts {
+		total += c
+	}
+	span := e.window
+	if e.started.IsZero() {
+		return 0
+	}
+	if el := t.Sub(e.started); el < span {
+		span = el
+	}
+	if span < e.bucket {
+		span = e.bucket
+	}
+	return total / span.Seconds()
+}
+
+// Warm reports whether a full window of observation has elapsed — the
+// gate before drift decisions are trusted.
+func (e *RateEstimator) Warm() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !e.started.IsZero() && e.now().Sub(e.started) >= e.window
+}
+
+// Observed returns the lifetime arrival count.
+func (e *RateEstimator) Observed() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.observed
+}
+
+// advance rotates the ring so the head bucket covers the bucket
+// containing t, zeroing buckets that fell out of the window. A clock
+// reading before the head bucket's start (cannot happen with a
+// monotonic clock) freezes the ring rather than corrupting it.
+func (e *RateEstimator) advance(t time.Time) {
+	if e.started.IsZero() {
+		e.started, e.headStart = t, t
+		return
+	}
+	if t.Before(e.headStart) {
+		return
+	}
+	steps := int(t.Sub(e.headStart) / e.bucket)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(e.counts) {
+		for i := range e.counts {
+			e.counts[i] = 0
+		}
+	} else {
+		for i := 0; i < steps; i++ {
+			e.head = (e.head + 1) % len(e.counts)
+			e.counts[e.head] = 0
+		}
+	}
+	e.headStart = e.headStart.Add(time.Duration(steps) * e.bucket)
+}

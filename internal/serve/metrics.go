@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// serverMetrics aggregates the daemon's operational statistics on top
+// of internal/metrics (Welford for the latency moments, P² for the
+// streaming quantiles) — no external dependencies, exposed in
+// Prometheus text format by writeTo.
+type serverMetrics struct {
+	mu            sync.Mutex
+	dispatchTotal int64
+	byStation     []int64
+	rejected      map[string]int64
+	resolveTotal  int64
+	resolveErrors int64
+	latency       metrics.Welford
+	q50, q95, q99 *metrics.P2Quantile
+}
+
+func newServerMetrics(stations int) *serverMetrics {
+	q50, _ := metrics.NewP2Quantile(0.5)
+	q95, _ := metrics.NewP2Quantile(0.95)
+	q99, _ := metrics.NewP2Quantile(0.99)
+	return &serverMetrics{
+		byStation: make([]int64, stations),
+		rejected:  make(map[string]int64),
+		q50:       q50, q95: q95, q99: q99,
+	}
+}
+
+// observeDispatch records one served routing decision.
+func (m *serverMetrics) observeDispatch(station int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dispatchTotal++
+	if station >= 0 && station < len(m.byStation) {
+		m.byStation[station]++
+	}
+	m.latency.Add(seconds)
+	m.q50.Add(seconds)
+	m.q95.Add(seconds)
+	m.q99.Add(seconds)
+}
+
+// reject counts one rejected request by reason ("admission", "shed",
+// "concurrency").
+func (m *serverMetrics) reject(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected[reason]++
+}
+
+// resolved records the outcome of one re-solve attempt.
+func (m *serverMetrics) resolved(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resolveTotal++
+	if err != nil {
+		m.resolveErrors++
+	}
+}
+
+// writeTo renders the Prometheus text exposition (format 0.0.4). The
+// plan and estimator gauges are passed in so the snapshot is taken
+// under one lock without reaching back into the server.
+func (m *serverMetrics) writeTo(w io.Writer, plan *Plan, rate float64, warm bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP bladed_dispatch_total Routing decisions served.")
+	fmt.Fprintln(w, "# TYPE bladed_dispatch_total counter")
+	fmt.Fprintf(w, "bladed_dispatch_total %d\n", m.dispatchTotal)
+
+	fmt.Fprintln(w, "# HELP bladed_dispatch_station_total Routing decisions per station.")
+	fmt.Fprintln(w, "# TYPE bladed_dispatch_station_total counter")
+	for i, c := range m.byStation {
+		fmt.Fprintf(w, "bladed_dispatch_station_total{station=%q} %d\n", fmt.Sprint(i), c)
+	}
+
+	fmt.Fprintln(w, "# HELP bladed_rejected_total Requests rejected with 503, by reason.")
+	fmt.Fprintln(w, "# TYPE bladed_rejected_total counter")
+	reasons := make([]string, 0, len(m.rejected))
+	for r := range m.rejected {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "bladed_rejected_total{reason=%q} %d\n", r, m.rejected[r])
+	}
+
+	fmt.Fprintln(w, "# HELP bladed_resolve_total Re-optimization attempts.")
+	fmt.Fprintln(w, "# TYPE bladed_resolve_total counter")
+	fmt.Fprintf(w, "bladed_resolve_total %d\n", m.resolveTotal)
+	fmt.Fprintln(w, "# HELP bladed_resolve_errors_total Re-optimization attempts that failed.")
+	fmt.Fprintln(w, "# TYPE bladed_resolve_errors_total counter")
+	fmt.Fprintf(w, "bladed_resolve_errors_total %d\n", m.resolveErrors)
+
+	fmt.Fprintln(w, "# HELP bladed_plan_version Version of the live routing plan.")
+	fmt.Fprintln(w, "# TYPE bladed_plan_version gauge")
+	fmt.Fprintf(w, "bladed_plan_version %d\n", plan.Version)
+	fmt.Fprintln(w, "# HELP bladed_plan_lambda Generic rate the live plan was solved for.")
+	fmt.Fprintln(w, "# TYPE bladed_plan_lambda gauge")
+	fmt.Fprintf(w, "bladed_plan_lambda %g\n", plan.Lambda)
+	fmt.Fprintln(w, "# HELP bladed_plan_shed Rate shed by degraded-mode admission control.")
+	fmt.Fprintln(w, "# TYPE bladed_plan_shed gauge")
+	fmt.Fprintf(w, "bladed_plan_shed %g\n", plan.Shed)
+	fmt.Fprintln(w, "# HELP bladed_plan_capacity Admission ceiling of the surviving stations.")
+	fmt.Fprintln(w, "# TYPE bladed_plan_capacity gauge")
+	fmt.Fprintf(w, "bladed_plan_capacity %g\n", plan.Capacity)
+
+	fmt.Fprintln(w, "# HELP bladed_lambda_estimate Observed arrival rate over the sliding window.")
+	fmt.Fprintln(w, "# TYPE bladed_lambda_estimate gauge")
+	fmt.Fprintf(w, "bladed_lambda_estimate %g\n", rate)
+	fmt.Fprintln(w, "# HELP bladed_estimator_warm Whether a full estimation window has elapsed.")
+	fmt.Fprintln(w, "# TYPE bladed_estimator_warm gauge")
+	fmt.Fprintf(w, "bladed_estimator_warm %d\n", boolGauge(warm))
+
+	fmt.Fprintln(w, "# HELP bladed_station_up Station availability (1 up, 0 down).")
+	fmt.Fprintln(w, "# TYPE bladed_station_up gauge")
+	for i := range m.byStation {
+		up := plan.Up == nil || (i < len(plan.Up) && plan.Up[i])
+		fmt.Fprintf(w, "bladed_station_up{station=%q} %d\n", fmt.Sprint(i), boolGauge(up))
+	}
+	fmt.Fprintln(w, "# HELP bladed_plan_utilization Planned utilization per station.")
+	fmt.Fprintln(w, "# TYPE bladed_plan_utilization gauge")
+	for i, u := range plan.Utilizations {
+		fmt.Fprintf(w, "bladed_plan_utilization{station=%q} %g\n", fmt.Sprint(i), u)
+	}
+
+	fmt.Fprintln(w, "# HELP bladed_request_duration_seconds Dispatch handler latency.")
+	fmt.Fprintln(w, "# TYPE bladed_request_duration_seconds summary")
+	fmt.Fprintf(w, "bladed_request_duration_seconds{quantile=\"0.5\"} %g\n", m.q50.Value())
+	fmt.Fprintf(w, "bladed_request_duration_seconds{quantile=\"0.95\"} %g\n", m.q95.Value())
+	fmt.Fprintf(w, "bladed_request_duration_seconds{quantile=\"0.99\"} %g\n", m.q99.Value())
+	fmt.Fprintf(w, "bladed_request_duration_seconds_sum %g\n", m.latency.Mean()*float64(m.latency.Count()))
+	fmt.Fprintf(w, "bladed_request_duration_seconds_count %d\n", m.latency.Count())
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

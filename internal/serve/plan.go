@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/model"
+)
+
+// Plan is an immutable routing plan: one solve of the paper's optimal
+// load distribution frozen together with the probabilistic picker that
+// realizes it. The daemon publishes plans through an atomic pointer;
+// every request works from the snapshot it loaded, so a background
+// swap never tears an in-flight request's view.
+type Plan struct {
+	// Version increments with every accepted re-solve.
+	Version int64 `json:"version"`
+	// Lambda is the total generic arrival rate λ′ the plan was solved
+	// for (the admitted portion when Shed > 0).
+	Lambda float64 `json:"lambda"`
+	// Rates are the optimal per-station rates λ′_i; down stations carry
+	// zero and are never picked.
+	Rates []float64 `json:"rates"`
+	// Phi is the Lagrange multiplier at the optimum — the warm start
+	// for the next re-solve.
+	Phi float64 `json:"phi"`
+	// AvgResponseTime is the minimized T′ under the plan.
+	AvgResponseTime float64 `json:"avg_response_time"`
+	// Utilizations are the per-station ρ_i under the plan.
+	Utilizations []float64 `json:"utilizations"`
+	// Up echoes the availability vector the solve ran against (nil
+	// means all stations up).
+	Up []bool `json:"up,omitempty"`
+	// Survivors is the number of stations carrying load.
+	Survivors int `json:"survivors"`
+	// Capacity is the admission ceiling: the λ′ at which some surviving
+	// station would be pushed to ρ_i ≥ 1 (less the solver's stability
+	// margin). Requests estimated beyond it are shed with 503s.
+	Capacity float64 `json:"capacity"`
+	// Admitted and Shed report degraded-mode admission control: when
+	// the requested λ′ exceeded Capacity the solve distributed Admitted
+	// and the daemon sheds the Shed remainder probabilistically.
+	Admitted float64 `json:"admitted"`
+	Shed     float64 `json:"shed"`
+	// SolvedAt stamps the solve (the daemon's injected clock).
+	SolvedAt time.Time `json:"solved_at"`
+
+	picker *dispatch.Probabilistic
+}
+
+// Pick draws one routing decision from the plan's distribution.
+func (p *Plan) Pick(rng *rand.Rand) int {
+	return p.picker.Pick(nil, rng)
+}
+
+// buildPlan re-solves the paper's optimization over the up-subset and
+// freezes the result. Overload is not an error: OptimizeDegraded's
+// admission control sheds the minimal rate and the plan records it.
+func buildPlan(g *model.Group, lambda float64, up []bool, opts core.Options, version int64, now time.Time) (*Plan, error) {
+	res, err := core.OptimizeDegraded(g, lambda, up, opts)
+	if err != nil {
+		return nil, err
+	}
+	picker, err := dispatch.NewProbabilistic(res.Rates)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building picker: %w", err)
+	}
+	return &Plan{
+		Version:         version,
+		Lambda:          res.Admitted,
+		Rates:           res.Rates,
+		Phi:             res.Phi,
+		AvgResponseTime: res.AvgResponseTime,
+		Utilizations:    res.Utilizations,
+		Up:              res.Up,
+		Survivors:       res.Survivors,
+		Capacity:        admissionCeiling(g, up, opts),
+		Admitted:        res.Admitted,
+		Shed:            res.Shed,
+		SolvedAt:        now,
+		picker:          picker,
+	}, nil
+}
+
+// admissionCeiling is the total generic rate beyond which some
+// surviving station would be pushed to ρ_i ≥ 1, less the stability
+// margin — the same cap core.OptimizeDegraded's admission control
+// applies, honoring Options.MaxUtilization when set.
+func admissionCeiling(g *model.Group, up []bool, opts core.Options) float64 {
+	rhoCap := 1.0
+	if opts.MaxUtilization > 0 && opts.MaxUtilization < 1 {
+		rhoCap = opts.MaxUtilization
+	}
+	total := 0.0
+	for i, s := range g.Servers {
+		if up != nil && i < len(up) && !up[i] {
+			continue
+		}
+		if r := rhoCap*s.Capacity(g.TaskSize) - s.SpecialRate; r > 0 {
+			total += r
+		}
+	}
+	return (1 - core.DefaultAdmissionMargin) * total
+}

@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// quietLogger drops log output so tests stay readable.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newTestServer builds a daemon on the paper's example system at half
+// saturation, with any overrides applied by mutate.
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	g := model.LiExample1Group()
+	cfg := Config{
+		Group:  g,
+		Lambda: 0.5 * g.MaxGenericRate(),
+		Logger: quietLogger(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func TestDispatchEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	n := s.Plan().Survivors
+
+	counts := make([]int, n)
+	for i := 0; i < 2000; i++ {
+		w := postJSON(t, h, "/v1/dispatch", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("dispatch status %d: %s", w.Code, w.Body)
+		}
+		var resp DispatchResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Station < 0 || resp.Station >= n {
+			t.Fatalf("station %d out of range", resp.Station)
+		}
+		if resp.PlanVersion != 1 {
+			t.Fatalf("plan version %d, want 1", resp.PlanVersion)
+		}
+		counts[resp.Station]++
+	}
+	// Frequencies must roughly follow the optimal rates.
+	plan := s.Plan()
+	for i, c := range counts {
+		got := float64(c) / 2000
+		want := plan.Rates[i] / plan.Lambda
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("station %d frequency %.3f, want ≈%.3f", i, got, want)
+		}
+	}
+	// Wrong method on a registered pattern is 405.
+	if w := getPath(t, h, "/v1/dispatch"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET dispatch status %d, want 405", w.Code)
+	}
+}
+
+func TestPlanEndpoints(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+
+	w := getPath(t, h, "/v1/plan")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET plan status %d", w.Code)
+	}
+	var p1 Plan
+	if err := json.Unmarshal(w.Body.Bytes(), &p1); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Version != 1 || p1.Lambda <= 0 || len(p1.Rates) != s.group.N() {
+		t.Fatalf("bad initial plan: %+v", p1)
+	}
+
+	// Synchronous re-solve at a different rate.
+	target := 0.6 * s.group.MaxGenericRate()
+	w = postJSON(t, h, "/v1/plan", map[string]float64{"lambda": target})
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST plan status %d: %s", w.Code, w.Body)
+	}
+	var p2 Plan
+	if err := json.Unmarshal(w.Body.Bytes(), &p2); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Version != 2 || math.Abs(p2.Lambda-target) > 1e-9 || p2.Shed != 0 {
+		t.Fatalf("re-solved plan: version %d λ %.6f shed %g", p2.Version, p2.Lambda, p2.Shed)
+	}
+	if p2.AvgResponseTime <= p1.AvgResponseTime {
+		t.Fatalf("heavier load should raise T′: %.6f → %.6f", p1.AvgResponseTime, p2.AvgResponseTime)
+	}
+
+	// A rate at/beyond the admission ceiling is rejected, not shed.
+	w = postJSON(t, h, "/v1/plan", map[string]float64{"lambda": s.group.MaxGenericRate() * 1.5})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overload plan status %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "admission ceiling") {
+		t.Fatalf("overload body: %s", w.Body)
+	}
+
+	// Malformed body is a client error.
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body status %d, want 400", rec.Code)
+	}
+}
+
+func TestHealthEndpointsTriggerReoptimization(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+
+	w := getPath(t, h, "/v1/health")
+	var hs HealthState
+	if err := json.Unmarshal(w.Body.Bytes(), &hs); err != nil {
+		t.Fatal(err)
+	}
+	for i, up := range hs.Up {
+		if !up {
+			t.Fatalf("station %d down at startup", i)
+		}
+	}
+
+	if w := postJSON(t, h, "/v1/health", map[string]any{"station": 99, "up": false}); w.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range station status %d, want 400", w.Code)
+	}
+
+	// Mark station 0 down: a background re-solve must drain it.
+	if w := postJSON(t, h, "/v1/health", map[string]any{"station": 0, "up": false}); w.Code != http.StatusAccepted {
+		t.Fatalf("health post status %d, want 202", w.Code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Plan().Version < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("re-solve after health change never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	plan := s.Plan()
+	if plan.Rates[0] != 0 || plan.Survivors != s.group.N()-1 {
+		t.Fatalf("down station still loaded: rates %v, survivors %d", plan.Rates, plan.Survivors)
+	}
+	// The drained station must be unpickable — this is the trailing/
+	// zero-weight invariant the dispatch fix guarantees end to end.
+	for i := 0; i < 3000; i++ {
+		w := postJSON(t, h, "/v1/dispatch", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("dispatch status %d", w.Code)
+		}
+		var resp DispatchResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Station == 0 {
+			t.Fatal("dispatched to a down station")
+		}
+	}
+
+	// Recovery restores the healthy allocation.
+	if w := postJSON(t, h, "/v1/health", map[string]any{"station": 0, "up": true}); w.Code != http.StatusAccepted {
+		t.Fatalf("recovery post status %d", w.Code)
+	}
+	for s.Plan().Version < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("re-solve after recovery never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Plan().Rates[0]; got <= 0 {
+		t.Fatalf("recovered station carries no load: %g", got)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	for i := 0; i < 5; i++ {
+		if w := postJSON(t, h, "/v1/dispatch", nil); w.Code != http.StatusOK {
+			t.Fatalf("dispatch status %d", w.Code)
+		}
+	}
+	w := getPath(t, h, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"bladed_dispatch_total 5",
+		"bladed_plan_version 1",
+		"bladed_plan_lambda ",
+		"bladed_lambda_estimate ",
+		"bladed_request_duration_seconds_count 5",
+		`bladed_station_up{station="0"} 1`,
+		"bladed_resolve_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthzAndPprofMounted(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	if w := getPath(t, h, "/healthz"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body)
+	}
+	if w := getPath(t, h, "/debug/pprof/"); w.Code != http.StatusOK {
+		t.Fatalf("pprof index status %d", w.Code)
+	}
+}
+
+func TestAdmissionControlShedsOverload(t *testing.T) {
+	clk := newFakeClock()
+	// A deliberately tiny system: one blade at speed 1, capacity 1.
+	g := &model.Group{Servers: []model.Server{{Size: 1, Speed: 1, SpecialRate: 0.2}}, TaskSize: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, func(c *Config) {
+		c.Group = g
+		c.Lambda = 0.3
+		c.Window = time.Second
+		c.Buckets = 10
+		c.MinResolveInterval = 0
+		c.Now = clk.Now
+	})
+	h := s.Handler()
+
+	// Drive ~100 requests/s into a station whose ceiling is 0.8/s.
+	ok, rejected := 0, 0
+	for i := 0; i < 300; i++ {
+		w := postJSON(t, h, "/v1/dispatch", nil)
+		switch w.Code {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			rejected++
+			if ra := w.Header().Get("Retry-After"); ra == "" {
+				t.Fatal("503 without Retry-After")
+			}
+		default:
+			t.Fatalf("status %d", w.Code)
+		}
+		clk.Advance(10 * time.Millisecond)
+	}
+	if rejected == 0 {
+		t.Fatal("no request was shed at 100× overload")
+	}
+	// With admit ≈ capacity/rate ≈ 0.8 %, the vast majority must be shed.
+	if float64(rejected)/float64(ok+rejected) < 0.5 {
+		t.Fatalf("shed fraction too low: %d ok, %d rejected", ok, rejected)
+	}
+	w := getPath(t, h, "/metrics")
+	if !strings.Contains(w.Body.String(), `bladed_rejected_total{reason="admission"}`) {
+		t.Fatalf("metrics missing admission rejections:\n%s", w.Body)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil group should fail")
+	}
+	g := model.LiExample1Group()
+	if _, err := New(Config{Group: g, Lambda: -1, Logger: quietLogger()}); err == nil {
+		t.Error("negative lambda should fail")
+	}
+	if _, err := New(Config{Group: g, Lambda: 1, Names: []string{"only-one"}, Logger: quietLogger()}); err == nil {
+		t.Error("mismatched names should fail")
+	}
+	// Startup overload is allowed: the solve sheds and the plan says so.
+	s, err := New(Config{Group: g, Lambda: 10 * g.MaxGenericRate(), Logger: quietLogger()})
+	if err != nil {
+		t.Fatalf("overloaded startup should shed, not fail: %v", err)
+	}
+	defer s.Close()
+	if s.Plan().Shed <= 0 {
+		t.Error("overloaded startup plan should record shed load")
+	}
+}
+
+func TestDispatchConcurrencyLimit(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxInFlight = 1 })
+	// Saturate the single slot with a request parked in the handler by
+	// filling the semaphore directly (the handler path is too fast to
+	// race against reliably).
+	s.inflight <- struct{}{}
+	w := postJSON(t, s.Handler(), "/v1/dispatch", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 when in-flight bound is full", w.Code)
+	}
+	<-s.inflight
+	if w := postJSON(t, s.Handler(), "/v1/dispatch", nil); w.Code != http.StatusOK {
+		t.Fatalf("status %d after slot freed", w.Code)
+	}
+}
+
+func ExampleServer() {
+	g := model.LiExample1Group()
+	s, _ := New(Config{
+		Group:  g,
+		Lambda: 0.5 * g.MaxGenericRate(),
+		Opts:   core.Options{},
+		Logger: quietLogger(),
+	})
+	defer s.Close()
+	fmt.Printf("plan v%d over %d stations\n", s.Plan().Version, len(s.Plan().Rates))
+	// Output: plan v1 over 7 stations
+}

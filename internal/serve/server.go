@@ -1,0 +1,490 @@
+// Package serve is the online serving layer of the system: a
+// long-running daemon ("bladed") that solves the paper's optimal load
+// distribution once at startup and then serves routing decisions from
+// the resulting probabilistic plan over HTTP.
+//
+// The serving loop closes the control cycle the batch CLIs cannot: a
+// windowed estimator tracks the observed generic arrival rate λ′, and
+// when it drifts beyond a configurable threshold — or an operator
+// marks a station down — a background goroutine re-solves the
+// optimization with a warm-started Lagrange bracket
+// (core.Options.WarmPhi, via core.OptimizeDegraded for
+// surviving-subset solves) and atomically swaps the live plan.
+// In-flight requests keep the plan snapshot they loaded, so a swap
+// never drops or re-routes work already being decided.
+//
+// Production plumbing: admission control sheds with 503 when the
+// observed rate would push a surviving station to ρ_i ≥ 1, in-flight
+// concurrency is bounded, every API request carries a deadline,
+// operational counters export in Prometheus text format (backed by
+// internal/metrics, no external deps), and /debug/pprof is mounted.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Config describes a daemon instance.
+type Config struct {
+	// Group is the blade-server cluster to serve. Required.
+	Group *model.Group
+	// Lambda is the planned total generic rate λ′ the startup solve
+	// uses. Required (positive).
+	Lambda float64
+	// Opts configures the optimizer (discipline, ε, utilization cap…).
+	Opts core.Options
+	// Names optionally labels stations (from the cluster spec); used in
+	// dispatch responses for operator-facing clarity.
+	Names []string
+	// DriftThreshold is the relative deviation |λ̂−λ_plan|/λ_plan that
+	// triggers a background re-solve once the estimator is warm.
+	// Default 0.2.
+	DriftThreshold float64
+	// Window is the arrival-rate estimation window. Default 30s.
+	Window time.Duration
+	// Buckets subdivides the window. Default 10.
+	Buckets int
+	// MinResolveInterval rate-limits drift-triggered re-solves (health
+	// events bypass it). Default 1s.
+	MinResolveInterval time.Duration
+	// MaxInFlight bounds concurrently served API requests; excess gets
+	// 503. Default 256.
+	MaxInFlight int
+	// RequestTimeout bounds each API request. Default 5s.
+	RequestTimeout time.Duration
+	// Now injects a clock for deterministic tests. Default time.Now.
+	Now func() time.Time
+	// Logger receives structured operational logs. Default slog.Default().
+	Logger *slog.Logger
+	// Seed seeds the dispatch RNG (0 means 1, for determinism).
+	Seed int64
+}
+
+func (c *Config) withDefaults() {
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.2
+	}
+	if c.Window <= 0 {
+		c.Window = 30 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.MinResolveInterval <= 0 {
+		c.MinResolveInterval = time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Server is the daemon state. Create with New, mount Handler on an
+// http.Server, and Close when draining is complete.
+type Server struct {
+	cfg   Config
+	group *model.Group
+	log   *slog.Logger
+	now   func() time.Time
+	est   *RateEstimator
+	m     *serverMetrics
+
+	plan atomic.Pointer[Plan]
+
+	mu          sync.Mutex // guards up, lastResolve
+	up          []bool
+	lastResolve time.Time
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	solveMu   sync.Mutex // serializes background and synchronous solves
+	resolveCh chan resolveReq
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	inflight chan struct{}
+}
+
+type resolveReq struct {
+	lambda float64 // ≤ 0 means "current estimate, else current plan λ"
+	reason string
+}
+
+// New validates the configuration, runs the startup solve, and starts
+// the background re-optimization goroutine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Group == nil {
+		return nil, fmt.Errorf("serve: nil group")
+	}
+	if err := cfg.Group.Validate(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(cfg.Lambda) || cfg.Lambda <= 0 {
+		return nil, fmt.Errorf("serve: planned rate λ′=%g must be positive", cfg.Lambda)
+	}
+	if cfg.Names != nil && len(cfg.Names) != cfg.Group.N() {
+		return nil, fmt.Errorf("serve: %d names for %d stations", len(cfg.Names), cfg.Group.N())
+	}
+	cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		group:     cfg.Group.Clone(),
+		log:       cfg.Logger,
+		now:       cfg.Now,
+		est:       NewRateEstimator(cfg.Window, cfg.Buckets, cfg.Now),
+		m:         newServerMetrics(cfg.Group.N()),
+		up:        make([]bool, cfg.Group.N()),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		resolveCh: make(chan resolveReq, 1),
+		done:      make(chan struct{}),
+		inflight:  make(chan struct{}, cfg.MaxInFlight),
+	}
+	for i := range s.up {
+		s.up[i] = true
+	}
+	plan, err := buildPlan(s.group, cfg.Lambda, nil, cfg.Opts, 1, s.now())
+	if err != nil {
+		return nil, fmt.Errorf("serve: startup solve: %w", err)
+	}
+	s.plan.Store(plan)
+	if plan.Shed > 0 {
+		s.log.Warn("startup plan is overloaded; shedding",
+			"lambda", cfg.Lambda, "admitted", plan.Admitted, "shed", plan.Shed)
+	}
+	s.log.Info("startup plan solved",
+		"lambda", plan.Lambda, "avg_response_time", plan.AvgResponseTime,
+		"capacity", plan.Capacity, "stations", s.group.N())
+	s.wg.Add(1)
+	go s.resolver()
+	return s, nil
+}
+
+// Close stops the background resolver. Safe to call more than once;
+// call after the HTTP server has drained.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// Plan returns the live plan snapshot.
+func (s *Server) Plan() *Plan { return s.plan.Load() }
+
+// Estimate returns the current observed arrival rate and whether the
+// estimator has seen a full window.
+func (s *Server) Estimate() (rate float64, warm bool) {
+	return s.est.Rate(), s.est.Warm()
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/dispatch   → routing decision from the live plan
+//	GET  /v1/plan       → live plan
+//	POST /v1/plan       → synchronous re-solve (optional {"lambda": x})
+//	GET  /v1/health     → availability vector + rate estimate
+//	POST /v1/health     → mark a station up/down, queue a re-solve
+//	GET  /metrics       → Prometheus text exposition
+//	GET  /healthz       → liveness probe
+//	     /debug/pprof/* → runtime profiles
+//
+// The /v1 API is bounded by MaxInFlight and RequestTimeout.
+func (s *Server) Handler() http.Handler {
+	api := http.NewServeMux()
+	api.HandleFunc("POST /v1/dispatch", s.handleDispatch)
+	api.HandleFunc("GET /v1/plan", s.handleGetPlan)
+	api.HandleFunc("POST /v1/plan", s.handlePostPlan)
+	api.HandleFunc("GET /v1/health", s.handleGetHealth)
+	api.HandleFunc("POST /v1/health", s.handlePostHealth)
+	bounded := s.limitInFlight(http.TimeoutHandler(api, s.cfg.RequestTimeout,
+		`{"error":"request timed out"}`))
+
+	root := http.NewServeMux()
+	root.Handle("/v1/", bounded)
+	root.HandleFunc("GET /metrics", s.handleMetrics)
+	root.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	root.HandleFunc("/debug/pprof/", pprof.Index)
+	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return root
+}
+
+// limitInFlight bounds concurrency with a semaphore; a full daemon
+// answers 503 immediately instead of queueing unboundedly.
+func (s *Server) limitInFlight(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			h.ServeHTTP(w, r)
+		default:
+			s.m.reject("concurrency")
+			writeError(w, http.StatusServiceUnavailable, "too many in-flight requests")
+		}
+	})
+}
+
+// DispatchResponse is the body of a successful dispatch decision.
+type DispatchResponse struct {
+	// Station is the 0-based station index the task should run on.
+	Station int `json:"station"`
+	// Name labels the station when the spec provided names.
+	Name string `json:"name,omitempty"`
+	// PlanVersion identifies the plan that made the decision.
+	PlanVersion int64 `json:"plan_version"`
+}
+
+func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
+	start := s.now()
+	s.est.Observe(1)
+	plan := s.plan.Load()
+	rate := s.est.Rate()
+
+	// Admission control: the fraction of the stream the surviving
+	// stations can absorb without some ρ_i reaching 1. Overload is shed
+	// probabilistically so the admitted sub-stream stays a thinned
+	// Poisson process matching the plan's assumptions.
+	admit := 1.0
+	reason := ""
+	if s.est.Warm() && rate > 0 && rate >= plan.Capacity {
+		admit, reason = plan.Capacity/rate, "admission"
+		s.maybeResolve(rate, "overload", false)
+	} else if plan.Shed > 0 && plan.Admitted+plan.Shed > 0 {
+		admit, reason = plan.Admitted/(plan.Admitted+plan.Shed), "shed"
+	}
+	if admit < 1 && s.randFloat() >= admit {
+		s.m.reject(reason)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"overloaded: observed rate %.4g versus capacity %.4g", rate, plan.Capacity)
+		return
+	}
+
+	if s.est.Warm() && rate > 0 && plan.Lambda > 0 {
+		if drift := math.Abs(rate-plan.Lambda) / plan.Lambda; drift > s.cfg.DriftThreshold {
+			s.maybeResolve(rate, "drift", false)
+		}
+	}
+
+	s.rngMu.Lock()
+	station := plan.Pick(s.rng)
+	s.rngMu.Unlock()
+	resp := DispatchResponse{Station: station, PlanVersion: plan.Version}
+	if s.cfg.Names != nil {
+		resp.Name = s.cfg.Names[station]
+	}
+	s.m.observeDispatch(station, s.now().Sub(start).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetPlan(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.plan.Load())
+}
+
+func (s *Server) handlePostPlan(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Lambda float64 `json:"lambda"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if math.IsNaN(req.Lambda) || math.IsInf(req.Lambda, 0) || req.Lambda < 0 {
+		writeError(w, http.StatusBadRequest, "lambda %g must be a finite non-negative rate", req.Lambda)
+		return
+	}
+	if req.Lambda > 0 {
+		// An explicitly requested rate at or beyond the ceiling would
+		// push a surviving station to ρ_i ≥ 1: reject instead of
+		// silently shedding what the operator asked for.
+		s.mu.Lock()
+		up := append([]bool(nil), s.up...)
+		s.mu.Unlock()
+		if ceiling := admissionCeiling(s.group, up, s.cfg.Opts); req.Lambda >= ceiling {
+			s.m.reject("admission")
+			writeError(w, http.StatusServiceUnavailable,
+				"requested rate %.6g at or beyond admission ceiling %.6g", req.Lambda, ceiling)
+			return
+		}
+	}
+	plan, err := s.doResolve(resolveReq{lambda: req.Lambda, reason: "api"})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "re-solve failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+// HealthState is the body of GET /v1/health.
+type HealthState struct {
+	Up       []bool  `json:"up"`
+	Estimate float64 `json:"estimate"`
+	Warm     bool    `json:"warm"`
+}
+
+func (s *Server) handleGetHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	up := append([]bool(nil), s.up...)
+	s.mu.Unlock()
+	rate, warm := s.Estimate()
+	writeJSON(w, http.StatusOK, HealthState{Up: up, Estimate: rate, Warm: warm})
+}
+
+func (s *Server) handlePostHealth(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Station int  `json:"station"`
+		Up      bool `json:"up"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Station < 0 || req.Station >= s.group.N() {
+		writeError(w, http.StatusBadRequest, "station %d out of range [0, %d)", req.Station, s.group.N())
+		return
+	}
+	s.mu.Lock()
+	changed := s.up[req.Station] != req.Up
+	s.up[req.Station] = req.Up
+	up := append([]bool(nil), s.up...)
+	s.mu.Unlock()
+	if changed {
+		s.log.Info("station health changed", "station", req.Station, "up", req.Up)
+		s.maybeResolve(0, "health", true)
+	}
+	writeJSON(w, http.StatusAccepted, HealthState{Up: up})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.writeTo(w, s.plan.Load(), s.est.Rate(), s.est.Warm())
+}
+
+// maybeResolve queues a background re-solve. Drift- and
+// overload-triggered requests are rate-limited by MinResolveInterval;
+// health events force through (a failed station must stop receiving
+// load as fast as the solver allows).
+func (s *Server) maybeResolve(lambda float64, reason string, force bool) {
+	if !force {
+		s.mu.Lock()
+		recent := !s.lastResolve.IsZero() && s.now().Sub(s.lastResolve) < s.cfg.MinResolveInterval
+		s.mu.Unlock()
+		if recent {
+			return
+		}
+	}
+	select {
+	case s.resolveCh <- resolveReq{lambda: lambda, reason: reason}:
+	default: // one already pending; it will observe fresh state
+	}
+}
+
+// resolver is the background goroutine that serializes re-solves.
+func (s *Server) resolver() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case req := <-s.resolveCh:
+			if _, err := s.doResolve(req); err != nil {
+				s.log.Error("re-solve failed; keeping previous plan",
+					"reason", req.reason, "err", err)
+			}
+		}
+	}
+}
+
+// doResolve re-solves the optimization against the current
+// availability vector, warm-starting from the live plan's multiplier,
+// and atomically publishes the result. On error the previous plan
+// stays live (with every station down the stream has nowhere better to
+// go; the error is logged and counted).
+func (s *Server) doResolve(req resolveReq) (*Plan, error) {
+	s.solveMu.Lock()
+	defer s.solveMu.Unlock()
+	cur := s.plan.Load()
+	s.mu.Lock()
+	up := append([]bool(nil), s.up...)
+	s.lastResolve = s.now()
+	s.mu.Unlock()
+
+	lambda := req.lambda
+	if lambda <= 0 {
+		if rate, warm := s.Estimate(); warm && rate > 0 {
+			lambda = rate
+		} else {
+			lambda = cur.Lambda
+		}
+	}
+	opts := s.cfg.Opts
+	opts.WarmPhi = cur.Phi
+	plan, err := buildPlan(s.group, lambda, up, opts, cur.Version+1, s.now())
+	s.m.resolved(err)
+	if err != nil {
+		return nil, err
+	}
+	s.plan.Store(plan)
+	s.log.Info("plan swapped",
+		"reason", req.reason, "version", plan.Version, "lambda", plan.Lambda,
+		"survivors", plan.Survivors, "shed", plan.Shed,
+		"avg_response_time", plan.AvgResponseTime)
+	return plan, nil
+}
+
+func (s *Server) randFloat() float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Float64()
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil // empty body means "all defaults"
+	}
+	return json.Unmarshal(body, v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -19,8 +19,16 @@ type RepResult struct {
 	// Utilizations are per-station utilizations averaged across
 	// replications.
 	Utilizations []float64
-	// Replications is the number of runs aggregated.
+	// Replications is the number of runs executed.
 	Replications int
+	// GenericRuns and SpecialRuns count the replications that actually
+	// contributed at least one completed task of that class to the
+	// corresponding interval. They can be smaller than Replications —
+	// a special-only scenario contributes no generic completions, a
+	// deeply failed run can lose every task — and then the intervals'
+	// effective sample size is these counts, not Replications.
+	// Consumers judging statistical quality must use them.
+	GenericRuns, SpecialRuns int
 	// Runs holds the individual run results, in replication order.
 	Runs []*RunResult
 }
@@ -100,6 +108,8 @@ func RunReplications(cfg Config, reps int, confidence float64) (*RepResult, erro
 		SpecialT:     speIv,
 		Utilizations: utils,
 		Replications: reps,
+		GenericRuns:  int(genMeans.Count()),
+		SpecialRuns:  int(speMeans.Count()),
 		Runs:         runs,
 	}, nil
 }

@@ -293,6 +293,53 @@ func TestRunReplications(t *testing.T) {
 	if math.Abs(rep.Utilizations[0]-rho) > 0.02 {
 		t.Fatalf("mean utilization %.4f, want %.2f", rep.Utilizations[0], rho)
 	}
+	// Every replication here runs long enough to complete tasks of both
+	// classes, so the contributed counts must equal the run count.
+	if rep.GenericRuns != 8 || rep.SpecialRuns != 8 {
+		t.Fatalf("contributed runs = %d/%d, want 8/8", rep.GenericRuns, rep.SpecialRuns)
+	}
+}
+
+// TestRunReplicationsContributedCounts pins the audit fix: a scenario
+// where a class produces no completions must report zero contributing
+// replications for it instead of claiming all of them — previously
+// Replications said reps while the aggregate Welford had seen fewer
+// (or no) samples, overstating the intervals' sample size.
+func TestRunReplicationsContributedCounts(t *testing.T) {
+	// Special-only: the generic stream is disabled, so no replication
+	// can contribute a generic completion.
+	cfg := Config{
+		Group: singleStation(2, 1, 0.4), Discipline: queueing.FCFS,
+		GenericRate: 0, Horizon: 2000, Warmup: 100, Seed: 9,
+	}
+	rep, err := RunReplications(cfg, 4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replications != 4 {
+		t.Fatalf("replications = %d, want 4", rep.Replications)
+	}
+	if rep.GenericRuns != 0 {
+		t.Fatalf("GenericRuns = %d, want 0 (no generic stream)", rep.GenericRuns)
+	}
+	if rep.SpecialRuns != 4 {
+		t.Fatalf("SpecialRuns = %d, want 4", rep.SpecialRuns)
+	}
+	if n := rep.GenericT.N; n != 0 {
+		t.Fatalf("generic interval claims n=%d samples", n)
+	}
+	// Symmetric case: no special preload, generic stream on.
+	cfg2 := Config{
+		Group: singleStation(2, 1, 0), Discipline: queueing.FCFS,
+		GenericRate: 0.8, Dispatcher: toOnly{}, Horizon: 2000, Warmup: 100, Seed: 10,
+	}
+	rep2, err := RunReplications(cfg2, 3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.GenericRuns != 3 || rep2.SpecialRuns != 0 {
+		t.Fatalf("contributed runs = %d/%d, want 3/0", rep2.GenericRuns, rep2.SpecialRuns)
+	}
 }
 
 func TestRunReplicationsValidation(t *testing.T) {
