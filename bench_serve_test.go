@@ -1,0 +1,59 @@
+package repro
+
+// Contention benchmarks for the serving hot path (DESIGN.md §11): the
+// lock-free sharded dispatch path versus the fully mutex-serialized
+// baseline, under parallel load. cmd/bladebench captures both in the
+// BENCH_<date>.json snapshot so the scaling win stays pinned.
+
+import (
+	"io"
+	"log/slog"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// benchDispatchParallel drives serve.Server.Decide from GOMAXPROCS
+// goroutines. GOMAXPROCS is forced to 8 for the measurement so the
+// sharded-versus-serialized comparison exercises real cross-core (or
+// oversubscribed) contention regardless of the host's core count; the
+// server is constructed after the bump so its shard counts size to it.
+// The estimation window is far longer than any run, keeping the
+// estimator cold: no admission shedding, every iteration takes the
+// full observe → rate-merge → pick → record path.
+func benchDispatchParallel(b *testing.B, serialized bool) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	g := model.LiExample1Group()
+	s, err := serve.New(serve.Config{
+		Group:             g,
+		Lambda:            0.5 * g.MaxGenericRate(),
+		Window:            time.Hour,
+		Logger:            slog.New(slog.NewTextHandler(io.Discard, nil)),
+		SerializedHotPath: serialized,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			d := s.Decide()
+			if d.Rejected || d.Station < 0 {
+				b.Errorf("unexpected decision %+v", d)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkDispatchParallel(b *testing.B)      { benchDispatchParallel(b, false) }
+func BenchmarkDispatchParallelMutex(b *testing.B) { benchDispatchParallel(b, true) }

@@ -60,6 +60,11 @@ func run(args []string, ready chan<- string) error {
 	reqTimeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	drainTimeout := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	seed := fs.Int64("seed", 0, "dispatch RNG seed (0 means 1)")
+	deterministic := fs.Bool("deterministic-rng", false,
+		"serialize dispatch draws through one seeded RNG so -seed reproduces the routing sequence")
+	serialized := fs.Bool("serialized", false,
+		"run the fully mutex-serialized request path (contention baseline; not for production)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +102,9 @@ func run(args []string, ready chan<- string) error {
 		MaxInFlight:        *maxInFlight,
 		RequestTimeout:     *reqTimeout,
 		Logger:             logger,
+		Seed:               *seed,
+		DeterministicRNG:   *deterministic,
+		SerializedHotPath:  *serialized,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,249 @@
+// Command bladeload is a closed-loop HTTP load generator for the
+// bladed serving daemon: a fixed pool of workers each keeps exactly one
+// POST /v1/dispatch in flight, optionally paced to a target request
+// rate, and the run ends with achieved throughput, outcome counts, the
+// station routing distribution, and client-side latency quantiles.
+//
+// Closed-loop means offered load adapts to the server: a slow server is
+// probed at whatever rate the workers can sustain rather than being
+// buried under an open-loop backlog. With -qps the workers pace
+// themselves to a global schedule, turning the pool into a rate-capped
+// closed loop (the offered rate never exceeds -qps, and also never
+// exceeds what concurrency × latency allows).
+//
+// Usage:
+//
+//	bladeload -addr http://localhost:8080 -c 64 -d 30s
+//	bladeload -addr http://localhost:8080 -qps 500 -d 10s -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bladeload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the end-of-run summary, printable as text or JSON.
+type report struct {
+	Duration    float64        `json:"duration_seconds"`
+	Requests    int64          `json:"requests"`
+	Dispatched  int64          `json:"dispatched"`
+	Rejected    int64          `json:"rejected"`
+	Errors      int64          `json:"errors"`
+	AchievedQPS float64        `json:"achieved_qps"`
+	LatencyMean float64        `json:"latency_mean_seconds"`
+	LatencyP50  float64        `json:"latency_p50_seconds"`
+	LatencyP95  float64        `json:"latency_p95_seconds"`
+	LatencyP99  float64        `json:"latency_p99_seconds"`
+	ByStation   map[string]int `json:"by_station,omitempty"`
+}
+
+// worker accumulates one goroutine's measurements locally — no shared
+// state on the request path — and is merged into the report at the end
+// (the same shard-then-merge shape the daemon's own metrics use).
+type worker struct {
+	dispatched, rejected, errors int64
+	latency                      metrics.Welford
+	q50, q95, q99                *metrics.P2Quantile
+	byStation                    map[int]int
+}
+
+// dispatchResponse is the subset of bladed's dispatch body we decode.
+type dispatchResponse struct {
+	Station int `json:"station"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bladeload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the bladed daemon")
+	concurrency := fs.Int("c", 32, "worker pool size (in-flight requests)")
+	duration := fs.Duration("d", 10*time.Second, "run length")
+	qps := fs.Float64("qps", 0, "target request rate; 0 runs the closed loop unthrottled")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-c %d must be at least 1", *concurrency)
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("-d %s must be positive", *duration)
+	}
+	target := strings.TrimRight(*addr, "/") + "/v1/dispatch"
+
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency,
+			MaxIdleConnsPerHost: *concurrency,
+		},
+	}
+
+	workers := make([]*worker, *concurrency)
+	for i := range workers {
+		w := &worker{byStation: make(map[int]int)}
+		w.q50, _ = metrics.NewP2Quantile(0.5)
+		w.q95, _ = metrics.NewP2Quantile(0.95)
+		w.q99, _ = metrics.NewP2Quantile(0.99)
+		workers[i] = w
+	}
+
+	// issued is the global pacing counter: when -qps is set, request n
+	// (claimed with one atomic add) is released at start + n/qps, which
+	// paces the pool as a whole without a central ticker goroutine.
+	var issued atomic.Int64
+	start := time.Now()
+	deadline := start.Add(*duration)
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for {
+				now := time.Now()
+				if !now.Before(deadline) {
+					return
+				}
+				if *qps > 0 {
+					n := issued.Add(1) - 1
+					at := start.Add(time.Duration(float64(n) / *qps * float64(time.Second)))
+					if at.After(deadline) {
+						return
+					}
+					if d := time.Until(at); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				w.do(client, target)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(workers, elapsed)
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	printReport(out, rep)
+	return nil
+}
+
+// do issues one dispatch request and records its outcome and latency.
+func (w *worker) do(client *http.Client, target string) {
+	t0 := time.Now()
+	resp, err := client.Post(target, "application/json", nil)
+	if err != nil {
+		w.errors++
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	sec := time.Since(t0).Seconds()
+	switch {
+	case err != nil:
+		w.errors++
+		return
+	case resp.StatusCode == http.StatusOK:
+		w.dispatched++
+		var dr dispatchResponse
+		if json.Unmarshal(body, &dr) == nil {
+			w.byStation[dr.Station]++
+		}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		w.rejected++
+	default:
+		w.errors++
+		return
+	}
+	// Latency counts for completed exchanges (dispatched or shed);
+	// transport errors are excluded so a flapping server does not
+	// pollute the quantiles with client timeouts.
+	w.latency.Add(sec)
+	w.q50.Add(sec)
+	w.q95.Add(sec)
+	w.q99.Add(sec)
+}
+
+// summarize merges the per-worker accumulators: Welford moments merge
+// exactly, quantiles through the P² mixture merge (see
+// metrics.MergeP2Quantiles for the error bound).
+func summarize(workers []*worker, elapsed time.Duration) report {
+	rep := report{Duration: elapsed.Seconds(), ByStation: make(map[string]int)}
+	var lat metrics.Welford
+	var q50s, q95s, q99s []*metrics.P2Quantile
+	stations := make(map[int]int)
+	for _, w := range workers {
+		rep.Dispatched += w.dispatched
+		rep.Rejected += w.rejected
+		rep.Errors += w.errors
+		lat.Merge(&w.latency)
+		q50s = append(q50s, w.q50)
+		q95s = append(q95s, w.q95)
+		q99s = append(q99s, w.q99)
+		for s, c := range w.byStation {
+			stations[s] += c
+		}
+	}
+	rep.Requests = rep.Dispatched + rep.Rejected + rep.Errors
+	if rep.Duration > 0 {
+		rep.AchievedQPS = float64(rep.Requests) / rep.Duration
+	}
+	rep.LatencyMean = lat.Mean()
+	rep.LatencyP50 = metrics.MergeP2Quantiles(q50s...)
+	rep.LatencyP95 = metrics.MergeP2Quantiles(q95s...)
+	rep.LatencyP99 = metrics.MergeP2Quantiles(q99s...)
+	for s, c := range stations {
+		rep.ByStation[fmt.Sprint(s)] = c
+	}
+	return rep
+}
+
+func printReport(out io.Writer, rep report) {
+	fmt.Fprintf(out, "duration      %.2fs\n", rep.Duration)
+	fmt.Fprintf(out, "requests      %d (%.1f req/s achieved)\n", rep.Requests, rep.AchievedQPS)
+	fmt.Fprintf(out, "dispatched    %d\n", rep.Dispatched)
+	fmt.Fprintf(out, "rejected      %d\n", rep.Rejected)
+	fmt.Fprintf(out, "errors        %d\n", rep.Errors)
+	fmt.Fprintf(out, "latency mean  %s\n", fmtSeconds(rep.LatencyMean))
+	fmt.Fprintf(out, "latency p50   %s\n", fmtSeconds(rep.LatencyP50))
+	fmt.Fprintf(out, "latency p95   %s\n", fmtSeconds(rep.LatencyP95))
+	fmt.Fprintf(out, "latency p99   %s\n", fmtSeconds(rep.LatencyP99))
+	if len(rep.ByStation) > 0 {
+		keys := make([]string, 0, len(rep.ByStation))
+		for k := range rep.ByStation {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(out, "stations     ")
+		for _, k := range keys {
+			fmt.Fprintf(out, " %s:%d", k, rep.ByStation[k])
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// fmtSeconds renders a latency in the natural unit for its magnitude.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

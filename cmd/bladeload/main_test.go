@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/serve"
+)
+
+// startDaemon serves a real dispatch plan over HTTP for the generator
+// to hit.
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := model.LiExample1Group()
+	srv, err := serve.New(serve.Config{
+		Group:  g,
+		Lambda: 0.5 * g.MaxGenericRate(),
+		Opts:   core.Options{Discipline: queueing.FCFS},
+		Window: time.Hour, // stay cold: no shedding during the run
+		Logger: slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+func TestLoadGeneratorClosedLoop(t *testing.T) {
+	hs := startDaemon(t)
+	var buf bytes.Buffer
+	err := run([]string{"-addr", hs.URL, "-c", "4", "-d", "300ms", "-json"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, buf.String())
+	}
+	if rep.Requests == 0 || rep.Dispatched == 0 {
+		t.Fatalf("no load generated: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors against healthy daemon: %+v", rep.Errors, rep)
+	}
+	if rep.Requests != rep.Dispatched+rep.Rejected+rep.Errors {
+		t.Fatalf("outcome counts do not sum: %+v", rep)
+	}
+	if rep.AchievedQPS <= 0 || rep.LatencyP50 <= 0 {
+		t.Fatalf("missing throughput/latency stats: %+v", rep)
+	}
+	var total int
+	for _, c := range rep.ByStation {
+		total += c
+	}
+	if int64(total) != rep.Dispatched {
+		t.Fatalf("station counts sum to %d, want %d", total, rep.Dispatched)
+	}
+}
+
+func TestLoadGeneratorPacedRate(t *testing.T) {
+	hs := startDaemon(t)
+	var buf bytes.Buffer
+	// 100 QPS for 500ms ≈ 50 requests; allow generous slack for a slow
+	// CI host (closed-loop pacing can only undershoot, never overshoot).
+	err := run([]string{"-addr", hs.URL, "-c", "8", "-d", "500ms", "-qps", "100", "-json"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, buf.String())
+	}
+	if rep.Requests == 0 {
+		t.Fatalf("no load generated: %+v", rep)
+	}
+	if rep.Requests > 60 {
+		t.Fatalf("pacing failed: %d requests for a 50-request schedule", rep.Requests)
+	}
+}
+
+func TestLoadGeneratorFlagValidation(t *testing.T) {
+	if err := run([]string{"-c", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error for -c 0")
+	}
+	if err := run([]string{"-d", "0s"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error for -d 0")
+	}
+}

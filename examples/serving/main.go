@@ -5,6 +5,11 @@
 // down — re-solves in the background with a warm-started bracket and
 // atomically swaps the live plan. This example drives the HTTP API
 // against a deterministic clock so the drift trigger is reproducible.
+//
+// To load-test a real daemon from outside instead, run
+// `go run ./cmd/bladed -example -addr :8080` and point the closed-loop
+// generator at it: `go run ./cmd/bladeload -addr http://localhost:8080
+// -c 64 -d 30s` (add -qps to pace, -json for machine-readable output).
 package main
 
 import (

@@ -66,13 +66,45 @@ func (p *Probabilistic) Pick(views []sim.StationView, rng *rand.Rand) int {
 	return pickCumulative(p.cum, rng.Float64())
 }
 
-// pickCumulative binary-searches the cumulative weights for the first
-// station whose cumulative weight strictly exceeds u ∈ [0, 1) — the
-// O(log n) replacement for the linear scan. The strict comparison (vs
+// PickU routes from a caller-supplied uniform variate u ∈ [0, 1). The
+// caller owning the randomness is what makes concurrent dispatch
+// lock-free: no generator state is shared through the picker.
+func (p *Probabilistic) PickU(u float64) int {
+	return pickCumulative(p.cum, u)
+}
+
+// PickSource routes from a caller-supplied rand.Source (one per
+// goroutine or shard), deriving the uniform variate exactly as
+// rand.Rand.Float64 does so the distribution matches Pick's.
+func (p *Probabilistic) PickSource(src rand.Source) int {
+	for {
+		// rand.Rand.Float64's derivation: 63 bits over 2^63, redrawing
+		// the one rounding case that lands on 1.0.
+		if f := float64(src.Int63()) / (1 << 63); f < 1 {
+			return pickCumulative(p.cum, f)
+		}
+	}
+}
+
+// pickCumulative finds the first station whose cumulative weight
+// strictly exceeds u ∈ [0, 1). The strict comparison (vs
 // sort.SearchFloat64s's ≥) is what guarantees a zero-weight station i
 // (cum[i] == cum[i−1], e.g. drained or failed) can never be returned:
 // that would require cum[i−1] ≤ u < cum[i], an empty interval.
+//
+// Up to 16 stations a branch-predictable linear scan beats
+// sort.Search's closure-call-per-probe; beyond that the O(log n)
+// binary search wins. Paper-scale groups (Li's examples have ≤ 7
+// stations) always take the scan.
 func pickCumulative(cum []float64, u float64) int {
+	if len(cum) <= 16 {
+		for i, c := range cum {
+			if c > u {
+				return i
+			}
+		}
+		return len(cum)
+	}
 	return sort.Search(len(cum), func(i int) bool { return cum[i] > u })
 }
 

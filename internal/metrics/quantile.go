@@ -117,3 +117,162 @@ func (q *P2Quantile) Value() float64 {
 
 // Quantile returns the target probability p.
 func (q *P2Quantile) Quantile() float64 { return q.p }
+
+// Clone returns an independent copy of the estimator, so a snapshot
+// can be merged or inspected while the original keeps accumulating.
+func (q *P2Quantile) Clone() *P2Quantile {
+	c := *q
+	c.initial = append([]float64(nil), q.initial...)
+	return &c
+}
+
+// cdfKnots returns the estimator's state as a piecewise-linear CDF:
+// parallel slices of nondecreasing heights and cumulative
+// probabilities. With five or more observations the knots are the P²
+// markers, whose positions estimate the order statistics at cumulative
+// probabilities {0, p/2, p, (1+p)/2, 1}; with fewer they are the exact
+// sorted sample.
+func (q *P2Quantile) cdfKnots() (xs, ps []float64) {
+	if q.n == 0 {
+		return nil, nil
+	}
+	if len(q.initial) < 5 {
+		xs = append([]float64(nil), q.initial...)
+		sort.Float64s(xs)
+		ps = make([]float64, len(xs))
+		for i := range xs {
+			if len(xs) == 1 {
+				ps[i] = 1
+			} else {
+				ps[i] = float64(i) / float64(len(xs)-1)
+			}
+		}
+		return xs, ps
+	}
+	xs = append(xs, q.heights[:]...)
+	ps = make([]float64, 5)
+	for i := range ps {
+		// pos is a 1-based rank among n observations.
+		ps[i] = (q.pos[i] - 1) / float64(q.n-1)
+	}
+	// P² keeps heights nondecreasing and positions increasing, but
+	// clamp defensively so interpolation below never divides by a
+	// negative span.
+	for i := 1; i < len(ps); i++ {
+		if ps[i] < ps[i-1] {
+			ps[i] = ps[i-1]
+		}
+		if xs[i] < xs[i-1] {
+			xs[i] = xs[i-1]
+		}
+	}
+	return xs, ps
+}
+
+// cdfAt evaluates the piecewise-linear CDF defined by cdfKnots at x.
+func cdfAt(xs, ps []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if x < xs[0] {
+		return 0
+	}
+	if x >= xs[len(xs)-1] {
+		return 1
+	}
+	i := sort.SearchFloat64s(xs, x) // first index with xs[i] >= x
+	if xs[i] == x {
+		// Step up through any tied knots.
+		for i+1 < len(xs) && xs[i+1] == x {
+			i++
+		}
+		return ps[i]
+	}
+	span := xs[i] - xs[i-1]
+	return ps[i-1] + (ps[i]-ps[i-1])*(x-xs[i-1])/span
+}
+
+// MergeP2Quantiles combines independent P² estimators of the same
+// quantile (e.g. per-shard latency accumulators) into one estimate by
+// mixture-CDF inversion: each estimator's markers define a
+// piecewise-linear CDF, the CDFs are averaged with weights n_j/Σn, and
+// the mixture is inverted at the target probability by bisection.
+//
+// Error bound: each marker is P²'s estimate of an exact order
+// statistic, and between markers the linear interpolation can misplace
+// probability mass by at most the knot gap — the marker spacing
+// {p/2, p/2, (1−p)/2, (1−p)/2}. The inverted mixture therefore sits
+// within max(p, 1−p)/2 in *probability* of the true mixture quantile,
+// on top of P²'s own marker error; in *value* that is tight whenever
+// the latency CDF is locally near-linear, which tails of unimodal
+// latency distributions are at the resolutions P² sustains. Estimators
+// with fewer than five observations contribute their exact empirical
+// CDF, so small shards introduce no additional error.
+func MergeP2Quantiles(qs ...*P2Quantile) float64 {
+	type cdf struct {
+		xs, ps []float64
+		w      float64
+	}
+	var (
+		cdfs  []cdf
+		total int64
+		p     float64
+		last  *P2Quantile
+	)
+	for _, q := range qs {
+		if q == nil || q.Count() == 0 {
+			continue
+		}
+		total += q.Count()
+		p = q.p
+		last = q
+	}
+	if total == 0 {
+		return 0
+	}
+	var lo, hi float64
+	first := true
+	for _, q := range qs {
+		if q == nil || q.Count() == 0 {
+			continue
+		}
+		xs, ps := q.cdfKnots()
+		cdfs = append(cdfs, cdf{xs: xs, ps: ps, w: float64(q.Count()) / float64(total)})
+		if first {
+			lo, hi = xs[0], xs[len(xs)-1]
+			first = false
+		} else {
+			if xs[0] < lo {
+				lo = xs[0]
+			}
+			if xs[len(xs)-1] > hi {
+				hi = xs[len(xs)-1]
+			}
+		}
+	}
+	if len(cdfs) == 1 {
+		return last.Value()
+	}
+	if hi <= lo {
+		return lo
+	}
+	mixture := func(x float64) float64 {
+		var f float64
+		for _, c := range cdfs {
+			f += c.w * cdfAt(c.xs, c.ps, x)
+		}
+		return f
+	}
+	// The mixture CDF is monotone; bisect for the smallest x with
+	// F(x) ≥ p. Sixty iterations resolve the bracket to one ULP-scale
+	// sliver of its width.
+	for i := 0; i < 60; i++ {
+		mid := lo + (hi-lo)/2
+		if mixture(mid) >= p {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func TestMergeP2QuantilesEdgeCases(t *testing.T) {
+	if v := MergeP2Quantiles(); v != 0 {
+		t.Fatalf("merge of nothing = %g, want 0", v)
+	}
+	empty, _ := NewP2Quantile(0.5)
+	if v := MergeP2Quantiles(empty, nil); v != 0 {
+		t.Fatalf("merge of empty estimators = %g, want 0", v)
+	}
+	// A single live estimator must defer to its own Value().
+	solo, _ := NewP2Quantile(0.5)
+	for _, x := range []float64{5, 1, 4, 2, 3, 6, 0} {
+		solo.Add(x)
+	}
+	if v := MergeP2Quantiles(solo, empty); v != solo.Value() {
+		t.Fatalf("single-estimator merge = %g, want %g", v, solo.Value())
+	}
+}
+
+func TestMergeP2QuantilesSmallShards(t *testing.T) {
+	// Shards below five observations contribute exact empirical CDFs,
+	// so a merge of tiny shards must track the pooled sample quantile.
+	a, _ := NewP2Quantile(0.5)
+	b, _ := NewP2Quantile(0.5)
+	for _, x := range []float64{1, 2, 3} {
+		a.Add(x)
+	}
+	for _, x := range []float64{4, 5, 6} {
+		b.Add(x)
+	}
+	got := MergeP2Quantiles(a, b)
+	if math.Abs(got-3.5) > 0.6 {
+		t.Fatalf("merged median of {1..6} = %g, want ≈3.5", got)
+	}
+}
+
+// Property: merging per-shard estimators lands close to both the exact
+// pooled-sample quantile and a single estimator fed the whole stream —
+// within the documented knot-gap error bound.
+func TestMergeP2QuantilesMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		const shards, perShard = 8, 2000
+		var (
+			qs  []*P2Quantile
+			all []float64
+		)
+		pooled, _ := NewP2Quantile(p)
+		for s := 0; s < shards; s++ {
+			q, _ := NewP2Quantile(p)
+			for i := 0; i < perShard; i++ {
+				// Lognormal-ish latency shape: heavy right tail.
+				x := math.Exp(rng.NormFloat64())
+				q.Add(x)
+				pooled.Add(x)
+				all = append(all, x)
+			}
+			qs = append(qs, q)
+		}
+		got := MergeP2Quantiles(qs...)
+		exact := exactQuantile(all, p)
+		// Tolerate the knot-gap bound in probability translated to
+		// value space: compare against the exact quantiles half a knot
+		// gap either side.
+		gap := math.Max(p, 1-p) / 2
+		lo := exactQuantile(all, math.Max(0, p-gap))
+		hi := exactQuantile(all, math.Min(1, p+gap))
+		if got < lo || got > hi {
+			t.Errorf("p=%g: merged %g outside knot-gap band [%g, %g] around exact %g",
+				p, got, lo, hi, exact)
+		}
+		// And it should be in the same neighbourhood as the pooled
+		// streaming estimate (both approximate the same quantile).
+		if rel := math.Abs(got-exact) / exact; rel > 0.35 {
+			t.Errorf("p=%g: merged %g vs exact %g (rel err %.2f)", p, got, exact, rel)
+		}
+	}
+}
+
+func TestP2QuantileCloneIsIndependent(t *testing.T) {
+	q, _ := NewP2Quantile(0.9)
+	for i := 0; i < 100; i++ {
+		q.Add(float64(i))
+	}
+	c := q.Clone()
+	if c.Value() != q.Value() || c.Count() != q.Count() {
+		t.Fatalf("clone diverges at copy time: %g/%d vs %g/%d",
+			c.Value(), c.Count(), q.Value(), q.Count())
+	}
+	before := c.Value()
+	for i := 0; i < 1000; i++ {
+		q.Add(1e6)
+	}
+	if c.Value() != before {
+		t.Fatalf("clone tracked the original after copy: %g → %g", before, c.Value())
+	}
+}

@@ -40,7 +40,19 @@ func minPossibleT(g *model.Group, d queueing.Discipline) (float64, error) {
 // limit of the group. The optimal T′ is continuous and increasing in
 // λ′ (verified by tests), so the frontier is found by bisection. An
 // error is returned if even a vanishing load violates the SLA.
+//
+// Each bisection probe re-solves the full optimization; the probes are
+// warm-started by chaining the previous probe's Lagrange multiplier
+// into core.Options.WarmPhi, which skips most of the φ-bracket
+// expansion (tests pin that the warm path returns the bit-identical
+// frontier of the cold path).
 func MaxAdmissibleRate(g *model.Group, d queueing.Discipline, slaT float64) (float64, error) {
+	return maxAdmissibleRate(g, d, slaT, true)
+}
+
+// maxAdmissibleRate is MaxAdmissibleRate with the warm start
+// switchable, so tests can compare the warm path against the cold one.
+func maxAdmissibleRate(g *model.Group, d queueing.Discipline, slaT float64, warmStart bool) (float64, error) {
 	if err := g.Validate(); err != nil {
 		return 0, err
 	}
@@ -58,12 +70,20 @@ func MaxAdmissibleRate(g *model.Group, d queueing.Discipline, slaT float64) (flo
 	// meetsSLA is monotone (true then false as λ′ grows); bisect the
 	// boundary. The top of the bracket always violates the SLA since
 	// T′ → ∞ at saturation.
+	var warmPhi float64
 	violates := func(lambda float64) bool {
-		t, err := minResponseTime(g, d, lambda)
+		opts := core.Options{Discipline: d}
+		if warmStart {
+			opts.WarmPhi = warmPhi
+		}
+		res, err := core.Optimize(g, lambda, opts)
 		if err != nil {
 			return true
 		}
-		return t > slaT
+		if warmStart {
+			warmPhi = res.Phi
+		}
+		return res.AvgResponseTime > slaT
 	}
 	lo := 1e-6 * max
 	hi := (1 - 1e-9) * max

@@ -255,3 +255,27 @@ func TestAdmissionFrontierMonotone(t *testing.T) {
 		prev = lim
 	}
 }
+
+// TestMaxAdmissibleRateWarmStartBitIdentical pins that chaining the
+// previous probe's Lagrange multiplier into the next solve (the warm
+// path the exported MaxAdmissibleRate uses) returns the bit-identical
+// frontier of the cold path at every SLA and discipline tried.
+func TestMaxAdmissibleRateWarmStartBitIdentical(t *testing.T) {
+	g := liGroup()
+	for _, d := range []queueing.Discipline{queueing.FCFS, queueing.Priority} {
+		for _, sla := range []float64{0.8, 0.95, 1.2, 2.5} {
+			warm, warmErr := maxAdmissibleRate(g, d, sla, true)
+			cold, coldErr := maxAdmissibleRate(g, d, sla, false)
+			if (warmErr == nil) != (coldErr == nil) {
+				t.Fatalf("d=%v sla=%g: warm err %v, cold err %v", d, sla, warmErr, coldErr)
+			}
+			if warmErr != nil {
+				continue
+			}
+			if warm != cold {
+				t.Errorf("d=%v sla=%g: warm %.17g != cold %.17g (diff %g)",
+					d, sla, warm, cold, warm-cold)
+			}
+		}
+	}
+}

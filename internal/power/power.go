@@ -138,7 +138,9 @@ func (c Config) buildGroup(speeds []float64) (*model.Group, error) {
 }
 
 // Evaluate returns the optimal T′ for a speed vector, or +Inf if the
-// speeds cannot absorb the generic rate.
+// speeds cannot absorb the generic rate. This is the cold, allocating
+// entry point kept for tests and one-off probes; OptimizeSpeeds runs
+// its inner loop through an evaluator that reuses scratch state.
 func (c Config) Evaluate(speeds []float64) float64 {
 	for _, s := range speeds {
 		if s <= 0 {
@@ -158,6 +160,72 @@ func (c Config) Evaluate(speeds []float64) float64 {
 	if err != nil {
 		return math.Inf(1)
 	}
+	return res.AvgResponseTime
+}
+
+// evaluator is the speed search's hot objective: one reusable speed
+// vector and one reusable Group (Servers overwritten in place), with
+// the last successful solve's Lagrange multiplier chained into
+// core.Options.WarmPhi. Coordinate descent evaluates the objective
+// thousands of times on nearby speed vectors, so the warm start skips
+// most of each solve's φ-bracket expansion and the scratch reuse drops
+// the per-evaluation model rebuild.
+type evaluator struct {
+	cfg     Config
+	speeds  []float64
+	group   *model.Group
+	warmPhi float64
+}
+
+func newEvaluator(cfg Config) *evaluator {
+	n := len(cfg.Sizes)
+	return &evaluator{
+		cfg:    cfg,
+		speeds: make([]float64, n),
+		group:  &model.Group{Servers: make([]model.Server, n), TaskSize: cfg.TaskSize},
+	}
+}
+
+// evalShares maps a power-share vector to speeds in scratch and
+// evaluates it.
+func (e *evaluator) evalShares(sh []float64) float64 {
+	for i := range sh {
+		e.speeds[i] = math.Pow(sh[i]/float64(e.cfg.Sizes[i]), 1/e.cfg.Alpha)
+	}
+	return e.evalSpeeds(e.speeds)
+}
+
+// evalSpeeds is Config.Evaluate with reused state and a warm-started
+// solve. The warm start only reshapes the optimizer's initial φ
+// bracket, never its convergence tolerance, so accepted objective
+// values agree with the cold path to solver precision.
+func (e *evaluator) evalSpeeds(speeds []float64) float64 {
+	for i, s := range speeds {
+		if s <= 0 || math.IsNaN(s) {
+			return math.Inf(1)
+		}
+		e.group.Servers[i] = model.Server{
+			Size:  e.cfg.Sizes[i],
+			Speed: s,
+			// λ″_i = y·m_i/x̄_i = y·m_i·s_i/r̄, as in PaperGroup.
+			SpecialRate: e.cfg.SpecialFraction * float64(e.cfg.Sizes[i]) * s / e.cfg.TaskSize,
+		}
+	}
+	if err := e.group.Validate(); err != nil {
+		return math.Inf(1)
+	}
+	if e.cfg.GenericRate >= e.group.MaxGenericRate() {
+		return math.Inf(1)
+	}
+	res, err := core.Optimize(e.group, e.cfg.GenericRate, core.Options{
+		Discipline: e.cfg.Discipline,
+		Epsilon:    e.cfg.innerEpsilon(),
+		WarmPhi:    e.warmPhi,
+	})
+	if err != nil {
+		return math.Inf(1)
+	}
+	e.warmPhi = res.Phi
 	return res.AvgResponseTime
 }
 
@@ -182,7 +250,8 @@ func OptimizeSpeeds(cfg Config) (*Result, error) {
 	// cannot carry the load the budget is simply too small (uniform
 	// maximizes total capacity for α > 1 by power-mean inequality).
 	speeds := UniformSpeeds(cfg.Sizes, cfg.Alpha, cfg.Budget)
-	if math.IsInf(cfg.Evaluate(speeds), 1) {
+	ev := newEvaluator(cfg)
+	if math.IsInf(ev.evalSpeeds(speeds), 1) {
 		return nil, fmt.Errorf("power: budget %g cannot carry λ′=%g even with uniform speeds",
 			cfg.Budget, cfg.GenericRate)
 	}
@@ -200,17 +269,17 @@ func OptimizeSpeeds(cfg Config) (*Result, error) {
 		}
 		return out
 	}
-	objective := func(sh []float64) float64 { return cfg.Evaluate(speedsFor(sh)) }
+	objective := ev.evalShares
 
 	best := objective(shares)
 	passes := 0
+	trial := make([]float64, n) // scratch share vector, reused across all moves
 	for ; passes < 60; passes++ {
 		improved := best
 		for i := 0; i < n; i++ {
 			// Vary server i's share in (0, budget); the others scale
 			// to keep the total fixed.
 			others := cfg.Budget - shares[i]
-			trial := make([]float64, n)
 			f := func(si float64) float64 {
 				rest := cfg.Budget - si
 				for j := range trial {

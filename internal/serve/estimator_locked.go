@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// LockedRateEstimator is the single-mutex arrival-rate estimator: one
+// ring of float64 buckets rotated in place under a lock. It is the
+// reference semantics for the sharded RateEstimator, the estimator used
+// by Config.SerializedHotPath, and the contention baseline measured by
+// BenchmarkDispatchParallelMutex. The clock is injected so tests can
+// drive it deterministically.
+type LockedRateEstimator struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	window    time.Duration
+	bucket    time.Duration
+	counts    []float64
+	head      int       // bucket currently being filled
+	headStart time.Time // start of the head bucket
+	started   time.Time // first observation or reading
+	observed  float64   // lifetime arrivals; float so fractional counts accumulate
+}
+
+// NewLockedRateEstimator builds a locked estimator over the given
+// window split into the given number of buckets. A nil clock uses
+// time.Now.
+func NewLockedRateEstimator(window time.Duration, buckets int, now func() time.Time) *LockedRateEstimator {
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &LockedRateEstimator{
+		now:    now,
+		window: window,
+		bucket: window / time.Duration(buckets),
+		counts: make([]float64, buckets),
+	}
+}
+
+// Observe records n arrivals at the current clock reading. The
+// lifetime count accumulates in float and is rounded at read
+// (Observed), so sub-unit observations such as Observe(0.5) are never
+// truncated away.
+func (e *LockedRateEstimator) Observe(n float64) { e.ObserveAt(e.now(), n) }
+
+// ObserveAt is Observe with a caller-supplied clock reading.
+func (e *LockedRateEstimator) ObserveAt(t time.Time, n float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.advance(t)
+	e.counts[e.head] += n
+	e.observed += n
+}
+
+// Rate returns the estimated arrivals per second over the window.
+// Before a full window has elapsed the count is divided by the elapsed
+// span instead, so early readings are unbiased rather than low.
+func (e *LockedRateEstimator) Rate() float64 { return e.RateAt(e.now()) }
+
+// RateAt is Rate with a caller-supplied clock reading.
+func (e *LockedRateEstimator) RateAt(t time.Time) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.advance(t)
+	var total float64
+	for _, c := range e.counts {
+		total += c
+	}
+	span := e.window
+	if e.started.IsZero() {
+		return 0
+	}
+	if el := t.Sub(e.started); el < span {
+		span = el
+	}
+	if span < e.bucket {
+		span = e.bucket
+	}
+	return total / span.Seconds()
+}
+
+// Warm reports whether a full window of observation has elapsed — the
+// gate before drift decisions are trusted.
+func (e *LockedRateEstimator) Warm() bool { return e.WarmAt(e.now()) }
+
+// WarmAt is Warm with a caller-supplied clock reading.
+func (e *LockedRateEstimator) WarmAt(t time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !e.started.IsZero() && t.Sub(e.started) >= e.window
+}
+
+// Observed returns the lifetime arrival count, rounded to the nearest
+// integer at read time.
+func (e *LockedRateEstimator) Observed() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return int64(math.Round(e.observed))
+}
+
+// advance rotates the ring so the head bucket covers the bucket
+// containing t, zeroing buckets that fell out of the window. A clock
+// reading before the head bucket's start (cannot happen with a
+// monotonic clock) freezes the ring rather than corrupting it.
+func (e *LockedRateEstimator) advance(t time.Time) {
+	if e.started.IsZero() {
+		e.started, e.headStart = t, t
+		return
+	}
+	if t.Before(e.headStart) {
+		return
+	}
+	steps := int(t.Sub(e.headStart) / e.bucket)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(e.counts) {
+		for i := range e.counts {
+			e.counts[i] = 0
+		}
+	} else {
+		for i := 0; i < steps; i++ {
+			e.head = (e.head + 1) % len(e.counts)
+			e.counts[e.head] = 0
+		}
+	}
+	e.headStart = e.headStart.Add(time.Duration(steps) * e.bucket)
+}

@@ -3,40 +3,218 @@ package serve
 import (
 	"fmt"
 	"io"
-	"sort"
+	randv2 "math/rand/v2"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 )
 
-// serverMetrics aggregates the daemon's operational statistics on top
-// of internal/metrics (Welford for the latency moments, P² for the
-// streaming quantiles) — no external dependencies, exposed in
-// Prometheus text format by writeTo.
-type serverMetrics struct {
+// rejectReason indexes the fixed set of 503 causes. A closed enum
+// (rather than free-form strings) is what lets the sharded metrics keep
+// rejection counters in a plain atomic array.
+type rejectReason uint8
+
+const (
+	rejectAdmission rejectReason = iota
+	rejectConcurrency
+	rejectShed
+	numRejectReasons
+)
+
+// rejectReasonNames is indexed by rejectReason; the declaration order
+// is alphabetical so the exposition stays sorted like the original
+// map-based implementation.
+var rejectReasonNames = [numRejectReasons]string{"admission", "concurrency", "shed"}
+
+// serverMetrics is the daemon's operational-statistics sink. Two
+// implementations exist: shardedMetrics (default, lock-free counters
+// with per-shard latency accumulators) and lockedMetrics (the original
+// single-mutex design, kept as the serialized baseline).
+type serverMetrics interface {
+	// observeDispatch records one served routing decision.
+	observeDispatch(station int, seconds float64)
+	// reject counts one rejected request by reason.
+	reject(r rejectReason)
+	// resolved records the outcome of one re-solve attempt.
+	resolved(err error)
+	// writeTo renders the Prometheus text exposition (format 0.0.4).
+	writeTo(w io.Writer, plan *Plan, rate float64, warm bool)
+}
+
+// metricsSnapshot is a consistent copy of the counters taken at scrape
+// time; both implementations render through it so the exposition is
+// byte-identical across them.
+type metricsSnapshot struct {
+	dispatchTotal int64
+	byStation     []int64
+	rejected      [numRejectReasons]int64
+	resolveTotal  int64
+	resolveErrors int64
+	durationCount int64
+	durationSum   float64
+	q50, q95, q99 float64
+}
+
+// shardedMetrics is the lock-free default: monotonic counters are plain
+// atomics (dispatchTotal, per-station, the reason-indexed rejection
+// array) and the latency moments/quantiles are accumulated in
+// GOMAXPROCS shards — each shard a Welford plus three P² estimators
+// behind its own mutex, touched by roughly 1/GOMAXPROCS of requests —
+// merged only at /metrics scrape time (metrics.Welford.Merge and
+// metrics.MergeP2Quantiles; see the latter for the merge error bound).
+type shardedMetrics struct {
+	dispatchTotal atomic.Int64
+	resolveTotal  atomic.Int64
+	resolveErrors atomic.Int64
+	rejected      [numRejectReasons]atomic.Int64
+	byStation     []atomic.Int64
+	shards        []latencyShard
+	mask          uint64
+}
+
+// latencyShard holds one shard's latency accumulators; the pad keeps
+// adjacent shards' locks off the same cache line.
+type latencyShard struct {
+	mu            sync.Mutex
+	latency       metrics.Welford
+	q50, q95, q99 *metrics.P2Quantile
+	_             [64]byte
+}
+
+// p2SampleStride is the dispatch hot path's latency sampling rate: one
+// request in 8 (chosen by random bits, so the sample is unbiased) takes
+// the second clock reading and feeds the Welford/P² accumulators. The
+// clock read itself is the dominant per-dispatch cost on the lock-free
+// path, so sampling it — not just the estimator update — is what buys
+// the speedup. The exposition keeps _count exact (from the atomic
+// dispatch counter) and reports _sum as mean-of-sample × count, an
+// unbiased estimate; quantiles come from the sampled stream, which is
+// exchangeable with the full one. Must be a power of two (the sampler
+// masks random bits).
+const p2SampleStride = 8
+
+func newServerMetrics(stations int) *shardedMetrics {
+	n := nextPow2(runtime.GOMAXPROCS(0))
+	m := &shardedMetrics{
+		byStation: make([]atomic.Int64, stations),
+		shards:    make([]latencyShard, n),
+		mask:      uint64(n - 1),
+	}
+	for i := range m.shards {
+		m.shards[i].q50, _ = metrics.NewP2Quantile(0.5)
+		m.shards[i].q95, _ = metrics.NewP2Quantile(0.95)
+		m.shards[i].q99, _ = metrics.NewP2Quantile(0.99)
+	}
+	return m
+}
+
+// observeDispatch records one served decision with its latency — the
+// general entry point (tests, non-hot callers). The hot path instead
+// calls countDispatch every request and observeLatency on the sampled
+// subset.
+func (m *shardedMetrics) observeDispatch(station int, seconds float64) {
+	m.countDispatch(station)
+	m.observeLatency(seconds, randv2.Uint64())
+}
+
+// countDispatch bumps the exact dispatch counters: two uncontended
+// atomic adds, no lock.
+func (m *shardedMetrics) countDispatch(station int) {
+	m.dispatchTotal.Add(1)
+	if station >= 0 && station < len(m.byStation) {
+		m.byStation[station].Add(1)
+	}
+}
+
+// observeLatency feeds one measured latency into a shard's accumulators;
+// u supplies the shard pick so the hot path can reuse its per-request
+// random word.
+func (m *shardedMetrics) observeLatency(seconds float64, u uint64) {
+	sh := &m.shards[u&m.mask]
+	sh.mu.Lock()
+	sh.latency.Add(seconds)
+	sh.q50.Add(seconds)
+	sh.q95.Add(seconds)
+	sh.q99.Add(seconds)
+	sh.mu.Unlock()
+}
+
+func (m *shardedMetrics) reject(r rejectReason) {
+	m.rejected[r].Add(1)
+}
+
+func (m *shardedMetrics) resolved(err error) {
+	m.resolveTotal.Add(1)
+	if err != nil {
+		m.resolveErrors.Add(1)
+	}
+}
+
+func (m *shardedMetrics) writeTo(w io.Writer, plan *Plan, rate float64, warm bool) {
+	snap := metricsSnapshot{
+		dispatchTotal: m.dispatchTotal.Load(),
+		byStation:     make([]int64, len(m.byStation)),
+		resolveTotal:  m.resolveTotal.Load(),
+		resolveErrors: m.resolveErrors.Load(),
+	}
+	for i := range m.byStation {
+		snap.byStation[i] = m.byStation[i].Load()
+	}
+	for r := range m.rejected {
+		snap.rejected[r] = m.rejected[r].Load()
+	}
+	// Merge the latency shards. Each shard is locked only long enough
+	// to copy its accumulators out, so a scrape never stalls more than
+	// one shard's dispatch traffic at a time.
+	var merged metrics.Welford
+	var q50s, q95s, q99s []*metrics.P2Quantile
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		merged.Merge(&sh.latency)
+		q50s = append(q50s, sh.q50.Clone())
+		q95s = append(q95s, sh.q95.Clone())
+		q99s = append(q99s, sh.q99.Clone())
+		sh.mu.Unlock()
+	}
+	snap.q50 = metrics.MergeP2Quantiles(q50s...)
+	snap.q95 = metrics.MergeP2Quantiles(q95s...)
+	snap.q99 = metrics.MergeP2Quantiles(q99s...)
+	// The duration count is the exact dispatch counter; the sum scales
+	// the sampled mean up to it (exact when every dispatch was measured,
+	// an unbiased estimate under hot-path sampling; see p2SampleStride).
+	snap.durationCount = snap.dispatchTotal
+	snap.durationSum = merged.Mean() * float64(snap.dispatchTotal)
+	renderMetrics(w, snap, plan, rate, warm)
+}
+
+// lockedMetrics is the original single-mutex implementation, retained
+// as the serialized hot-path baseline (Config.SerializedHotPath and
+// BenchmarkDispatchParallelMutex).
+type lockedMetrics struct {
 	mu            sync.Mutex
 	dispatchTotal int64
 	byStation     []int64
-	rejected      map[string]int64
+	rejected      [numRejectReasons]int64
 	resolveTotal  int64
 	resolveErrors int64
 	latency       metrics.Welford
 	q50, q95, q99 *metrics.P2Quantile
 }
 
-func newServerMetrics(stations int) *serverMetrics {
+func newLockedServerMetrics(stations int) *lockedMetrics {
 	q50, _ := metrics.NewP2Quantile(0.5)
 	q95, _ := metrics.NewP2Quantile(0.95)
 	q99, _ := metrics.NewP2Quantile(0.99)
-	return &serverMetrics{
+	return &lockedMetrics{
 		byStation: make([]int64, stations),
-		rejected:  make(map[string]int64),
 		q50:       q50, q95: q95, q99: q99,
 	}
 }
 
-// observeDispatch records one served routing decision.
-func (m *serverMetrics) observeDispatch(station int, seconds float64) {
+func (m *lockedMetrics) observeDispatch(station int, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.dispatchTotal++
@@ -49,16 +227,13 @@ func (m *serverMetrics) observeDispatch(station int, seconds float64) {
 	m.q99.Add(seconds)
 }
 
-// reject counts one rejected request by reason ("admission", "shed",
-// "concurrency").
-func (m *serverMetrics) reject(reason string) {
+func (m *lockedMetrics) reject(r rejectReason) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.rejected[reason]++
+	m.rejected[r]++
 }
 
-// resolved records the outcome of one re-solve attempt.
-func (m *serverMetrics) resolved(err error) {
+func (m *lockedMetrics) resolved(err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.resolveTotal++
@@ -67,40 +242,52 @@ func (m *serverMetrics) resolved(err error) {
 	}
 }
 
-// writeTo renders the Prometheus text exposition (format 0.0.4). The
-// plan and estimator gauges are passed in so the snapshot is taken
-// under one lock without reaching back into the server.
-func (m *serverMetrics) writeTo(w io.Writer, plan *Plan, rate float64, warm bool) {
+func (m *lockedMetrics) writeTo(w io.Writer, plan *Plan, rate float64, warm bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	snap := metricsSnapshot{
+		dispatchTotal: m.dispatchTotal,
+		byStation:     append([]int64(nil), m.byStation...),
+		rejected:      m.rejected,
+		resolveTotal:  m.resolveTotal,
+		resolveErrors: m.resolveErrors,
+		durationCount: m.latency.Count(),
+		durationSum:   m.latency.Mean() * float64(m.latency.Count()),
+		q50:           m.q50.Value(),
+		q95:           m.q95.Value(),
+		q99:           m.q99.Value(),
+	}
+	m.mu.Unlock()
+	renderMetrics(w, snap, plan, rate, warm)
+}
 
+// renderMetrics renders the Prometheus text exposition (format 0.0.4).
+// The plan and estimator gauges are passed in so the snapshot is taken
+// in one place without reaching back into the server.
+func renderMetrics(w io.Writer, snap metricsSnapshot, plan *Plan, rate float64, warm bool) {
 	fmt.Fprintln(w, "# HELP bladed_dispatch_total Routing decisions served.")
 	fmt.Fprintln(w, "# TYPE bladed_dispatch_total counter")
-	fmt.Fprintf(w, "bladed_dispatch_total %d\n", m.dispatchTotal)
+	fmt.Fprintf(w, "bladed_dispatch_total %d\n", snap.dispatchTotal)
 
 	fmt.Fprintln(w, "# HELP bladed_dispatch_station_total Routing decisions per station.")
 	fmt.Fprintln(w, "# TYPE bladed_dispatch_station_total counter")
-	for i, c := range m.byStation {
+	for i, c := range snap.byStation {
 		fmt.Fprintf(w, "bladed_dispatch_station_total{station=%q} %d\n", fmt.Sprint(i), c)
 	}
 
 	fmt.Fprintln(w, "# HELP bladed_rejected_total Requests rejected with 503, by reason.")
 	fmt.Fprintln(w, "# TYPE bladed_rejected_total counter")
-	reasons := make([]string, 0, len(m.rejected))
-	for r := range m.rejected {
-		reasons = append(reasons, r)
-	}
-	sort.Strings(reasons)
-	for _, r := range reasons {
-		fmt.Fprintf(w, "bladed_rejected_total{reason=%q} %d\n", r, m.rejected[r])
+	for r, c := range snap.rejected {
+		if c > 0 {
+			fmt.Fprintf(w, "bladed_rejected_total{reason=%q} %d\n", rejectReasonNames[r], c)
+		}
 	}
 
 	fmt.Fprintln(w, "# HELP bladed_resolve_total Re-optimization attempts.")
 	fmt.Fprintln(w, "# TYPE bladed_resolve_total counter")
-	fmt.Fprintf(w, "bladed_resolve_total %d\n", m.resolveTotal)
+	fmt.Fprintf(w, "bladed_resolve_total %d\n", snap.resolveTotal)
 	fmt.Fprintln(w, "# HELP bladed_resolve_errors_total Re-optimization attempts that failed.")
 	fmt.Fprintln(w, "# TYPE bladed_resolve_errors_total counter")
-	fmt.Fprintf(w, "bladed_resolve_errors_total %d\n", m.resolveErrors)
+	fmt.Fprintf(w, "bladed_resolve_errors_total %d\n", snap.resolveErrors)
 
 	fmt.Fprintln(w, "# HELP bladed_plan_version Version of the live routing plan.")
 	fmt.Fprintln(w, "# TYPE bladed_plan_version gauge")
@@ -124,7 +311,7 @@ func (m *serverMetrics) writeTo(w io.Writer, plan *Plan, rate float64, warm bool
 
 	fmt.Fprintln(w, "# HELP bladed_station_up Station availability (1 up, 0 down).")
 	fmt.Fprintln(w, "# TYPE bladed_station_up gauge")
-	for i := range m.byStation {
+	for i := range snap.byStation {
 		up := plan.Up == nil || (i < len(plan.Up) && plan.Up[i])
 		fmt.Fprintf(w, "bladed_station_up{station=%q} %d\n", fmt.Sprint(i), boolGauge(up))
 	}
@@ -136,11 +323,11 @@ func (m *serverMetrics) writeTo(w io.Writer, plan *Plan, rate float64, warm bool
 
 	fmt.Fprintln(w, "# HELP bladed_request_duration_seconds Dispatch handler latency.")
 	fmt.Fprintln(w, "# TYPE bladed_request_duration_seconds summary")
-	fmt.Fprintf(w, "bladed_request_duration_seconds{quantile=\"0.5\"} %g\n", m.q50.Value())
-	fmt.Fprintf(w, "bladed_request_duration_seconds{quantile=\"0.95\"} %g\n", m.q95.Value())
-	fmt.Fprintf(w, "bladed_request_duration_seconds{quantile=\"0.99\"} %g\n", m.q99.Value())
-	fmt.Fprintf(w, "bladed_request_duration_seconds_sum %g\n", m.latency.Mean()*float64(m.latency.Count()))
-	fmt.Fprintf(w, "bladed_request_duration_seconds_count %d\n", m.latency.Count())
+	fmt.Fprintf(w, "bladed_request_duration_seconds{quantile=\"0.5\"} %g\n", snap.q50)
+	fmt.Fprintf(w, "bladed_request_duration_seconds{quantile=\"0.95\"} %g\n", snap.q95)
+	fmt.Fprintf(w, "bladed_request_duration_seconds{quantile=\"0.99\"} %g\n", snap.q99)
+	fmt.Fprintf(w, "bladed_request_duration_seconds_sum %g\n", snap.durationSum)
+	fmt.Fprintf(w, "bladed_request_duration_seconds_count %d\n", snap.durationCount)
 }
 
 func boolGauge(b bool) int {

@@ -56,6 +56,13 @@ func (p *Plan) Pick(rng *rand.Rand) int {
 	return p.picker.Pick(nil, rng)
 }
 
+// PickU draws one routing decision using a caller-supplied uniform
+// variate u ∈ [0, 1) — the lock-free entry point: the caller owns the
+// randomness, so concurrent dispatchers never share generator state.
+func (p *Plan) PickU(u float64) int {
+	return p.picker.PickU(u)
+}
+
 // buildPlan re-solves the paper's optimization over the up-subset and
 // freezes the result. Overload is not an error: OptimizeDegraded's
 // admission control sheds the minimal rate and the plan records it.

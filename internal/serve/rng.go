@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// dispatchRand supplies the uniform variates the dispatch hot path
+// consumes (one optional admission draw, one plan pick per request).
+type dispatchRand interface {
+	Float64() float64
+}
+
+// lockedRand serializes a single math/rand generator behind a mutex —
+// the Config.DeterministicRNG path. For a given seed it reproduces the
+// exact draw sequence of the original single-RNG server, which is what
+// the cross-version determinism tests pin.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// shardedRNG is the lock-free default: GOMAXPROCS SplitMix64 states
+// seeded from cfg.Seed. A draw picks a shard with a cheap per-thread
+// random index and advances that shard's state with one atomic add.
+// The SplitMix64 increment is odd, so a shard's state walks a
+// full-period sequence even when concurrent draws interleave on it —
+// interleaving permutes who gets which output, never the stream's
+// statistical quality.
+type shardedRNG struct {
+	shards []rngShard
+	mask   uint64
+}
+
+// rngShard pads each state word to its own cache line so concurrent
+// draws on different shards never false-share.
+type rngShard struct {
+	state atomic.Uint64
+	_     [120]byte
+}
+
+// splitmixGamma is Weyl-sequence increment of SplitMix64 (the odd
+// integer nearest 2^64/φ).
+const splitmixGamma = 0x9E3779B97F4A7C15
+
+func newShardedRNG(seed int64) *shardedRNG {
+	n := nextPow2(runtime.GOMAXPROCS(0))
+	r := &shardedRNG{shards: make([]rngShard, n), mask: uint64(n - 1)}
+	s := uint64(seed)
+	for i := range r.shards {
+		// Each shard starts at a mixed, well-separated point of the
+		// seed's Weyl sequence.
+		s += splitmixGamma
+		r.shards[i].state.Store(splitmix64(s))
+	}
+	return r
+}
+
+func (r *shardedRNG) Float64() float64 { return r.float64U(randv2.Uint64()) }
+
+// float64U is Float64 with the shard-pick word supplied by the caller —
+// the dispatch hot path draws one random word per request and feeds its
+// spare bits here instead of paying a second generator call.
+func (r *shardedRNG) float64U(u uint64) float64 {
+	sh := &r.shards[u&r.mask]
+	z := splitmix64(sh.state.Add(splitmixGamma))
+	// 53 random bits over 2^53, the same [0, 1) lattice rand.Float64
+	// draws from; z>>11 ≤ 2^53−1, so the result is always < 1.
+	return float64(z>>11) / (1 << 53)
+}
+
+// splitmix64 is the output mix of Steele, Lea & Flood's SplitMix64.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

@@ -26,7 +26,7 @@ import (
 	"io"
 	"log/slog"
 	"math"
-	"math/rand"
+	randv2 "math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -71,6 +71,17 @@ type Config struct {
 	Logger *slog.Logger
 	// Seed seeds the dispatch RNG (0 means 1, for determinism).
 	Seed int64
+	// DeterministicRNG serializes all dispatch draws through a single
+	// seeded math/rand generator (the pre-sharding behaviour), so a
+	// fixed Seed reproduces the exact routing sequence. The default is
+	// lock-free per-shard SplitMix64 states, which are seeded but not
+	// sequence-reproducible under concurrency.
+	DeterministicRNG bool
+	// SerializedHotPath restores the fully mutex-serialized request
+	// path — locked estimator, locked metrics, deterministic RNG. It is
+	// the contention baseline BenchmarkDispatchParallelMutex measures;
+	// production use should leave it off.
+	SerializedHotPath bool
 }
 
 func (c *Config) withDefaults() {
@@ -110,17 +121,22 @@ type Server struct {
 	group *model.Group
 	log   *slog.Logger
 	now   func() time.Time
-	est   *RateEstimator
-	m     *serverMetrics
+	est   estimator
+	m     serverMetrics
+	rnd   dispatchRand
+	// fastEst/fastM are the concrete lock-free implementations behind
+	// est/m on the default path (nil when SerializedHotPath), letting
+	// the dispatch hot path call their shard-hinted entry points
+	// without interface indirection.
+	fastEst *RateEstimator
+	fastM   *shardedMetrics
+	fastRnd *shardedRNG // nil under DeterministicRNG/SerializedHotPath
 
 	plan atomic.Pointer[Plan]
 
 	mu          sync.Mutex // guards up, lastResolve
 	up          []bool
 	lastResolve time.Time
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
 
 	solveMu   sync.Mutex // serializes background and synchronous solves
 	resolveCh chan resolveReq
@@ -157,13 +173,26 @@ func New(cfg Config) (*Server, error) {
 		group:     cfg.Group.Clone(),
 		log:       cfg.Logger,
 		now:       cfg.Now,
-		est:       NewRateEstimator(cfg.Window, cfg.Buckets, cfg.Now),
-		m:         newServerMetrics(cfg.Group.N()),
 		up:        make([]bool, cfg.Group.N()),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		resolveCh: make(chan resolveReq, 1),
 		done:      make(chan struct{}),
 		inflight:  make(chan struct{}, cfg.MaxInFlight),
+	}
+	if cfg.SerializedHotPath {
+		s.est = NewLockedRateEstimator(cfg.Window, cfg.Buckets, cfg.Now)
+		s.m = newLockedServerMetrics(cfg.Group.N())
+		s.rnd = newLockedRand(cfg.Seed)
+	} else {
+		s.fastEst = NewRateEstimator(cfg.Window, cfg.Buckets, cfg.Now)
+		s.fastM = newServerMetrics(cfg.Group.N())
+		s.est = s.fastEst
+		s.m = s.fastM
+		if cfg.DeterministicRNG {
+			s.rnd = newLockedRand(cfg.Seed)
+		} else {
+			s.fastRnd = newShardedRNG(cfg.Seed)
+			s.rnd = s.fastRnd
+		}
 	}
 	for i := range s.up {
 		s.up[i] = true
@@ -246,7 +275,7 @@ func (s *Server) limitInFlight(h http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 			h.ServeHTTP(w, r)
 		default:
-			s.m.reject("concurrency")
+			s.m.reject(rejectConcurrency)
 			writeError(w, http.StatusServiceUnavailable, "too many in-flight requests")
 		}
 	})
@@ -262,46 +291,125 @@ type DispatchResponse struct {
 	PlanVersion int64 `json:"plan_version"`
 }
 
-func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
+// Decision is the outcome of one pass through the dispatch hot path.
+type Decision struct {
+	// Station is the routed station index (-1 when Rejected).
+	Station int
+	// Plan is the plan snapshot the decision worked from.
+	Plan *Plan
+	// Rate is the observed arrival-rate estimate at decision time.
+	Rate float64
+	// Rejected reports a probabilistic admission-control shed; Reason
+	// then names the cause ("admission" or "shed").
+	Rejected bool
+	Reason   string
+}
+
+// Decide runs the dispatch hot path once — observe the arrival,
+// admission-check against the live plan, pick a station — and records
+// the decision in the operational metrics. It is the core of
+// POST /v1/dispatch, exported so load harnesses and benchmarks can
+// drive it without HTTP framing. The default path is lock-free;
+// Config.SerializedHotPath selects the original mutex-serialized flow.
+func (s *Server) Decide() Decision {
+	if s.fastEst == nil {
+		return s.decideSerialized()
+	}
+	start := s.now()
+	// One random word per request feeds both shard picks; the station
+	// pick draws from s.rnd so DeterministicRNG keeps its sequence.
+	u := randv2.Uint64()
+	s.fastEst.observeAtShard(start, 1, u)
+	plan := s.plan.Load()
+	rate := s.fastEst.RateAt(start)
+	warm := s.fastEst.WarmAt(start)
+
+	admit, reason := s.admission(plan, rate, warm)
+	if admit < 1 && s.rnd.Float64() >= admit {
+		s.fastM.reject(reason)
+		return Decision{Station: -1, Plan: plan, Rate: rate,
+			Rejected: true, Reason: rejectReasonNames[reason]}
+	}
+	s.driftCheck(plan, rate, warm)
+
+	var draw float64
+	if s.fastRnd != nil {
+		draw = s.fastRnd.float64U(u >> 16) // spare bits of the shared word
+	} else {
+		draw = s.rnd.Float64() // DeterministicRNG keeps the pinned sequence
+	}
+	station := plan.PickU(draw)
+	s.fastM.countDispatch(station)
+	// Latency is measured on a random 1-in-p2SampleStride subset: the
+	// second clock read is the costliest step left on this path, so the
+	// sample gates the read itself, not just the accumulator update.
+	if u>>48&(p2SampleStride-1) == 0 {
+		s.fastM.observeLatency(s.now().Sub(start).Seconds(), u>>32)
+	}
+	return Decision{Station: station, Plan: plan, Rate: rate}
+}
+
+// decideSerialized is the dispatch flow exactly as the pre-sharding
+// server ran it — per-touch clock reads inside the locked estimator,
+// two warmth checks, every counter behind one mutex — kept as the
+// measurable contention baseline for the lock-free path.
+func (s *Server) decideSerialized() Decision {
 	start := s.now()
 	s.est.Observe(1)
 	plan := s.plan.Load()
 	rate := s.est.Rate()
 
-	// Admission control: the fraction of the stream the surviving
-	// stations can absorb without some ρ_i reaching 1. Overload is shed
-	// probabilistically so the admitted sub-stream stays a thinned
-	// Poisson process matching the plan's assumptions.
-	admit := 1.0
-	reason := ""
-	if s.est.Warm() && rate > 0 && rate >= plan.Capacity {
-		admit, reason = plan.Capacity/rate, "admission"
-		s.maybeResolve(rate, "overload", false)
-	} else if plan.Shed > 0 && plan.Admitted+plan.Shed > 0 {
-		admit, reason = plan.Admitted/(plan.Admitted+plan.Shed), "shed"
-	}
-	if admit < 1 && s.randFloat() >= admit {
+	admit, reason := s.admission(plan, rate, s.est.Warm())
+	if admit < 1 && s.rnd.Float64() >= admit {
 		s.m.reject(reason)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable,
-			"overloaded: observed rate %.4g versus capacity %.4g", rate, plan.Capacity)
-		return
+		return Decision{Station: -1, Plan: plan, Rate: rate,
+			Rejected: true, Reason: rejectReasonNames[reason]}
 	}
+	s.driftCheck(plan, rate, s.est.Warm())
 
-	if s.est.Warm() && rate > 0 && plan.Lambda > 0 {
+	station := plan.PickU(s.rnd.Float64())
+	s.m.observeDispatch(station, s.now().Sub(start).Seconds())
+	return Decision{Station: station, Plan: plan, Rate: rate}
+}
+
+// admission returns the admissible fraction of the stream and the
+// rejection reason for the shed remainder. Overload is shed
+// probabilistically so the admitted sub-stream stays a thinned Poisson
+// process matching the plan's assumptions: the surviving stations can
+// absorb only Capacity before some ρ_i reaches 1.
+func (s *Server) admission(plan *Plan, rate float64, warm bool) (float64, rejectReason) {
+	if warm && rate > 0 && rate >= plan.Capacity {
+		s.maybeResolve(rate, "overload", false)
+		return plan.Capacity / rate, rejectAdmission
+	}
+	if plan.Shed > 0 && plan.Admitted+plan.Shed > 0 {
+		return plan.Admitted / (plan.Admitted + plan.Shed), rejectShed
+	}
+	return 1, rejectAdmission
+}
+
+// driftCheck queues a re-solve when the observed rate has drifted past
+// the threshold from the plan's λ′.
+func (s *Server) driftCheck(plan *Plan, rate float64, warm bool) {
+	if warm && rate > 0 && plan.Lambda > 0 {
 		if drift := math.Abs(rate-plan.Lambda) / plan.Lambda; drift > s.cfg.DriftThreshold {
 			s.maybeResolve(rate, "drift", false)
 		}
 	}
+}
 
-	s.rngMu.Lock()
-	station := plan.Pick(s.rng)
-	s.rngMu.Unlock()
-	resp := DispatchResponse{Station: station, PlanVersion: plan.Version}
-	if s.cfg.Names != nil {
-		resp.Name = s.cfg.Names[station]
+func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
+	d := s.Decide()
+	if d.Rejected {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"overloaded: observed rate %.4g versus capacity %.4g", d.Rate, d.Plan.Capacity)
+		return
 	}
-	s.m.observeDispatch(station, s.now().Sub(start).Seconds())
+	resp := DispatchResponse{Station: d.Station, PlanVersion: d.Plan.Version}
+	if s.cfg.Names != nil {
+		resp.Name = s.cfg.Names[d.Station]
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -329,7 +437,7 @@ func (s *Server) handlePostPlan(w http.ResponseWriter, r *http.Request) {
 		up := append([]bool(nil), s.up...)
 		s.mu.Unlock()
 		if ceiling := admissionCeiling(s.group, up, s.cfg.Opts); req.Lambda >= ceiling {
-			s.m.reject("admission")
+			s.m.reject(rejectAdmission)
 			writeError(w, http.StatusServiceUnavailable,
 				"requested rate %.6g at or beyond admission ceiling %.6g", req.Lambda, ceiling)
 			return
@@ -458,12 +566,6 @@ func (s *Server) doResolve(req resolveReq) (*Plan, error) {
 		"survivors", plan.Survivors, "shed", plan.Shed,
 		"avg_response_time", plan.AvgResponseTime)
 	return plan, nil
-}
-
-func (s *Server) randFloat() float64 {
-	s.rngMu.Lock()
-	defer s.rngMu.Unlock()
-	return s.rng.Float64()
 }
 
 func decodeJSON(r *http.Request, v any) error {
