@@ -201,7 +201,7 @@ func compareSnapshots(oldPath, newPath string, threshold float64) error {
 	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	for _, nb := range newS.Results {
 		ob, ok := oldBy[nb.Name]
-		if !ok || ob.NsPerOp == 0 {
+		if !ok || ob.NsPerOp == 0 { //bladelint:allow floateq -- zero ns/op is the exact sentinel for a benchmark absent from the old run
 			continue
 		}
 		ratio := nb.NsPerOp / ob.NsPerOp

@@ -80,7 +80,7 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	lambda := *rate
-	if lambda == 0 {
+	if lambda == 0 { //bladelint:allow floateq -- flag default 0 means derive lambda from -frac, an exact value never computed
 		if *frac <= 0 || *frac >= 1 {
 			return fmt.Errorf("-frac %g must be in (0, 1)", *frac)
 		}

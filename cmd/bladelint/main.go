@@ -1,0 +1,67 @@
+// Command bladelint runs the repository's custom analyzer suite
+// (internal/lint) over Go package patterns and exits non-zero on any
+// finding. It is the mechanical gate for the invariants the previous
+// PRs established by hand: a lock-free serving hot path, deterministic
+// simulation and failure processes, guarded 1−ρ denominators, no exact
+// float comparison outside pin tests, and consistent sync/atomic usage.
+//
+// Usage:
+//
+//	go run ./cmd/bladelint [-checks hotpathlock,rhoguard] [packages]
+//
+// With no packages, ./... is analyzed. Findings print as
+//
+//	path/file.go:12:9: message [check]
+//
+// and are suppressed only by an in-source
+// //bladelint:allow <check> -- justification directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bladelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

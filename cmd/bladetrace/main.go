@@ -138,7 +138,7 @@ func run(specPath string, example bool, builtin string, rate, burst, horizon flo
 			d = repro.PrioritySpecial
 		}
 		lambda := tr.GenericRate
-		if lambda == 0 {
+		if lambda == 0 { //bladelint:allow floateq -- zero is the exact sentinel for a trace with no declared rate
 			lambda = tr.Summarize().ObservedGenericRate
 		}
 		alloc, err := repro.Optimize(cluster, lambda, d)

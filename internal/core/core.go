@@ -122,7 +122,7 @@ func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: λ′=%g at or beyond saturation λ′_max=%g", lambda, max)
 	}
 	rhoCap := 1.0
-	if opts.MaxUtilization != 0 {
+	if opts.MaxUtilization != 0 { //bladelint:allow floateq -- zero means the option was not set, an exact default
 		if opts.MaxUtilization <= 0 || opts.MaxUtilization >= 1 {
 			return nil, fmt.Errorf("core: MaxUtilization %g must be in (0, 1)", opts.MaxUtilization)
 		}
@@ -220,7 +220,7 @@ func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
 	lb, ub := 0.0, phiHi
 	for i := 0; ub-lb > eps*phiHi && i < numeric.MaxIterations; i++ {
 		mid := lb + (ub-lb)/2
-		if mid == lb || mid == ub {
+		if mid == lb || mid == ub { //bladelint:allow floateq -- bisection fixed point: the midpoint collided with a bound, no tighter float exists
 			break
 		}
 		if total(mid) >= lambda {
@@ -345,7 +345,7 @@ func KKTResidual(g *model.Group, d queueing.Discipline, rates []float64) (float6
 		lambda.Add(r)
 	}
 	l := lambda.Value()
-	if l == 0 {
+	if l == 0 { //bladelint:allow floateq -- exact zero allocation is the error sentinel, never a computed value
 		return 0, fmt.Errorf("core: KKT residual undefined for zero allocation")
 	}
 	// Rate-weighted mean marginal cost of loaded servers ≈ φ.

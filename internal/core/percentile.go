@@ -30,7 +30,7 @@ func GroupGenericCDF(g *model.Group, rates []float64, t float64) (float64, error
 	}
 	var mix numeric.KahanSum
 	for i, s := range g.Servers {
-		if rates[i] == 0 {
+		if rates[i] == 0 { //bladelint:allow floateq -- exact zero rate: the optimizer assigned this server no generic load
 			continue
 		}
 		rho := s.Utilization(rates[i], g.TaskSize)

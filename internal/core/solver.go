@@ -149,7 +149,7 @@ func (ss *stationSolver) findRate(phi float64) float64 {
 		if !(xn > lo && xn < hi) {
 			xn = lo + (hi-lo)/2 // safeguard: fall back to a bisection step
 		}
-		if xn == x {
+		if xn == x { //bladelint:allow floateq -- fixed point: the Newton update no longer moves x at float resolution
 			ss.prev = x
 			return x
 		}
@@ -166,7 +166,7 @@ func (ss *stationSolver) bisectFallback(phi float64) float64 {
 	lo, hi := 0.0, ss.capRate
 	for i := 0; i < 20000 && hi-lo > ss.tol; i++ {
 		mid := lo + (hi-lo)/2
-		if mid == lo || mid == hi {
+		if mid == lo || mid == hi { //bladelint:allow floateq -- bisection fixed point: the midpoint collided with a bound
 			break
 		}
 		if mc, _ := ss.costDeriv(mid); mc >= phi {

@@ -44,6 +44,9 @@ func specialResponse(d queueing.Discipline, m int, rho, rhoSpecial, xbar float64
 // dSpecialResponseDRho is ∂T″/∂ρ holding ρ″ fixed.
 func dSpecialResponseDRho(d queueing.Discipline, m int, rho, rhoSpecial, xbar float64) float64 {
 	if d == queueing.Priority {
+		if rhoSpecial >= 1 {
+			return math.Inf(1) // consistent with DGenericResponseDRho
+		}
 		// W″ = C(ρ)·x̄/(m(1−ρ″)): only C depends on ρ.
 		return queueing.DErlangCdRho(m, rho) * xbar / (float64(m) * (1 - rhoSpecial))
 	}
@@ -150,7 +153,7 @@ func OptimizeTotal(g *model.Group, lambda float64, opts Options) (*TotalResult, 
 	lb, ub := 0.0, phiHi
 	for i := 0; ub-lb > eps*phiHi && i < numeric.MaxIterations; i++ {
 		mid := lb + (ub-lb)/2
-		if mid == lb || mid == ub {
+		if mid == lb || mid == ub { //bladelint:allow floateq -- bisection fixed point: the midpoint collided with a bound
 			break
 		}
 		if total(mid) >= lambda {

@@ -147,7 +147,7 @@ func (JSQ) Pick(views []sim.StationView, _ *rand.Rand) int {
 	bestLoad := load(views[0])
 	for i := 1; i < len(views); i++ {
 		l := load(views[i])
-		if l < bestLoad || (l == bestLoad && views[i].Speed > views[best].Speed) {
+		if l < bestLoad || (l == bestLoad && views[i].Speed > views[best].Speed) { //bladelint:allow floateq -- exact tie-break: equal loads defer to the faster blade deterministically
 			best, bestLoad = i, l
 		}
 	}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest runs one analyzer over the single package in dir and checks
+// its diagnostics against `// want` expectations in the sources, in the
+// style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	mu.Lock() // want `sync\.Mutex\.Lock`
+//	a := x == y // want "floating-point equality" "second diagnostic"
+//
+// Each segment — a double-quoted Go string or a backtick raw string —
+// is a regular expression that must match the message of one diagnostic
+// reported on that line of that file. The check is exact in both
+// directions: a diagnostic with no matching want fails the test, and so
+// does a want with no matching diagnostic. Directive parse errors are
+// ordinary diagnostics here (their messages start "bladelint:"), so
+// malformed-directive behavior is testable the same way.
+func RunTest(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+	type want struct {
+		key     string // "file:line"
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	var wants []*want
+	byLine := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				patterns, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					w := &want{key: key, re: re, raw: p}
+					wants = append(wants, w)
+					byLine[key] = append(byLine[key], w)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		matched := false
+		for _, w := range byLine[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matching %q", w.key, w.raw)
+		}
+	}
+}
+
+// wantSegment matches one expectation segment: a double-quoted Go
+// string or a backtick raw string.
+var wantSegment = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWant extracts the expectation patterns from one comment, or nil
+// if the comment is not a want comment.
+func parseWant(text string) ([]string, error) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, nil
+	}
+	body, ok = strings.CutPrefix(strings.TrimLeft(body, " \t"), "want")
+	if !ok || (body != "" && body[0] != ' ' && body[0] != '\t') {
+		return nil, nil
+	}
+	var patterns []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		loc := wantSegment.FindStringIndex(rest)
+		if loc == nil || loc[0] != 0 {
+			return nil, fmt.Errorf("malformed want comment: expected quoted pattern at %q", rest)
+		}
+		seg := rest[:loc[1]]
+		if seg[0] == '"' {
+			unq, err := strconv.Unquote(seg)
+			if err != nil {
+				return nil, fmt.Errorf("malformed want pattern %s: %v", seg, err)
+			}
+			patterns = append(patterns, unq)
+		} else {
+			patterns = append(patterns, seg[1:len(seg)-1])
+		}
+		rest = strings.TrimSpace(rest[loc[1]:])
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return patterns, nil
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces the PR 4 concurrency contract on mixed access: a
+// variable whose address is handed to sync/atomic (atomic.AddInt64,
+// atomic.LoadUint64, atomic.CompareAndSwapPointer, …) is owned by the
+// atomic protocol, and every plain read or write of it elsewhere in the
+// package is a data race the race detector only catches if a test
+// happens to interleave it. Struct fields and package-level variables
+// are both tracked. Typed atomics (atomic.Int64, atomic.Pointer[T])
+// make this impossible by construction and are the preferred fix;
+// deliberate single-threaded exceptions (constructors before publish)
+// carry //bladelint:allow atomicfield.
+var AtomicField = &Analyzer{
+	Name:      "atomicfield",
+	Directive: "atomicfield",
+	Doc:       "variables accessed through sync/atomic are never also accessed non-atomically",
+	Run:       runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	// Pass 1: collect every variable whose address feeds a sync/atomic
+	// call, and remember those operand nodes (and their sub-expressions)
+	// as sanctioned.
+	atomicVars := map[*types.Var]bool{}
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on typed atomics are safe by construction
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op.String() != "&" {
+					continue
+				}
+				operand := ast.Unparen(unary.X)
+				if v := addressableVar(pass, operand); v != nil {
+					atomicVars[v] = true
+					ast.Inspect(operand, func(sub ast.Node) bool {
+						sanctioned[sub] = true
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: any other appearance of those variables is a plain access.
+	// Composite-literal keys are skipped: keyed initialization happens
+	// before the value is shared.
+	for _, f := range pass.Files() {
+		literalKeys := map[*ast.Ident]bool{}
+		selectorSels := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							literalKeys[id] = true
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				selectorSels[n.Sel] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok || sanctioned[expr] {
+				return true
+			}
+			var id *ast.Ident
+			switch e := expr.(type) {
+			case *ast.SelectorExpr:
+				id = e.Sel
+			case *ast.Ident:
+				// A selector's Sel ident is reported via its SelectorExpr;
+				// visiting it again here would double-report.
+				if selectorSels[e] {
+					return true
+				}
+				id = e
+			default:
+				return true
+			}
+			if literalKeys[id] {
+				return true
+			}
+			if pass.Pkg.Info.Defs[id] != nil {
+				return true // the declaration itself, not an access
+			}
+			v, ok := pass.ObjectOf(id).(*types.Var)
+			if !ok || !atomicVars[v] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"non-atomic access to %s, which is accessed via sync/atomic elsewhere in this package; use the atomic API (or a typed atomic) everywhere", v.Name())
+			return true
+		})
+	}
+}
+
+// addressableVar resolves the variable (field or package-level var) an
+// address-of operand denotes, unwrapping selector chains and index
+// expressions conservatively.
+func addressableVar(pass *Pass, expr ast.Expr) *types.Var {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.ObjectOf(e.Sel).(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.ObjectOf(e).(*types.Var); ok && !v.IsField() {
+			// Only package-level vars are shared state worth tracking;
+			// locals passed to atomics are usually test scaffolding.
+			if v.Parent() == pass.TypesPkg().Scope() {
+				return v
+			}
+		}
+	case *ast.IndexExpr:
+		// &arr[i] for atomic element access: track by the container's
+		// identity when it is a field (e.g. a [N]int64 counter array).
+		return addressableVar(pass, ast.Unparen(e.X))
+	}
+	return nil
+}

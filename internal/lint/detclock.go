@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetClock enforces the reproducibility invariant of PRs 1–3: the
+// simulator, the failure processes and the report audit are functions
+// of their inputs — clocks and randomness arrive as parameters
+// (injectable clocks, seeded *rand.Rand), never from the wall clock or
+// the global math/rand generators. Concretely:
+//
+//   - in the deterministic packages (sim, failure, report), any use of
+//     time.Now / time.Since / time.Until / timers, or of a package-level
+//     math/rand or math/rand/v2 function (the shared global generator),
+//     is flagged — constructors like rand.New and rand.NewSource are
+//     fine, they build the injectable state;
+//   - everywhere, a *At-variant function (name ending in "At" with a
+//     time.Time parameter — the clock-supplied entry points PR 3
+//     introduced) must not read the clock again: the caller handed it
+//     the instant precisely so the code path stays replayable.
+var DetClock = &Analyzer{
+	Name:      "detclock",
+	Directive: "detclock",
+	Doc:       "no wall clocks or global RNG in deterministic packages; *At variants use their supplied instant",
+	Run:       runDetClock,
+}
+
+// detClockPackages are the package names (all under internal/) whose
+// whole API must stay deterministic.
+var detClockPackages = map[string]bool{
+	"sim":     true,
+	"failure": true,
+	"report":  true,
+}
+
+// clockFuncs are the time package entry points that read or schedule
+// against the wall clock.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// clockReads is the subset that directly samples the clock — the *At
+// rule flags only these (an *At helper may legitimately arm a timer).
+var clockReads = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDetClock(pass *Pass) {
+	inScope := detClockPackages[pass.PkgName()]
+	for _, f := range pass.Files() {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			atVariant := isAtVariant(pass, fd)
+			if !inScope && !atVariant {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.ObjectOf(id).(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods (e.g. Time.Sub, Rand.Float64) are fine
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if inScope && clockFuncs[fn.Name()] {
+						pass.Reportf(id.Pos(),
+							"time.%s in deterministic package %s: inject a clock (func() time.Time) instead", fn.Name(), pass.PkgName())
+					} else if atVariant && clockReads[fn.Name()] {
+						pass.Reportf(id.Pos(),
+							"time.%s inside clock-supplied variant %s: use the caller's time.Time parameter", fn.Name(), fd.Name.Name)
+					}
+				case "math/rand", "math/rand/v2":
+					if inScope && !strings.HasPrefix(fn.Name(), "New") {
+						pass.Reportf(id.Pos(),
+							"global %s.%s in deterministic package %s: draw from an injected, seeded generator instead", fn.Pkg().Path(), fn.Name(), pass.PkgName())
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtVariant reports whether fd is a clock-supplied entry point: its
+// name ends in "At" and it takes a time.Time parameter.
+func isAtVariant(pass *Pass, fd *ast.FuncDecl) bool {
+	if !strings.HasSuffix(fd.Name.Name, "At") {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if named, ok := pass.TypeOf(field.Type).(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive comments steer bladelint:
+//
+//	//bladelint:allow <check> [<check>...] -- <one-line justification>
+//	//bladelint:hotpath
+//
+// allow suppresses the named checks; where it appears decides how much
+// it covers (its own line and the next, the enclosing declaration when
+// it is part of the declaration's doc comment, or the whole file when
+// it stands before the first declaration). hotpath marks a function as
+// an extra reachability root for hotpathlock and is only legal in a
+// function's doc comment.
+
+// directivePrefix introduces every bladelint directive comment.
+const directivePrefix = "bladelint:"
+
+// knownChecks returns the set of directive tokens //bladelint:allow
+// accepts, derived from the registered analyzers so the two can never
+// drift apart.
+func knownChecks() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range Analyzers() {
+		m[a.Directive] = true
+	}
+	return m
+}
+
+// knownCheckList renders the accepted tokens for error messages.
+func knownCheckList() string {
+	var names []string
+	for name := range knownChecks() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// parseDirective parses one comment line. It returns verb == "" when
+// the comment is not a bladelint directive at all; a non-empty verb
+// with err != nil means a malformed directive, which must fail loudly
+// rather than silently suppress nothing.
+func parseDirective(text string) (verb string, checks []string, err error) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return "", nil, nil
+	}
+	body = strings.TrimLeft(body, " \t")
+	body, ok = strings.CutPrefix(body, directivePrefix)
+	if !ok {
+		return "", nil, nil
+	}
+	// Split off the trailing justification ("-- why") first so its words
+	// are never mistaken for check names.
+	body, _, _ = strings.Cut(body, "--")
+	fields := strings.FieldsFunc(body, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	if len(fields) == 0 {
+		return "", nil, fmt.Errorf("bladelint: directive missing verb (want allow or hotpath)")
+	}
+	verb = fields[0]
+	switch verb {
+	case "allow":
+		checks = fields[1:]
+		if len(checks) == 0 {
+			return verb, nil, fmt.Errorf("bladelint:allow without a check name (known: %s)", knownCheckList())
+		}
+		known := knownChecks()
+		for _, c := range checks {
+			if !known[c] {
+				return verb, nil, fmt.Errorf("bladelint:allow names unknown check %q (known: %s)", c, knownCheckList())
+			}
+		}
+		return verb, checks, nil
+	case "hotpath":
+		if len(fields) > 1 {
+			return verb, nil, fmt.Errorf("bladelint:hotpath takes no arguments (got %q)", strings.Join(fields[1:], " "))
+		}
+		return verb, nil, nil
+	default:
+		return verb, nil, fmt.Errorf("bladelint: unknown directive verb %q (want allow or hotpath)", verb)
+	}
+}
+
+// lineSpan is an inclusive line range one allow directive covers.
+type lineSpan struct{ start, end int }
+
+// directiveIndex is a package's parsed directives: per-file suppression
+// spans, hotpath roots, and parse errors (reported as diagnostics).
+type directiveIndex struct {
+	files        map[string]map[string][]lineSpan // filename → check → spans
+	hotpathRoots map[*ast.FuncDecl]bool
+	errs         []Diagnostic
+}
+
+// allowed reports whether an allow directive for check covers pos.
+func (ix *directiveIndex) allowed(check string, pos token.Position) bool {
+	for _, span := range ix.files[pos.Filename][check] {
+		if span.start <= pos.Line && pos.Line <= span.end {
+			return true
+		}
+	}
+	return false
+}
+
+const wholeFile = 1 << 30
+
+// buildDirectives parses every bladelint directive in the package.
+func buildDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	ix := &directiveIndex{
+		files:        map[string]map[string][]lineSpan{},
+		hotpathRoots: map[*ast.FuncDecl]bool{},
+	}
+	for _, f := range files {
+		filename := fset.Position(f.Package).Filename
+
+		// Associate doc comment groups with their declarations so a
+		// directive in a doc comment covers the whole declaration.
+		docOf := map[*ast.CommentGroup]ast.Decl{}
+		var firstDecl token.Pos = wholeFile
+		for _, d := range f.Decls {
+			if d.Pos() < firstDecl {
+				firstDecl = d.Pos()
+			}
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil {
+					docOf[d.Doc] = d
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					docOf[d.Doc] = d
+				}
+			}
+		}
+
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				verb, checks, err := parseDirective(c.Text)
+				if verb == "" && err == nil {
+					continue
+				}
+				if err != nil {
+					ix.errs = append(ix.errs, Diagnostic{
+						Pos:     fset.Position(c.Pos()),
+						Check:   "directive",
+						Message: err.Error(),
+					})
+					continue
+				}
+				decl, isDoc := docOf[group]
+				switch verb {
+				case "hotpath":
+					fd, ok := decl.(*ast.FuncDecl)
+					if !isDoc || !ok {
+						ix.errs = append(ix.errs, Diagnostic{
+							Pos:     fset.Position(c.Pos()),
+							Check:   "directive",
+							Message: "bladelint:hotpath must appear in a function's doc comment",
+						})
+						continue
+					}
+					ix.hotpathRoots[fd] = true
+				case "allow":
+					span := allowSpan(fset, f, group, c, decl, isDoc, firstDecl)
+					byCheck := ix.files[filename]
+					if byCheck == nil {
+						byCheck = map[string][]lineSpan{}
+						ix.files[filename] = byCheck
+					}
+					for _, check := range checks {
+						byCheck[check] = append(byCheck[check], span)
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// allowSpan decides how much one allow directive covers:
+//
+//   - part of a declaration's doc comment → the whole declaration
+//     (an import declaration's doc widens to the whole file: there is
+//     nothing to allow on an import, so the author meant the file);
+//   - a standalone comment before the first declaration (including
+//     before the package clause) → the whole file;
+//   - anywhere else → its own line and the next, so it can sit on the
+//     offending line or immediately above it.
+func allowSpan(fset *token.FileSet, f *ast.File, group *ast.CommentGroup, c *ast.Comment, decl ast.Decl, isDoc bool, firstDecl token.Pos) lineSpan {
+	if isDoc {
+		if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			return lineSpan{1, wholeFile}
+		}
+		return lineSpan{fset.Position(decl.Pos()).Line, fset.Position(decl.End()).Line}
+	}
+	if group.End() < firstDecl {
+		return lineSpan{1, wholeFile}
+	}
+	line := fset.Position(c.Pos()).Line
+	return lineSpan{line, line + 1}
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	tests := []struct {
+		name    string
+		text    string
+		verb    string
+		checks  []string
+		wantErr string // substring of the expected error, "" for none
+	}{
+		{"plain comment", "// just prose", "", nil, ""},
+		{"unrelated directive", "//go:noinline", "", nil, ""},
+		{"single check", "//bladelint:allow floateq", "allow", []string{"floateq"}, ""},
+		{"leading space", "// bladelint:allow lock", "allow", []string{"lock"}, ""},
+		{
+			"trailing justification",
+			"//bladelint:allow floateq -- exact sentinel, never computed",
+			"allow", []string{"floateq"}, "",
+		},
+		{
+			"justification words are not check names",
+			"//bladelint:allow lock -- detclock would not apply here",
+			"allow", []string{"lock"}, "",
+		},
+		{
+			"multiple checks, space separated",
+			"//bladelint:allow lock detclock -- serialized baseline",
+			"allow", []string{"lock", "detclock"}, "",
+		},
+		{
+			"multiple checks, comma separated",
+			"//bladelint:allow lock,detclock,rhoguard",
+			"allow", []string{"lock", "detclock", "rhoguard"}, "",
+		},
+		{
+			"comma with spaces",
+			"//bladelint:allow floateq, atomicfield -- both intentional",
+			"allow", []string{"floateq", "atomicfield"}, "",
+		},
+		{"unknown check", "//bladelint:allow nosuchcheck", "allow", nil, `unknown check "nosuchcheck"`},
+		{
+			"one unknown among known",
+			"//bladelint:allow lock nosuchcheck",
+			"allow", nil, `unknown check "nosuchcheck"`,
+		},
+		{"allow without checks", "//bladelint:allow", "allow", nil, "without a check name"},
+		{
+			"allow with only a justification",
+			"//bladelint:allow -- because I said so",
+			"allow", nil, "without a check name",
+		},
+		{"hotpath", "//bladelint:hotpath", "hotpath", nil, ""},
+		{"hotpath with argument", "//bladelint:hotpath Decide", "hotpath", nil, "takes no arguments"},
+		{"unknown verb", "//bladelint:frobnicate", "frobnicate", nil, "unknown directive verb"},
+		{"empty directive", "//bladelint:", "", nil, "missing verb"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			verb, checks, err := parseDirective(tt.text)
+			if verb != tt.verb {
+				t.Errorf("verb = %q, want %q", verb, tt.verb)
+			}
+			if !reflect.DeepEqual(checks, tt.checks) {
+				t.Errorf("checks = %v, want %v", checks, tt.checks)
+			}
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Errorf("unexpected error: %v", err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// parseDirectives builds a directive index from one in-memory file.
+func parseDirectives(t *testing.T, src string) *directiveIndex {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	return buildDirectives(fset, []*ast.File{f})
+}
+
+func at(line int) token.Position {
+	return token.Position{Filename: "test.go", Line: line}
+}
+
+func TestDirectiveScopes(t *testing.T) {
+	const src = `package p
+
+//bladelint:allow floateq -- whole function
+func f() {
+	_ = 1
+	_ = 2
+}
+
+func g() {
+	_ = 3 //bladelint:allow lock -- this line and the next
+	_ = 4
+	_ = 5
+}
+`
+	ix := parseDirectives(t, src)
+	if len(ix.errs) != 0 {
+		t.Fatalf("unexpected directive errors: %v", ix.errs)
+	}
+	for _, tt := range []struct {
+		check string
+		line  int
+		want  bool
+	}{
+		{"floateq", 4, true},  // func f line
+		{"floateq", 6, true},  // inside f
+		{"floateq", 9, false}, // func g: different decl
+		{"lock", 10, true},    // the annotated line
+		{"lock", 11, true},    // the next line
+		{"lock", 12, false},   // two lines down
+		{"lock", 6, false},    // other check's span
+	} {
+		if got := ix.allowed(tt.check, at(tt.line)); got != tt.want {
+			t.Errorf("allowed(%q, line %d) = %v, want %v", tt.check, tt.line, got, tt.want)
+		}
+	}
+}
+
+func TestDirectiveFileScope(t *testing.T) {
+	const standalone = `package p
+
+//bladelint:allow lock -- serialized baseline file, kept for comparison
+
+import "sync"
+
+var mu sync.Mutex
+`
+	ix := parseDirectives(t, standalone)
+	if len(ix.errs) != 0 {
+		t.Fatalf("unexpected directive errors: %v", ix.errs)
+	}
+	if !ix.allowed("lock", at(7)) {
+		t.Error("standalone pre-declaration directive should cover the whole file")
+	}
+
+	const importDoc = `package p
+
+//bladelint:allow detclock -- replay tooling, wall clock is the point
+import "time"
+
+var epoch = time.Unix(0, 0)
+`
+	ix = parseDirectives(t, importDoc)
+	if len(ix.errs) != 0 {
+		t.Fatalf("unexpected directive errors: %v", ix.errs)
+	}
+	if !ix.allowed("detclock", at(6)) {
+		t.Error("import-doc directive should widen to the whole file")
+	}
+}
+
+func TestDirectiveErrors(t *testing.T) {
+	const src = `package p
+
+//bladelint:allow nosuchcheck -- typo
+func a() {}
+
+//bladelint:hotpath
+var notAFunction int
+
+//bladelint:
+func b() {}
+`
+	ix := parseDirectives(t, src)
+	if len(ix.errs) != 3 {
+		t.Fatalf("got %d directive errors, want 3: %v", len(ix.errs), ix.errs)
+	}
+	for i, want := range []string{"unknown check", "function's doc comment", "missing verb"} {
+		if !strings.Contains(ix.errs[i].Message, want) {
+			t.Errorf("errs[%d] = %q, want substring %q", i, ix.errs[i].Message, want)
+		}
+		if ix.errs[i].Check != "directive" {
+			t.Errorf("errs[%d].Check = %q, want %q", i, ix.errs[i].Check, "directive")
+		}
+	}
+}
+
+func TestHotPathDirectiveRoots(t *testing.T) {
+	const src = `package p
+
+//bladelint:hotpath
+func hot() {}
+
+func cold() {}
+`
+	ix := parseDirectives(t, src)
+	if len(ix.errs) != 0 {
+		t.Fatalf("unexpected directive errors: %v", ix.errs)
+	}
+	if len(ix.hotpathRoots) != 1 {
+		t.Fatalf("got %d hotpath roots, want 1", len(ix.hotpathRoots))
+	}
+	for fd := range ix.hotpathRoots {
+		if fd.Name.Name != "hot" {
+			t.Errorf("hotpath root is %q, want %q", fd.Name.Name, "hot")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package lint is bladelint: a vet-style analyzer suite that
+// mechanically enforces the repo's load-bearing invariants — the ones
+// that previously existed only by convention and a handful of pinned
+// tests:
+//
+//   - hotpathlock: the serving hot path (everything reachable from
+//     serve.Decide and the dispatch.Probabilistic pick entry points)
+//     stays lock-free and allocation-free (PR 4's invariant).
+//   - detclock: internal/sim, internal/failure and internal/report
+//     never read wall clocks or the global math/rand generators —
+//     clocks and RNG are parameters (PRs 1–3's reproducibility
+//     invariant), and *At-variant functions everywhere use the
+//     caller-supplied instant they were handed.
+//   - rhoguard: every division by a 1−ρ-shaped denominator in
+//     internal/queueing, internal/core and internal/plan is dominated
+//     by a stability check — the ρ < 1 region is where every M/M/m
+//     formula of the paper (§3, Theorems 1–2) is defined.
+//   - floateq: no ==/!= on floating-point values outside _test.go
+//     files (bit-identical pin tests) and explicitly annotated
+//     comparisons.
+//   - atomicfield: a field accessed through sync/atomic functions is
+//     never also accessed as a plain load/store.
+//
+// Findings are suppressed, one at a time and with a visible paper
+// trail, by directive comments:
+//
+//	//bladelint:allow <check>... -- one-line justification
+//
+// placed on (or immediately above) the offending line, in the doc
+// comment of the enclosing declaration (covers the whole declaration),
+// or as a standalone comment before the first declaration of a file
+// (covers the whole file). Unknown check names are an error, never a
+// silent no-op. A second directive, //bladelint:hotpath, marks extra
+// hot-path roots for hotpathlock beyond the built-in ones.
+//
+// # Why this is not built on golang.org/x/tools/go/analysis
+//
+// The natural substrate for a custom vettool is
+// golang.org/x/tools/go/analysis plus its unitchecker driver. That
+// would be this module's first external dependency, and the repo's
+// standing constraint is that `go build ./...` of the library stays
+// dependency-light and builds in a hermetic environment with no module
+// downloads. So bladelint gates the dependency away entirely: it
+// implements the small slice of the analysis API shape it needs
+// (Analyzer, Pass, Reportf, an analysistest-style `// want` harness)
+// on the standard library only. Packages are loaded and type-checked
+// with go/parser and go/types; imports are resolved from compiled
+// export data that `go list -deps -export` materializes offline in the
+// build cache, so the loader needs neither network access nor a
+// source-level importer. If the module ever takes on x/tools for other
+// reasons, each analyzer's Run function ports to an
+// analysis.Analyzer mechanically.
+//
+// The suite is wired into CI as its own job (`go run ./cmd/bladelint
+// ./...`), so reverting an enforced invariant — re-introducing a mutex
+// on the dispatch path, a time.Now in the simulator, an unguarded
+// 1/(1−ρ) — fails the build, not a code review.
+package lint

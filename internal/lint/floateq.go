@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point values. Rounded
+// intermediates make exact comparison a latent bug almost everywhere in
+// this codebase — the numerical invariants are pinned through tolerance
+// helpers or bit-level pins, not ==. The two legitimate uses keep their
+// escape hatches: _test.go files are skipped wholesale (the kernel and
+// warm-start pin suites compare bit-identically by design), and an
+// intentional exact comparison in library code carries a
+// //bladelint:allow floateq annotation with its one-line justification.
+var FloatEq = &Analyzer{
+	Name:      "floateq",
+	Directive: "floateq",
+	Doc:       "flag ==/!= on floating-point values outside pin tests and annotated comparisons",
+	Run:       runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files() {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isFloat(pass.TypeOf(n.X)) || isFloat(pass.TypeOf(n.Y)) {
+					pass.Reportf(n.OpPos,
+						"floating-point equality (%s): compare with a tolerance or annotate with //bladelint:allow floateq", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(pass.TypeOf(n.Tag)) {
+					pass.Reportf(n.Tag.Pos(),
+						"switch on a floating-point value compares with ==: compare with a tolerance or annotate with //bladelint:allow floateq")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t is (or aliases) a floating-point or complex
+// basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathLock enforces the PR 4 lock-free serving contract: functions
+// reachable from serve.Decide and from the Probabilistic dispatcher's
+// pick methods must not acquire mutexes, touch channels, launch
+// goroutines, or allocate (map/slice construction, append, heap
+// composite literals, string building, interface boxing). Those are
+// exactly the operations the lock-free redesign removed from the
+// admission path, and any one of them reintroduces either contention or
+// a GC term into the tail latency the load harness pins.
+//
+// Reachability is computed per package: the roots are serve.Decide,
+// Probabilistic.Pick/PickU/PickSource, and any function whose doc
+// comment carries //bladelint:hotpath. Calls through interfaces are
+// expanded to every package-local implementation, so swapping the
+// lock-free estimator back to the mutexed baseline is caught even
+// though Decide only sees the interface. Serialized-baseline code that
+// exists to be compared against (estimator_locked.go, lockedRand,
+// lockedMetrics) stays as //bladelint:allow lock with its
+// justification.
+var HotPathLock = &Analyzer{
+	Name:      "hotpathlock",
+	Directive: "lock",
+	Doc:       "no locks, channels, goroutines, or allocation in functions reachable from the serving hot path",
+	Run:       runHotPathLock,
+}
+
+// hotPickNames are the Probabilistic dispatcher methods that run per
+// request.
+var hotPickNames = map[string]bool{"Pick": true, "PickU": true, "PickSource": true}
+
+func runHotPathLock(pass *Pass) {
+	// Index every non-test function declaration by its type object.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files() {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	// BFS over intra-package calls from the roots, remembering the call
+	// chain so diagnostics explain *why* a helper is hot.
+	chain := map[*types.Func]string{}
+	var queue []*types.Func
+	enqueue := func(fn *types.Func, path string) {
+		if _, seen := chain[fn]; seen {
+			return
+		}
+		chain[fn] = path
+		queue = append(queue, fn)
+	}
+	for fn, fd := range decls {
+		if isHotRoot(pass, fd) {
+			enqueue(fn, funcDisplayName(fn))
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		if fd == nil {
+			continue // defined outside this package: analyzed in its own run
+		}
+		for _, callee := range hotCallees(pass, fd) {
+			enqueue(callee, chain[fn]+" → "+funcDisplayName(callee))
+		}
+	}
+
+	for fn, path := range chain {
+		if fd := decls[fn]; fd != nil {
+			checkHotPathBody(pass, fd, path)
+		}
+	}
+}
+
+// isHotRoot reports whether fd is a reachability root: the serving
+// admission entry point, a Probabilistic pick method, or an explicitly
+// marked //bladelint:hotpath function.
+func isHotRoot(pass *Pass, fd *ast.FuncDecl) bool {
+	if pass.HotPathRoots()[fd] {
+		return true
+	}
+	switch {
+	case strings.HasSuffix(pass.PkgPath(), "internal/serve"):
+		return fd.Name.Name == "Decide"
+	case strings.HasSuffix(pass.PkgPath(), "internal/dispatch"):
+		return receiverTypeName(fd) == "Probabilistic" && hotPickNames[fd.Name.Name]
+	}
+	return false
+}
+
+// receiverTypeName returns the name of fd's receiver base type, or "".
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// funcDisplayName renders fn for call-chain diagnostics, with the
+// receiver type for methods.
+func funcDisplayName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// hotCallees returns the functions fd calls that belong on the hot
+// path: statically resolved callees, with interface method calls
+// expanded to every package-local implementation.
+func hotCallees(pass *Pass, fd *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil {
+			return true // builtin, conversion, or func-valued field: no edge
+		}
+		if isInterfaceMethod(fn) {
+			out = append(out, implementations(pass, fn)...)
+		} else {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// implementations returns the concrete methods every package-local type
+// implementing m's interface provides for m — the possible dynamic
+// targets of an interface call, as far as one package can know them.
+func implementations(pass *Pass, m *types.Func) []*types.Func {
+	iface, ok := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	scope := pass.TypesPkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		T := tn.Type()
+		if types.IsInterface(T) {
+			continue
+		}
+		var impl types.Type
+		switch {
+		case types.Implements(T, iface):
+			impl = T
+		case types.Implements(types.NewPointer(T), iface):
+			impl = types.NewPointer(T)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, pass.TypesPkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// checkHotPathBody flags every forbidden operation in one hot function.
+func checkHotPathBody(pass *Pass, fd *ast.FuncDecl, path string) {
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s on the serving hot path (%s); restructure, or annotate //bladelint:allow lock with the justification", what, path)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n, report)
+		case *ast.SendStmt:
+			report(n.Arrow, "channel send")
+		case *ast.UnaryExpr:
+			switch n.Op {
+			case token.ARROW:
+				report(n.OpPos, "channel receive")
+			case token.AND:
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.OpPos, "heap allocation (&composite literal)")
+				}
+			}
+		case *ast.SelectStmt:
+			report(n.Select, "select statement")
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(n.For, "range over a channel")
+				}
+			}
+		case *ast.GoStmt:
+			report(n.Go, "goroutine launch")
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					report(n.Pos(), "map literal allocation")
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocation")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv, ok := pass.Pkg.Info.Types[ast.Expr(n)]
+				if ok && tv.Value == nil && isStringType(tv.Type) {
+					report(n.OpPos, "non-constant string concatenation")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags the call-shaped forbidden operations: mutex
+// acquisition, allocating builtins, allocating conversions, and
+// interface boxing of arguments.
+func checkHotCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	// Builtins: allocation (make/new/append) and channel close.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				report(call.Pos(), b.Name()+" allocation")
+			case "close":
+				report(call.Pos(), "channel close")
+			}
+			return
+		}
+	}
+
+	// Conversions between strings and byte/rune slices copy.
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := pass.TypeOf(call.Args[0])
+		if src != nil {
+			switch dst.(type) {
+			case *types.Slice:
+				if isStringType(src) {
+					report(call.Pos(), "string-to-slice conversion (allocates)")
+				}
+			default:
+				if isStringType(tv.Type) {
+					if _, ok := src.Underlying().(*types.Slice); ok {
+						report(call.Pos(), "slice-to-string conversion (allocates)")
+					}
+				}
+			}
+		}
+		return
+	}
+
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+
+	// Mutex methods.
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				report(call.Pos(), "sync."+obj.Name()+"."+fn.Name())
+			}
+		}
+	}
+
+	// Interface boxing: a concrete argument passed to an interface
+	// parameter escapes to the heap (fmt.Sprintf("%d", n) style).
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a spread slice is passed as-is
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "interface boxing of an argument (type "+at.String()+")")
+	}
+}
+
+// isStringType reports whether t's underlying type is a string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one bladelint check: a name for diagnostics, the
+// directive token that suppresses it, and a Run function over one
+// type-checked package. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis so each check ports mechanically if
+// the module ever adopts x/tools (see the package comment for why it
+// has not).
+type Analyzer struct {
+	// Name labels diagnostics, e.g. "hotpathlock".
+	Name string
+	// Directive is the token //bladelint:allow accepts to suppress this
+	// check, e.g. "lock". Often equal to Name.
+	Directive string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run reports this check's findings on one package via pass.Reportf.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Check)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //bladelint:allow directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.directives.allowed(p.Analyzer.Directive, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// TypesInfo returns the package's type-checking results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the package's type object.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// PkgPath returns the package's import path.
+func (p *Pass) PkgPath() string { return p.Pkg.PkgPath }
+
+// PkgName returns the package's name.
+func (p *Pass) PkgName() string { return p.Pkg.Types.Name() }
+
+// IsTestFile reports whether f is a _test.go file. Pin tests compare
+// floats bit-identically and drive deterministic clocks by hand, so
+// several analyzers skip them.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Pkg.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// HotPathRoots returns the functions marked //bladelint:hotpath in this
+// package (extra reachability roots for hotpathlock).
+func (p *Pass) HotPathRoots() map[*ast.FuncDecl]bool {
+	return p.Pkg.directives.hotpathRoots
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// CalleeFunc resolves the function or method a call expression invokes
+// statically, or nil for calls through function values and builtins.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Pkg.Info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				if f, ok := sel.Obj().(*types.Func); ok {
+					return f
+				}
+			}
+			return nil // calling a func-typed field: not statically resolvable
+		}
+		if f, ok := p.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{HotPathLock, DetClock, RhoGuard, FloatEq, AtomicField}
+}
+
+// ByName returns the analyzers whose names appear in the comma-
+// separated list, or the full suite for an empty list.
+func ByName(list string) ([]*Analyzer, error) {
+	if strings.TrimSpace(list) == "" {
+		return Analyzers(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", strings.TrimSpace(name))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package and returns all findings,
+// including directive-parsing errors (unknown check names must fail
+// loudly, never act as a silent allow), in deterministic order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, pkg.directives.errs...)
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func testdata(parts ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+}
+
+func TestFloatEq(t *testing.T) {
+	RunTest(t, FloatEq, testdata("floateq"))
+}
+
+func TestDetClockScopedPackage(t *testing.T) {
+	RunTest(t, DetClock, testdata("detclock_sim"))
+}
+
+func TestDetClockAtVariant(t *testing.T) {
+	RunTest(t, DetClock, testdata("detclock_at"))
+}
+
+func TestRhoGuard(t *testing.T) {
+	RunTest(t, RhoGuard, testdata("rhoguard"))
+}
+
+func TestAtomicField(t *testing.T) {
+	RunTest(t, AtomicField, testdata("atomicfield"))
+}
+
+func TestHotPathLock(t *testing.T) {
+	RunTest(t, HotPathLock, testdata("hotpathlock"))
+}
+
+// TestByName pins the CLI's -checks plumbing.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := ByName("floateq, rhoguard")
+	if err != nil || len(two) != 2 || two[0] != FloatEq || two[1] != RhoGuard {
+		t.Fatalf("ByName(\"floateq, rhoguard\") = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") succeeded; want an error")
+	}
+}
+
+// TestLoadRepo is the integration smoke test: the loader must
+// type-check the whole module from export data, and the directive index
+// must never hold parse errors in the committed tree (malformed
+// directives are findings, so a clean tree has none).
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	pkgs, err := Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, d := range pkg.directives.errs {
+			t.Errorf("malformed directive: %s", d)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package plus its parsed
+// directives — the unit every analyzer runs over.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	directives *directiveIndex
+}
+
+// newInfo allocates the full set of type-checking result maps the
+// analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList runs `go list -json` with the given arguments in dir. CGO is
+// disabled so the file sets match what a hermetic `go build` compiles.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiled export data that
+// `go list -deps -export` materialized in the build cache — no network,
+// no source re-typechecking of dependencies.
+type exportImporter struct {
+	inner types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return exportImporter{importer.ForCompiler(fset, "gc", lookup)}
+}
+
+func (e exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.inner.Import(path)
+}
+
+// Load loads and type-checks the packages matching the go package
+// patterns (e.g. "./..."), rooted at dir. Only non-test files are
+// loaded: the invariants bladelint enforces are library invariants, and
+// pin tests legitimately do what several checks forbid (exact float
+// comparison, hand-driven clocks).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One pass over the dependency closure builds export data for every
+	// import (including intra-module ones) offline in the build cache.
+	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var filenames []string
+		for _, f := range t.GoFiles {
+			filenames = append(filenames, filepath.Join(t.Dir, f))
+		}
+		pkg, err := check(fset, imp, t.ImportPath, filenames)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one package from explicit file names.
+func check(fset *token.FileSet, imp types.Importer, pkgPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := newInfo()
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "lint: type-checking %s:", pkgPath)
+		for _, e := range typeErrs {
+			fmt.Fprintf(&b, "\n\t%v", e)
+		}
+		return nil, fmt.Errorf("%s", b.String())
+	}
+	return &Package{
+		PkgPath:    pkgPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		directives: buildDirectives(fset, files),
+	}, nil
+}
+
+// exportCache memoizes export-data locations for LoadDir across test
+// packages within one process.
+var exportCache = struct {
+	sync.Mutex
+	files map[string]string // import path → export data file
+}{files: map[string]string{}}
+
+// LoadDir loads a single package from a bare directory of Go files —
+// the analysistest path, used for the testdata suites that the go tool
+// itself never builds. Imports are restricted to packages resolvable by
+// `go list -deps -export` (the standard library, in practice).
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %v", dir, err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	// Pre-parse just far enough to learn the import set, then make sure
+	// export data exists for all of it.
+	fset := token.NewFileSet()
+	imports := map[string]bool{}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != "unsafe" {
+				imports[path] = true
+			}
+		}
+	}
+	exports, err := exportsFor(dir, imports)
+	if err != nil {
+		return nil, err
+	}
+
+	fset = token.NewFileSet()
+	return check(fset, newExportImporter(fset, exports), filepath.Base(dir), filenames)
+}
+
+// exportsFor returns export-data locations for the dependency closure
+// of the given import paths, consulting the process-wide cache first.
+func exportsFor(dir string, imports map[string]bool) (map[string]string, error) {
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	var missing []string
+	for path := range imports {
+		if _, ok := exportCache.files[path]; !ok {
+			missing = append(missing, path)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pkgs, err := goList(dir, append([]string{"-deps", "-export"}, missing...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exportCache.files[p.ImportPath] = p.Export
+			}
+		}
+	}
+	exports := map[string]string{}
+	for path, file := range exportCache.files {
+		exports[path] = file
+	}
+	return exports, nil
+}

@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// RhoGuard enforces the core stability constraint of Li's optimization
+// (PAPER.md §3, Theorems 1–2): every M/M/m expression is defined only
+// on ρ < 1, and the formulas reach that constraint as divisions by
+// 1−ρ-shaped denominators — (1−ρ), (1−ρ″), (1−ρ)², 1−ρ(1−B), local
+// omr := 1−ρ factors. Dividing there without first establishing ρ < 1
+// silently produces negative response times or ±Inf that propagate
+// into the optimizer. The analyzer requires every such division in
+// internal/queueing, internal/core and internal/plan to be preceded,
+// within the same function, by a stability check tied to the same ρ:
+//
+//   - a comparison of ρ (or a variable ρ flows through locally) against
+//     1, or against a cap/max/limit bound (Options.MaxUtilization
+//     style);
+//   - a comparison of the denominator variable itself against 0;
+//   - a ValidateRho call on it.
+//
+// A division whose stability is guaranteed by the caller instead is
+// annotated //bladelint:allow rhoguard with the one-line reason.
+var RhoGuard = &Analyzer{
+	Name:      "rhoguard",
+	Directive: "rhoguard",
+	Doc:       "divisions by 1−ρ-shaped denominators must be dominated by a stability check",
+	Run:       runRhoGuard,
+}
+
+// rhoGuardPackages are the package names whose queueing math is in
+// scope.
+var rhoGuardPackages = map[string]bool{
+	"queueing": true,
+	"core":     true,
+	"plan":     true,
+}
+
+// boundName matches identifiers that carry an upper utilization bound
+// (comparisons against them count as stability checks).
+var boundName = regexp.MustCompile(`(?i)(cap|max|limit|bound)`)
+
+func runRhoGuard(pass *Pass) {
+	if !rhoGuardPackages[pass.PkgName()] {
+		return
+	}
+	for _, f := range pass.Files() {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkRhoGuards(pass, fd)
+			}
+		}
+	}
+}
+
+// funcDefs is the one-step local dataflow of a function body: for each
+// assigned variable, the identifier objects in its right-hand sides
+// (srcs) and the right-hand-side expressions themselves (rhs). It ties
+// omr := 1 − rho (and rho2 := a/m with a := m·rho) back to ρ.
+type funcDefs struct {
+	srcs map[types.Object]map[types.Object]bool
+	rhs  map[types.Object][]ast.Expr
+}
+
+func localDefs(pass *Pass, fd *ast.FuncDecl) *funcDefs {
+	defs := &funcDefs{
+		srcs: map[types.Object]map[types.Object]bool{},
+		rhs:  map[types.Object][]ast.Expr{},
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if defs.srcs[obj] == nil {
+				defs.srcs[obj] = map[types.Object]bool{}
+			}
+			collectIdentObjs(pass, assign.Rhs[i], defs.srcs[obj])
+			defs.rhs[obj] = append(defs.rhs[obj], assign.Rhs[i])
+		}
+		return true
+	})
+	return defs
+}
+
+// checkRhoGuards analyzes one function body.
+func checkRhoGuards(pass *Pass, fd *ast.FuncDecl) {
+	defs := localDefs(pass, fd)
+
+	// Collect the guards: positions of stability comparisons and
+	// ValidateRho calls, keyed by the object set each one constrains.
+	type guard struct {
+		pos  token.Pos
+		objs map[types.Object]bool // flow closure of the guarded ident
+		zero bool                  // compared against 0 (denominator form)
+	}
+	var guards []guard
+	addComparison := func(cmp *ast.BinaryExpr) {
+		for _, pair := range [2][2]ast.Expr{{cmp.X, cmp.Y}, {cmp.Y, cmp.X}} {
+			id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			other := ast.Unparen(pair[1])
+			switch {
+			case isConstVal(pass, other, 1):
+				guards = append(guards, guard{cmp.OpPos, defs.closure(obj), false})
+			case isConstVal(pass, other, 0):
+				guards = append(guards, guard{cmp.OpPos, defs.closure(obj), true})
+			default:
+				if oid, ok := other.(*ast.Ident); ok && boundName.MatchString(oid.Name) {
+					guards = append(guards, guard{cmp.OpPos, defs.closure(obj), false})
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				addComparison(n)
+			}
+		case *ast.CallExpr:
+			if fn := pass.CalleeFunc(n); fn != nil && fn.Name() == "ValidateRho" {
+				objs := map[types.Object]bool{}
+				for _, arg := range n.Args {
+					collectIdentObjs(pass, arg, objs)
+				}
+				guards = append(guards, guard{n.Pos(), defs.closeOver(objs), false})
+			}
+		}
+		return true
+	})
+
+	// guarded reports whether one rho-shaped factor has a dominating
+	// check: a prior guard whose flow closure intersects the factor's.
+	guarded := func(divPos token.Pos, factor map[types.Object]bool, denomVar types.Object) bool {
+		for _, g := range guards {
+			if g.pos >= divPos {
+				continue
+			}
+			if g.zero {
+				// A zero-comparison guards only the denominator variable
+				// itself (omr <= 0 ⇒ the division is safe).
+				if denomVar != nil && g.objs[denomVar] {
+					return true
+				}
+				continue
+			}
+			for obj := range factor {
+				if g.objs[obj] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	report := func(pos token.Pos, denom ast.Expr) {
+		factors, denomVar := rhoShapedFactors(pass, defs, denom, 0)
+		for _, factor := range factors {
+			if !guarded(pos, factor, denomVar) {
+				pass.Reportf(pos,
+					"division by 1−ρ-shaped denominator with no dominating stability check (ρ < 1) in this function; guard it or annotate //bladelint:allow rhoguard")
+				return
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.QUO {
+				report(n.OpPos, n.Y)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.QUO_ASSIGN && len(n.Rhs) == 1 {
+				report(n.TokPos, n.Rhs[0])
+			}
+		}
+		return true
+	})
+}
+
+// collectIdentObjs adds the object of every identifier in expr to out
+// (including the base identifiers of selector expressions).
+func collectIdentObjs(pass *Pass, expr ast.Expr, out map[types.Object]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// closure returns obj plus everything reachable through local
+// definitions in either direction — enough to connect a guard on rho2
+// (:= a/m, a := m·rho) with a denominator built from rho.
+func (d *funcDefs) closure(obj types.Object) map[types.Object]bool {
+	return d.closeOver(map[types.Object]bool{obj: true})
+}
+
+func (d *funcDefs) closeOver(seed map[types.Object]bool) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for o := range seed {
+		out[o] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for lhs, srcs := range d.srcs {
+			if out[lhs] {
+				for s := range srcs {
+					if !out[s] {
+						out[s] = true
+						changed = true
+					}
+				}
+			} else {
+				for s := range srcs {
+					if out[s] {
+						out[lhs] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rhoShapedFactors decomposes a denominator into its 1−ρ-shaped
+// factors. Each factor is returned as the flow closure of the
+// identifiers inside its subtrahend (the ρ in 1−ρ). denomVar is the
+// denominator's own variable when the whole denominator is a single
+// identifier (so omr <= 0 style guards can clear it).
+func rhoShapedFactors(pass *Pass, defs *funcDefs, denom ast.Expr, depth int) (factors []map[types.Object]bool, denomVar types.Object) {
+	if depth > 8 {
+		return nil, nil
+	}
+	denom = ast.Unparen(denom)
+	switch e := denom.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.MUL:
+			fx, _ := rhoShapedFactors(pass, defs, e.X, depth+1)
+			fy, _ := rhoShapedFactors(pass, defs, e.Y, depth+1)
+			return append(fx, fy...), nil
+		case token.SUB:
+			if isConstVal(pass, ast.Unparen(e.X), 1) {
+				objs := map[types.Object]bool{}
+				collectIdentObjs(pass, e.Y, objs)
+				return []map[types.Object]bool{defs.closeOver(objs)}, nil
+			}
+		}
+	case *ast.Ident:
+		obj := pass.ObjectOf(e)
+		if obj == nil {
+			return nil, nil
+		}
+		// An identifier is rho-shaped if some local definition of it is.
+		for _, rhs := range defs.rhs[obj] {
+			fs, _ := rhoShapedFactors(pass, defs, rhs, depth+1)
+			if len(fs) > 0 {
+				return fs, obj
+			}
+		}
+	case *ast.CallExpr:
+		// math.Pow(1−ρ, k) denominators.
+		if fn := pass.CalleeFunc(e); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "math" && fn.Name() == "Pow" && len(e.Args) == 2 {
+			return rhoShapedFactors(pass, defs, e.Args[0], depth+1)
+		}
+	}
+	return nil, nil
+}
+
+// isConstVal reports whether expr is a constant with the exact numeric
+// value v.
+func isConstVal(pass *Pass, expr ast.Expr, v int64) bool {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	val := constant.ToFloat(tv.Value)
+	if val.Kind() != constant.Float && val.Kind() != constant.Int {
+		return false
+	}
+	return constant.Compare(val, token.EQL, constant.MakeInt64(v))
+}

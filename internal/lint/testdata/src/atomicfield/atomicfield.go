@@ -1,0 +1,58 @@
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	safe int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want "non-atomic access to n"
+}
+
+func (c *counter) racyWrite(v int64) {
+	c.n = v // want "non-atomic access to n"
+}
+
+func (c *counter) plain() int64 {
+	c.safe++ // never touched atomically: fine
+	return c.safe
+}
+
+func fresh() counter {
+	return counter{n: 42} // keyed initialization happens before sharing
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func racyBump() {
+	hits++ // want "non-atomic access to hits"
+}
+
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) inc() {
+	t.n.Add(1) // typed atomics are safe by construction
+}
+
+//bladelint:allow atomicfield -- constructor runs before the counter is shared
+func newCounter(start int64) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}

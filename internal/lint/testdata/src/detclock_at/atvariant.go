@@ -1,0 +1,29 @@
+// Package atvariant is NOT one of the deterministic packages: only the
+// *At-variant rule applies here — a clock-supplied entry point must use
+// its time.Time parameter, not read the clock again.
+package atvariant
+
+import "time"
+
+func ObserveAt(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since inside clock-supplied variant ObserveAt`
+}
+
+func Observe() time.Duration {
+	start := time.Now() // outside the deterministic packages: fine
+	return time.Since(start)
+}
+
+func StepAt(t time.Time, d time.Duration) time.Time {
+	return t.Add(d) // uses the supplied instant: fine
+}
+
+func ArmAt(t time.Time, f func()) *time.Timer {
+	_ = t
+	return time.AfterFunc(time.Minute, f) // arming a timer is not a clock read
+}
+
+func Audit(report string) int { // no time.Time parameter, not an *At variant
+	_ = time.Now()
+	return len(report)
+}

@@ -1,0 +1,42 @@
+// Package sim mimics the repository's deterministic simulator package:
+// the analyzer scopes by package name, so everything here is in scope.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic package sim`
+}
+
+func wallClockRef() func() time.Time {
+	return time.Now // want `time\.Now in deterministic package sim`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic package sim`
+}
+
+func globalRNG() float64 {
+	return rand.Float64() // want `global math/rand\.Float64 in deterministic package sim`
+}
+
+func injected(now func() time.Time, rng *rand.Rand) float64 {
+	_ = now()
+	return rng.Float64()
+}
+
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func arithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+//bladelint:allow detclock -- timestamp is log decoration only, never feeds state
+func annotated() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,42 @@
+package floateq
+
+import "math"
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point equality"
+}
+
+func neq(a, b float64) bool {
+	return a != b // want "floating-point equality"
+}
+
+func f32(a, b float32) bool {
+	return a == b // want "floating-point equality"
+}
+
+func named(a, b temperature) bool {
+	return a == b // want "floating-point equality"
+}
+
+type temperature float64
+
+func swi(x float64) int {
+	switch x { // want "switch on a floating-point value"
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+//bladelint:allow floateq -- exact sentinel: zero means "unset", never computed
+func sentinel(x float64) bool {
+	return x == 0
+}

@@ -1,0 +1,8 @@
+package floateq
+
+// Pin tests compare bit-identically by design: _test.go files are
+// exempt wholesale, so this file must produce no diagnostics.
+
+func pinEqual(a, b float64) bool {
+	return a == b
+}

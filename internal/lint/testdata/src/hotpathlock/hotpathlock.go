@@ -1,0 +1,90 @@
+// Package hotpathlock exercises reachability from //bladelint:hotpath
+// roots (the real serve.Decide / Probabilistic.Pick* roots are keyed by
+// import path, which testdata packages do not have).
+package hotpathlock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+type state struct {
+	mu   sync.Mutex
+	vals []float64
+	ch   chan int
+}
+
+//bladelint:hotpath
+func (s *state) Decide(x float64) float64 {
+	s.mu.Lock()         // want `sync\.Mutex\.Lock on the serving hot path \(state\.Decide\)`
+	defer s.mu.Unlock() // want `sync\.Mutex\.Unlock`
+	return s.helper(x)
+}
+
+func (s *state) helper(x float64) float64 {
+	buf := make([]float64, 0, 4) // want `make allocation on the serving hot path \(state\.Decide → state\.helper\)`
+	buf = append(buf, x)         // want "append allocation"
+	s.ch <- 1                    // want "channel send"
+	go func() {}()               // want "goroutine launch"
+	return buf[0]
+}
+
+func (s *state) cold() {
+	s.mu.Lock() // unreachable from any root: fine
+	defer s.mu.Unlock()
+	s.vals = append(s.vals, 0)
+}
+
+//bladelint:hotpath
+func drain(ch chan int) int {
+	total := 0
+	for v := range ch { // want "range over a channel"
+		total += v
+	}
+	select { // want "select statement"
+	case total = <-ch: // want "channel receive"
+	default:
+	}
+	return total
+}
+
+type result struct{ v float64 }
+
+//bladelint:hotpath
+func allocs(name, id string) (*result, string) {
+	m := map[string]int{"a": 1} // want "map literal allocation"
+	s := []int{1, 2}            // want "slice literal allocation"
+	p := new(result)            // want "new allocation"
+	p.v = float64(m["a"] + s[0])
+	r := &result{v: p.v} // want "heap allocation"
+	return r, name + id  // want "non-constant string concatenation"
+}
+
+//bladelint:hotpath
+func box(n int) string {
+	return fmt.Sprintf("%d", n) // want `interface boxing of an argument \(type int\)`
+}
+
+//bladelint:hotpath
+func spread(args []any) string {
+	return fmt.Sprint(args...) // a spread slice is passed as-is: fine
+}
+
+//bladelint:hotpath
+func search(xs []float64, target float64) int {
+	// Closures are not flagged: sort.Search-style helpers stay legal.
+	return sort.Search(len(xs), func(i int) bool { return xs[i] >= target })
+}
+
+//bladelint:hotpath
+func guardedControl() {
+	coldControl()
+}
+
+//bladelint:allow lock -- rate-limited control branch, measured cold
+func coldControl() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}

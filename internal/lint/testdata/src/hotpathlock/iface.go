@@ -1,0 +1,33 @@
+package hotpathlock
+
+import "sync"
+
+// The interface-expansion case: Decide-style code calls the estimator
+// through an interface, and the analyzer must still reach every
+// package-local implementation — swapping the lock-free estimator for
+// the mutexed baseline behind the same interface is exactly the
+// regression hotpathlock exists to catch.
+
+type estimator interface {
+	rate() float64
+}
+
+type lockfree struct{ v float64 }
+
+func (l *lockfree) rate() float64 { return l.v }
+
+type locked struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (l *locked) rate() float64 {
+	l.mu.Lock()         // want `sync\.Mutex\.Lock on the serving hot path \(drive → locked\.rate\)`
+	defer l.mu.Unlock() // want `sync\.Mutex\.Unlock`
+	return l.v
+}
+
+//bladelint:hotpath
+func drive(e estimator) float64 {
+	return e.rate()
+}

@@ -1,0 +1,86 @@
+// Package queueing mimics the repository's queueing package: the
+// analyzer scopes by package name, so the 1−ρ rule applies here.
+package queueing
+
+import "math"
+
+func unguarded(lambda, mu float64) float64 {
+	rho := lambda / mu
+	return rho / (1 - rho) // want "1−ρ-shaped denominator"
+}
+
+func guarded(lambda, mu float64) float64 {
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}
+
+func localFactorUnguarded(rho float64) float64 {
+	omr := 1 - rho
+	return rho / (omr * omr) // want "1−ρ-shaped denominator"
+}
+
+func localFactorGuarded(rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	omr := 1 - rho
+	return rho / (omr * omr)
+}
+
+func zeroGuard(rho float64) float64 {
+	omr := 1 - rho
+	if omr <= 0 {
+		return math.Inf(1)
+	}
+	return rho / omr
+}
+
+func boundGuard(rho, maxUtilization float64) float64 {
+	if rho > maxUtilization {
+		return math.NaN()
+	}
+	return 1 / (1 - rho)
+}
+
+func quoAssign(rho float64) float64 {
+	x := rho
+	x /= 1 - rho // want "1−ρ-shaped denominator"
+	return x
+}
+
+func powDenominator(rho float64) float64 {
+	return rho / math.Pow(1-rho, 2) // want "1−ρ-shaped denominator"
+}
+
+// flowConnected exercises the local dataflow closure: the stability
+// check is phrased on rho2, which connects back to rho through a and m,
+// so the 1−ρ(1−b) denominator built from rho counts as guarded.
+func flowConnected(rho, b, m float64) float64 {
+	a := m * rho
+	rho2 := a / m
+	if rho2 >= 1 {
+		return math.Inf(1)
+	}
+	d := 1 - rho*(1-b)
+	return 1 / (d * d)
+}
+
+func guardAfterDivision(rho float64) float64 {
+	w := rho / (1 - rho) // want "1−ρ-shaped denominator"
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return w
+}
+
+func plainDivision(x, y float64) float64 {
+	return x / y // not 1−ρ-shaped: fine
+}
+
+//bladelint:allow rhoguard -- caller guarantees rho < 1 (plan validated upstream)
+func allowedDivision(rho float64) float64 {
+	return rho / (1 - rho)
+}

@@ -80,7 +80,7 @@ func tQuantileExact(p, df float64) float64 {
 		return math.Inf(-1)
 	case p >= 1:
 		return math.Inf(1)
-	case p == 0.5:
+	case p == 0.5: //bladelint:allow floateq -- 0.5 is exactly representable; the median is an exact special case
 		return 0
 	case p < 0.5:
 		return -tQuantileExact(1-p, df)

@@ -181,9 +181,9 @@ func cdfAt(xs, ps []float64, x float64) float64 {
 		return 1
 	}
 	i := sort.SearchFloat64s(xs, x) // first index with xs[i] >= x
-	if xs[i] == x {
+	if xs[i] == x {                 //bladelint:allow floateq -- tied knots are bit-equal copies, exact match is the point
 		// Step up through any tied knots.
-		for i+1 < len(xs) && xs[i+1] == x {
+		for i+1 < len(xs) && xs[i+1] == x { //bladelint:allow floateq -- tied knots are bit-equal copies, exact match is the point
 			i++
 		}
 		return ps[i]

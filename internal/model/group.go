@@ -100,12 +100,12 @@ func (g *Group) AverageResponseTime(d queueing.Discipline, rates []float64) floa
 		total.Add(r)
 	}
 	lambda := total.Value()
-	if lambda == 0 {
+	if lambda == 0 { //bladelint:allow floateq -- exact zero total: no special load configured anywhere
 		return 0
 	}
 	var acc numeric.KahanSum
 	for i, r := range rates {
-		if r == 0 {
+		if r == 0 { //bladelint:allow floateq -- exact zero rate contributes nothing and would divide by zero below
 			continue
 		}
 		t := g.Servers[i].GenericResponseTime(d, r, g.TaskSize)

@@ -35,10 +35,10 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 		a, b = b, a
 	}
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if fa == 0 { //bladelint:allow floateq -- returning an endpoint early is only valid at a true zero
 		return a, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //bladelint:allow floateq -- returning an endpoint early is only valid at a true zero
 		return b, nil
 	}
 	if math.IsNaN(fa) || math.IsNaN(fb) {
@@ -49,11 +49,11 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 	}
 	for i := 0; i < MaxIterations; i++ {
 		mid := a + (b-a)/2
-		if b-a <= tol || mid == a || mid == b {
+		if b-a <= tol || mid == a || mid == b { //bladelint:allow floateq -- bisection fixed point: the midpoint collided with a bound
 			return mid, nil
 		}
 		fm := f(mid)
-		if fm == 0 {
+		if fm == 0 { //bladelint:allow floateq -- returning mid early is only valid at a true zero
 			return mid, nil
 		}
 		if (fm > 0) == (fb > 0) {
@@ -86,7 +86,7 @@ func BisectPredicate(pred func(float64) bool, a, b, tol float64) (float64, error
 	}
 	for i := 0; i < MaxIterations; i++ {
 		mid := a + (b-a)/2
-		if b-a <= tol || mid == a || mid == b {
+		if b-a <= tol || mid == a || mid == b { //bladelint:allow floateq -- bisection fixed point: the midpoint collided with a bound
 			return mid, nil
 		}
 		if pred(mid) {
@@ -107,10 +107,10 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 		tol = DefaultTol
 	}
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if fa == 0 { //bladelint:allow floateq -- returning an endpoint early is only valid at a true zero
 		return a, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //bladelint:allow floateq -- returning an endpoint early is only valid at a true zero
 		return b, nil
 	}
 	if (fa > 0) == (fb > 0) {
@@ -125,11 +125,11 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 	mflag := true
 	var d float64
 	for i := 0; i < MaxIterations; i++ {
-		if fb == 0 || math.Abs(b-a) <= tol {
+		if fb == 0 || math.Abs(b-a) <= tol { //bladelint:allow floateq -- exact root: Brent terminates on a true zero or a closed bracket
 			return b, nil
 		}
 		var s float64
-		if fa != fc && fb != fc {
+		if fa != fc && fb != fc { //bladelint:allow floateq -- guards exact zero denominators in the interpolation below
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +
 				b*fa*fc/((fb-fa)*(fb-fc)) +
@@ -183,7 +183,7 @@ func Newton(f, df func(float64) float64, x0, tol float64) (float64, error) {
 			return x, nil
 		}
 		dfx := df(x)
-		if dfx == 0 || math.IsNaN(dfx) || math.IsInf(dfx, 0) {
+		if dfx == 0 || math.IsNaN(dfx) || math.IsInf(dfx, 0) { //bladelint:allow floateq -- guards an exact zero divisor; near-zero slopes are caught by the step bound
 			return 0, fmt.Errorf("numeric: Newton derivative unusable at x=%g: %g", x, dfx)
 		}
 		step := fx / dfx

@@ -34,7 +34,7 @@ func SolveBirthDeath(K int, birth, death func(k int) float64) (*BirthDeath, erro
 		if b < 0 {
 			return nil, fmt.Errorf("queueing: birth rate %g at state %d must be non-negative", b, k-1)
 		}
-		if b == 0 {
+		if b == 0 { //bladelint:allow floateq -- an exact zero birth rate truncates the chain; it is input, never computed
 			// All further states unreachable.
 			for j := k; j <= K; j++ {
 				logw[j] = math.Inf(-1)
@@ -102,7 +102,7 @@ func MMmOracle(m int, rho float64) (meanTasks, probQueue float64, err error) {
 	if err := ValidateRho(rho); err != nil {
 		return 0, 0, err
 	}
-	if rho == 0 {
+	if rho == 0 { //bladelint:allow floateq -- exact zero utilization short-circuit; rho=0 is an input, not a result
 		return 0, 0, nil
 	}
 	lambda := float64(m) * rho // with μ = 1

@@ -110,6 +110,9 @@ func DGenericResponseDRho(d Discipline, m int, rho, rhoSpecial, xbar float64) fl
 //	∂T′/∂ρ = x̄ · m^{m−1}/m! · [ ∂p_0/∂ρ · ρ^m/(1−ρ)²
 //	          + p_0 · ρ^{m−1}(m−(m−2)ρ)/(1−ρ)³ ]
 func NaiveDGenericResponseDRho(d Discipline, m int, rho, rhoSpecial, xbar float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1) // consistent with DGenericResponseDRho
+	}
 	mf := float64(m)
 	p0 := NaiveP0(m, rho)
 	dp0 := NaiveDP0DRho(m, rho)
@@ -117,6 +120,9 @@ func NaiveDGenericResponseDRho(d Discipline, m int, rho, rhoSpecial, xbar float6
 		p0*math.Pow(rho, mf-1)*(mf-(mf-2)*rho)/math.Pow(1-rho, 3)
 	v := xbar * mPowOverFact(m) * term
 	if d == Priority {
+		if rhoSpecial >= 1 {
+			return math.Inf(1)
+		}
 		v /= 1 - rhoSpecial
 	}
 	return v

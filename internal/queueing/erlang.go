@@ -20,7 +20,7 @@ func ErlangB(m int, a float64) float64 {
 	if a < 0 || math.IsNaN(a) {
 		return math.NaN()
 	}
-	if a == 0 {
+	if a == 0 { //bladelint:allow floateq -- exact zero offered load short-circuit; a=0 is an input, not a result
 		if m == 0 {
 			return 1
 		}
@@ -62,7 +62,7 @@ func ErlangC(m int, a float64) float64 {
 //
 // which follows from B = t_m/S_m with t_k = a^k/k!, S_m = Σ_{k≤m} t_k.
 func dErlangBdA(m int, a float64) float64 {
-	if a == 0 {
+	if a == 0 { //bladelint:allow floateq -- exact zero offered load short-circuit; a=0 is an input, not a result
 		// lim_{a→0} B(m,a)/a^m = 1/m!; derivative is 0 for m ≥ 2, 1 for m = 1.
 		if m == 1 {
 			return 1

@@ -63,7 +63,7 @@ func (k *Kernel) M() int { return k.m }
 // the precomputed table and no per-call allocation (the log-sum-exp
 // runs in two passes over the recurrence instead of storing the terms).
 func (k *Kernel) P0(rho float64) float64 {
-	if rho == 0 {
+	if rho == 0 { //bladelint:allow floateq -- exact zero utilization short-circuit; rho=0 is an input, not a result
 		return 1
 	}
 	if rho >= 1 || rho < 0 {

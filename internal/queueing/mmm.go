@@ -31,7 +31,7 @@ func P0(m int, rho float64) float64 {
 	if m <= 0 {
 		panic(fmt.Sprintf("queueing: P0 with non-positive m=%d", m))
 	}
-	if rho == 0 {
+	if rho == 0 { //bladelint:allow floateq -- exact zero utilization short-circuit; rho=0 is an input, not a result
 		return 1
 	}
 	if rho >= 1 || rho < 0 {
@@ -115,7 +115,7 @@ func StateProbability(m, k int, rho float64) float64 {
 	if k < 0 {
 		return 0
 	}
-	if rho == 0 {
+	if rho == 0 { //bladelint:allow floateq -- exact zero utilization short-circuit; rho=0 is an input, not a result
 		if k == 0 {
 			return 1
 		}
@@ -147,6 +147,9 @@ func StateProbability(m, k int, rho float64) float64 {
 //
 //	p_0 = ( Σ_{k=0}^{m−1} (mρ)^k/k! + (mρ)^m/m! · 1/(1−ρ) )^{−1}.
 func NaiveP0(m int, rho float64) float64 {
+	if rho >= 1 {
+		return 0 // unstable system never empties, consistent with P0
+	}
 	sum := 0.0
 	term := 1.0 // (mρ)^k / k! at k = 0
 	a := float64(m) * rho
@@ -164,6 +167,9 @@ func NaiveP0(m int, rho float64) float64 {
 
 // NaiveProbQueue is the paper's P_{q,i} = p_m/(1−ρ).
 func NaiveProbQueue(m int, rho float64) float64 {
+	if rho >= 1 {
+		return 1 // every arrival queues once the system saturates
+	}
 	a := float64(m) * rho
 	pm := NaiveP0(m, rho)
 	for k := 1; k <= m; k++ {
@@ -176,6 +182,9 @@ func NaiveProbQueue(m int, rho float64) float64 {
 //
 //	T′ = x̄ (1 + p_0 · m^{m−1}/m! · ρ^m/(1−ρ)²).
 func NaiveResponseTime(m int, rho, xbar float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1) // consistent with ResponseTime
+	}
 	return xbar * (1 + NaiveP0(m, rho)*mPowOverFact(m)*math.Pow(rho, float64(m))/((1-rho)*(1-rho)))
 }
 

@@ -78,7 +78,7 @@ func AggregateWait(m int, rates []float64, xbar float64) (float64, error) {
 		num.Add(r * waits[c])
 		den.Add(r)
 	}
-	if den.Value() == 0 {
+	if den.Value() == 0 { //bladelint:allow floateq -- exact zero denominator sentinel: no class carries any load
 		return 0, nil
 	}
 	return num.Value() / den.Value(), nil

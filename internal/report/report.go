@@ -41,6 +41,17 @@ type Options struct {
 	Seed int64
 	// Points is the λ′ grid resolution for figure claims (default 7).
 	Points int
+	// Now supplies the wall clock for the Elapsed measurement; nil
+	// means time.Now. Tests inject a fixed clock so the audit output
+	// is a pure function of its inputs.
+	Now func() time.Time
+}
+
+func (o Options) now() func() time.Time {
+	if o.Now != nil {
+		return o.Now
+	}
+	return time.Now //bladelint:allow detclock -- Elapsed is presentation metadata only; deterministic callers inject Options.Now
 }
 
 func (o Options) simHorizon() float64 {
@@ -101,7 +112,8 @@ var table2Pins = struct {
 
 // Run executes the audit.
 func Run(opts Options) (*Report, error) {
-	start := time.Now()
+	now := opts.now()
+	start := now()
 	r := &Report{}
 	add := func(name string, passed bool, format string, args ...interface{}) {
 		r.Checks = append(r.Checks, Check{Name: name, Passed: passed, Detail: fmt.Sprintf(format, args...)})
@@ -185,7 +197,7 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 
-	r.Elapsed = time.Since(start)
+	r.Elapsed = now().Sub(start)
 	return r, nil
 }
 

@@ -1,5 +1,7 @@
 package serve
 
+//bladelint:allow lock -- serialized baseline: this file IS the mutexed reference the lock-free estimator is measured against
+
 import (
 	"math"
 	"sync"

@@ -27,6 +27,7 @@ func newLockedRand(seed int64) *lockedRand {
 	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
 }
 
+//bladelint:allow lock -- serialized baseline: DeterministicRNG opts into the single-RNG mutex to pin exact draw sequences
 func (l *lockedRand) Float64() float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -500,6 +500,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // overload-triggered requests are rate-limited by MinResolveInterval;
 // health events force through (a failed station must stop receiving
 // load as fast as the solver allows).
+//
+//bladelint:allow lock -- cold control branch: reached from Decide only when drift/overload trips, and rate-limited by MinResolveInterval
 func (s *Server) maybeResolve(lambda float64, reason string, force bool) {
 	if !force {
 		s.mu.Lock()

@@ -65,7 +65,7 @@ type event struct {
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
-	if h[i].time != h[j].time {
+	if h[i].time != h[j].time { //bladelint:allow floateq -- heap order must be exact and total for replay determinism; tolerance breaks transitivity
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq

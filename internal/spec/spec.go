@@ -85,7 +85,7 @@ func (c *ClusterSpec) Build() (*model.Group, error) {
 		return nil, fmt.Errorf("spec: no servers")
 	}
 	taskSize := c.TaskSize
-	if taskSize == 0 {
+	if taskSize == 0 { //bladelint:allow floateq -- zero means the JSON field was omitted, an exact default
 		taskSize = 1
 	}
 	if taskSize < 0 || math.IsNaN(taskSize) || math.IsInf(taskSize, 0) {
@@ -93,12 +93,12 @@ func (c *ClusterSpec) Build() (*model.Group, error) {
 	}
 	servers := make([]model.Server, len(c.Servers))
 	for i, ss := range c.Servers {
-		if ss.SpecialRate != 0 && ss.PreloadFraction != 0 {
+		if ss.SpecialRate != 0 && ss.PreloadFraction != 0 { //bladelint:allow floateq -- zero means the JSON field was omitted, an exact default
 			return nil, fmt.Errorf("spec: %s sets both special_rate and preload_fraction", ss.label(i))
 		}
 		if math.IsNaN(ss.PreloadFraction) || math.IsInf(ss.PreloadFraction, 0) ||
 			ss.PreloadFraction < 0 || ss.PreloadFraction >= 1 {
-			if ss.PreloadFraction != 0 {
+			if ss.PreloadFraction != 0 { //bladelint:allow floateq -- zero means the JSON field was omitted, an exact default
 				return nil, fmt.Errorf("spec: %s preload_fraction %g must be in [0, 1)", ss.label(i), ss.PreloadFraction)
 			}
 		}

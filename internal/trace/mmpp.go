@@ -142,7 +142,7 @@ func (t *Trace) IndexOfDispersion(window float64) (float64, error) {
 		mean += c
 	}
 	mean /= float64(bins)
-	if mean == 0 {
+	if mean == 0 { //bladelint:allow floateq -- exact zero mean: not a single arrival was counted
 		return 0, fmt.Errorf("trace: no generic arrivals")
 	}
 	var variance float64
