@@ -51,7 +51,7 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	out := flag.String("out", "", "output JSON path; empty = BENCH_<today>.json")
 	input := flag.String("input", "", "parse this saved benchmark log instead of running go test")
-	compare := flag.Bool("compare", false, "compare two snapshot JSON files (old new); exit 1 on ns/op regression")
+	compare := flag.Bool("compare", false, "compare two snapshot JSON files (old new); exit 1 on ns/op or allocs/op regression")
 	threshold := flag.Float64("threshold", 1.10, "compare: flag benchmarks whose ns/op grew by more than this ratio")
 	flag.Parse()
 
@@ -183,7 +183,11 @@ func loadSnapshot(path string) (*Snapshot, error) {
 }
 
 // compareSnapshots prints a per-benchmark delta table and fails when
-// any shared benchmark slowed down beyond the threshold ratio.
+// any shared benchmark slowed down beyond the threshold ratio, or when
+// a benchmark that was allocation-free in the old snapshot now
+// allocates — going from 0 allocs/op to any allocation is a hot-path
+// property violation, not a timing wobble, so it is gated absolutely
+// rather than by ratio.
 func compareSnapshots(oldPath, newPath string, threshold float64) error {
 	oldS, err := loadSnapshot(oldPath)
 	if err != nil {
@@ -210,10 +214,16 @@ func compareSnapshots(oldPath, newPath string, threshold float64) error {
 			mark = "  << REGRESSION"
 			regressed = append(regressed, nb.Name)
 		}
+		// Allocs/op are exact integers reported by the testing package,
+		// so > 0 (rather than a ratio) is the right test on both sides.
+		if nb.AllocsPerOp > 0 && !(ob.AllocsPerOp > 0) {
+			mark = fmt.Sprintf("  << ALLOC REGRESSION (0 -> %.0f allocs/op)", nb.AllocsPerOp)
+			regressed = append(regressed, nb.Name+" (allocs)")
+		}
 		fmt.Printf("%-44s %14.0f %14.0f %7.2fx%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, ratio, mark)
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx: %s", len(regressed), threshold, strings.Join(regressed, ", "))
+		return fmt.Errorf("%d benchmark regression(s) (ns/op beyond %.2fx, or new allocations): %s", len(regressed), threshold, strings.Join(regressed, ", "))
 	}
 	return nil
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	log := `goos: linux
+goarch: amd64
+cpu: test
+BenchmarkDispatchParallel-8   6137804   189.7 ns/op   0 B/op   0 allocs/op
+BenchmarkOptimize-8   1200   912345 ns/op   2048 B/op   12 allocs/op
+PASS
+`
+	snap, err := Parse(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(snap.Results))
+	}
+	b := snap.Results[0]
+	if b.Name != "BenchmarkDispatchParallel" || b.Iterations != 6137804 {
+		t.Errorf("first result = %+v", b)
+	}
+	if b.AllocsPerOp != 0 || snap.Results[1].AllocsPerOp != 12 {
+		t.Errorf("allocs/op = %g, %g; want 0, 12", b.AllocsPerOp, snap.Results[1].AllocsPerOp)
+	}
+}
+
+func TestCompareSnapshotsNsPerOpGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json",
+		`{"date":"2026-08-06","benchmarks":[{"name":"BenchmarkDispatchParallel","iterations":100,"ns_per_op":190}]}`)
+
+	ok := writeSnapshot(t, dir, "ok.json",
+		`{"date":"2026-08-07","benchmarks":[{"name":"BenchmarkDispatchParallel","iterations":100,"ns_per_op":220}]}`)
+	if err := compareSnapshots(old, ok, 1.25); err != nil {
+		t.Errorf("220 vs 190 at 1.25x threshold should pass, got %v", err)
+	}
+
+	slow := writeSnapshot(t, dir, "slow.json",
+		`{"date":"2026-08-07","benchmarks":[{"name":"BenchmarkDispatchParallel","iterations":100,"ns_per_op":260}]}`)
+	if err := compareSnapshots(old, slow, 1.25); err == nil {
+		t.Error("260 vs 190 at 1.25x threshold should fail")
+	}
+}
+
+func TestCompareSnapshotsAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json",
+		`{"date":"2026-08-06","benchmarks":[{"name":"BenchmarkDispatchParallel","iterations":100,"ns_per_op":190,"allocs_per_op":0}]}`)
+
+	// Faster but newly allocating: the alloc gate must fire even though
+	// ns/op improved.
+	alloc := writeSnapshot(t, dir, "alloc.json",
+		`{"date":"2026-08-07","benchmarks":[{"name":"BenchmarkDispatchParallel","iterations":100,"ns_per_op":150,"allocs_per_op":1}]}`)
+	err := compareSnapshots(old, alloc, 1.25)
+	if err == nil {
+		t.Fatal("0 -> 1 allocs/op should fail the compare gate")
+	}
+	if !strings.Contains(err.Error(), "allocs") {
+		t.Errorf("error should name the alloc regression, got %v", err)
+	}
+
+	// A benchmark that already allocated may keep allocating.
+	oldAlloc := writeSnapshot(t, dir, "old-alloc.json",
+		`{"date":"2026-08-06","benchmarks":[{"name":"BenchmarkOptimize","iterations":100,"ns_per_op":900,"allocs_per_op":12}]}`)
+	moreAlloc := writeSnapshot(t, dir, "more-alloc.json",
+		`{"date":"2026-08-07","benchmarks":[{"name":"BenchmarkOptimize","iterations":100,"ns_per_op":910,"allocs_per_op":14}]}`)
+	if err := compareSnapshots(oldAlloc, moreAlloc, 1.25); err != nil {
+		t.Errorf("12 -> 14 allocs/op is not a 0->N regression, got %v", err)
+	}
+}

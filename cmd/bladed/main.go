@@ -11,8 +11,18 @@
 //	bladed -builtin fig12:1 -addr :9090 -drift 0.1  # built-in group, custom drift gate
 //
 // Endpoints: POST /v1/dispatch, GET|POST /v1/plan, GET|POST
-// /v1/health, GET /metrics (Prometheus text), GET /healthz,
-// /debug/pprof. SIGINT/SIGTERM drain gracefully.
+// /v1/health, POST /v1/observe, GET /metrics (Prometheus text), GET
+// /healthz, /debug/pprof, and — with -fault-admin — GET|POST
+// /v1/faults. SIGINT/SIGTERM drain gracefully.
+//
+// Chaos mode: -backend-delay simulates executing each dispatched
+// request against its station (enabling the guarded dispatch wrapper,
+// circuit breakers and outcome tracking), -fault-admin mounts the
+// fault-injection hook, and -chaos-mtbf/-chaos-mttr/-chaos-seed drive
+// stations up and down from a deterministic seeded failure schedule:
+//
+//	bladed -example -backend-delay 2ms -fault-admin
+//	bladed -example -backend-delay 2ms -chaos-mtbf 30s -chaos-mttr 10s -chaos-seed 7
 package main
 
 import (
@@ -30,6 +40,8 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 	"repro/internal/spec"
 )
@@ -65,6 +77,24 @@ func run(args []string, ready chan<- string) error {
 		"serialize dispatch draws through one seeded RNG so -seed reproduces the routing sequence")
 	serialized := fs.Bool("serialized", false,
 		"run the fully mutex-serialized request path (contention baseline; not for production)")
+	backendDelay := fs.Duration("backend-delay", 0,
+		"simulate executing each request with this per-call service time; enables the guarded dispatch wrapper")
+	faultAdmin := fs.Bool("fault-admin", false,
+		"mount the GET|POST /v1/faults fault-injection hook (implies a simulated backend)")
+	chaosMTBF := fs.Duration("chaos-mtbf", 0, "mean time between injected station failures (0 disables the chaos schedule)")
+	chaosMTTR := fs.Duration("chaos-mttr", 0, "mean time to repair for injected failures")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed of the deterministic chaos schedule")
+	chaosHorizon := fs.Duration("chaos-horizon", time.Hour, "length of the generated chaos schedule")
+	attemptTimeout := fs.Duration("attempt-timeout", time.Second, "per-attempt backend timeout")
+	maxAttempts := fs.Int("max-attempts", 3, "backend attempts per request (first try included)")
+	retryBudget := fs.Float64("retry-budget", 0.1, "sustained retries-per-request ratio")
+	hedge := fs.Bool("hedge", false, "hedge a second backend attempt after the observed p95 (idempotent workloads only)")
+	breakerOff := fs.Bool("breaker-off", false, "disable automatic circuit-breaker transitions")
+	breakerErr := fs.Float64("breaker-error-threshold", 0.5, "EWMA error rate that trips a station's breaker")
+	breakerOpen := fs.Duration("breaker-open", 5*time.Second, "initial open interval of a tripped breaker (doubles per reopen)")
+	breakerScan := fs.Duration("breaker-scan", 250*time.Millisecond, "failure-detector scan interval")
+	trialFraction := fs.Float64("trial-fraction", 0.05, "dispatch share probed at a half-open station")
+	rampWindow := fs.Duration("ramp-window", 10*time.Second, "capped-weight ramp length after a breaker-driven recovery")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,7 +121,44 @@ func run(args []string, ready chan<- string) error {
 		d = repro.PrioritySpecial
 	}
 
-	srv, err := serve.New(serve.Config{
+	// A simulated backend turns bladed from a pure router into an
+	// executing daemon: every dispatch runs a (faultable) call, so the
+	// failure detector sees real outcomes.
+	chaos := *chaosMTBF > 0 || *chaosMTTR > 0
+	var inj *faultinject.Injector
+	if *backendDelay > 0 || *faultAdmin || chaos {
+		icfg := faultinject.Config{
+			Stations:  cluster.N(),
+			BaseDelay: *backendDelay,
+			Seed:      *chaosSeed,
+		}
+		if chaos {
+			if *chaosMTBF <= 0 || *chaosMTTR <= 0 {
+				return fmt.Errorf("-chaos-mtbf and -chaos-mttr must both be positive (got %v, %v)", *chaosMTBF, *chaosMTTR)
+			}
+			params := make([]failure.Params, cluster.N())
+			sizes := make([]int, cluster.N())
+			for i := range params {
+				params[i] = failure.Params{MTBF: chaosMTBF.Seconds(), MTTR: chaosMTTR.Seconds()}
+				sizes[i] = cluster.Servers[i].Size
+			}
+			plan := &failure.Plan{Stations: params}
+			schedules, err := plan.GenerateAll(sizes, chaosHorizon.Seconds(), *chaosSeed)
+			if err != nil {
+				return fmt.Errorf("generating chaos schedule: %w", err)
+			}
+			icfg.Schedules = schedules
+			icfg.Sizes = sizes
+			logger.Info("chaos schedule armed",
+				"mtbf", *chaosMTBF, "mttr", *chaosMTTR, "seed", *chaosSeed, "horizon", *chaosHorizon)
+		}
+		var err error
+		if inj, err = faultinject.New(icfg); err != nil {
+			return err
+		}
+	}
+
+	cfg := serve.Config{
 		Group:              cluster,
 		Lambda:             lambda,
 		Opts:               core.Options{Discipline: d},
@@ -105,23 +172,49 @@ func run(args []string, ready chan<- string) error {
 		Seed:               *seed,
 		DeterministicRNG:   *deterministic,
 		SerializedHotPath:  *serialized,
-	})
+		Guard: serve.GuardConfig{
+			AttemptTimeout: *attemptTimeout,
+			MaxAttempts:    *maxAttempts,
+			RetryBudget:    *retryBudget,
+			Hedge:          *hedge,
+		},
+		Breaker: serve.BreakerConfig{
+			Disabled:       *breakerOff,
+			ErrorThreshold: *breakerErr,
+			OpenInterval:   *breakerOpen,
+			ScanInterval:   *breakerScan,
+			TrialFraction:  *trialFraction,
+			RampWindow:     *rampWindow,
+		},
+	}
+	if inj != nil {
+		cfg.Backend = inj.Call
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 
-	return serveHTTP(*addr, srv, *drainTimeout, logger, ready)
+	handler := srv.Handler()
+	if inj != nil && *faultAdmin {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/v1/faults", inj.AdminHandler())
+		mux.Handle("/v1/faults/", inj.AdminHandler())
+		handler = mux
+	}
+	return serveHTTP(*addr, handler, *drainTimeout, logger, ready)
 }
 
 // serveHTTP runs the HTTP server until SIGINT/SIGTERM, then drains.
-func serveHTTP(addr string, srv *serve.Server, drain time.Duration, logger *slog.Logger, ready chan<- string) error {
+func serveHTTP(addr string, handler http.Handler, drain time.Duration, logger *slog.Logger, ready chan<- string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}

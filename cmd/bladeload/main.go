@@ -15,6 +15,13 @@
 //
 //	bladeload -addr http://localhost:8080 -c 64 -d 30s
 //	bladeload -addr http://localhost:8080 -qps 500 -d 10s -json
+//
+// Chaos scripting: repeated -fault-at flags post fault commands to the
+// daemon's /v1/faults hook mid-run (bladed must run with -fault-admin),
+// so one invocation drives a full kill/recover scenario:
+//
+//	bladeload -addr http://localhost:8080 -d 30s \
+//	    -fault-at 5s:6:down -fault-at 15s:6:up
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -77,6 +85,17 @@ func run(args []string, out io.Writer) error {
 	duration := fs.Duration("d", 10*time.Second, "run length")
 	qps := fs.Float64("qps", 0, "target request rate; 0 runs the closed loop unthrottled")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	var faults []faultCmd
+	fs.Func("fault-at",
+		"inject a fault mid-run: OFFSET:STATION:DIRECTIVE where directive is down, up, error=P or latency=DUR; repeatable",
+		func(v string) error {
+			fc, err := parseFaultAt(v)
+			if err != nil {
+				return err
+			}
+			faults = append(faults, fc)
+			return nil
+		})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,6 +131,31 @@ func run(args []string, out io.Writer) error {
 	start := time.Now()
 	deadline := start.Add(*duration)
 
+	// The chaos script runs beside the workers: each -fault-at command
+	// fires at its offset against the daemon's fault-injection hook.
+	faultTarget := strings.TrimRight(*addr, "/") + "/v1/faults"
+	var faultWg sync.WaitGroup
+	for _, fc := range faults {
+		faultWg.Add(1)
+		go func(fc faultCmd) {
+			defer faultWg.Done()
+			if d := time.Until(start.Add(fc.at)); d > 0 {
+				time.Sleep(d)
+			}
+			resp, err := client.Post(faultTarget, "application/json", strings.NewReader(fc.body))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bladeload: fault-at %s: %v\n", fc.at, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				fmt.Fprintf(os.Stderr, "bladeload: fault-at %s: daemon answered %s (is bladed running with -fault-admin?)\n",
+					fc.at, resp.Status)
+			}
+		}(fc)
+	}
+
 	var wg sync.WaitGroup
 	for _, w := range workers {
 		wg.Add(1)
@@ -137,6 +181,7 @@ func run(args []string, out io.Writer) error {
 		}(w)
 	}
 	wg.Wait()
+	faultWg.Wait()
 	elapsed := time.Since(start)
 
 	rep := summarize(workers, elapsed)
@@ -246,4 +291,56 @@ func printReport(out io.Writer, rep report) {
 // fmtSeconds renders a latency in the natural unit for its magnitude.
 func fmtSeconds(s float64) string {
 	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// faultCmd is one parsed -fault-at command: at the offset, POST body
+// to the daemon's /v1/faults hook.
+type faultCmd struct {
+	at   time.Duration
+	body string
+}
+
+// parseFaultAt parses OFFSET:STATION:DIRECTIVE. Directives map onto
+// the fault hook's JSON: down (blackhole), up (reset), error=P
+// (injected error rate), latency=DUR (added service time).
+func parseFaultAt(v string) (faultCmd, error) {
+	offsetStr, rest, ok := strings.Cut(v, ":")
+	if !ok {
+		return faultCmd{}, fmt.Errorf("fault-at %q: want OFFSET:STATION:DIRECTIVE", v)
+	}
+	stationStr, directive, ok := strings.Cut(rest, ":")
+	if !ok {
+		return faultCmd{}, fmt.Errorf("fault-at %q: want OFFSET:STATION:DIRECTIVE", v)
+	}
+	at, err := time.ParseDuration(offsetStr)
+	if err != nil || at < 0 {
+		return faultCmd{}, fmt.Errorf("fault-at %q: bad offset %q", v, offsetStr)
+	}
+	station, err := strconv.Atoi(stationStr)
+	if err != nil || station < 0 {
+		return faultCmd{}, fmt.Errorf("fault-at %q: bad station %q", v, stationStr)
+	}
+	var body string
+	key, val, _ := strings.Cut(directive, "=")
+	switch key {
+	case "down":
+		body = fmt.Sprintf(`{"station":%d,"blackhole":true}`, station)
+	case "up":
+		body = fmt.Sprintf(`{"station":%d,"reset":true}`, station)
+	case "error":
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p < 0 || p > 1 {
+			return faultCmd{}, fmt.Errorf("fault-at %q: error rate %q outside [0, 1]", v, val)
+		}
+		body = fmt.Sprintf(`{"station":%d,"error_rate":%g}`, station, p)
+	case "latency":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return faultCmd{}, fmt.Errorf("fault-at %q: bad latency %q", v, val)
+		}
+		body = fmt.Sprintf(`{"station":%d,"extra_latency_ms":%g}`, station, float64(d)/float64(time.Millisecond))
+	default:
+		return faultCmd{}, fmt.Errorf("fault-at %q: unknown directive %q (want down, up, error=P or latency=DUR)", v, directive)
+	}
+	return faultCmd{at: at, body: body}, nil
 }

@@ -96,3 +96,44 @@ func TestLoadGeneratorFlagValidation(t *testing.T) {
 		t.Fatal("want error for -d 0")
 	}
 }
+
+func TestParseFaultAt(t *testing.T) {
+	cases := []struct {
+		in   string
+		at   time.Duration
+		body string
+	}{
+		{"5s:6:down", 5 * time.Second, `{"station":6,"blackhole":true}`},
+		{"15s:6:up", 15 * time.Second, `{"station":6,"reset":true}`},
+		{"0s:2:error=0.25", 0, `{"station":2,"error_rate":0.25}`},
+		{"1m:0:latency=50ms", time.Minute, `{"station":0,"extra_latency_ms":50}`},
+	}
+	for _, c := range cases {
+		fc, err := parseFaultAt(c.in)
+		if err != nil {
+			t.Errorf("parseFaultAt(%q): %v", c.in, err)
+			continue
+		}
+		if fc.at != c.at || fc.body != c.body {
+			t.Errorf("parseFaultAt(%q) = %v %q, want %v %q", c.in, fc.at, fc.body, c.at, c.body)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"5s",
+		"5s:6",
+		"notadur:6:down",
+		"-1s:6:down",
+		"5s:x:down",
+		"5s:-1:down",
+		"5s:6:explode",
+		"5s:6:error=1.5",
+		"5s:6:error=x",
+		"5s:6:latency=-1s",
+		"5s:6:latency=large",
+	} {
+		if _, err := parseFaultAt(bad); err == nil {
+			t.Errorf("parseFaultAt(%q) accepted", bad)
+		}
+	}
+}

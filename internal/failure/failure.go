@@ -112,6 +112,24 @@ func (sch Schedule) DownAt(t float64) int {
 	return sch[i-1].Down
 }
 
+// FractionDownAt returns the fraction of a station of m blades that is
+// down at time t — the bridge from seeded schedules to fault-injection
+// intensity: 1 means the station is blacked out, an intermediate value
+// degrades it proportionally (the injector maps it to an error rate).
+func (sch Schedule) FractionDownAt(t float64, m int) float64 {
+	if m < 1 {
+		return 0
+	}
+	d := sch.DownAt(t)
+	if d >= m {
+		return 1
+	}
+	if d <= 0 {
+		return 0
+	}
+	return float64(d) / float64(m)
+}
+
 // Downtime returns the total time in [0, horizon] during which at least
 // `threshold` blades are down. With threshold = m this is full-station
 // downtime.

@@ -69,6 +69,32 @@ func TestScheduleDownAtAndDowntime(t *testing.T) {
 	}
 }
 
+func TestFractionDownAt(t *testing.T) {
+	sch := Schedule{{Time: 10, Down: 2}, {Time: 20, Down: 4}, {Time: 30, Down: 0}}
+	cases := []struct {
+		t    float64
+		m    int
+		want float64
+	}{
+		{5, 4, 0},    // before any failure
+		{15, 4, 0.5}, // 2 of 4 blades down
+		{25, 4, 1},   // fully down
+		{25, 2, 1},   // down count beyond m clamps to 1
+		{35, 4, 0},   // repaired
+		{15, 0, 0},   // degenerate station size
+		{15, -1, 0},
+	}
+	for _, c := range cases {
+		if got := sch.FractionDownAt(c.t, c.m); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("FractionDownAt(%g, %d) = %g, want %g", c.t, c.m, got, c.want)
+		}
+	}
+	// The empty schedule (a never-failing station) is always fully up.
+	if got := (Schedule)(nil).FractionDownAt(100, 4); got != 0 {
+		t.Errorf("nil schedule FractionDownAt = %g, want 0", got)
+	}
+}
+
 func TestScheduleValidateRejectsDisorder(t *testing.T) {
 	if err := (Schedule{{Time: 5, Down: 1}, {Time: 4, Down: 0}}).Validate(); err == nil {
 		t.Error("out-of-order schedule should fail")

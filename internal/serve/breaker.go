@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// BreakerConfig tunes the per-station circuit breakers that close the
+// failure-detection loop: tracker statistics trip a breaker open, the
+// open breaker forces a degraded re-solve that sheds the station, and
+// a half-open trial stream earns the station its traffic back through
+// a capped-weight ramp. The zero value takes all defaults.
+type BreakerConfig struct {
+	// Disabled turns automatic breaker transitions off entirely;
+	// operator POST /v1/health remains the only health control.
+	Disabled bool
+	// ErrorThreshold is the EWMA failure fraction at which a closed
+	// breaker trips, once MinVolume outcomes back the estimate.
+	// Default 0.5.
+	ErrorThreshold float64
+	// MinVolume is the number of outcomes a station must have produced
+	// since its last transition before the error rate can trip it —
+	// the warm-up guard against tripping on one unlucky request.
+	// Default 10.
+	MinVolume int
+	// PhiThreshold trips a loaded station whose completion stream has
+	// gone silent: suspicion ≈ 0.43 × (silence / mean gap) must reach
+	// this value. Default 8 (≈ 18 mean gaps of silence).
+	PhiThreshold float64
+	// OpenInterval is how long a freshly tripped breaker stays open
+	// before probing; each reopen doubles it up to MaxOpenInterval.
+	// Defaults 5s and 1m.
+	OpenInterval    time.Duration
+	MaxOpenInterval time.Duration
+	// TrialFraction is the probability a dispatch is diverted to a
+	// half-open station as a probe. Default 0.05.
+	TrialFraction float64
+	// TrialSuccesses is how many probe successes (without a failure)
+	// close the breaker. Default 5.
+	TrialSuccesses int
+	// RampWindow is the capped-weight ramp after a breaker-driven
+	// recovery: the readmitted station starts at a fraction of its
+	// optimal rate and reaches full weight this long after closing.
+	// Default 10s.
+	RampWindow time.Duration
+	// ScanInterval is the cadence of the background health scan that
+	// evaluates trip conditions and advances open breakers.
+	// Default 250ms.
+	ScanInterval time.Duration
+}
+
+func (c *BreakerConfig) withDefaults() {
+	if c.ErrorThreshold <= 0 || c.ErrorThreshold > 1 {
+		c.ErrorThreshold = 0.5
+	}
+	if c.MinVolume <= 0 {
+		c.MinVolume = 10
+	}
+	if c.PhiThreshold <= 0 {
+		c.PhiThreshold = 8
+	}
+	if c.OpenInterval <= 0 {
+		c.OpenInterval = 5 * time.Second
+	}
+	if c.MaxOpenInterval < c.OpenInterval {
+		c.MaxOpenInterval = 12 * c.OpenInterval
+	}
+	if c.TrialFraction <= 0 || c.TrialFraction > 1 {
+		c.TrialFraction = 0.05
+	}
+	if c.TrialSuccesses <= 0 {
+		c.TrialSuccesses = 5
+	}
+	if c.RampWindow <= 0 {
+		c.RampWindow = 10 * time.Second
+	}
+	if c.ScanInterval <= 0 {
+		c.ScanInterval = 250 * time.Millisecond
+	}
+}
+
+// Breaker states. The hot path only distinguishes closed from
+// not-closed; transitions happen in the scan goroutine and in
+// recordOutcome's reopen CAS.
+const (
+	breakerClosed int32 = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breakerStateNames is indexed by the state constants.
+var breakerStateNames = [3]string{"closed", "half-open", "open"}
+
+// rampMinFactor is the weight floor a just-recovered station ramps up
+// from — it re-enters at 10% of its optimal rate, never cold-starts at
+// full load.
+const rampMinFactor = 0.1
+
+// breakerState is one station's breaker. All fields are atomics: the
+// dispatch hot path loads state/pinned on every request, and the scan
+// goroutine, outcome recorder, and health handler mutate them without
+// a shared lock.
+type breakerState struct {
+	state  atomic.Int32
+	pinned atomic.Bool // operator "down": transitions frozen, station excluded
+	// openUntil is when an open breaker may go half-open (unix nanos);
+	// interval is the current open duration, doubling per reopen.
+	openUntil atomic.Int64
+	interval  atomic.Int64
+	// trialOK counts consecutive probe successes in half-open.
+	trialOK atomic.Int64
+	// rampStart stamps a breaker-driven close (unix nanos); zero means
+	// no ramp in progress.
+	rampStart atomic.Int64
+	trips     atomic.Int64
+	_         [48]byte
+}
+
+// breakerSet bundles the per-station breakers with the derived hot
+// path constants and the shared trial pointer.
+type breakerSet struct {
+	disabled      bool
+	trialFraction float64
+	// trialBits is TrialFraction scaled to the 16 random bits the
+	// lock-free hot path compares against (u>>24 & 0xFFFF).
+	trialBits uint64
+	// openBase/openMax bound the exponential open-interval backoff.
+	openBase, openMax int64
+	// trial publishes the station index currently admitting half-open
+	// probes (-1 when none) so the hot path pays one atomic load to
+	// know whether a trial coin must be flipped at all.
+	trial    atomic.Int64
+	stations []breakerState
+	// redirects counts dispatches whose picked station was rejected by
+	// its breaker and were re-drawn; trials counts probe admissions.
+	redirects atomic.Int64
+	trials    atomic.Int64
+}
+
+func newBreakerSet(n int, cfg BreakerConfig) *breakerSet {
+	b := &breakerSet{
+		disabled:      cfg.Disabled,
+		trialFraction: cfg.TrialFraction,
+		trialBits:     uint64(cfg.TrialFraction * 65536),
+		openBase:      int64(cfg.OpenInterval),
+		openMax:       int64(cfg.MaxOpenInterval),
+		stations:      make([]breakerState, n),
+	}
+	b.trial.Store(-1)
+	for i := range b.stations {
+		b.stations[i].interval.Store(int64(cfg.OpenInterval))
+	}
+	return b
+}
+
+// rejects reports whether the station's breaker currently refuses
+// ordinary (non-probe) traffic. Hot path: two atomic loads.
+func (b *breakerSet) rejects(station int) bool {
+	if station < 0 || station >= len(b.stations) {
+		return false
+	}
+	s := &b.stations[station]
+	return s.state.Load() != breakerClosed || s.pinned.Load()
+}
+
+// onOutcome applies a completion to the station's breaker. Only
+// half-open breakers react here — a single failed probe reopens the
+// breaker immediately with a doubled interval, without waiting for the
+// next scan. Hot-path discipline: atomics only.
+func (b *breakerSet) onOutcome(station int, kind Outcome, atNanos int64) {
+	if b.disabled || station < 0 || station >= len(b.stations) {
+		return
+	}
+	s := &b.stations[station]
+	if s.state.Load() != breakerHalfOpen {
+		return
+	}
+	if kind == OutcomeSuccess {
+		s.trialOK.Add(1)
+		return
+	}
+	if s.state.CompareAndSwap(breakerHalfOpen, breakerOpen) {
+		b.reopen(s, atNanos)
+	}
+}
+
+// reopen arms an open period from atNanos using the current interval,
+// then doubles the stored interval (capped at openMax) so a flapping
+// station backs off exponentially instead of thrashing the plan.
+func (b *breakerSet) reopen(s *breakerState, atNanos int64) {
+	iv := s.interval.Load()
+	s.openUntil.Store(atNanos + iv)
+	if next := 2 * iv; next <= b.openMax {
+		s.interval.Store(next)
+	} else {
+		s.interval.Store(b.openMax)
+	}
+	s.trips.Add(1)
+	s.trialOK.Store(0)
+}
+
+// resetTo returns a breaker to the closed state with its backoff
+// rearmed from the base interval — operator "up" overrides and
+// breaker-driven closes both land here.
+func (b *breakerSet) resetTo(s *breakerState) {
+	s.state.Store(breakerClosed)
+	s.interval.Store(b.openBase)
+	s.openUntil.Store(0)
+	s.trialOK.Store(0)
+}
+
+// snapshotTrial republishes which station (if any) is admitting
+// probes. Called by the scan after transitions; at most one station
+// runs trials at a time, lowest index first, so probe traffic is never
+// split thin across several recovering stations.
+func (b *breakerSet) snapshotTrial() {
+	for i := range b.stations {
+		s := &b.stations[i]
+		if s.state.Load() == breakerHalfOpen && !s.pinned.Load() {
+			b.trial.Store(int64(i))
+			return
+		}
+	}
+	b.trial.Store(-1)
+}
+
+// anyRejecting reports whether any breaker currently excludes its
+// station — the cheap pre-check the resolver uses to decide whether
+// the availability vector must consult breakers at all.
+func (b *breakerSet) anyRejecting() bool {
+	for i := range b.stations {
+		if b.rejects(i) {
+			return true
+		}
+	}
+	return false
+}

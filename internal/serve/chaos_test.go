@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/model"
+)
+
+// TestChaosFailoverEndToEnd is the full self-healing loop against the
+// real fault-injection backend, in real time: kill the busiest station
+// mid-run, watch the breaker trip and the plan shed it, verify goodput
+// holds through the outage, repair the station, and watch trial
+// traffic earn it back into the plan. Every interval is compressed so
+// the whole cycle fits in a few seconds, including under -race.
+func TestChaosFailoverEndToEnd(t *testing.T) {
+	g := model.LiExample1Group()
+	inj, err := faultinject.New(faultinject.Config{Stations: g.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, func(c *Config) {
+		c.Group = g
+		c.Lambda = 0.5 * g.MaxGenericRate()
+		// Park the estimator (never warm): the dispatch storm below is a
+		// test harness, not an arrival process to react to.
+		c.Window = time.Hour
+		c.MinResolveInterval = 5 * time.Millisecond
+		c.Backend = inj.Call
+		c.Guard = GuardConfig{
+			AttemptTimeout: 25 * time.Millisecond,
+			MaxAttempts:    2,
+			RetryBudget:    1, // every request may retry: goodput is the metric here
+			RetryBurst:     64,
+			BackoffBase:    time.Millisecond,
+			BackoffCap:     3 * time.Millisecond,
+		}
+		c.Breaker = BreakerConfig{
+			ErrorThreshold:  0.35,
+			MinVolume:       5,
+			PhiThreshold:    200, // silence detection off the table: scheduler pauses under -race
+			OpenInterval:    100 * time.Millisecond,
+			MaxOpenInterval: 400 * time.Millisecond,
+			TrialFraction:   0.5,
+			TrialSuccesses:  3,
+			RampWindow:      150 * time.Millisecond,
+			ScanInterval:    10 * time.Millisecond,
+		}
+	})
+
+	// Background dispatch load keeps outcomes (and later trial probes)
+	// flowing while the main goroutine watches state.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s.Dispatch(context.Background())
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	defer func() { stop.Store(true); wg.Wait() }()
+
+	// target is the busiest station of the startup plan — the one the
+	// chaos phase kills.
+	target := 0
+	for i, r := range s.Plan().Rates {
+		if r > s.Plan().Rates[target] {
+			target = i
+		}
+	}
+	measure := func(n int) (ok, toTarget int) {
+		for i := 0; i < n; i++ {
+			res := s.Dispatch(context.Background())
+			if res.Err == nil && !res.Rejected {
+				ok++
+				if res.Station == target && !res.Trial {
+					toTarget++
+				}
+			}
+		}
+		return ok, toTarget
+	}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: healthy baseline — everything succeeds, the busiest
+	// station carries traffic.
+	ok, toTarget := measure(100)
+	if ok != 100 {
+		t.Fatalf("healthy phase: %d/100 dispatches succeeded", ok)
+	}
+	if toTarget == 0 {
+		t.Fatalf("busiest station %d got no traffic in 100 dispatches", target)
+	}
+
+	// Phase 2: kill the station mid-run. Attempts black-hole into their
+	// timeout, the EWMA climbs, the breaker trips, the plan sheds.
+	if err := inj.Set(target, faultinject.Fault{Blackhole: true}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("breaker trip and plan shed", func() bool {
+		return s.breakers.rejects(target) && s.Plan().Rates[target] == 0
+	})
+	if s.breakers.stations[target].trips.Load() < 1 {
+		t.Fatal("shed without a recorded trip")
+	}
+
+	// Phase 3: goodput holds through the outage. Trial probes still
+	// torture the dead station, but retries land their requests; plan
+	// traffic never routes there.
+	ok, toTarget = measure(100)
+	if ok < 90 {
+		t.Fatalf("outage phase: %d/100 dispatches succeeded, want ≥ 90", ok)
+	}
+	if toTarget != 0 {
+		t.Fatalf("%d plan dispatches routed to the dead station", toTarget)
+	}
+
+	// Phase 4: repair. The open interval expires, trial probes succeed,
+	// the breaker closes, and the plan readmits the station.
+	if err := inj.Clear(target); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("breaker close and readmission", func() bool {
+		st := &s.breakers.stations[target]
+		return st.state.Load() == breakerClosed && s.Plan().Rates[target] > 0
+	})
+
+	// Phase 5: the ramp completes and ordinary traffic returns.
+	waitFor("ramp completion", func() bool {
+		return s.Plan().Ramp == nil && s.Plan().Rates[target] > 0
+	})
+	_, toTarget = measure(300)
+	if toTarget == 0 {
+		t.Fatal("recovered station received no plan traffic after the ramp")
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("fault injector reports no injected faults — the outage never happened")
+	}
+}

@@ -39,6 +39,9 @@ type serverMetrics interface {
 	reject(r rejectReason)
 	// resolved records the outcome of one re-solve attempt.
 	resolved(err error)
+	// latencyQuantile95 returns the current p95 dispatch latency in
+	// seconds (0 while cold) — the hedge-delay source.
+	latencyQuantile95() float64
 	// writeTo renders the Prometheus text exposition (format 0.0.4).
 	writeTo(w io.Writer, plan *Plan, rate float64, warm bool)
 }
@@ -143,6 +146,19 @@ func (m *shardedMetrics) observeLatency(seconds float64, u uint64) {
 	sh.mu.Unlock()
 }
 
+// latencyQuantile95 merges the shards' P² estimators into the current
+// p95 — a scrape-frequency (cold) operation.
+func (m *shardedMetrics) latencyQuantile95() float64 {
+	var clones []*metrics.P2Quantile
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		clones = append(clones, sh.q95.Clone())
+		sh.mu.Unlock()
+	}
+	return metrics.MergeP2Quantiles(clones...)
+}
+
 func (m *shardedMetrics) reject(r rejectReason) {
 	m.rejected[r].Add(1)
 }
@@ -235,6 +251,12 @@ func (m *lockedMetrics) reject(r rejectReason) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.rejected[r]++
+}
+
+func (m *lockedMetrics) latencyQuantile95() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.q95.Value()
 }
 
 func (m *lockedMetrics) resolved(err error) {
@@ -339,4 +361,78 @@ func boolGauge(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// writeResilienceMetrics appends the failure-detector, breaker and
+// guard series to the exposition — kept outside serverMetrics because
+// this state lives on the Server (one source of truth for breaker
+// state) and is identical for both hot-path implementations.
+func (s *Server) writeResilienceMetrics(w io.Writer) {
+	nowNs := s.now().UnixNano()
+	fmt.Fprintln(w, "# HELP bladed_breaker_state Circuit state per station (0 closed, 1 half-open, 2 open).")
+	fmt.Fprintln(w, "# TYPE bladed_breaker_state gauge")
+	for i := range s.breakers.stations {
+		fmt.Fprintf(w, "bladed_breaker_state{station=%q} %d\n",
+			fmt.Sprint(i), s.breakers.stations[i].state.Load())
+	}
+	fmt.Fprintln(w, "# HELP bladed_breaker_trips_total Breaker trips per station.")
+	fmt.Fprintln(w, "# TYPE bladed_breaker_trips_total counter")
+	for i := range s.breakers.stations {
+		fmt.Fprintf(w, "bladed_breaker_trips_total{station=%q} %d\n",
+			fmt.Sprint(i), s.breakers.stations[i].trips.Load())
+	}
+	fmt.Fprintln(w, "# HELP bladed_breaker_pinned Operator down-pin per station (breaker frozen).")
+	fmt.Fprintln(w, "# TYPE bladed_breaker_pinned gauge")
+	for i := range s.breakers.stations {
+		fmt.Fprintf(w, "bladed_breaker_pinned{station=%q} %d\n",
+			fmt.Sprint(i), boolGauge(s.breakers.stations[i].pinned.Load()))
+	}
+	fmt.Fprintln(w, "# HELP bladed_breaker_redirects_total Dispatches re-drawn off a breaker-rejected station.")
+	fmt.Fprintln(w, "# TYPE bladed_breaker_redirects_total counter")
+	fmt.Fprintf(w, "bladed_breaker_redirects_total %d\n", s.breakers.redirects.Load())
+	fmt.Fprintln(w, "# HELP bladed_breaker_trials_total Half-open probe dispatches admitted.")
+	fmt.Fprintln(w, "# TYPE bladed_breaker_trials_total counter")
+	fmt.Fprintf(w, "bladed_breaker_trials_total %d\n", s.breakers.trials.Load())
+
+	fmt.Fprintln(w, "# HELP bladed_outcomes_total Completed backend attempts by station and outcome.")
+	fmt.Fprintln(w, "# TYPE bladed_outcomes_total counter")
+	for i := range s.breakers.stations {
+		suc, errs, tmo := s.tracker.totals(i)
+		st := fmt.Sprint(i)
+		fmt.Fprintf(w, "bladed_outcomes_total{station=%q,outcome=\"success\"} %d\n", st, suc)
+		fmt.Fprintf(w, "bladed_outcomes_total{station=%q,outcome=\"error\"} %d\n", st, errs)
+		fmt.Fprintf(w, "bladed_outcomes_total{station=%q,outcome=\"timeout\"} %d\n", st, tmo)
+	}
+	fmt.Fprintln(w, "# HELP bladed_outcome_error_rate EWMA failure fraction per station.")
+	fmt.Fprintln(w, "# TYPE bladed_outcome_error_rate gauge")
+	for i := range s.breakers.stations {
+		fmt.Fprintf(w, "bladed_outcome_error_rate{station=%q} %g\n",
+			fmt.Sprint(i), s.tracker.errorRate(i))
+	}
+	fmt.Fprintln(w, "# HELP bladed_outcome_suspicion Phi-accrual silence score per station.")
+	fmt.Fprintln(w, "# TYPE bladed_outcome_suspicion gauge")
+	for i := range s.breakers.stations {
+		fmt.Fprintf(w, "bladed_outcome_suspicion{station=%q} %g\n",
+			fmt.Sprint(i), s.tracker.suspicion(i, nowNs))
+	}
+
+	fmt.Fprintln(w, "# HELP bladed_retry_budget_tokens Retry tokens currently banked.")
+	fmt.Fprintln(w, "# TYPE bladed_retry_budget_tokens gauge")
+	fmt.Fprintf(w, "bladed_retry_budget_tokens %g\n",
+		float64(s.guard.tokens.Load())/retryTokenScale)
+	fmt.Fprintln(w, "# HELP bladed_backend_attempts_total Guarded backend attempts executed.")
+	fmt.Fprintln(w, "# TYPE bladed_backend_attempts_total counter")
+	fmt.Fprintf(w, "bladed_backend_attempts_total %d\n", s.guard.attempts.Load())
+	fmt.Fprintln(w, "# HELP bladed_retries_total Retries granted by the retry budget.")
+	fmt.Fprintln(w, "# TYPE bladed_retries_total counter")
+	fmt.Fprintf(w, "bladed_retries_total %d\n", s.guard.retries.Load())
+	fmt.Fprintln(w, "# HELP bladed_retries_denied_total Retries refused by an exhausted budget.")
+	fmt.Fprintln(w, "# TYPE bladed_retries_denied_total counter")
+	fmt.Fprintf(w, "bladed_retries_denied_total %d\n", s.guard.retriesDenied.Load())
+	fmt.Fprintln(w, "# HELP bladed_hedges_total Hedged second attempts launched.")
+	fmt.Fprintln(w, "# TYPE bladed_hedges_total counter")
+	fmt.Fprintf(w, "bladed_hedges_total %d\n", s.guard.hedges.Load())
+	fmt.Fprintln(w, "# HELP bladed_hedge_wins_total Hedged attempts that finished first.")
+	fmt.Fprintln(w, "# TYPE bladed_hedge_wins_total counter")
+	fmt.Fprintf(w, "bladed_hedge_wins_total %d\n", s.guard.hedgeWins.Load())
 }

@@ -45,6 +45,11 @@ type Plan struct {
 	// and the daemon sheds the Shed remainder probabilistically.
 	Admitted float64 `json:"admitted"`
 	Shed     float64 `json:"shed"`
+	// Ramp, when non-nil, records the capped-weight recovery factors
+	// applied after the solve: station i carries Ramp[i]×its optimal
+	// share (renormalized), < 1 while it ramps back in after a
+	// breaker-driven readmission.
+	Ramp []float64 `json:"ramp,omitempty"`
 	// SolvedAt stamps the solve (the daemon's injected clock).
 	SolvedAt time.Time `json:"solved_at"`
 
@@ -66,28 +71,64 @@ func (p *Plan) PickU(u float64) int {
 // buildPlan re-solves the paper's optimization over the up-subset and
 // freezes the result. Overload is not an error: OptimizeDegraded's
 // admission control sheds the minimal rate and the plan records it.
-func buildPlan(g *model.Group, lambda float64, up []bool, opts core.Options, version int64, now time.Time) (*Plan, error) {
+// A non-nil ramp vector applies capped-weight recovery after the
+// solve: each station's optimal rate is scaled by ramp[i] and the
+// total renormalized back to the admitted λ′, so a just-readmitted
+// station re-enters at a fraction of its share while the survivors
+// briefly absorb the withheld remainder. Utilizations are rescaled
+// proportionally; the transient overshoot on the absorbers is bounded
+// by the withheld fraction and decays to zero across the ramp window.
+func buildPlan(g *model.Group, lambda float64, up []bool, opts core.Options, version int64, now time.Time, ramp []float64) (*Plan, error) {
 	res, err := core.OptimizeDegraded(g, lambda, up, opts)
 	if err != nil {
 		return nil, err
 	}
-	picker, err := dispatch.NewProbabilistic(res.Rates)
+	rates := res.Rates
+	utils := res.Utilizations
+	var rampOut []float64
+	if ramp != nil {
+		scaled := make([]float64, len(rates))
+		sum := 0.0
+		for i, r := range rates {
+			f := 1.0
+			if i < len(ramp) && ramp[i] > 0 && ramp[i] < 1 {
+				f = ramp[i]
+			}
+			scaled[i] = r * f
+			sum += scaled[i]
+		}
+		if sum > 0 && res.Admitted > 0 {
+			norm := res.Admitted / sum
+			newUtils := make([]float64, len(utils))
+			for i := range scaled {
+				scaled[i] *= norm
+				if i < len(utils) && rates[i] > 0 {
+					newUtils[i] = utils[i] * scaled[i] / rates[i]
+				}
+			}
+			rates = scaled
+			utils = newUtils
+			rampOut = append([]float64(nil), ramp...)
+		}
+	}
+	picker, err := dispatch.NewProbabilistic(rates)
 	if err != nil {
 		return nil, fmt.Errorf("serve: building picker: %w", err)
 	}
 	return &Plan{
 		Version:         version,
 		Lambda:          res.Admitted,
-		Rates:           res.Rates,
+		Rates:           rates,
 		Phi:             res.Phi,
 		AvgResponseTime: res.AvgResponseTime,
-		Utilizations:    res.Utilizations,
+		Utilizations:    utils,
 		Up:              res.Up,
 		Survivors:       res.Survivors,
 		Capacity:        admissionCeiling(g, up, opts),
 		Admitted:        res.Admitted,
 		Shed:            res.Shed,
 		SolvedAt:        now,
+		Ramp:            rampOut,
 		picker:          picker,
 	}, nil
 }

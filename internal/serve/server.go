@@ -29,6 +29,8 @@ import (
 	randv2 "math/rand/v2"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +84,16 @@ type Config struct {
 	// the contention baseline BenchmarkDispatchParallelMutex measures;
 	// production use should leave it off.
 	SerializedHotPath bool
+	// Backend, when set, makes Server.Dispatch (and POST /v1/dispatch)
+	// execute each admitted request against its routed station through
+	// the guard wrapper instead of only returning a routing decision.
+	Backend Backend
+	// Guard tunes the backend dispatch wrapper (timeouts, retry
+	// budget, hedging). Ignored when Backend is nil.
+	Guard GuardConfig
+	// Breaker tunes the per-station circuit breakers and the health
+	// scan that drives automatic shed/readmit re-solves.
+	Breaker BreakerConfig
 }
 
 func (c *Config) withDefaults() {
@@ -112,6 +124,8 @@ func (c *Config) withDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	c.Guard.withDefaults()
+	c.Breaker.withDefaults()
 }
 
 // Server is the daemon state. Create with New, mount Handler on an
@@ -133,6 +147,15 @@ type Server struct {
 	fastRnd *shardedRNG // nil under DeterministicRNG/SerializedHotPath
 
 	plan atomic.Pointer[Plan]
+
+	// Failure-detection state: per-station outcome statistics, the
+	// circuit breakers they drive, and the guarded-dispatch runtime.
+	tracker  *outcomeTracker
+	breakers *breakerSet
+	guard    guardState
+	backend  Backend
+	scanMu   sync.Mutex // serializes healthScan passes; guards scanVol
+	scanVol  []int64    // outcome volume anchor per station (since last transition)
 
 	mu          sync.Mutex // guards up, lastResolve
 	up          []bool
@@ -173,11 +196,16 @@ func New(cfg Config) (*Server, error) {
 		group:     cfg.Group.Clone(),
 		log:       cfg.Logger,
 		now:       cfg.Now,
+		backend:   cfg.Backend,
 		up:        make([]bool, cfg.Group.N()),
+		scanVol:   make([]int64, cfg.Group.N()),
 		resolveCh: make(chan resolveReq, 1),
 		done:      make(chan struct{}),
 		inflight:  make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.tracker = newOutcomeTracker(cfg.Group.N(), runtime.GOMAXPROCS(0))
+	s.breakers = newBreakerSet(cfg.Group.N(), cfg.Breaker)
+	s.guard.init(cfg.Guard)
 	if cfg.SerializedHotPath {
 		s.est = NewLockedRateEstimator(cfg.Window, cfg.Buckets, cfg.Now)
 		s.m = newLockedServerMetrics(cfg.Group.N())
@@ -197,7 +225,7 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.up {
 		s.up[i] = true
 	}
-	plan, err := buildPlan(s.group, cfg.Lambda, nil, cfg.Opts, 1, s.now())
+	plan, err := buildPlan(s.group, cfg.Lambda, nil, cfg.Opts, 1, s.now(), nil)
 	if err != nil {
 		return nil, fmt.Errorf("serve: startup solve: %w", err)
 	}
@@ -211,6 +239,8 @@ func New(cfg Config) (*Server, error) {
 		"capacity", plan.Capacity, "stations", s.group.N())
 	s.wg.Add(1)
 	go s.resolver()
+	s.wg.Add(1)
+	go s.scanner()
 	return s, nil
 }
 
@@ -232,14 +262,26 @@ func (s *Server) Estimate() (rate float64, warm bool) {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/dispatch   → routing decision from the live plan
+//	POST /v1/dispatch   → routing decision from the live plan (and
+//	                      guarded execution when a Backend is set)
 //	GET  /v1/plan       → live plan
 //	POST /v1/plan       → synchronous re-solve (optional {"lambda": x})
-//	GET  /v1/health     → availability vector + rate estimate
-//	POST /v1/health     → mark a station up/down, queue a re-solve
+//	GET  /v1/health     → effective availability, per-station breaker
+//	                      state and outcome statistics
+//	POST /v1/health     → operator availability override (see below)
+//	POST /v1/observe    → report an externally executed outcome
 //	GET  /metrics       → Prometheus text exposition
 //	GET  /healthz       → liveness probe
 //	     /debug/pprof/* → runtime profiles
+//
+// Operator overrides versus breaker transitions: POST /v1/health
+// {"up": false} PINS the station down — the circuit breaker is frozen
+// and may not readmit it; only an operator {"up": true} lifts the
+// pin. POST /v1/health {"up": true} also force-resets the station's
+// breaker to closed at full weight (no recovery ramp) and rearms its
+// open-interval backoff: the operator's word overrides any failure
+// history the detector has accumulated. Breaker-driven transitions
+// never touch the operator vector.
 //
 // The /v1 API is bounded by MaxInFlight and RequestTimeout.
 func (s *Server) Handler() http.Handler {
@@ -249,6 +291,7 @@ func (s *Server) Handler() http.Handler {
 	api.HandleFunc("POST /v1/plan", s.handlePostPlan)
 	api.HandleFunc("GET /v1/health", s.handleGetHealth)
 	api.HandleFunc("POST /v1/health", s.handlePostHealth)
+	api.HandleFunc("POST /v1/observe", s.handleObserve)
 	bounded := s.limitInFlight(http.TimeoutHandler(api, s.cfg.RequestTimeout,
 		`{"error":"request timed out"}`))
 
@@ -289,6 +332,13 @@ type DispatchResponse struct {
 	Name string `json:"name,omitempty"`
 	// PlanVersion identifies the plan that made the decision.
 	PlanVersion int64 `json:"plan_version"`
+	// Attempts is how many guarded backend attempts ran (0 when the
+	// daemon routes without executing).
+	Attempts int `json:"attempts,omitempty"`
+	// Trial marks a half-open breaker probe.
+	Trial bool `json:"trial,omitempty"`
+	// Hedged reports that a racing second attempt was launched.
+	Hedged bool `json:"hedged,omitempty"`
 }
 
 // Decision is the outcome of one pass through the dispatch hot path.
@@ -303,6 +353,9 @@ type Decision struct {
 	// then names the cause ("admission" or "shed").
 	Rejected bool
 	Reason   string
+	// Trial marks a half-open breaker probe: the request was diverted
+	// to a recovering station to test it, not routed by plan weight.
+	Trial bool
 }
 
 // Decide runs the dispatch hot path once — observe the arrival,
@@ -332,13 +385,19 @@ func (s *Server) Decide() Decision {
 	}
 	s.driftCheck(plan, rate, warm)
 
-	var draw float64
-	if s.fastRnd != nil {
-		draw = s.fastRnd.float64U(u >> 16) // spare bits of the shared word
-	} else {
-		draw = s.rnd.Float64() // DeterministicRNG keeps the pinned sequence
+	station, trial := s.trialPick(u)
+	if !trial {
+		var draw float64
+		if s.fastRnd != nil {
+			draw = s.fastRnd.float64U(u >> 16) // spare bits of the shared word
+		} else {
+			draw = s.rnd.Float64() // DeterministicRNG keeps the pinned sequence
+		}
+		station = plan.PickU(draw)
+		if s.breakers.rejects(station) {
+			station = s.redirect(plan, station, u)
+		}
 	}
-	station := plan.PickU(draw)
 	s.fastM.countDispatch(station)
 	// Latency is measured on a random 1-in-p2SampleStride subset: the
 	// second clock read is the costliest step left on this path, so the
@@ -346,7 +405,54 @@ func (s *Server) Decide() Decision {
 	if u>>48&(p2SampleStride-1) == 0 {
 		s.fastM.observeLatency(s.now().Sub(start).Seconds(), u>>32)
 	}
-	return Decision{Station: station, Plan: plan, Rate: rate}
+	return Decision{Station: station, Plan: plan, Rate: rate, Trial: trial}
+}
+
+// trialPick diverts a TrialFraction share of dispatches to the
+// half-open station currently on probation (if any). The trial coin
+// consumes randomness only while a trial station is posted, so the
+// DeterministicRNG draw sequence is untouched whenever every breaker
+// is closed — the contract the cross-version determinism test pins.
+func (s *Server) trialPick(u uint64) (int, bool) {
+	ts := s.breakers.trial.Load()
+	if ts < 0 {
+		return -1, false
+	}
+	if s.fastRnd != nil {
+		if (u>>24)&0xFFFF >= s.breakers.trialBits {
+			return -1, false
+		}
+	} else if s.rnd.Float64() >= s.breakers.trialFraction {
+		return -1, false
+	}
+	station := int(ts)
+	b := &s.breakers.stations[station]
+	// Re-check under the coin: the scan may have moved the breaker on
+	// since the trial pointer was loaded.
+	if b.state.Load() != breakerHalfOpen || b.pinned.Load() {
+		return -1, false
+	}
+	s.breakers.trials.Add(1)
+	return station, true
+}
+
+// redirect re-draws the station pick once when the chosen station's
+// breaker rejects ordinary traffic — the transient window between a
+// trip and the shedding re-solve landing. One redraw moves most of
+// the misrouted mass; if the redraw is also rejected the original
+// pick stands (the plan swap is at most a scan interval away).
+func (s *Server) redirect(plan *Plan, station int, u uint64) int {
+	var draw float64
+	if s.fastRnd != nil {
+		draw = s.fastRnd.float64U(u >> 32)
+	} else {
+		draw = s.rnd.Float64()
+	}
+	if alt := plan.PickU(draw); !s.breakers.rejects(alt) {
+		s.breakers.redirects.Add(1)
+		return alt
+	}
+	return station
 }
 
 // decideSerialized is the dispatch flow exactly as the pre-sharding
@@ -367,9 +473,17 @@ func (s *Server) decideSerialized() Decision {
 	}
 	s.driftCheck(plan, rate, s.est.Warm())
 
-	station := plan.PickU(s.rnd.Float64())
+	// With fastRnd nil, trialPick and redirect draw from s.rnd, so the
+	// serialized path shares the deterministic draw sequence.
+	station, trial := s.trialPick(0)
+	if !trial {
+		station = plan.PickU(s.rnd.Float64())
+		if s.breakers.rejects(station) {
+			station = s.redirect(plan, station, 0)
+		}
+	}
 	s.m.observeDispatch(station, s.now().Sub(start).Seconds())
-	return Decision{Station: station, Plan: plan, Rate: rate}
+	return Decision{Station: station, Plan: plan, Rate: rate, Trial: trial}
 }
 
 // admission returns the admissible fraction of the stream and the
@@ -399,18 +513,77 @@ func (s *Server) driftCheck(plan *Plan, rate float64, warm bool) {
 }
 
 func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
-	d := s.Decide()
-	if d.Rejected {
-		w.Header().Set("Retry-After", "1")
+	res := s.Dispatch(r.Context())
+	if res.Rejected {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(res.Decision)))
 		writeError(w, http.StatusServiceUnavailable,
-			"overloaded: observed rate %.4g versus capacity %.4g", d.Rate, d.Plan.Capacity)
+			"overloaded: observed rate %.4g versus capacity %.4g", res.Rate, res.Plan.Capacity)
 		return
 	}
-	resp := DispatchResponse{Station: d.Station, PlanVersion: d.Plan.Version}
+	if res.Err != nil {
+		writeError(w, http.StatusBadGateway,
+			"backend failed after %d attempts: %v", res.Attempts, res.Err)
+		return
+	}
+	resp := DispatchResponse{
+		Station: res.Station, PlanVersion: res.Plan.Version,
+		Attempts: res.Attempts, Trial: res.Trial, Hedged: res.Hedged,
+	}
 	if s.cfg.Names != nil {
-		resp.Name = s.cfg.Names[d.Station]
+		resp.Name = s.cfg.Names[res.Station]
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// retryAfterSeconds derives the Retry-After hint on a 503 shed. In
+// rough order of how actionable the signal is: an overloaded
+// estimator suggests waiting for the excess fraction of the window to
+// drain; an open breaker suggests waiting until its soonest probe;
+// otherwise the soonest the plan itself may change
+// (MinResolveInterval).
+func (s *Server) retryAfterSeconds(d Decision) int {
+	window := s.cfg.Window.Seconds()
+	if d.Plan != nil && d.Plan.Capacity > 0 && d.Rate > d.Plan.Capacity {
+		// The windowed estimate decays toward capacity only as the
+		// excess arrivals age out: the excess fraction of the window is
+		// the natural horizon.
+		secs := int(math.Ceil((1 - d.Plan.Capacity/d.Rate) * window))
+		return clampInt(secs, 1, int(math.Ceil(window)))
+	}
+	if rem := s.minOpenRemaining(); rem > 0 {
+		return clampInt(int(math.Ceil(rem.Seconds())), 1, int(math.Ceil(window)))
+	}
+	return clampInt(int(math.Ceil(s.cfg.MinResolveInterval.Seconds())), 1, int(math.Ceil(window)))
+}
+
+// minOpenRemaining returns the shortest time until any open breaker
+// may go half-open (0 when no breaker is open).
+func (s *Server) minOpenRemaining() time.Duration {
+	nowNs := s.now().UnixNano()
+	var best int64
+	for i := range s.breakers.stations {
+		st := &s.breakers.stations[i]
+		if st.state.Load() != breakerOpen {
+			continue
+		}
+		if rem := st.openUntil.Load() - nowNs; rem > 0 && (best == 0 || rem < best) {
+			best = rem
+		}
+	}
+	return time.Duration(best)
+}
+
+func clampInt(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 func (s *Server) handleGetPlan(w http.ResponseWriter, _ *http.Request) {
@@ -451,21 +624,94 @@ func (s *Server) handlePostPlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, plan)
 }
 
-// HealthState is the body of GET /v1/health.
+// HealthState is the body of GET /v1/health. Up is the EFFECTIVE
+// availability vector — a station counts as up only when the operator
+// has not downed it and its circuit breaker is closed.
 type HealthState struct {
-	Up       []bool  `json:"up"`
-	Estimate float64 `json:"estimate"`
-	Warm     bool    `json:"warm"`
+	Up       []bool          `json:"up"`
+	Estimate float64         `json:"estimate"`
+	Warm     bool            `json:"warm"`
+	Stations []StationHealth `json:"stations,omitempty"`
+}
+
+// StationHealth is the per-station detail block of GET /v1/health.
+type StationHealth struct {
+	Station int    `json:"station"`
+	Name    string `json:"name,omitempty"`
+	// Up is the effective availability (operator ∧ breaker closed).
+	Up bool `json:"up"`
+	// OperatorPinned reports an operator "down" pin: the breaker may
+	// not readmit the station until an operator "up" lifts it.
+	OperatorPinned bool `json:"operator_pinned,omitempty"`
+	// Breaker is the circuit state: "closed", "half-open" or "open".
+	Breaker string `json:"breaker"`
+	Trips   int64  `json:"trips,omitempty"`
+	// ErrorRate and Suspicion are the failure detector's live EWMA
+	// failure fraction and phi-accrual silence score.
+	ErrorRate float64 `json:"error_rate"`
+	Suspicion float64 `json:"suspicion"`
+	Successes int64   `json:"successes"`
+	Errors    int64   `json:"errors"`
+	Timeouts  int64   `json:"timeouts"`
+	// RampFactor < 1 reports an in-progress capped-weight recovery.
+	RampFactor float64 `json:"ramp_factor,omitempty"`
+	// OpenRemainingSeconds is the time until an open breaker probes.
+	OpenRemainingSeconds float64 `json:"open_remaining_seconds,omitempty"`
+}
+
+// healthState assembles the full health view: operator vector,
+// breaker states, and tracker statistics.
+func (s *Server) healthState() HealthState {
+	s.mu.Lock()
+	op := append([]bool(nil), s.up...)
+	s.mu.Unlock()
+	rate, warm := s.Estimate()
+	now := s.now()
+	nowNs := now.UnixNano()
+	hs := HealthState{Up: make([]bool, len(op)), Estimate: rate, Warm: warm}
+	for i := range op {
+		b := &s.breakers.stations[i]
+		state := b.state.Load()
+		eff := op[i] && state == breakerClosed && !b.pinned.Load()
+		hs.Up[i] = eff
+		suc, errs, tmo := s.tracker.totals(i)
+		sh := StationHealth{
+			Station:        i,
+			Up:             eff,
+			OperatorPinned: b.pinned.Load(),
+			Breaker:        breakerStateNames[state],
+			Trips:          b.trips.Load(),
+			ErrorRate:      s.tracker.errorRate(i),
+			Suspicion:      s.tracker.suspicion(i, nowNs),
+			Successes:      suc,
+			Errors:         errs,
+			Timeouts:       tmo,
+		}
+		if s.cfg.Names != nil {
+			sh.Name = s.cfg.Names[i]
+		}
+		if f := s.rampFactor(i, now); f < 1 {
+			sh.RampFactor = f
+		}
+		if state == breakerOpen {
+			if rem := b.openUntil.Load() - nowNs; rem > 0 {
+				sh.OpenRemainingSeconds = time.Duration(rem).Seconds()
+			}
+		}
+		hs.Stations = append(hs.Stations, sh)
+	}
+	return hs
 }
 
 func (s *Server) handleGetHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	up := append([]bool(nil), s.up...)
-	s.mu.Unlock()
-	rate, warm := s.Estimate()
-	writeJSON(w, http.StatusOK, HealthState{Up: up, Estimate: rate, Warm: warm})
+	writeJSON(w, http.StatusOK, s.healthState())
 }
 
+// handlePostHealth applies an operator availability override. "Down"
+// pins the station (breaker frozen, station excluded until an
+// operator lifts it); "up" clears the pin AND force-resets the
+// breaker to closed at full weight — no recovery ramp, the operator
+// has vouched for the station. See the Handler doc block.
 func (s *Server) handlePostHealth(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Station int  `json:"station"`
@@ -482,18 +728,71 @@ func (s *Server) handlePostHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	changed := s.up[req.Station] != req.Up
 	s.up[req.Station] = req.Up
-	up := append([]bool(nil), s.up...)
 	s.mu.Unlock()
-	if changed {
-		s.log.Info("station health changed", "station", req.Station, "up", req.Up)
+	b := &s.breakers.stations[req.Station]
+	breakerReset := false
+	if req.Up {
+		b.pinned.Store(false)
+		if b.state.Load() != breakerClosed {
+			breakerReset = true
+		}
+		s.breakers.resetTo(b)
+		b.rampStart.Store(0)
+		s.tracker.resetError(req.Station)
+		s.scanMu.Lock()
+		suc, errs, tmo := s.tracker.totals(req.Station)
+		s.scanVol[req.Station] = suc + errs + tmo
+		s.scanMu.Unlock()
+	} else {
+		b.pinned.Store(true)
+	}
+	s.breakers.snapshotTrial()
+	if changed || breakerReset {
+		s.log.Info("station health changed by operator",
+			"station", req.Station, "up", req.Up, "breaker_reset", breakerReset)
 		s.maybeResolve(0, "health", true)
 	}
-	writeJSON(w, http.StatusAccepted, HealthState{Up: up})
+	writeJSON(w, http.StatusAccepted, s.healthState())
+}
+
+// handleObserve ingests one externally executed outcome:
+// {"station": i, "outcome": "success"|"error"|"timeout",
+// "latency_seconds": x}. It exists for deployments where bladed only
+// routes and the caller runs the work — without outcomes the failure
+// detector is blind.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Station        int     `json:"station"`
+		Outcome        string  `json:"outcome"`
+		LatencySeconds float64 `json:"latency_seconds"`
+	}
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	kind := numOutcomes
+	for k := range outcomeNames {
+		if outcomeNames[k] == req.Outcome {
+			kind = Outcome(k)
+		}
+	}
+	if kind >= numOutcomes {
+		writeError(w, http.StatusBadRequest,
+			"unknown outcome %q (want success, error or timeout)", req.Outcome)
+		return
+	}
+	latency := time.Duration(req.LatencySeconds * float64(time.Second))
+	if err := s.ReportOutcome(req.Station, kind, latency); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]bool{"recorded": true})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.m.writeTo(w, s.plan.Load(), s.est.Rate(), s.est.Warm())
+	s.writeResilienceMetrics(w)
 }
 
 // maybeResolve queues a background re-solve. Drift- and
@@ -515,6 +814,181 @@ func (s *Server) maybeResolve(lambda float64, reason string, force bool) {
 	case s.resolveCh <- resolveReq{lambda: lambda, reason: reason}:
 	default: // one already pending; it will observe fresh state
 	}
+}
+
+// scanner is the background goroutine driving the failure detector:
+// every ScanInterval it evaluates trip conditions, advances open
+// breakers toward half-open, closes breakers whose trials succeeded,
+// and refreshes the hedge delay from the observed p95.
+func (s *Server) scanner() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.Breaker.ScanInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.healthScan(s.now())
+		}
+	}
+}
+
+// healthScan runs one failure-detector pass. Exported behaviour worth
+// pinning: trips and breaker-driven closes force a re-solve (a dead
+// station must shed as fast as the solver allows, edge-triggered by
+// the state CAS so a station trips at most once per open cycle);
+// ramp-weight refreshes go through the MinResolveInterval rate limit
+// — the hysteresis that keeps a recovering station from thrashing the
+// solver.
+func (s *Server) healthScan(now time.Time) {
+	if s.cfg.Guard.Hedge {
+		if q := s.m.latencyQuantile95(); q > 0 {
+			d := time.Duration(q * float64(time.Second))
+			if d < s.cfg.Guard.HedgeMinDelay {
+				d = s.cfg.Guard.HedgeMinDelay
+			}
+			s.guard.hedgeDelay.Store(int64(d))
+		}
+	}
+	if s.breakers.disabled {
+		return
+	}
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	nowNs := now.UnixNano()
+	plan := s.plan.Load()
+	reason := ""
+	force := false
+	rampActive := false
+	for i := range s.breakers.stations {
+		st := &s.breakers.stations[i]
+		if st.pinned.Load() {
+			continue // operator owns this station
+		}
+		switch st.state.Load() {
+		case breakerClosed:
+			suc, errs, tmo := s.tracker.totals(i)
+			vol := suc + errs + tmo - s.scanVol[i]
+			erate := s.tracker.errorRate(i)
+			phi := s.tracker.suspicion(i, nowNs)
+			loaded := i < len(plan.Rates) && plan.Rates[i] > 0
+			if (vol >= int64(s.cfg.Breaker.MinVolume) && erate >= s.cfg.Breaker.ErrorThreshold) ||
+				(loaded && phi >= s.cfg.Breaker.PhiThreshold) {
+				if st.state.CompareAndSwap(breakerClosed, breakerOpen) {
+					s.breakers.reopen(st, nowNs)
+					st.rampStart.Store(0)
+					s.scanVol[i] = suc + errs + tmo
+					s.log.Warn("breaker tripped; shedding station",
+						"station", i, "error_rate", erate, "suspicion", phi, "volume", vol)
+					reason, force = "breaker-trip", true
+				}
+				continue
+			}
+			if rs := st.rampStart.Load(); rs > 0 {
+				if nowNs-rs >= int64(s.cfg.Breaker.RampWindow) {
+					st.rampStart.Store(0)
+					if reason == "" {
+						reason = "ramp-complete"
+					}
+				} else {
+					rampActive = true
+				}
+			}
+		case breakerOpen:
+			if nowNs >= st.openUntil.Load() {
+				st.trialOK.Store(0)
+				// Restart the silence clock: suspicion now measures the
+				// probe stream, not the outage that tripped us.
+				s.tracker.touch(i, nowNs)
+				st.state.Store(breakerHalfOpen)
+				s.log.Info("breaker half-open; admitting trial traffic",
+					"station", i, "trial_fraction", s.breakers.trialFraction)
+			}
+		case breakerHalfOpen:
+			if st.trialOK.Load() >= int64(s.cfg.Breaker.TrialSuccesses) {
+				s.breakers.resetTo(st)
+				st.rampStart.Store(nowNs)
+				s.tracker.resetError(i)
+				suc, errs, tmo := s.tracker.totals(i)
+				s.scanVol[i] = suc + errs + tmo
+				s.log.Info("breaker closed; ramping station back in",
+					"station", i, "ramp_window", s.cfg.Breaker.RampWindow)
+				reason, force = "breaker-close", true
+			}
+		}
+	}
+	s.breakers.snapshotTrial()
+	switch {
+	case reason != "":
+		s.maybeResolve(0, reason, force)
+	case rampActive:
+		s.maybeResolve(0, "ramp", false)
+	}
+}
+
+// rampFactor returns the capped-weight multiplier for a station in
+// its recovery window: linear from rampMinFactor at breaker close to
+// 1 at RampWindow later (1 when no ramp is active).
+func (s *Server) rampFactor(i int, now time.Time) float64 {
+	st := &s.breakers.stations[i]
+	rs := st.rampStart.Load()
+	if rs <= 0 || st.state.Load() != breakerClosed {
+		return 1
+	}
+	elapsed := float64(now.UnixNano() - rs)
+	window := float64(s.cfg.Breaker.RampWindow)
+	if elapsed >= window {
+		return 1
+	}
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return rampMinFactor + (1-rampMinFactor)*elapsed/window
+}
+
+// applyBreakers overlays breaker exclusions onto the operator
+// availability vector (mutating the caller's private copy) and
+// collects ramp-in weights for recovering stations. If the overlay
+// would leave no station serving, the breaker exclusions are ignored
+// — routing somewhere beats routing nowhere — and the breakers are
+// left to re-trip on the evidence.
+func (s *Server) applyBreakers(up []bool) ([]bool, []float64) {
+	if s.breakers.disabled {
+		return up, nil
+	}
+	survivors, excluded := 0, 0
+	for i := range up {
+		if !up[i] {
+			continue
+		}
+		if s.breakers.rejects(i) {
+			excluded++
+		} else {
+			survivors++
+		}
+	}
+	if excluded > 0 && survivors > 0 {
+		for i := range up {
+			if up[i] && s.breakers.rejects(i) {
+				up[i] = false
+			}
+		}
+	}
+	var ramp []float64
+	now := s.now()
+	for i := range up {
+		if f := s.rampFactor(i, now); f < 1 {
+			if ramp == nil {
+				ramp = make([]float64, len(up))
+				for j := range ramp {
+					ramp[j] = 1
+				}
+			}
+			ramp[i] = f
+		}
+	}
+	return up, ramp
 }
 
 // resolver is the background goroutine that serializes re-solves.
@@ -555,9 +1029,10 @@ func (s *Server) doResolve(req resolveReq) (*Plan, error) {
 			lambda = cur.Lambda
 		}
 	}
+	up, ramp := s.applyBreakers(up)
 	opts := s.cfg.Opts
 	opts.WarmPhi = cur.Phi
-	plan, err := buildPlan(s.group, lambda, up, opts, cur.Version+1, s.now())
+	plan, err := buildPlan(s.group, lambda, up, opts, cur.Version+1, s.now(), ramp)
 	s.m.resolved(err)
 	if err != nil {
 		return nil, err
