@@ -111,6 +111,63 @@ func BenchmarkOptimizeN7Priority(b *testing.B) { benchOptimize(b, 7, queueing.Pr
 func BenchmarkOptimizeN64FCFS(b *testing.B)    { benchOptimize(b, 64, queueing.FCFS) }
 func BenchmarkOptimizeN512FCFS(b *testing.B)   { benchOptimize(b, 512, queueing.FCFS) }
 
+// --- Fleet-scale solves: the sparse path (class clustering +
+// marginal-cost pruning, DESIGN §14) on synthetic heterogeneous fleets.
+// The N10k series is the ROADMAP's "well under a second" target and is
+// gated in CI with an absolute time budget via bladebench -budget. ---
+
+// benchOptimizeSparse solves a clustered fleet with the sparse path.
+// The station mix reuses benchOptimize's signature pattern (56 distinct
+// (size, speed) classes), so class clustering does real work without
+// being degenerate: ~180 stations per class at n=10,000.
+func benchOptimizeSparse(b *testing.B, n int, d queueing.Discipline, frac, rhoCap float64) {
+	b.Helper()
+	sizes := make([]int, n)
+	speeds := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sizes[i] = 2 + 2*(i%8)
+		speeds[i] = 1.7 - 0.1*float64(i%7)
+	}
+	g, err := model.PaperGroup(sizes, speeds, 1.0, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambda := frac * g.MaxGenericRate()
+	opts := core.Options{Discipline: d, Sparse: true, CompactResult: true, MaxUtilization: rhoCap}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(g, lambda, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeN512Sparse(b *testing.B) {
+	benchOptimizeSparse(b, 512, queueing.FCFS, 0.5, 0)
+}
+func BenchmarkOptimizeN10kFCFS(b *testing.B) {
+	benchOptimizeSparse(b, 10000, queueing.FCFS, 0.5, 0)
+}
+func BenchmarkOptimizeN10kPriority(b *testing.B) {
+	benchOptimizeSparse(b, 10000, queueing.Priority, 0.5, 0)
+}
+func BenchmarkOptimizeN10kCapped(b *testing.B) {
+	benchOptimizeSparse(b, 10000, queueing.FCFS, 0.5, 0.9)
+}
+
+// BenchmarkOptimizeN10kLowLoad is the pruning showcase: at 5% of
+// saturation most classes stay outside the active set at every probe.
+func BenchmarkOptimizeN10kLowLoad(b *testing.B) {
+	benchOptimizeSparse(b, 10000, queueing.FCFS, 0.05, 0)
+}
+
+// BenchmarkOptimizeN10kDense is the dense baseline on the same fleet —
+// the cost the sparse path buys back.
+func BenchmarkOptimizeN10kDense(b *testing.B) {
+	benchOptimize(b, 10000, queueing.FCFS)
+}
+
 // BenchmarkOptimizeN512Parallel measures the concurrent inner loop on
 // the same 512-server system as BenchmarkOptimizeN512FCFS.
 func BenchmarkOptimizeN512Parallel(b *testing.B) {

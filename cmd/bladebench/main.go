@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -53,20 +54,40 @@ func main() {
 	input := flag.String("input", "", "parse this saved benchmark log instead of running go test")
 	compare := flag.Bool("compare", false, "compare two snapshot JSON files (old new); exit 1 on ns/op or allocs/op regression")
 	threshold := flag.Float64("threshold", 1.10, "compare: flag benchmarks whose ns/op grew by more than this ratio")
+	budgets := make(map[string]time.Duration)
+	flag.Func("budget", "compare: absolute per-op budget as 'BenchmarkName=duration' (e.g. 'BenchmarkOptimizeN10kFCFS=1s'); repeatable; the benchmark must be present in the new snapshot and under budget",
+		func(v string) error {
+			name, dur, ok := strings.Cut(v, "=")
+			if !ok || name == "" {
+				return fmt.Errorf("want 'BenchmarkName=duration', got %q", v)
+			}
+			d, err := time.ParseDuration(dur)
+			if err != nil {
+				return err
+			}
+			if d <= 0 {
+				return fmt.Errorf("budget %q must be positive", v)
+			}
+			budgets[name] = d
+			return nil
+		})
 	flag.Parse()
 
-	if err := run(*bench, *benchtime, *pkg, *out, *input, *compare, *threshold, flag.Args()); err != nil {
+	if err := run(*bench, *benchtime, *pkg, *out, *input, *compare, *threshold, budgets, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "bladebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime, pkg, out, input string, compare bool, threshold float64, args []string) error {
+func run(bench, benchtime, pkg, out, input string, compare bool, threshold float64, budgets map[string]time.Duration, args []string) error {
 	if compare {
 		if len(args) != 2 {
 			return fmt.Errorf("-compare needs exactly two snapshot paths (old new)")
 		}
-		return compareSnapshots(args[0], args[1], threshold)
+		return compareSnapshots(args[0], args[1], threshold, budgets)
+	}
+	if len(budgets) > 0 {
+		return fmt.Errorf("-budget only applies with -compare")
 	}
 
 	var raw io.Reader
@@ -187,8 +208,12 @@ func loadSnapshot(path string) (*Snapshot, error) {
 // a benchmark that was allocation-free in the old snapshot now
 // allocates — going from 0 allocs/op to any allocation is a hot-path
 // property violation, not a timing wobble, so it is gated absolutely
-// rather than by ratio.
-func compareSnapshots(oldPath, newPath string, threshold float64) error {
+// rather than by ratio. A benchmark present only in the new snapshot is
+// informational (a newly landed benchmark, not a regression), so
+// growing the suite never requires regenerating old baselines by hand.
+// budgets adds absolute per-op ceilings: each named benchmark must
+// appear in the new snapshot and come in under its duration.
+func compareSnapshots(oldPath, newPath string, threshold float64, budgets map[string]time.Duration) error {
 	oldS, err := loadSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -201,11 +226,16 @@ func compareSnapshots(oldPath, newPath string, threshold float64) error {
 	for _, b := range oldS.Results {
 		oldBy[b.Name] = b
 	}
+	newBy := make(map[string]Benchmark, len(newS.Results))
+	for _, b := range newS.Results {
+		newBy[b.Name] = b
+	}
 	var regressed []string
 	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	for _, nb := range newS.Results {
 		ob, ok := oldBy[nb.Name]
 		if !ok || ob.NsPerOp == 0 { //bladelint:allow floateq -- zero ns/op is the exact sentinel for a benchmark absent from the old run
+			fmt.Printf("%-44s %14s %14.0f %8s  (new benchmark, no baseline)\n", nb.Name, "-", nb.NsPerOp, "-")
 			continue
 		}
 		ratio := nb.NsPerOp / ob.NsPerOp
@@ -222,8 +252,30 @@ func compareSnapshots(oldPath, newPath string, threshold float64) error {
 		}
 		fmt.Printf("%-44s %14.0f %14.0f %7.2fx%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, ratio, mark)
 	}
+	// Budget names are sorted so the report (and any failure message) is
+	// deterministic regardless of map iteration order.
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		budget := budgets[name]
+		nb, ok := newBy[name]
+		if !ok {
+			fmt.Printf("%-44s budget %v  << MISSING from new snapshot\n", name, budget)
+			regressed = append(regressed, name+" (missing, budget "+budget.String()+")")
+			continue
+		}
+		mark := "within budget"
+		if nb.NsPerOp > float64(budget.Nanoseconds()) {
+			mark = "<< OVER BUDGET"
+			regressed = append(regressed, fmt.Sprintf("%s (%.0f ns/op over %v budget)", name, nb.NsPerOp, budget))
+		}
+		fmt.Printf("%-44s %14.0f ns/op vs budget %v  %s\n", name, nb.NsPerOp, budget, mark)
+	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark regression(s) (ns/op beyond %.2fx, or new allocations): %s", len(regressed), threshold, strings.Join(regressed, ", "))
+		return fmt.Errorf("%d benchmark regression(s) (ns/op beyond %.2fx, new allocations, or budget violations): %s", len(regressed), threshold, strings.Join(regressed, ", "))
 	}
 	return nil
 }

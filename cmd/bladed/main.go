@@ -65,6 +65,8 @@ func run(args []string, ready chan<- string) error {
 	rate := fs.Float64("rate", 0, "planned total generic arrival rate λ′ (absolute)")
 	frac := fs.Float64("frac", 0.5, "λ′ as a fraction of the saturation point (used when -rate is 0)")
 	priority := fs.Bool("priority", false, "give special tasks non-preemptive priority (paper §4)")
+	sparse := fs.Bool("sparse", false,
+		"solve with class clustering and marginal-cost pruning (bit-identical rates; intended for fleet-scale specs)")
 	drift := fs.Float64("drift", 0.2, "relative arrival-rate drift that triggers a re-solve")
 	window := fs.Duration("window", 30*time.Second, "arrival-rate estimation window")
 	minResolve := fs.Duration("min-resolve", time.Second, "minimum interval between drift re-solves")
@@ -161,7 +163,7 @@ func run(args []string, ready chan<- string) error {
 	cfg := serve.Config{
 		Group:              cluster,
 		Lambda:             lambda,
-		Opts:               core.Options{Discipline: d},
+		Opts:               core.Options{Discipline: d, Sparse: *sparse, Parallel: *sparse},
 		Names:              names,
 		DriftThreshold:     *drift,
 		Window:             *window,

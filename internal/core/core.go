@@ -66,6 +66,20 @@ type Options struct {
 	// Newton solver is verified against (TestNewtonMatchesBisection) and
 	// the faithful transcription for paper-fidelity ablations.
 	PureBisection bool
+	// Sparse enables the fleet-scale solve path: stations with an
+	// identical (size, speed, special-rate) signature are clustered
+	// into classes and each class's inner problem is solved once per φ
+	// probe, with classes whose idle marginal cost MC(0) is at least φ
+	// pruned without any kernel evaluation (their optimal rate is
+	// exactly zero — see DESIGN §14). The result is bit-identical to
+	// the dense path, pinned by TestSparseMatchesDenseBitIdentical.
+	Sparse bool
+	// CompactResult, meaningful only with Sparse, skips materializing
+	// the n-wide dense Rates/Utilizations/ResponseTimes slices: the
+	// allocation is returned only through Result.Sparse, and
+	// AvgResponseTime is computed per class. The fleet-scale fast path
+	// for callers that only need T′ or the compact allocation.
+	CompactResult bool
 }
 
 // DefaultEpsilon is the default bisection tolerance. It reproduces the
@@ -96,6 +110,15 @@ type Result struct {
 	Discipline queueing.Discipline
 	// TotalRate echoes λ′.
 	TotalRate float64
+	// Sparse is the compact (station, rate) form of the allocation,
+	// populated by the sparse solve path (Options.Sparse); nil on the
+	// dense path. With Options.CompactResult it is the only allocation
+	// representation returned.
+	Sparse *SparseRates
+	// Classes is the number of distinct (size, speed, special-rate)
+	// classes the sparse path clustered the fleet into; 0 on the dense
+	// path.
+	Classes int
 }
 
 // Optimize solves the paper's optimal load distribution problem: given
@@ -142,6 +165,10 @@ func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
 	}
 	eps := opts.epsilon()
 
+	if opts.Sparse {
+		return optimizeSparse(g, lambda, opts, eps, rhoCap)
+	}
+
 	// The per-station solvers cache kernels, service-time constants and
 	// saturation bounds once for the whole φ search; each holds its
 	// previous rate as a Newton warm start for the next φ. The paper's
@@ -157,8 +184,10 @@ func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
 		return solvers[i].findRate(phi)
 	}
 
-	ratesAt := func(phi float64) ([]float64, float64) {
-		rates := make([]float64, g.N())
+	// The scratch rate vector is reused across every φ probe; the outer
+	// driver copies it only when it caches a bracket endpoint.
+	scratch := make([]float64, g.N())
+	ratesAt := func(phi float64) float64 {
 		workers := runtime.GOMAXPROCS(0)
 		if opts.Parallel && g.N() > 1 && workers > 1 {
 			// Per-server solves are independent; fan out over
@@ -181,55 +210,43 @@ func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
 				go func(lo, hi int) {
 					defer wg.Done()
 					for i := lo; i < hi; i++ {
-						rates[i] = solveOne(i, phi)
+						scratch[i] = solveOne(i, phi)
 					}
 				}(lo, hi)
 			}
 			wg.Wait()
 		} else {
 			for i := range g.Servers {
-				rates[i] = solveOne(i, phi)
+				scratch[i] = solveOne(i, phi)
 			}
 		}
 		var sum numeric.KahanSum
-		for _, r := range rates {
+		for _, r := range scratch {
 			sum.Add(r)
 		}
-		return rates, sum.Value()
+		return sum.Value()
 	}
 
-	total := func(phi float64) float64 {
-		_, f := ratesAt(phi)
-		return f
-	}
-
-	// Grow φ until F(φ) ≥ λ′ (Fig. 3 lines 1–10). The marginal cost of
-	// an empty server is T′_i(0)/λ′ > 0, so a tiny φ yields F = 0.
-	// A warm start from a previous solve shortcuts the doubling.
-	phiStart := 1e-12
-	if opts.WarmPhi > 0 && !math.IsInf(opts.WarmPhi, 0) && !math.IsNaN(opts.WarmPhi) {
-		phiStart = opts.WarmPhi / 16
-	}
-	phiHi, err := numeric.ExpandUpper(func(phi float64) bool { return total(phi) >= lambda }, phiStart, 0, 0)
+	// Run the outer Fig. 3 search (doubling then bisection over φ). The
+	// driver caches the last evaluation at each end of the bracket, so
+	// the segment repair below no longer re-solves the whole fleet at
+	// lb and ub. A warm start from a previous solve shortcuts the
+	// doubling; F(tiny φ) = 0 because every idle marginal cost
+	// T′_i(0)/λ′ is positive.
+	sol, err := searchPhi(phiEvaluator{
+		eval: ratesAt,
+		copyRates: func(dst []float64) []float64 {
+			if dst == nil {
+				dst = make([]float64, len(scratch))
+			}
+			copy(dst, scratch)
+			return dst
+		},
+	}, lambda, outerStart(opts), eps, !opts.NoRescale)
 	if err != nil {
 		return nil, fmt.Errorf("core: failed to bracket φ: %w", err)
 	}
-	// Bisect φ in [0, phiHi] (Fig. 3 lines 11–27), keeping both ends of
-	// the final interval. F is non-decreasing in φ because each
-	// λ′_i(φ) is.
-	lb, ub := 0.0, phiHi
-	for i := 0; ub-lb > eps*phiHi && i < numeric.MaxIterations; i++ {
-		mid := lb + (ub-lb)/2
-		if mid == lb || mid == ub { //bladelint:allow floateq -- bisection fixed point: the midpoint collided with a bound, no tighter float exists
-			break
-		}
-		if total(mid) >= lambda {
-			ub = mid
-		} else {
-			lb = mid
-		}
-	}
-	phi := lb + (ub-lb)/2
+	phi := sol.Phi
 
 	// F can be (numerically) discontinuous at the optimal φ: a large,
 	// lightly loaded server has an almost *flat* marginal cost
@@ -239,15 +256,13 @@ func Optimize(g *model.Group, lambda float64, opts Options) (*Result, error) {
 	// segment between the two sides, every point of which satisfies the
 	// KKT conditions; pick the point on the segment meeting the
 	// conservation constraint exactly.
-	rates, f := ratesAt(phi)
+	rates, f := sol.Rates, sol.F
 	if !opts.NoRescale {
-		ratesLo, fLo := ratesAt(lb)
-		ratesHi, fHi := ratesAt(ub)
-		if fHi > fLo && fLo <= lambda && lambda <= fHi {
-			t := (lambda - fLo) / (fHi - fLo)
+		if sol.FHi > sol.FLo && sol.FLo <= lambda && lambda <= sol.FHi {
+			t := (lambda - sol.FLo) / (sol.FHi - sol.FLo)
 			var sum numeric.KahanSum
 			for i := range rates {
-				rates[i] = ratesLo[i] + t*(ratesHi[i]-ratesLo[i])
+				rates[i] = sol.RatesLo[i] + t*(sol.RatesHi[i]-sol.RatesLo[i])
 				sum.Add(rates[i])
 			}
 			f = sum.Value()

@@ -107,17 +107,32 @@ func OptimizeDegraded(g *model.Group, lambda float64, up []bool, opts Options) (
 		out.Up = append([]bool(nil), up...)
 	}
 	if len(idx) < g.N() {
-		// Expand to full-length vectors; down servers carry no generic
-		// load and report zero utilization/response time.
-		rates := make([]float64, g.N())
-		utils := make([]float64, g.N())
-		resps := make([]float64, g.N())
-		for k, i := range idx {
-			rates[i] = res.Rates[k]
-			utils[i] = res.Utilizations[k]
-			resps[i] = res.ResponseTimes[k]
+		if res.Sparse != nil {
+			// Remap the compact allocation's survivor-local indices back
+			// to full-fleet station numbers (ascending in, ascending out).
+			sp := &SparseRates{
+				N:     g.N(),
+				Index: make([]int32, len(res.Sparse.Index)),
+				Rate:  append([]float64(nil), res.Sparse.Rate...),
+			}
+			for k, si := range res.Sparse.Index {
+				sp.Index[k] = int32(idx[si])
+			}
+			out.Sparse = sp
 		}
-		out.Rates, out.Utilizations, out.ResponseTimes = rates, utils, resps
+		if res.Rates != nil {
+			// Expand to full-length vectors; down servers carry no generic
+			// load and report zero utilization/response time.
+			rates := make([]float64, g.N())
+			utils := make([]float64, g.N())
+			resps := make([]float64, g.N())
+			for k, i := range idx {
+				rates[i] = res.Rates[k]
+				utils[i] = res.Utilizations[k]
+				resps[i] = res.ResponseTimes[k]
+			}
+			out.Rates, out.Utilizations, out.ResponseTimes = rates, utils, resps
+		}
 	}
 	return out, nil
 }

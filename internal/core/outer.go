@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// phiEvaluator is the hook the outer Fig. 3 search drives: eval
+// recomputes the rate vector at φ into the evaluator's own scratch and
+// returns its total F(φ); copyRates copies that scratch into dst
+// (growing it as needed) so the driver can cache the most recent
+// evaluation at each end of the bisection bracket. The vector may be
+// station-indexed (the dense path) or class-indexed (the sparse path) —
+// the driver never looks inside it.
+type phiEvaluator struct {
+	eval      func(phi float64) float64
+	copyRates func(dst []float64) []float64
+}
+
+// phiSolution is the outcome of the outer search: the located
+// multiplier with its final bracket, the rate vector and total at Phi,
+// and the cached evaluations at both bracket ends for the segment
+// repair. RatesLo/FLo are the last evaluation at Lb (F < λ′ there by
+// construction) and RatesHi/FHi the last at Ub (F ≥ λ′); both are
+// reused from the bisection itself instead of being recomputed from
+// scratch after it, which previously cost two extra full-fleet solves
+// per Optimize call.
+type phiSolution struct {
+	Phi, Lb, Ub float64
+	F, FLo, FHi float64
+	Rates       []float64
+	RatesLo     []float64
+	RatesHi     []float64
+}
+
+// searchPhi implements the outer loop of the paper's Fig. 3
+// ("Calculate T′"): grow φ by doubling from start until F(φ) ≥ λ′
+// (lines 1–10), then bisect the bracket [0, φ_hi] to relative width eps
+// (lines 11–27). F is non-decreasing in φ because each λ′_i(φ) is.
+//
+// needEndpoints controls whether the driver guarantees RatesLo/FLo are
+// populated (the segment repair needs both ends; a NoRescale caller
+// needs neither). RatesHi is always populated — the bracketing phase's
+// final evaluation is at the upper end. When the bisection never
+// probes below λ′ (so the lower end is still φ = 0), the driver
+// evaluates it once; F(0) = 0 because every idle marginal cost is
+// positive.
+func searchPhi(ev phiEvaluator, lambda, start, eps float64, needEndpoints bool) (phiSolution, error) {
+	var sol phiSolution
+	var lastF float64
+	eval := func(phi float64) float64 {
+		lastF = ev.eval(phi)
+		return lastF
+	}
+	phiHi, err := numeric.ExpandUpper(func(phi float64) bool { return eval(phi) >= lambda }, start, 0, 0)
+	if err != nil {
+		return sol, err
+	}
+	// ExpandUpper's last evaluation is at phiHi (the cap is unused), so
+	// the scratch already holds the upper endpoint.
+	sol.RatesHi = ev.copyRates(sol.RatesHi)
+	sol.FHi = lastF
+	hasLo := false
+	lb, ub := 0.0, phiHi
+	for i := 0; ub-lb > eps*phiHi && i < numeric.MaxIterations; i++ {
+		mid := lb + (ub-lb)/2
+		if mid == lb || mid == ub { //bladelint:allow floateq -- bisection fixed point: the midpoint collided with a bound, no tighter float exists
+			break
+		}
+		if eval(mid) >= lambda {
+			ub = mid
+			sol.RatesHi = ev.copyRates(sol.RatesHi)
+			sol.FHi = lastF
+		} else {
+			lb = mid
+			sol.RatesLo = ev.copyRates(sol.RatesLo)
+			sol.FLo = lastF
+			hasLo = true
+		}
+	}
+	sol.Phi = lb + (ub-lb)/2
+	eval(sol.Phi)
+	sol.Rates = ev.copyRates(sol.Rates)
+	sol.F = lastF
+	if needEndpoints && !hasLo {
+		eval(lb)
+		sol.RatesLo = ev.copyRates(sol.RatesLo)
+		sol.FLo = lastF
+	}
+	sol.Lb, sol.Ub = lb, ub
+	return sol, nil
+}
+
+// outerStart returns the initial φ of the bracketing phase: the paper's
+// cold start, or a fraction of a previous solve's multiplier when the
+// caller warm-starts (the failover fast path).
+func outerStart(opts Options) float64 {
+	if opts.WarmPhi > 0 && !isInfNaN(opts.WarmPhi) {
+		return opts.WarmPhi / 16
+	}
+	return 1e-12
+}
+
+func isInfNaN(v float64) bool { return math.IsInf(v, 0) || math.IsNaN(v) }

@@ -21,6 +21,15 @@ import (
 // rates λ′_i this is the paper's optimal load distribution.
 type Probabilistic struct {
 	cum []float64 // cumulative normalized weights
+	// idx maps a position in cum back to its station index when the
+	// dispatcher was built from a sparse weight set (NewProbabilisticSparse);
+	// nil means positions are station indices (dense construction). At
+	// fleet scale the optimizer's allocation is mostly zeros, so the
+	// compact table keeps the per-pick binary search over the loaded
+	// stations only and avoids materializing an n-wide cumulative slice.
+	idx []int32
+	// n is the fleet size the picks refer into (== len(cum) when dense).
+	n int
 }
 
 // NewProbabilistic builds a probabilistic dispatcher from non-negative
@@ -55,7 +64,70 @@ func NewProbabilistic(weights []float64) (*Probabilistic, error) {
 	for i := last; i < len(cum); i++ {
 		cum[i] = 1
 	}
-	return &Probabilistic{cum: cum}, nil
+	return &Probabilistic{cum: cum, n: len(cum)}, nil
+}
+
+// NewProbabilisticSparse builds a probabilistic dispatcher over an
+// n-station fleet from a compact (station, weight) allocation — the
+// form core.SparseRates carries. Indices must be ascending and in
+// [0, n); weights must be non-negative with at least one positive. The
+// cumulative table covers only the listed stations, so memory and
+// per-pick search cost scale with the number of loaded stations rather
+// than the fleet size; unlisted stations are unpickable by
+// construction (they have no interval at all, the same invariant the
+// dense path's rounding guard maintains for zero-weight entries).
+func NewProbabilisticSparse(n int, index []int32, weights []float64) (*Probabilistic, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dispatch: fleet size %d, need > 0", n)
+	}
+	if len(index) != len(weights) {
+		return nil, fmt.Errorf("dispatch: %d indices but %d weights", len(index), len(weights))
+	}
+	if len(index) == 0 {
+		return nil, fmt.Errorf("dispatch: no weights")
+	}
+	prev := int32(-1)
+	for k, i := range index {
+		if i < 0 || int(i) >= n {
+			return nil, fmt.Errorf("dispatch: station index %d out of range [0, %d)", i, n)
+		}
+		if i <= prev {
+			return nil, fmt.Errorf("dispatch: station indices must be ascending (index %d at position %d)", i, k)
+		}
+		prev = i
+	}
+	total := numeric.Sum(weights)
+	if total <= 0 {
+		return nil, fmt.Errorf("dispatch: weights sum to %g, need > 0", total)
+	}
+	cum := make([]float64, len(weights))
+	run := 0.0
+	last := -1
+	for k, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("dispatch: negative weight %g at station %d", w, index[k])
+		}
+		if w > 0 {
+			last = k
+		}
+		run += w / total
+		cum[k] = run
+	}
+	for k := last; k < len(cum); k++ {
+		cum[k] = 1
+	}
+	return &Probabilistic{cum: cum, idx: append([]int32(nil), index...), n: n}, nil
+}
+
+// Stations returns the fleet size picks refer into.
+func (p *Probabilistic) Stations() int { return p.n }
+
+// station maps a cumulative-table position to a station index.
+func (p *Probabilistic) station(k int) int {
+	if p.idx == nil {
+		return k
+	}
+	return int(p.idx[k])
 }
 
 // Name implements sim.Dispatcher.
@@ -63,14 +135,14 @@ func (p *Probabilistic) Name() string { return "probabilistic" }
 
 // Pick implements sim.Dispatcher.
 func (p *Probabilistic) Pick(views []sim.StationView, rng *rand.Rand) int {
-	return pickCumulative(p.cum, rng.Float64())
+	return p.station(pickCumulative(p.cum, rng.Float64()))
 }
 
 // PickU routes from a caller-supplied uniform variate u ∈ [0, 1). The
 // caller owning the randomness is what makes concurrent dispatch
 // lock-free: no generator state is shared through the picker.
 func (p *Probabilistic) PickU(u float64) int {
-	return pickCumulative(p.cum, u)
+	return p.station(pickCumulative(p.cum, u))
 }
 
 // PickSource routes from a caller-supplied rand.Source (one per
@@ -81,7 +153,7 @@ func (p *Probabilistic) PickSource(src rand.Source) int {
 		// rand.Rand.Float64's derivation: 63 bits over 2^63, redrawing
 		// the one rounding case that lands on 1.0.
 		if f := float64(src.Int63()) / (1 << 63); f < 1 {
-			return pickCumulative(p.cum, f)
+			return p.station(pickCumulative(p.cum, f))
 		}
 	}
 }

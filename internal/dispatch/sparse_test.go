@@ -1,0 +1,125 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sparseFixture is a 200-station fleet with 37 loaded stations spread
+// across the index range, including the first and last station.
+func sparseFixture() (n int, index []int32, weights []float64, dense []float64) {
+	n = 200
+	dense = make([]float64, n)
+	for i := 0; i < n; i += 1 + i%10 {
+		w := 0.5 + float64(i%7)
+		dense[i] = w
+		index = append(index, int32(i))
+		weights = append(weights, w)
+	}
+	return n, index, weights, dense
+}
+
+func TestNewProbabilisticSparseValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		index   []int32
+		weights []float64
+	}{
+		{"zero fleet", 0, []int32{0}, []float64{1}},
+		{"length mismatch", 4, []int32{0, 1}, []float64{1}},
+		{"empty", 4, nil, nil},
+		{"out of range", 4, []int32{0, 4}, []float64{1, 1}},
+		{"negative index", 4, []int32{-1, 2}, []float64{1, 1}},
+		{"not ascending", 4, []int32{2, 1}, []float64{1, 1}},
+		{"duplicate", 4, []int32{1, 1}, []float64{1, 1}},
+		{"negative weight", 4, []int32{0, 1}, []float64{1, -1}},
+		{"all zero", 4, []int32{0, 1}, []float64{0, 0}},
+	}
+	for _, c := range cases {
+		if _, err := NewProbabilisticSparse(c.n, c.index, c.weights); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := NewProbabilisticSparse(4, []int32{1, 3}, []float64{0, 1}); err != nil {
+		t.Errorf("valid sparse input rejected: %v", err)
+	}
+}
+
+// TestProbabilisticSparseMatchesDense pins that a sparse-built picker
+// routes the bit-identical station as the dense-built picker for the
+// same uniform variate: zero weights are Kahan no-ops in the dense
+// normalization, and zero-weight stations have empty intervals, so the
+// two cumulative tables describe the same distribution.
+func TestProbabilisticSparseMatchesDense(t *testing.T) {
+	n, index, weights, dense := sparseFixture()
+	sp, err := NewProbabilisticSparse(n, index, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewProbabilistic(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stations() != n || dp.Stations() != n {
+		t.Fatalf("Stations() = %d / %d, want %d", sp.Stations(), dp.Stations(), n)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100000; trial++ {
+		u := rng.Float64()
+		if got, want := sp.PickU(u), dp.PickU(u); got != want {
+			t.Fatalf("u=%v: sparse picked %d, dense picked %d", u, got, want)
+		}
+	}
+	// Boundary variates: exactly at and just below each cumulative step.
+	for _, c := range dp.cum {
+		for _, u := range []float64{c, c - 1e-16, c + 1e-16} {
+			if u < 0 || u >= 1 {
+				continue
+			}
+			if got, want := sp.PickU(u), dp.PickU(u); got != want {
+				t.Fatalf("boundary u=%v: sparse picked %d, dense picked %d", u, got, want)
+			}
+		}
+	}
+}
+
+// TestProbabilisticSparseSources pins the Pick/PickSource paths route
+// through the index map too, and that picks always land on a loaded
+// station.
+func TestProbabilisticSparseSources(t *testing.T) {
+	n, index, weights, _ := sparseFixture()
+	sp, err := NewProbabilisticSparse(n, index, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := make(map[int]bool, len(index))
+	for _, i := range index {
+		loaded[int(i)] = true
+	}
+	rng := rand.New(rand.NewSource(11))
+	src := rand.NewSource(13)
+	for trial := 0; trial < 20000; trial++ {
+		if got := sp.Pick(nil, rng); !loaded[got] {
+			t.Fatalf("Pick landed on unloaded station %d", got)
+		}
+		if got := sp.PickSource(src); !loaded[got] {
+			t.Fatalf("PickSource landed on unloaded station %d", got)
+		}
+	}
+}
+
+// TestProbabilisticSparseTrailingZero mirrors the dense rounding-guard
+// regression: a trailing zero-weight entry in the compact table must
+// never be picked, even at u just below 1.
+func TestProbabilisticSparseTrailingZero(t *testing.T) {
+	sp, err := NewProbabilisticSparse(100, []int32{3, 50, 99}, []float64{1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, 0.4999, 0.5, 0.9999999, 1 - 1e-16} {
+		if got := sp.PickU(u); got == 99 {
+			t.Fatalf("u=%v picked the zero-weight station 99", u)
+		}
+	}
+}

@@ -135,7 +135,7 @@ func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotPathLock, DetClock, RhoGuard, FloatEq, AtomicField}
+	return []*Analyzer{HotPathLock, DetClock, RhoGuard, FloatEq, AtomicField, KahanCheck}
 }
 
 // ByName returns the analyzers whose names appear in the comma-

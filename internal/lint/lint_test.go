@@ -33,6 +33,14 @@ func TestHotPathLock(t *testing.T) {
 	RunTest(t, HotPathLock, testdata("hotpathlock"))
 }
 
+func TestKahanCheck(t *testing.T) {
+	RunTest(t, KahanCheck, testdata("kahancheck"))
+}
+
+func TestKahanCheckOutOfScopePackage(t *testing.T) {
+	RunTest(t, KahanCheck, testdata("kahancheck_oos"))
+}
+
 // TestByName pins the CLI's -checks plumbing.
 func TestByName(t *testing.T) {
 	all, err := ByName("")

@@ -1,0 +1,109 @@
+// Package core mimics the repository's core package: kahancheck scopes
+// by package name, so loop-carried float accumulation is flagged here.
+package core
+
+// KahanSum stands in for numeric.KahanSum — using it is the compliant
+// pattern the analyzer pushes accumulations toward.
+type KahanSum struct{ sum, c float64 }
+
+func (k *KahanSum) Add(v float64)    { k.sum += v } // outside a loop: one rounding, fine
+func (k *KahanSum) Value() float64   { return k.sum + k.c }
+func (k *KahanSum) reset(vs float64) { k.sum = vs }
+
+func plainRangeSum(rates []float64) float64 {
+	total := 0.0
+	for _, r := range rates {
+		total += r // want "loop-carried float accumulation into total"
+	}
+	return total
+}
+
+func plainIndexSum(rates []float64) float64 {
+	var total float64
+	for i := 0; i < len(rates); i++ {
+		total = total + rates[i] // want "loop-carried float accumulation into total"
+	}
+	return total
+}
+
+func commutedSum(rates []float64) float64 {
+	var total float64
+	for _, r := range rates {
+		total = r + total // want "loop-carried float accumulation into total"
+	}
+	return total
+}
+
+func runningDifference(rates []float64, budget float64) float64 {
+	for _, r := range rates {
+		budget -= r // want "loop-carried float accumulation into budget"
+	}
+	return budget
+}
+
+func explicitSubtraction(rates []float64, budget float64) float64 {
+	for _, r := range rates {
+		budget = budget - r // want "loop-carried float accumulation into budget"
+	}
+	return budget
+}
+
+func forInitAccumulator(rates []float64) float64 {
+	out := 0.0
+	// The accumulator lives in the for-init: it persists across
+	// iterations, so it is loop-carried.
+	for sum, i := 0.0, 0; i < len(rates); i++ {
+		sum += rates[i] // want "loop-carried float accumulation into sum"
+		out = sum
+	}
+	return out
+}
+
+func compensated(rates []float64) float64 {
+	var sum KahanSum
+	for _, r := range rates {
+		sum.Add(r) // method call, not a raw accumulation
+	}
+	return sum.Value()
+}
+
+func perIterationLocal(rates []float64) float64 {
+	last := 0.0
+	for _, r := range rates {
+		// Declared and updated within one iteration: not loop-carried.
+		adjusted := r * 2
+		adjusted += 1
+		last = adjusted
+	}
+	return last
+}
+
+func intAccumulator(idx []int32) int {
+	nnz := 0
+	for range idx {
+		nnz += 1 // int accumulation is exact; only floats are flagged
+	}
+	return nnz
+}
+
+func notSelfAccumulation(rates []float64) float64 {
+	var out float64
+	for _, r := range rates {
+		out = r - out // sign-flipping recurrence, not a running sum
+		out = 1 + r   // plain reassignment
+	}
+	return out
+}
+
+func outsideLoop(a, b float64) float64 {
+	a += b // accumulation outside any loop is a single rounding, fine
+	return a
+}
+
+func annotated(rates []float64) float64 {
+	total := 0.0
+	for _, r := range rates {
+		total += r //bladelint:allow kahancheck -- two exact values per paper Example 1; compensation cannot change the result
+	}
+	return total
+}

@@ -1,0 +1,64 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+// bigFleet builds a clustered 256-station fleet for the fleet-scale
+// planning paths.
+func bigFleet() *model.Group {
+	servers := make([]model.Server, 256)
+	for i := range servers {
+		k := i % 20
+		s := model.Server{Size: 2 + 2*(k%8), Speed: 1.7 - 0.1*float64(k%7)}
+		s.SpecialRate = 0.3 * float64(s.Size) * s.Speed
+		servers[i] = s
+	}
+	return &model.Group{Servers: servers, TaskSize: 1.0}
+}
+
+// TestMaxAdmissibleRateSparseBitIdentical pins that routing the
+// admission bisection through the sparse compact-result solve returns
+// the bit-identical frontier of the dense path: each probe consumes
+// only T′, and the sparse T′ differs from the dense one by strictly
+// less than the probes' decision margins at these SLAs.
+func TestMaxAdmissibleRateSparseBitIdentical(t *testing.T) {
+	g := bigFleet()
+	for _, d := range []queueing.Discipline{queueing.FCFS, queueing.Priority} {
+		for _, sla := range []float64{1.0, 1.5, 3.0} {
+			dense, err := MaxAdmissibleRate(g, d, sla)
+			if err != nil {
+				t.Fatalf("%v sla=%g: dense: %v", d, sla, err)
+			}
+			sparse, err := MaxAdmissibleRateOpts(g, sla, core.Options{Discipline: d, Sparse: true})
+			if err != nil {
+				t.Fatalf("%v sla=%g: sparse: %v", d, sla, err)
+			}
+			if dense != sparse { //bladelint:allow floateq -- bit-identity pin, not a tolerance check
+				t.Errorf("%v sla=%g: dense frontier %.17g, sparse %.17g", d, sla, dense, sparse)
+			}
+		}
+	}
+}
+
+// TestMinSpeedScaleSparseMatches covers the other option-threaded
+// planning entry point at fleet scale.
+func TestMinSpeedScaleSparseMatches(t *testing.T) {
+	g := bigFleet()
+	lambda := 0.6 * g.MaxGenericRate()
+	dense, err := MinSpeedScale(g, queueing.FCFS, lambda, 0.9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := MinSpeedScaleOpts(g, lambda, 0.9, 8, core.Options{Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense != sparse { //bladelint:allow floateq -- bit-identity pin, not a tolerance check
+		t.Errorf("dense scale %.17g, sparse %.17g", dense, sparse)
+	}
+}

@@ -79,12 +79,18 @@ func (p *Plan) PickU(u float64) int {
 // proportionally; the transient overshoot on the absorbers is bounded
 // by the withheld fraction and decays to zero across the ramp window.
 func buildPlan(g *model.Group, lambda float64, up []bool, opts core.Options, version int64, now time.Time, ramp []float64) (*Plan, error) {
+	// The plan's JSON view and the breaker bookkeeping are dense, so a
+	// sparse solve must still materialize Rates/Utilizations here; the
+	// compact allocation is used below for the picker's cumulative
+	// table instead.
+	opts.CompactResult = false
 	res, err := core.OptimizeDegraded(g, lambda, up, opts)
 	if err != nil {
 		return nil, err
 	}
 	rates := res.Rates
 	utils := res.Utilizations
+	rescaled := false
 	var rampOut []float64
 	if ramp != nil {
 		scaled := make([]float64, len(rates))
@@ -109,9 +115,22 @@ func buildPlan(g *model.Group, lambda float64, up []bool, opts core.Options, ver
 			rates = scaled
 			utils = newUtils
 			rampOut = append([]float64(nil), ramp...)
+			rescaled = true
 		}
 	}
-	picker, err := dispatch.NewProbabilistic(rates)
+	// With a sparse solve and no ramp rescale, the picker's cumulative
+	// table covers only the loaded stations. Picks are identical to the
+	// dense construction (zero-weight stations have empty intervals
+	// either way, and Kahan-summed zero weights don't perturb the
+	// normalization), so the gate is purely about when the compact table
+	// is worth its index indirection: a fleet large enough to matter and
+	// an allocation at most half full.
+	var picker *dispatch.Probabilistic
+	if sp := res.Sparse; sp != nil && !rescaled && len(rates) >= 64 && 2*sp.NNZ() <= len(rates) {
+		picker, err = dispatch.NewProbabilisticSparse(len(rates), sp.Index, sp.Rate)
+	} else {
+		picker, err = dispatch.NewProbabilistic(rates)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: building picker: %w", err)
 	}
