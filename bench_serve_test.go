@@ -24,7 +24,7 @@ import (
 // The estimation window is far longer than any run, keeping the
 // estimator cold: no admission shedding, every iteration takes the
 // full observe → rate-merge → pick → record path.
-func benchDispatchParallel(b *testing.B, serialized bool) {
+func benchDispatchParallel(b *testing.B, serialized bool, policy serve.Policy) {
 	b.Helper()
 	prev := runtime.GOMAXPROCS(8)
 	defer runtime.GOMAXPROCS(prev)
@@ -36,6 +36,7 @@ func benchDispatchParallel(b *testing.B, serialized bool) {
 		Window:            time.Hour,
 		Logger:            slog.New(slog.NewTextHandler(io.Discard, nil)),
 		SerializedHotPath: serialized,
+		Policy:            policy,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -55,5 +56,17 @@ func benchDispatchParallel(b *testing.B, serialized bool) {
 	})
 }
 
-func BenchmarkDispatchParallel(b *testing.B)      { benchDispatchParallel(b, false) }
-func BenchmarkDispatchParallelMutex(b *testing.B) { benchDispatchParallel(b, true) }
+func BenchmarkDispatchParallel(b *testing.B) {
+	benchDispatchParallel(b, false, serve.PolicyStatic)
+}
+func BenchmarkDispatchParallelMutex(b *testing.B) {
+	benchDispatchParallel(b, true, serve.PolicyStatic)
+}
+
+// BenchmarkDispatchParallelJSQ2 pins the sampled state-aware policy to
+// the same contention harness: two depth loads plus a depth increment
+// per decision on top of the static path. CI gates it at 0 allocs/op
+// and within 1.25× of the static pick.
+func BenchmarkDispatchParallelJSQ2(b *testing.B) {
+	benchDispatchParallel(b, false, serve.PolicyJSQ)
+}

@@ -74,6 +74,9 @@ func run(args []string, ready chan<- string) error {
 	reqTimeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	drainTimeout := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	policy := fs.String("policy", "static",
+		"dispatch policy: static (paper-optimal probabilistic split), jsq2 (power-of-two sampled least-depth), jsqd (power-of-d; see -d)")
+	sampleD := fs.Int("d", 2, "stations sampled per request by -policy jsqd (2-4)")
 	seed := fs.Int64("seed", 0, "dispatch RNG seed (0 means 1)")
 	deterministic := fs.Bool("deterministic-rng", false,
 		"serialize dispatch draws through one seeded RNG so -seed reproduces the routing sequence")
@@ -121,6 +124,10 @@ func run(args []string, ready chan<- string) error {
 	d := repro.FCFS
 	if *priority {
 		d = repro.PrioritySpecial
+	}
+	dispatchPolicy, jsqD, err := parsePolicy(*policy, *sampleD)
+	if err != nil {
+		return err
 	}
 
 	// A simulated backend turns bladed from a pure router into an
@@ -174,6 +181,8 @@ func run(args []string, ready chan<- string) error {
 		Seed:               *seed,
 		DeterministicRNG:   *deterministic,
 		SerializedHotPath:  *serialized,
+		Policy:             dispatchPolicy,
+		SampleD:            jsqD,
 		Guard: serve.GuardConfig{
 			AttemptTimeout: *attemptTimeout,
 			MaxAttempts:    *maxAttempts,
@@ -207,6 +216,22 @@ func run(args []string, ready chan<- string) error {
 		handler = mux
 	}
 	return serveHTTP(*addr, handler, *drainTimeout, logger, ready)
+}
+
+// parsePolicy maps the -policy/-d flags to a serve policy. "jsq2" is
+// the named power-of-two-choices shorthand; "jsqd" takes the sample
+// count from -d.
+func parsePolicy(policy string, d int) (serve.Policy, int, error) {
+	switch policy {
+	case "static":
+		return serve.PolicyStatic, 0, nil
+	case "jsq2":
+		return serve.PolicyJSQ, 2, nil
+	case "jsqd":
+		return serve.PolicyJSQ, d, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown -policy %q (want static, jsq2 or jsqd)", policy)
+	}
 }
 
 // serveHTTP runs the HTTP server until SIGINT/SIGTERM, then drains.

@@ -100,7 +100,18 @@ func run(frac, horizon float64, reps int, seed int64, policies bool) error {
 	if err != nil {
 		return err
 	}
-	dispatchers := []sim.Dispatcher{prob, &dispatch.RoundRobin{}, dispatch.JSQ{}, dispatch.LeastExpectedWait{}}
+	// The sampled power-of-two policy competes with full-information
+	// JSQ at O(2) probes per arrival; in the simulator it scores the
+	// live views, so no depth counters are wired up.
+	caps := make([]float64, cluster.N())
+	for i, s := range cluster.Servers {
+		caps[i] = s.MaxGenericRate(cluster.TaskSize)
+	}
+	jsq2, err := dispatch.NewPowerOfD(2, cluster.N(), nil, caps, nil)
+	if err != nil {
+		return err
+	}
+	dispatchers := []sim.Dispatcher{prob, &dispatch.RoundRobin{}, jsq2, dispatch.JSQ{}, dispatch.LeastExpectedWait{}}
 	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "policy\tsimulated T′\t95% CI ±\tvs analytic optimum\t")
 	for _, disp := range dispatchers {

@@ -8,40 +8,9 @@ import (
 	"repro/internal/sim"
 )
 
-// PowerOfD samples D stations uniformly at random and joins the least
-// loaded of them — the "power of two choices" family. It approaches
-// JSQ quality while probing only D queues, the practical compromise in
-// large clusters where polling every server per arrival is too slow.
-type PowerOfD struct {
-	// D is the number of sampled stations (≥ 1). D = 1 is purely
-	// random routing; D = 2 is the classic power-of-two-choices.
-	D int
-}
-
-// NewPowerOfD validates the sample size.
-func NewPowerOfD(d int) (*PowerOfD, error) {
-	if d < 1 {
-		return nil, fmt.Errorf("dispatch: power-of-d needs d ≥ 1, got %d", d)
-	}
-	return &PowerOfD{D: d}, nil
-}
-
-// Name implements sim.Dispatcher.
-func (p *PowerOfD) Name() string { return fmt.Sprintf("power-of-%d", p.D) }
-
-// Pick implements sim.Dispatcher.
-func (p *PowerOfD) Pick(views []sim.StationView, rng *rand.Rand) int {
-	n := len(views)
-	best := rng.Intn(n)
-	bestLoad := load(views[best])
-	for i := 1; i < p.D; i++ {
-		cand := rng.Intn(n)
-		if l := load(views[cand]); l < bestLoad {
-			best, bestLoad = cand, l
-		}
-	}
-	return best
-}
+// The power-of-d dispatcher lives in powerofd.go: PowerOfD samples d
+// stations per pick and joins the least (depth+1)/capacity, serving
+// both the simulator (Pick) and the lock-free hot path (PickU).
 
 // WeightedRoundRobin realizes target rates deterministically using
 // smooth weighted round robin (the nginx algorithm): each pick adds
@@ -107,7 +76,6 @@ func (w *WeightedRoundRobin) Fork() sim.Dispatcher {
 }
 
 var (
-	_ sim.Dispatcher = (*PowerOfD)(nil)
 	_ sim.Dispatcher = (*WeightedRoundRobin)(nil)
 	_ sim.Forker     = (*WeightedRoundRobin)(nil)
 )

@@ -2,69 +2,12 @@ package dispatch
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"repro/internal/model"
 	"repro/internal/queueing"
 	"repro/internal/sim"
 )
-
-func TestNewPowerOfDValidation(t *testing.T) {
-	if _, err := NewPowerOfD(0); err == nil {
-		t.Error("d=0 should fail")
-	}
-	p, err := NewPowerOfD(2)
-	if err != nil || p.Name() != "power-of-2" {
-		t.Fatalf("p=%v err=%v", p, err)
-	}
-}
-
-func TestPowerOfOneIsUniform(t *testing.T) {
-	p, err := NewPowerOfD(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(1))
-	views := make([]sim.StationView, 4)
-	for i := range views {
-		views[i].Blades = 1
-	}
-	counts := make([]int, 4)
-	const n = 100000
-	for i := 0; i < n; i++ {
-		counts[p.Pick(views, rng)]++
-	}
-	for i, c := range counts {
-		if math.Abs(float64(c)/n-0.25) > 0.01 {
-			t.Errorf("station %d frequency %.3f, want 0.25", i, float64(c)/n)
-		}
-	}
-}
-
-func TestPowerOfTwoAvoidsLoaded(t *testing.T) {
-	p, err := NewPowerOfD(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(2))
-	// Station 0 heavily loaded, station 1 idle.
-	views := []sim.StationView{
-		{Blades: 1, Busy: 1, QueueLen: 10},
-		{Blades: 1, Busy: 0, QueueLen: 0},
-	}
-	idle := 0
-	const n = 10000
-	for i := 0; i < n; i++ {
-		if p.Pick(views, rng) == 1 {
-			idle++
-		}
-	}
-	// Picks station 1 whenever sampled at least once: 3/4 of the time.
-	if frac := float64(idle) / n; math.Abs(frac-0.75) > 0.02 {
-		t.Fatalf("idle station picked %.3f of the time, want ≈ 0.75", frac)
-	}
-}
 
 func TestNewWeightedRoundRobinValidation(t *testing.T) {
 	if _, err := NewWeightedRoundRobin(nil); err == nil {

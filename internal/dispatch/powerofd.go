@@ -1,0 +1,211 @@
+package dispatch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// DepthReader exposes the per-station in-flight depth the power-of-d
+// picker scores against. The serving layer implements it with padded
+// atomic counters so a read is one uncontended load; the picker never
+// mutates depth.
+type DepthReader interface {
+	Depth(station int) int64
+}
+
+// Bounds on the sample count d. d = 1 is uniform random routing (no
+// state-awareness) and d beyond 4 buys almost nothing over JSQ(4) while
+// multiplying the depth reads per request (Mitzenmacher's power-of-two
+// result: the big win is 1 → 2, every further choice only shaves
+// constants).
+const (
+	MinSampleD = 2
+	MaxSampleD = 4
+)
+
+// sampleBits is the width of one station-sample slice PickU consumes
+// from its bits word: MaxSampleD 16-bit slices fit one 64-bit word.
+const (
+	sampleBits = 16
+	sampleMask = 1<<sampleBits - 1
+)
+
+// PowerOfD is sampled state-aware dispatch — JSQ(d) generalized to
+// heterogeneous stations. Each pick samples d candidate stations and
+// routes to the one with the least *relative* backlog
+// (depth+1)/capacity, so a station with twice the service capacity
+// tolerates twice the in-flight depth before losing a comparison
+// (Gardner et al., arXiv 2006.13987: speed-aware scoring is what keeps
+// power-of-d stable on heterogeneous fleets, where depth-only JSQ(d)
+// can overload slow servers).
+//
+// The picker is immutable after construction and holds no generator
+// state: PickU consumes caller-supplied random bits and Depth reads go
+// through the DepthReader, so concurrent picks share nothing writable.
+type PowerOfD struct {
+	name string
+	d    int
+	n    int
+	// cand lists the sampleable stations (ascending); capac is the
+	// matching effective generic service capacity m_i·s_i/r̄ − λ″_i,
+	// ramp-scaled by the caller during capped-weight recovery.
+	cand   []int32
+	capac  []float64
+	depths DepthReader
+}
+
+// NewPowerOfD builds a JSQ(d) picker over an n-station fleet from a
+// compact (station, capacity) candidate set — the stations the current
+// plan allows traffic on. A nil index means all n stations are
+// candidates and capacity is dense. Capacities must be positive: a
+// station with no generic headroom cannot be scored and must simply be
+// excluded from the candidate set. depths may be nil ONLY for
+// simulator-side use (Pick reads depth and live capacity from the
+// station views); PickU/PickSource require a DepthReader.
+func NewPowerOfD(d, n int, index []int32, capacity []float64, depths DepthReader) (*PowerOfD, error) {
+	if d < MinSampleD || d > MaxSampleD {
+		return nil, fmt.Errorf("dispatch: sample count d=%d outside [%d, %d]", d, MinSampleD, MaxSampleD)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("dispatch: fleet size %d, need > 0", n)
+	}
+	if index == nil {
+		index = make([]int32, n)
+		for i := range index {
+			index[i] = int32(i)
+		}
+	}
+	if len(index) != len(capacity) {
+		return nil, fmt.Errorf("dispatch: %d indices but %d capacities", len(index), len(capacity))
+	}
+	if len(index) == 0 {
+		return nil, fmt.Errorf("dispatch: no candidate stations")
+	}
+	prev := int32(-1)
+	for k, i := range index {
+		if i < 0 || int(i) >= n {
+			return nil, fmt.Errorf("dispatch: station index %d out of range [0, %d)", i, n)
+		}
+		if i <= prev {
+			return nil, fmt.Errorf("dispatch: station indices must be ascending (index %d at position %d)", i, k)
+		}
+		prev = i
+		if c := capacity[k]; !(c > 0) {
+			return nil, fmt.Errorf("dispatch: capacity %g at station %d, need > 0", c, i)
+		}
+	}
+	return &PowerOfD{
+		name:   fmt.Sprintf("jsq%d", d),
+		d:      d,
+		n:      n,
+		cand:   append([]int32(nil), index...),
+		capac:  append([]float64(nil), capacity...),
+		depths: depths,
+	}, nil
+}
+
+// D returns the per-pick sample count.
+func (p *PowerOfD) D() int { return p.d }
+
+// Stations returns the fleet size picks refer into.
+func (p *PowerOfD) Stations() int { return p.n }
+
+// Name implements sim.Dispatcher.
+func (p *PowerOfD) Name() string { return p.name }
+
+// PickU routes one request from caller-supplied random bits: slice k of
+// d consecutive sampleBits-wide slices (starting at bit 0) selects
+// candidate k by fixed-point multiply-shift, and the candidates compete
+// on (depth+1)/capacity. The division never happens — scores compare by
+// cross-multiplication — and ties break toward the higher-capacity,
+// then lower-indexed station, so equal inputs always produce the same
+// pick. Zero allocations; the caller owns the randomness (the serving
+// hot path feeds disjoint slices of its one per-request random word,
+// see serve's bit-layout contract).
+func (p *PowerOfD) PickU(bits uint64) int {
+	nc := uint64(len(p.cand))
+	j := int((bits & sampleMask) * nc >> sampleBits)
+	best := int(p.cand[j])
+	bestDepth := p.depths.Depth(best)
+	bestCap := p.capac[j]
+	for k := 1; k < p.d; k++ {
+		slice := (bits >> (k * sampleBits)) & sampleMask
+		j = int(slice * nc >> sampleBits)
+		st := int(p.cand[j])
+		if st == best {
+			continue // duplicate sample: same score by construction
+		}
+		depth := p.depths.Depth(st)
+		c := p.capac[j]
+		// st beats best iff (depth+1)/c < (bestDepth+1)/bestCap.
+		lhs := float64(depth+1) * bestCap
+		rhs := float64(bestDepth+1) * c
+		if lhs < rhs ||
+			(lhs == rhs && (c > bestCap || (c == bestCap && st < best))) { //bladelint:allow floateq -- exact tie-break: equal cross-products defer to capacity then index, deterministically
+			best, bestDepth, bestCap = st, depth, c
+		}
+	}
+	return best
+}
+
+// PickSource routes from a caller-supplied rand.Source (one per
+// goroutine or shard), drawing fresh 16-bit slices from Int63 words as
+// PickU consumes them: three slices per 63-bit word, a second word only
+// for d = 4.
+func (p *PowerOfD) PickSource(src rand.Source) int {
+	u := uint64(src.Int63())
+	if p.d > 3 {
+		// Repack so all four slices come from uniformly random bits
+		// (slice 3 of a single Int63 word would miss its top bit).
+		u = u&(1<<48-1) | uint64(src.Int63())<<48
+	}
+	return p.PickU(u)
+}
+
+// Pick implements sim.Dispatcher on simulator state: depth is the
+// station's busy-plus-queued task count and capacity is the *live*
+// blade pool AvailableBlades·Speed, so partially failed stations are
+// scored at their degraded capacity and fully down stations lose every
+// comparison. If all d samples land on unusable stations the first up
+// candidate serves as fallback (routing somewhere beats routing
+// nowhere, matching the serving layer's breaker-overlay stance).
+func (p *PowerOfD) Pick(views []sim.StationView, rng *rand.Rand) int {
+	best := -1
+	var bestDepth int
+	var bestCap float64
+	for k := 0; k < p.d; k++ {
+		st := int(p.cand[rng.Intn(len(p.cand))])
+		v := &views[st]
+		if !v.Up || v.AvailableBlades <= 0 {
+			continue
+		}
+		if st == best {
+			continue
+		}
+		depth := v.Busy + v.QueueLen
+		c := float64(v.AvailableBlades) * v.Speed
+		if best < 0 {
+			best, bestDepth, bestCap = st, depth, c
+			continue
+		}
+		lhs := float64(depth+1) * bestCap
+		rhs := float64(bestDepth+1) * c
+		if lhs < rhs ||
+			(lhs == rhs && (c > bestCap || (c == bestCap && st < best))) { //bladelint:allow floateq -- exact tie-break: equal cross-products defer to capacity then index, deterministically
+			best, bestDepth, bestCap = st, depth, c
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for _, st := range p.cand {
+		if v := &views[st]; v.Up && v.AvailableBlades > 0 {
+			return int(st)
+		}
+	}
+	return int(p.cand[0])
+}
+
+var _ sim.Dispatcher = (*PowerOfD)(nil)

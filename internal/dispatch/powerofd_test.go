@@ -1,0 +1,238 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fakeDepths is a DepthReader over a plain slice.
+type fakeDepths []int64
+
+func (f fakeDepths) Depth(station int) int64 { return f[station] }
+
+// sampleWord packs 16-bit station samples into a PickU bits word so
+// tests can steer exactly which candidates compete. For nc candidates,
+// candidate j is selected by any slice value in [j·2^16/nc, (j+1)·2^16/nc).
+func sampleWord(nc int, candidates ...int) uint64 {
+	var u uint64
+	for k, j := range candidates {
+		slice := uint64(j) * (1 << sampleBits) / uint64(nc)
+		u |= slice << (k * sampleBits)
+	}
+	return u
+}
+
+func TestNewPowerOfDValidation(t *testing.T) {
+	caps := []float64{1, 1}
+	cases := []struct {
+		name string
+		d, n int
+		idx  []int32
+		cap  []float64
+	}{
+		{"d too small", 1, 2, nil, caps},
+		{"d too large", MaxSampleD + 1, 2, nil, caps},
+		{"empty fleet", 2, 0, nil, nil},
+		{"length mismatch", 2, 3, []int32{0, 1}, []float64{1}},
+		{"unsorted index", 2, 3, []int32{1, 0}, caps},
+		{"duplicate index", 2, 3, []int32{1, 1}, caps},
+		{"index out of range", 2, 2, []int32{0, 5}, caps},
+		{"zero capacity", 2, 2, nil, []float64{1, 0}},
+		{"negative capacity", 2, 2, nil, []float64{1, -1}},
+	}
+	for _, c := range cases {
+		if _, err := NewPowerOfD(c.d, c.n, c.idx, c.cap, fakeDepths{0, 0, 0}); err == nil {
+			t.Errorf("%s: NewPowerOfD accepted", c.name)
+		}
+	}
+	// nil depths is legal (simulator-only use), and a nil index means
+	// every station is a candidate.
+	p, err := NewPowerOfD(2, 2, nil, caps, nil)
+	if err != nil {
+		t.Fatalf("nil depths rejected: %v", err)
+	}
+	if p.Name() != "jsq2" || p.D() != 2 || p.Stations() != 2 {
+		t.Fatalf("jsq2 metadata: name %q d %d n %d", p.Name(), p.D(), p.Stations())
+	}
+}
+
+func TestPickUPrefersShallowStation(t *testing.T) {
+	p, err := NewPowerOfD(2, 2, nil, []float64{1, 1}, fakeDepths{10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both candidates sampled: the empty station must win regardless of
+	// sample order.
+	if got := p.PickU(sampleWord(2, 0, 1)); got != 1 {
+		t.Errorf("samples {0,1}: picked %d, want 1 (depth 0 vs 10)", got)
+	}
+	if got := p.PickU(sampleWord(2, 1, 0)); got != 1 {
+		t.Errorf("samples {1,0}: picked %d, want 1 (depth 0 vs 10)", got)
+	}
+	// A duplicate sample cannot see the alternative: stays put.
+	if got := p.PickU(sampleWord(2, 0, 0)); got != 0 {
+		t.Errorf("samples {0,0}: picked %d, want 0", got)
+	}
+}
+
+func TestPickUSpeedAware(t *testing.T) {
+	// Station 0 is twice as fast and deeper: (3+1)/2 = 2 beats
+	// (2+1)/1 = 3, so depth-only JSQ(2) and capacity-aware JSQ(2)
+	// disagree here — the heterogeneous-fleet case the score exists for.
+	p, err := NewPowerOfD(2, 2, nil, []float64{2, 1}, fakeDepths{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PickU(sampleWord(2, 0, 1)); got != 0 {
+		t.Errorf("picked %d, want 0 (relative backlog 2.0 vs 3.0)", got)
+	}
+}
+
+func TestPickUTieBreaks(t *testing.T) {
+	// Equal relative backlog: (1+1)/2 == (0+1)/1 → higher capacity wins.
+	p, err := NewPowerOfD(2, 2, nil, []float64{2, 1}, fakeDepths{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PickU(sampleWord(2, 1, 0)); got != 0 {
+		t.Errorf("capacity tie-break: picked %d, want 0", got)
+	}
+	// Fully identical stations: lower index wins, from either sample order.
+	p, err = NewPowerOfD(2, 2, nil, []float64{1, 1}, fakeDepths{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PickU(sampleWord(2, 1, 0)); got != 0 {
+		t.Errorf("index tie-break: picked %d, want 0", got)
+	}
+}
+
+func TestPickSourceStaysInCandidateSet(t *testing.T) {
+	// Candidates are a strict subset: picks must never leave it.
+	idx := []int32{1, 3, 4}
+	caps := []float64{1, 2, 1}
+	depths := fakeDepths{0, 5, 0, 1, 2}
+	for d := MinSampleD; d <= MaxSampleD; d++ {
+		p, err := NewPowerOfD(d, 5, idx, caps, depths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rand.NewSource(11)
+		allowed := map[int]bool{1: true, 3: true, 4: true}
+		for i := 0; i < 2000; i++ {
+			if st := p.PickSource(src); !allowed[st] {
+				t.Fatalf("jsq%d picked station %d outside candidate set", d, st)
+			}
+		}
+	}
+}
+
+func TestSimPickSkipsDownStations(t *testing.T) {
+	p, err := NewPowerOfD(2, 3, nil, []float64{1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []sim.StationView{
+		{Up: false, AvailableBlades: 0, Speed: 1},
+		{Up: true, AvailableBlades: 2, Speed: 1, Busy: 1},
+		{Up: true, AvailableBlades: 2, Speed: 1, Busy: 2, QueueLen: 4},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		if st := p.Pick(views, rng); st == 0 {
+			t.Fatal("picked a down station")
+		}
+	}
+	// All stations down: the fallback still returns a routable index.
+	for i := range views {
+		views[i].Up = false
+	}
+	if st := p.Pick(views, rng); st < 0 || st > 2 {
+		t.Fatalf("fallback pick %d out of range", st)
+	}
+}
+
+// TestJSQ2UnderBurstBeatsStaticSplit is the policy experiment in
+// miniature (EXPERIMENTS.md has the full harness): on the paper's
+// heterogeneous example system, replaying the SAME arrival traces
+// through a static capacity-proportional split and through sampled
+// JSQ(2). Under smooth Poisson traffic the two must roughly agree —
+// the static split is near-optimal there, which is the paper's own
+// regime — but under MMPP bursts the state-aware policy must win:
+// depth feedback absorbs the burst that a fixed split pours onto the
+// same stations regardless of backlog.
+func TestJSQ2UnderBurstBeatsStaticSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	g := model.LiExample1Group()
+	max := g.MaxGenericRate()
+	lambda := 0.6 * max
+
+	static := func() sim.Dispatcher {
+		rates := make([]float64, g.N())
+		for i := range rates {
+			rates[i] = lambda * g.Servers[i].MaxGenericRate(g.TaskSize) / max
+		}
+		d, err := NewProbabilistic(rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	jsq := func() sim.Dispatcher {
+		caps := make([]float64, g.N())
+		for i, s := range g.Servers {
+			caps[i] = s.MaxGenericRate(g.TaskSize)
+		}
+		d, err := NewPowerOfD(2, g.N(), nil, caps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	replay := func(tr *trace.Trace, d sim.Dispatcher) float64 {
+		res, err := sim.Replay(sim.ReplayConfig{
+			Group: g, Trace: tr, Dispatcher: d, Warmup: 3000, Seed: 17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GenericResponse.Mean()
+	}
+
+	poisson, err := trace.Generate(trace.Config{Group: g, GenericRate: lambda, Horizon: 60000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := trace.GenerateMMPP(trace.MMPPConfig{
+		Group:    g,
+		RateHigh: 0.95 * max, RateLow: 0.25 * max,
+		MeanHigh: 50, MeanLow: 50,
+		Horizon: 60000, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tStaticPoisson := replay(poisson, static())
+	tJSQPoisson := replay(poisson, jsq())
+	tStaticBurst := replay(bursty, static())
+	tJSQBurst := replay(bursty, jsq())
+	t.Logf("Poisson: static %.4f jsq2 %.4f; MMPP: static %.4f jsq2 %.4f",
+		tStaticPoisson, tJSQPoisson, tStaticBurst, tJSQBurst)
+
+	if tJSQBurst > tStaticBurst {
+		t.Errorf("under MMPP bursts JSQ(2) %.4f should beat static %.4f", tJSQBurst, tStaticBurst)
+	}
+	// Under Poisson the split is the paper's own regime: JSQ(2) may
+	// shave some queueing variance but must not be materially worse.
+	if tJSQPoisson > 1.05*tStaticPoisson {
+		t.Errorf("under Poisson JSQ(2) %.4f strays above static %.4f", tJSQPoisson, tStaticPoisson)
+	}
+}

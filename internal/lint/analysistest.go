@@ -25,11 +25,21 @@ import (
 // malformed-directive behavior is testable the same way.
 func RunTest(t *testing.T, a *Analyzer, dir string) {
 	t.Helper()
-	pkg, err := LoadDir(dir)
+	RunTestPkgs(t, a, dir)
+}
+
+// RunTestPkgs is RunTest over several testdata directories loaded as
+// one package set, in order (later directories may import earlier ones
+// by base name). The analyzer runs once per package with the full set
+// in scope — the shape cross-package analyses like hotpathlock need —
+// and `// want` expectations are collected from every package's files.
+func RunTestPkgs(t *testing.T, a *Analyzer, dirs ...string) {
+	t.Helper()
+	pkgs, err := LoadDirs(dirs...)
 	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+		t.Fatalf("loading %s: %v", strings.Join(dirs, ", "), err)
 	}
-	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	diags := Run(pkgs, []*Analyzer{a})
 
 	type want struct {
 		key     string // "file:line"
@@ -39,23 +49,25 @@ func RunTest(t *testing.T, a *Analyzer, dir string) {
 	}
 	var wants []*want
 	byLine := map[string][]*want{}
-	for _, f := range pkg.Files {
-		for _, group := range f.Comments {
-			for _, c := range group.List {
-				patterns, err := parseWant(c.Text)
-				if err != nil {
-					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
-				for _, p := range patterns {
-					re, err := regexp.Compile(p)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					patterns, err := parseWant(c.Text)
 					if err != nil {
-						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+						t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
 					}
-					w := &want{key: key, re: re, raw: p}
-					wants = append(wants, w)
-					byLine[key] = append(byLine[key], w)
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+					for _, p := range patterns {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+						}
+						w := &want{key: key, re: re, raw: p}
+						wants = append(wants, w)
+						byLine[key] = append(byLine[key], w)
+					}
 				}
 			}
 		}

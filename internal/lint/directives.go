@@ -94,22 +94,38 @@ func parseDirective(text string) (verb string, checks []string, err error) {
 // lineSpan is an inclusive line range one allow directive covers.
 type lineSpan struct{ start, end int }
 
+// allowRecord is one (directive, check) suppression: the span it
+// covers, where the directive comment sits, and how many findings it
+// has absorbed this run. A record whose check ran but whose hits stayed
+// zero is a stale suppression — the code it excused no longer trips the
+// check — and the stalesuppress analyzer turns it into a finding.
+type allowRecord struct {
+	check string
+	span  lineSpan
+	pos   token.Pos
+	hits  int
+}
+
 // directiveIndex is a package's parsed directives: per-file suppression
-// spans, hotpath roots, and parse errors (reported as diagnostics).
+// records, hotpath roots, and parse errors (reported as diagnostics).
 type directiveIndex struct {
-	files        map[string]map[string][]lineSpan // filename → check → spans
+	files        map[string]map[string][]*allowRecord // filename → check → records
 	hotpathRoots map[*ast.FuncDecl]bool
 	errs         []Diagnostic
 }
 
-// allowed reports whether an allow directive for check covers pos.
+// allowed reports whether an allow directive for check covers pos,
+// counting the hit on every covering record (overlapping directives are
+// all "used" by a finding they cover).
 func (ix *directiveIndex) allowed(check string, pos token.Position) bool {
-	for _, span := range ix.files[pos.Filename][check] {
-		if span.start <= pos.Line && pos.Line <= span.end {
-			return true
+	hit := false
+	for _, rec := range ix.files[pos.Filename][check] {
+		if rec.span.start <= pos.Line && pos.Line <= rec.span.end {
+			rec.hits++
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 const wholeFile = 1 << 30
@@ -117,7 +133,7 @@ const wholeFile = 1 << 30
 // buildDirectives parses every bladelint directive in the package.
 func buildDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
 	ix := &directiveIndex{
-		files:        map[string]map[string][]lineSpan{},
+		files:        map[string]map[string][]*allowRecord{},
 		hotpathRoots: map[*ast.FuncDecl]bool{},
 	}
 	for _, f := range files {
@@ -174,11 +190,15 @@ func buildDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
 					span := allowSpan(fset, f, group, c, decl, isDoc, firstDecl)
 					byCheck := ix.files[filename]
 					if byCheck == nil {
-						byCheck = map[string][]lineSpan{}
+						byCheck = map[string][]*allowRecord{}
 						ix.files[filename] = byCheck
 					}
 					for _, check := range checks {
-						byCheck[check] = append(byCheck[check], span)
+						byCheck[check] = append(byCheck[check], &allowRecord{
+							check: check,
+							span:  span,
+							pos:   c.Pos(),
+						})
 					}
 				}
 			}

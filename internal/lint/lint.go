@@ -38,12 +38,43 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Check)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package. All is the complete
+// loaded package set the run covers: whole-program analyses (hotpathlock
+// reachability) resolve cross-package calls and interface
+// implementations against it, while diagnostics stay scoped to Pkg so
+// each finding is reported exactly once, in the package that owns the
+// offending code and its //bladelint:allow directives.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	All      []*Package
+
+	// RanChecks holds the directive tokens of every analyzer in this
+	// run. StaleSuppress consults it so a partial run (-checks floateq)
+	// never declares suppressions for the unrun checks stale.
+	RanChecks map[string]bool
 
 	diags *[]Diagnostic
+}
+
+// AllPkgs returns the loaded package set, falling back to just Pkg for
+// single-package runs (older tests, ad-hoc passes).
+func (p *Pass) AllPkgs() []*Package {
+	if len(p.All) == 0 {
+		return []*Package{p.Pkg}
+	}
+	return p.All
+}
+
+// forPkg returns a pass with the same analyzer and package set but
+// focused on pkg — used to resolve types and calls in a foreign package
+// while walking cross-package call chains. Reporting still goes through
+// the original pass's diagnostics.
+func (p *Pass) forPkg(pkg *Package) *Pass {
+	if pkg == p.Pkg {
+		return p
+	}
+	return &Pass{Analyzer: p.Analyzer, Pkg: pkg, All: p.All, diags: p.diags}
 }
 
 // Reportf records a finding at pos unless a //bladelint:allow directive
@@ -133,9 +164,11 @@ func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
 	return nil
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in execution order. StaleSuppress
+// must stay last: it judges the directive hit counters every earlier
+// analyzer's suppressed findings populated.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotPathLock, DetClock, RhoGuard, FloatEq, AtomicField, KahanCheck}
+	return []*Analyzer{HotPathLock, DetClock, RhoGuard, FloatEq, AtomicField, KahanCheck, StaleSuppress}
 }
 
 // ByName returns the analyzers whose names appear in the comma-
@@ -163,11 +196,15 @@ func ByName(list string) ([]*Analyzer, error) {
 // including directive-parsing errors (unknown check names must fail
 // loudly, never act as a silent allow), in deterministic order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Directive] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		diags = append(diags, pkg.directives.errs...)
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, All: pkgs, RanChecks: ran, diags: &diags})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -33,6 +33,20 @@ func TestHotPathLock(t *testing.T) {
 	RunTest(t, HotPathLock, testdata("hotpathlock"))
 }
 
+// TestHotPathLockCrossPackage pins the cross-package expansion fix: a
+// hot entry point in the api package dispatches through an interface
+// whose implementations live in the impl package, and a marked root in
+// impl reaches an allocating helper back in api. The pre-fix analyzer
+// — interface expansion and call edges both confined to one package —
+// reported nothing here; the want comments in both packages now
+// require the findings, so this test fails against the old behavior
+// in both directions.
+func TestHotPathLockCrossPackage(t *testing.T) {
+	RunTestPkgs(t, HotPathLock,
+		testdata("hotpathlock_xpkg_api"),
+		testdata("hotpathlock_xpkg_impl"))
+}
+
 func TestKahanCheck(t *testing.T) {
 	RunTest(t, KahanCheck, testdata("kahancheck"))
 }

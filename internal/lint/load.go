@@ -242,6 +242,81 @@ func LoadDir(dir string) (*Package, error) {
 	return check(fset, newExportImporter(fset, exports), filepath.Base(dir), filenames)
 }
 
+// memImporter resolves imports from already-checked in-memory packages
+// first, falling back to export data. It is what lets one testdata
+// package import another by its base name.
+type memImporter struct {
+	mem  map[string]*types.Package
+	next types.Importer
+}
+
+func (m memImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.mem[path]; ok {
+		return p, nil
+	}
+	return m.next.Import(path)
+}
+
+// LoadDirs loads several bare directories of Go files as one package
+// set, in order: each later directory may import an earlier one by its
+// base name (the multi-package analysistest path, for cross-package
+// analyses like hotpathlock's reachability). Everything else resolves
+// like LoadDir.
+func LoadDirs(dirs ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	mem := map[string]*types.Package{}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading %s: %v", dir, err)
+		}
+		var filenames []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				filenames = append(filenames, filepath.Join(dir, e.Name()))
+			}
+		}
+		sort.Strings(filenames)
+		if len(filenames) == 0 {
+			return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		}
+
+		// Imports satisfiable by earlier sibling packages come from
+		// memory; only the rest need export data. The import scan uses a
+		// throwaway FileSet so the real one holds each file once.
+		imports := map[string]bool{}
+		scanFset := token.NewFileSet()
+		for _, name := range filenames {
+			f, err := parser.ParseFile(scanFset, name, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+			}
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if path != "unsafe" {
+					if _, sibling := mem[path]; !sibling {
+						imports[path] = true
+					}
+				}
+			}
+		}
+		exports, err := exportsFor(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+
+		imp := memImporter{mem: mem, next: newExportImporter(fset, exports)}
+		pkg, err := check(fset, imp, filepath.Base(dir), filenames)
+		if err != nil {
+			return nil, err
+		}
+		mem[pkg.PkgPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
 // exportsFor returns export-data locations for the dependency closure
 // of the given import paths, consulting the process-wide cache first.
 func exportsFor(dir string, imports map[string]bool) (map[string]string, error) {

@@ -1,0 +1,104 @@
+package lint
+
+import "sort"
+
+// StaleSuppress flags //bladelint:allow directives that no longer
+// suppress anything: the named check ran over the package and reported
+// no finding inside the directive's span. A suppression is a debt
+// record — "this code violates the invariant, here is why that is
+// acceptable" — and once the code is fixed or deleted the record is
+// wrong documentation that will silently swallow the NEXT violation
+// introduced in its span. Staleness is a build failure for the same
+// reason a malformed directive is: suppressions must say something
+// true.
+//
+// A directive is only judged against checks that actually ran in this
+// invocation (bladelint -checks floateq must not declare every lock
+// suppression stale), and each check named by a multi-check directive
+// is judged separately — //bladelint:allow lock floateq with only the
+// lock half still firing reports just the floateq half.
+//
+// StaleSuppress must be registered last: it reads the hit counters the
+// earlier analyzers' suppressed findings incremented.
+// staleDirective is StaleSuppress's directive token, named so
+// runStaleSuppress can refer to it without an initialization cycle
+// through the Analyzer value.
+const staleDirective = "stalesuppress"
+
+var StaleSuppress = &Analyzer{
+	Name:      "stalesuppress",
+	Directive: staleDirective,
+	Doc:       "no //bladelint:allow directives whose check no longer fires in their span",
+}
+
+// Run is attached in init: runStaleSuppress reaches Analyzers() (to
+// ask whether the full suite ran), which lists StaleSuppress — a
+// harmless reference the compiler would otherwise reject as an
+// initialization cycle.
+func init() { StaleSuppress.Run = runStaleSuppress }
+
+func runStaleSuppress(pass *Pass) {
+	// Two phases: records for other checks first, then records for
+	// stalesuppress itself. Reporting a stale directive in phase one
+	// counts a hit on any //bladelint:allow stalesuppress covering it,
+	// so phase two judges those records with their hits up to date.
+	var self []*allowRecord
+	for _, rec := range pass.Pkg.directives.records() {
+		if rec.check == staleDirective {
+			self = append(self, rec)
+			continue
+		}
+		reportStale(pass, rec)
+	}
+	// A stalesuppress allow absorbs findings that other checks' records
+	// generate, so it can only be judged fairly when every check ran:
+	// in a partial run the records it covers were never evaluated, and
+	// zero hits proves nothing.
+	if fullSuiteRan(pass) {
+		for _, rec := range self {
+			reportStale(pass, rec)
+		}
+	}
+}
+
+// fullSuiteRan reports whether every registered check's directive is in
+// this run's ran set.
+func fullSuiteRan(pass *Pass) bool {
+	for _, a := range Analyzers() {
+		if !pass.RanChecks[a.Directive] {
+			return false
+		}
+	}
+	return true
+}
+
+func reportStale(pass *Pass, rec *allowRecord) {
+	if !pass.RanChecks[rec.check] || rec.hits > 0 {
+		return
+	}
+	pass.Reportf(rec.pos, "stale suppression: //bladelint:allow %s no longer suppresses any %s finding in its span; remove it (or it will silently swallow the next violation)", rec.check, rec.check)
+}
+
+// records returns every allow record in the package, ordered by file
+// name, then check name, then declaration order — deterministic so
+// diagnostics and hit accounting never depend on map iteration.
+func (ix *directiveIndex) records() []*allowRecord {
+	var files []string
+	for name := range ix.files {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	var out []*allowRecord
+	for _, name := range files {
+		byCheck := ix.files[name]
+		var checks []string
+		for check := range byCheck {
+			checks = append(checks, check)
+		}
+		sort.Strings(checks)
+		for _, check := range checks {
+			out = append(out, byCheck[check]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStaleSuppress exercises the staleness analyzer directly rather
+// than through `// want` comments: a want expectation must sit on the
+// diagnosed line, and here the diagnosed line IS a directive comment,
+// which cannot also hold a want comment.
+func TestStaleSuppress(t *testing.T) {
+	pkg, err := LoadDir(testdata("stalesuppress"))
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{FloatEq, DetClock, StaleSuppress})
+
+	type finding struct{ file, check string }
+	want := map[finding]int{
+		{"fresh.go", "floateq"}:     1, // stale() — allow on an int comparison
+		{"fresh.go", "detclock"}:    1, // mixed() — the detclock half of a multi-check allow
+		{"stalefile.go", "floateq"}: 1, // file-scoped allow with nothing to suppress
+	}
+	got := map[finding]int{}
+	for _, d := range diags {
+		if d.Check != "stalesuppress" {
+			t.Errorf("unexpected non-staleness diagnostic: %s", d)
+			continue
+		}
+		base := d.Pos.Filename[strings.LastIndexByte(d.Pos.Filename, '/')+1:]
+		var check string
+		for _, c := range []string{"floateq", "detclock", "lock", "stalesuppress"} {
+			if strings.Contains(d.Message, "allow "+c+" ") {
+				check = c
+				break
+			}
+		}
+		got[finding{base, check}]++
+	}
+	for f, n := range want {
+		if got[f] != n {
+			t.Errorf("%s: %d stale findings for %s, want %d", f.file, got[f], f.check, n)
+		}
+	}
+	for f, n := range got {
+		if want[f] == 0 {
+			t.Errorf("unexpected stale finding: %d × %s in %s", n, f.check, f.file)
+		}
+	}
+
+	// A second run of the same loaded package must behave identically:
+	// hit counters are per-run state only in the sense that they
+	// accumulate, so re-running must not turn fresh records stale.
+	again := Run([]*Package{pkg}, []*Analyzer{FloatEq, DetClock, StaleSuppress})
+	if len(again) != len(diags) {
+		t.Errorf("second run produced %d diagnostics, first %d", len(again), len(diags))
+	}
+}
+
+// TestStaleSuppressPartialRun pins the ran-set gate: with only
+// StaleSuppress running, no other check's suppressions are judged, so
+// a package full of (stale) floateq allows reports nothing.
+func TestStaleSuppressPartialRun(t *testing.T) {
+	pkg, err := LoadDir(testdata("stalesuppress"))
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{StaleSuppress}) {
+		t.Errorf("partial run reported: %s", d)
+	}
+}

@@ -1,0 +1,28 @@
+// Package hotpathlock_xpkg_api declares the interface a hot entry
+// point dispatches through; every implementation lives in
+// hotpathlock_xpkg_impl, a different package. This is the shape the
+// serving stack actually has (dispatch calls serve's depth counters
+// through an interface), and exactly the shape the analyzer used to
+// miss when it expanded interface calls to package-local
+// implementations only.
+package hotpathlock_xpkg_api
+
+// Depths is the cross-package interface the hot path calls through.
+type Depths interface {
+	Depth(station int) int64
+}
+
+// Drive is a hot entry point whose only callee is an interface method:
+// without cross-package expansion its reachability set is empty.
+//
+//bladelint:hotpath
+func Drive(d Depths) int64 {
+	return d.Depth(3)
+}
+
+// Helper is hot only because hotpathlock_xpkg_impl's marked entry
+// point calls it — a direct cross-package call edge, traversed in the
+// opposite direction of the interface expansion above.
+func Helper(n int) []int64 {
+	return make([]int64, n) // want `make allocation`
+}

@@ -1,0 +1,49 @@
+// Package hotpathlock_xpkg_impl provides implementations of
+// hotpathlock_xpkg_api.Depths from outside the interface's package.
+// LockedDepths must be flagged: it is a dynamic target of the hot
+// Drive entry point's interface call, so its mutex is a lock on the
+// serving hot path even though no code in this package is marked hot.
+package hotpathlock_xpkg_impl
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hotpathlock_xpkg_api"
+)
+
+// LockedDepths guards its counters with a mutex — fine anywhere else,
+// a contention point on the hot path.
+type LockedDepths struct {
+	mu sync.Mutex
+	d  [8]int64
+}
+
+func (l *LockedDepths) Depth(station int) int64 {
+	l.mu.Lock()         // want `sync\.Mutex\.Lock`
+	defer l.mu.Unlock() // want `sync\.Mutex\.Unlock`
+	return l.d[station]
+}
+
+// AtomicDepths is the lock-free implementation: also a dynamic target
+// of Drive's call, and clean — no diagnostics.
+type AtomicDepths struct {
+	d [8]atomic.Int64
+}
+
+func (a *AtomicDepths) Depth(station int) int64 {
+	return a.d[station].Load()
+}
+
+// Entry is hot by directive and calls into the api package directly;
+// the allocation it reaches is reported over there, in Helper.
+//
+//bladelint:hotpath
+func Entry(n int) []int64 {
+	return hotpathlock_xpkg_api.Helper(n)
+}
+
+var (
+	_ hotpathlock_xpkg_api.Depths = (*LockedDepths)(nil)
+	_ hotpathlock_xpkg_api.Depths = (*AtomicDepths)(nil)
+)

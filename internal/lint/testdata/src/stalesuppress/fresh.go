@@ -1,0 +1,34 @@
+package stalesuppress
+
+// fresh compares floats exactly on purpose; its allow absorbs a real
+// floateq finding every run, so it is never stale.
+func fresh(a, b float64) bool {
+	return a == b //bladelint:allow floateq -- exact pin comparison, the test wants bit equality
+}
+
+// stale compares ints, which floateq never flags: the allow on the
+// comparison line suppresses nothing and must be reported.
+func stale(a, b int) bool {
+	return a == b //bladelint:allow floateq -- ints compare exactly (nothing here for the check to flag)
+}
+
+// mixed: the floateq half of the directive absorbs the comparison, the
+// detclock half suppresses nothing — only detclock is stale.
+func mixed(a, b float64) bool {
+	return a == b //bladelint:allow floateq detclock -- exact comparison; no clock in sight
+}
+
+// unrun: hotpathlock is not part of the test's analyzer list, so its
+// suppression is not judged at all — a partial run must not declare
+// other checks' debts stale.
+func unrun(a, b int) int {
+	return a + b //bladelint:allow lock -- never judged when hotpathlock does not run
+}
+
+// covered is a stale floateq allow whose staleness finding is itself
+// suppressed: the stalesuppress allow absorbs it, so neither directive
+// is reported (and the stalesuppress record counts as used).
+func covered(a, b int) bool {
+	//bladelint:allow stalesuppress -- keeping the floateq debt record through a refactor in flight
+	return a == b //bladelint:allow floateq -- ints again: stale, but excused above
+}

@@ -1,0 +1,14 @@
+// A file-scoped suppression (standalone, before the first declaration)
+// that nothing in the file needs: floateq finds no float comparison
+// here, so the whole-file allow is stale.
+
+//bladelint:allow floateq -- file once held pinned float tables; they moved out
+
+package stalesuppress
+
+func onlyInts(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -16,7 +16,7 @@ type P2Quantile struct {
 	pos     [5]float64 // actual marker positions (1-based)
 	want    [5]float64 // desired marker positions
 	incr    [5]float64 // desired position increments
-	initial []float64  // first five observations
+	initial [5]float64 // first five observations (fixed array: Add runs on the serving hot path, which forbids allocation)
 }
 
 // NewP2Quantile creates an estimator for the p-quantile, 0 < p < 1.
@@ -24,7 +24,7 @@ func NewP2Quantile(p float64) (*P2Quantile, error) {
 	if p <= 0 || p >= 1 {
 		return nil, fmt.Errorf("metrics: quantile %g must be in (0, 1)", p)
 	}
-	q := &P2Quantile{p: p, initial: make([]float64, 0, 5)}
+	q := &P2Quantile{p: p}
 	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
 	q.incr = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
 	return q, nil
@@ -32,16 +32,17 @@ func NewP2Quantile(p float64) (*P2Quantile, error) {
 
 // Add accumulates one observation.
 func (q *P2Quantile) Add(x float64) {
-	q.n++
-	if len(q.initial) < 5 {
-		q.initial = append(q.initial, x)
-		if len(q.initial) == 5 {
-			sort.Float64s(q.initial)
-			copy(q.heights[:], q.initial)
+	if q.n < 5 {
+		q.initial[q.n] = x
+		q.n++
+		if q.n == 5 {
+			sort.Float64s(q.initial[:])
+			q.heights = q.initial
 			q.pos = [5]float64{1, 2, 3, 4, 5}
 		}
 		return
 	}
+	q.n++
 	// Find the cell k containing x and update extreme heights.
 	var k int
 	switch {
@@ -103,8 +104,8 @@ func (q *P2Quantile) Value() float64 {
 	if q.n == 0 {
 		return 0
 	}
-	if len(q.initial) < 5 {
-		tmp := append([]float64(nil), q.initial...)
+	if q.n < 5 {
+		tmp := append([]float64(nil), q.initial[:q.n]...)
 		sort.Float64s(tmp)
 		idx := int(q.p * float64(len(tmp)))
 		if idx >= len(tmp) {
@@ -122,7 +123,6 @@ func (q *P2Quantile) Quantile() float64 { return q.p }
 // can be merged or inspected while the original keeps accumulating.
 func (q *P2Quantile) Clone() *P2Quantile {
 	c := *q
-	c.initial = append([]float64(nil), q.initial...)
 	return &c
 }
 
@@ -136,8 +136,8 @@ func (q *P2Quantile) cdfKnots() (xs, ps []float64) {
 	if q.n == 0 {
 		return nil, nil
 	}
-	if len(q.initial) < 5 {
-		xs = append([]float64(nil), q.initial...)
+	if q.n < 5 {
+		xs = append([]float64(nil), q.initial[:q.n]...)
 		sort.Float64s(xs)
 		ps = make([]float64, len(xs))
 		for i := range xs {

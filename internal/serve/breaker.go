@@ -121,8 +121,9 @@ type breakerState struct {
 type breakerSet struct {
 	disabled      bool
 	trialFraction float64
-	// trialBits is TrialFraction scaled to the 16 random bits the
-	// lock-free hot path compares against (u>>24 & 0xFFFF).
+	// trialBits is TrialFraction scaled to the randTrialBits-wide coin
+	// slice of the per-request random word the lock-free hot path
+	// compares against (see randbits.go for the layout).
 	trialBits uint64
 	// openBase/openMax bound the exponential open-interval backoff.
 	openBase, openMax int64
@@ -141,7 +142,7 @@ func newBreakerSet(n int, cfg BreakerConfig) *breakerSet {
 	b := &breakerSet{
 		disabled:      cfg.Disabled,
 		trialFraction: cfg.TrialFraction,
-		trialBits:     uint64(cfg.TrialFraction * 65536),
+		trialBits:     uint64(cfg.TrialFraction * (1 << randTrialBits)),
 		openBase:      int64(cfg.OpenInterval),
 		openMax:       int64(cfg.MaxOpenInterval),
 		stations:      make([]breakerState, n),

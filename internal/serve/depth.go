@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/dispatch"
+)
+
+// depthSet tracks per-station in-flight depth for the JSQ(d) policy —
+// the state the power-of-d score reads. Lifecycle (DESIGN.md §15):
+//
+//   - Router-only mode (no Backend): increment when Decide routes a
+//     request to the station, decrement when the caller reports the
+//     completion through ReportOutcome / POST /v1/observe. A deployment
+//     that never reports outcomes degrades gracefully: depths grow
+//     roughly in proportion to routed traffic, so the relative score
+//     still spreads load by capacity, just without completion feedback.
+//   - Executing mode (Backend set): increment/decrement bracket each
+//     guarded backend attempt in call(), so retries and hedges count
+//     the stations actually holding work, not the first routing pick.
+//
+// The decrement clamps at zero instead of trusting the caller:
+// /v1/observe is an external interface and a double-report must not
+// wedge a station's score negative.
+type depthSet struct {
+	stations []stationDepth
+}
+
+// stationDepth pads each counter to its own cache line so concurrent
+// dispatches to different stations never false-share.
+type stationDepth struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+func newDepthSet(n int) *depthSet {
+	return &depthSet{stations: make([]stationDepth, n)}
+}
+
+// Depth implements dispatch.DepthReader: one uncontended atomic load on
+// the dispatch hot path.
+func (d *depthSet) Depth(station int) int64 {
+	return d.stations[station].n.Load()
+}
+
+func (d *depthSet) inc(station int) {
+	if station < 0 || station >= len(d.stations) {
+		return
+	}
+	d.stations[station].n.Add(1)
+}
+
+// dec decrements with a zero clamp (CAS loop, lock-free): an unmatched
+// external report drops on the floor rather than driving the depth
+// negative.
+func (d *depthSet) dec(station int) {
+	if station < 0 || station >= len(d.stations) {
+		return
+	}
+	n := &d.stations[station].n
+	for {
+		v := n.Load()
+		if v <= 0 {
+			return
+		}
+		if n.CompareAndSwap(v, v-1) {
+			return
+		}
+	}
+}
+
+// The cross-package interface implementation hotpathlock's widened
+// expansion must see: PowerOfD.PickU (a hot root in internal/dispatch)
+// calls Depth through dispatch.DepthReader, and depthSet lives here.
+var _ dispatch.DepthReader = (*depthSet)(nil)

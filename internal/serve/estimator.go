@@ -3,7 +3,6 @@ package serve
 import (
 	"math"
 	randv2 "math/rand/v2"
-	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -107,7 +106,9 @@ func NewRateEstimator(window time.Duration, buckets int, now func() time.Time) *
 	if now == nil {
 		now = time.Now
 	}
-	n := nextPow2(runtime.GOMAXPROCS(0))
+	// Shard count is capped so the hot path's shard pick fits its slice
+	// of the per-request random word (randbits.go).
+	n := hotShards(randEstShardBits)
 	e := &RateEstimator{
 		now:    now,
 		window: window,

@@ -253,6 +253,13 @@ func (s *Server) attempt(ctx context.Context, station int, hedge bool, res *Disp
 // own context caused (hedge loser, client gone) is not held against
 // the station.
 func (s *Server) call(ctx context.Context, station int) error {
+	if s.depths != nil {
+		// JSQ depth brackets the real attempt: retries and hedges each
+		// count the station actually holding the work. The deferred
+		// decrement also covers the uncharged-cancellation early return.
+		s.depths.inc(station)
+		defer s.depths.dec(station)
+	}
 	t0 := s.now()
 	err := s.backend(ctx, station)
 	s.guard.attempts.Add(1)
@@ -316,6 +323,11 @@ func (s *Server) ReportOutcome(station int, kind Outcome, latency time.Duration)
 	}
 	if kind >= numOutcomes {
 		return fmt.Errorf("serve: unknown outcome %d", kind)
+	}
+	if s.depths != nil && s.backend == nil {
+		// Router-only JSQ: the external completion closes the in-flight
+		// interval Decide opened (zero-clamped against double reports).
+		s.depths.dec(station)
 	}
 	s.recordOutcome(station, kind, latency.Seconds())
 	return nil

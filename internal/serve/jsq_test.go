@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/model"
+)
+
+// TestRandWordSlicesDisjoint pins the one-rand-word bit-layout contract
+// from randbits.go: every consumer of the per-request word reads its
+// own bit slice, and no two slices overlap. Overlap would correlate
+// decisions the plan's probabilistic model assumes independent — the
+// exact bug class the PR 8 layout audit fixed (the old trial coin at
+// bits 24–39 shared bits with the redirect and latency-gate reads of
+// u >> 32).
+func TestRandWordSlicesDisjoint(t *testing.T) {
+	slices := map[string]uint64{
+		"estimator-shard": (1<<randEstShardBits - 1),
+		"rng-shard":       (1<<randPickShardBits - 1) << randPickShardShift,
+		"jsq-samples":     (1<<32 - 1) << randSampleShift, // two 16-bit station samples
+		"trial-coin":      (1<<randTrialBits - 1) << randTrialShift,
+		"latency-gate":    (1<<randLatGateBits - 1) << randLatGateShift,
+	}
+	names := make([]string, 0, len(slices))
+	for name := range slices {
+		names = append(names, name)
+	}
+	for i, a := range names {
+		if slices[a] == 0 {
+			t.Errorf("slice %s is empty", a)
+		}
+		for _, b := range names[i+1:] {
+			if overlap := slices[a] & slices[b]; overlap != 0 {
+				t.Errorf("bit slices %s and %s overlap: %#x", a, b, overlap)
+			}
+		}
+	}
+
+	// The latency gate's width must match the sampling stride the
+	// metrics layer advertises, or the 1-in-stride math silently skews.
+	if 1<<randLatGateBits != p2SampleStride {
+		t.Errorf("latency gate is %d-wide for stride %d", 1<<randLatGateBits, p2SampleStride)
+	}
+	// The shard pickers must never index past their slices.
+	if n := hotShards(randEstShardBits); n > 1<<randEstShardBits {
+		t.Errorf("hotShards(%d) = %d exceeds its %d-bit slice", randEstShardBits, n, randEstShardBits)
+	}
+	if n := hotShards(randPickShardBits); n > 1<<randPickShardBits {
+		t.Errorf("hotShards(%d) = %d exceeds its %d-bit slice", randPickShardBits, n, randPickShardBits)
+	}
+	// The trial coin compares against TrialFraction scaled to the same
+	// width the slice provides.
+	s := newTestServer(t, func(c *Config) {
+		c.Breaker.TrialFraction = 0.5
+	})
+	if got, want := s.breakers.trialBits, uint64(1<<randTrialBits)/2; got != want {
+		t.Errorf("TrialFraction 0.5 scaled to %d trial bits, want %d", got, want)
+	}
+}
+
+// TestJSQDepthCounterStress churns the router-mode depth counters from
+// many goroutines under -race: every Decide increments the picked
+// station, every ReportOutcome decrements it, and when all in-flight
+// work has been reported every counter must read exactly zero — no
+// leaked increments (which would starve a station under JSQ scoring)
+// and no negative depths (the decrement clamps).
+func TestJSQDepthCounterStress(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Policy = PolicyJSQ
+		c.Window = time.Hour // cold estimator: no admission shedding
+	})
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				d := s.Decide()
+				if d.Rejected {
+					t.Errorf("unexpected rejection: %s", d.Reason)
+					return
+				}
+				if err := s.ReportOutcome(d.Station, OutcomeSuccess, time.Millisecond); err != nil {
+					t.Errorf("report: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < s.group.N(); i++ {
+		if depth := s.depths.Depth(i); depth != 0 {
+			t.Errorf("station %d depth %d after all outcomes reported, want 0", i, depth)
+		}
+	}
+	// Double-reports must clamp at zero, not wedge the score negative.
+	s.ReportOutcome(0, OutcomeSuccess, time.Millisecond)
+	if depth := s.depths.Depth(0); depth != 0 {
+		t.Errorf("station 0 depth %d after unmatched report, want 0 (clamped)", depth)
+	}
+}
+
+// TestJSQDeterministicSequence pins the DeterministicRNG contract for
+// the JSQ(d) policy (see jsqBits): with a fixed seed, two servers
+// route an identical station sequence, draw for draw.
+func TestJSQDeterministicSequence(t *testing.T) {
+	run := func() []int {
+		s := newTestServer(t, func(c *Config) {
+			c.Policy = PolicyJSQ
+			c.Seed = 7
+			c.DeterministicRNG = true
+			c.Window = time.Hour
+		})
+		seq := make([]int, 500)
+		for i := range seq {
+			d := s.Decide()
+			if d.Rejected {
+				t.Fatalf("draw %d: unexpected rejection %s", i, d.Reason)
+			}
+			seq[i] = d.Station
+			// Report every fourth completion so depths actually vary and
+			// the pick sequence exercises the score, not just the samples.
+			if i%4 == 0 {
+				s.ReportOutcome(d.Station, OutcomeSuccess, time.Millisecond)
+			}
+		}
+		return seq
+	}
+	a, b := run(), run()
+	distinct := map[int]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: station %d vs %d (sequence diverged)", i, a[i], b[i])
+		}
+		distinct[a[i]] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("degenerate sequence: only stations %v picked", distinct)
+	}
+}
+
+// TestJSQPolicyValidation covers the Config plumbing: policy naming,
+// sample-count bounds, and the plan advertising the active policy.
+func TestJSQPolicyValidation(t *testing.T) {
+	g := model.LiExample1Group()
+	if _, err := New(Config{Group: g, Lambda: 1, Logger: quietLogger(), Policy: PolicyJSQ, SampleD: 1}); err == nil {
+		t.Error("SampleD below dispatch.MinSampleD accepted")
+	}
+	if _, err := New(Config{Group: g, Lambda: 1, Logger: quietLogger(), Policy: PolicyJSQ, SampleD: dispatch.MaxSampleD + 1}); err == nil {
+		t.Error("SampleD above dispatch.MaxSampleD accepted")
+	}
+	if _, err := New(Config{Group: g, Lambda: 1, Logger: quietLogger(), Policy: Policy(99)}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	s := newTestServer(t, func(c *Config) { c.Policy = PolicyJSQ })
+	if got := s.Plan().Policy; got != "jsq2" {
+		t.Errorf("plan policy %q, want jsq2 (SampleD defaulted)", got)
+	}
+	if got := newTestServer(t, nil).Plan().Policy; got != "static" {
+		t.Errorf("static plan policy %q, want static", got)
+	}
+}

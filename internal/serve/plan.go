@@ -52,8 +52,16 @@ type Plan struct {
 	Ramp []float64 `json:"ramp,omitempty"`
 	// SolvedAt stamps the solve (the daemon's injected clock).
 	SolvedAt time.Time `json:"solved_at"`
+	// Policy names the dispatch policy realizing the plan ("jsq2",
+	// "jsq3"… under Config.PolicyJSQ; empty for the static split).
+	Policy string `json:"policy,omitempty"`
 
 	picker *dispatch.Probabilistic
+	// jsq, when non-nil, overrides the static picker with power-of-d
+	// sampled dispatch over the plan's loaded stations (Decide's JSQ
+	// branch). The static picker is still built — redirect redraws and
+	// repick fall back to it.
+	jsq *dispatch.PowerOfD
 }
 
 // Pick draws one routing decision from the plan's distribution.
@@ -78,7 +86,15 @@ func (p *Plan) PickU(u float64) int {
 // briefly absorb the withheld remainder. Utilizations are rescaled
 // proportionally; the transient overshoot on the absorbers is bounded
 // by the withheld fraction and decays to zero across the ramp window.
-func buildPlan(g *model.Group, lambda float64, up []bool, opts core.Options, version int64, now time.Time, ramp []float64) (*Plan, error) {
+//
+// jsqD > 0 additionally builds the power-of-d picker over the solve's
+// loaded stations: only stations the plan assigns positive rate are
+// sampleable (so breaker exclusions and degraded re-solves gate JSQ
+// exactly as they gate the static split), each scored against its net
+// generic capacity m_i·s_i/r̄ − λ″_i, ramp-scaled during capped-weight
+// recovery so a readmitted station also loses JSQ comparisons until
+// its ramp completes.
+func buildPlan(g *model.Group, lambda float64, up []bool, opts core.Options, version int64, now time.Time, ramp []float64, jsqD int, depths *depthSet) (*Plan, error) {
 	// The plan's JSON view and the breaker bookkeeping are dense, so a
 	// sparse solve must still materialize Rates/Utilizations here; the
 	// compact allocation is used below for the picker's cumulative
@@ -134,6 +150,31 @@ func buildPlan(g *model.Group, lambda float64, up []bool, opts core.Options, ver
 	if err != nil {
 		return nil, fmt.Errorf("serve: building picker: %w", err)
 	}
+	var jsq *dispatch.PowerOfD
+	policy := "static"
+	if jsqD > 0 {
+		idx := make([]int32, 0, len(rates))
+		caps := make([]float64, 0, len(rates))
+		for i, r := range rates {
+			if r <= 0 {
+				continue
+			}
+			c := g.Servers[i].MaxGenericRate(g.TaskSize)
+			if c <= 0 {
+				continue // no generic headroom: unscorable, never sample it
+			}
+			if rampOut != nil && i < len(rampOut) && rampOut[i] > 0 && rampOut[i] < 1 {
+				c *= rampOut[i]
+			}
+			idx = append(idx, int32(i))
+			caps = append(caps, c)
+		}
+		jsq, err = dispatch.NewPowerOfD(jsqD, len(rates), idx, caps, depths)
+		if err != nil {
+			return nil, fmt.Errorf("serve: building jsq picker: %w", err)
+		}
+		policy = jsq.Name()
+	}
 	return &Plan{
 		Version:         version,
 		Lambda:          res.Admitted,
@@ -148,7 +189,9 @@ func buildPlan(g *model.Group, lambda float64, up []bool, opts core.Options, ver
 		Shed:            res.Shed,
 		SolvedAt:        now,
 		Ramp:            rampOut,
+		Policy:          policy,
 		picker:          picker,
+		jsq:             jsq,
 	}, nil
 }
 

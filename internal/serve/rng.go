@@ -3,15 +3,17 @@ package serve
 import (
 	"math/rand"
 	randv2 "math/rand/v2"
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
 // dispatchRand supplies the uniform variates the dispatch hot path
-// consumes (one optional admission draw, one plan pick per request).
+// consumes (one optional admission draw, one plan pick per request;
+// Uint64 feeds the JSQ(d) station samples when the sharded fast path
+// is off, so DeterministicRNG reproduces pick sequences bit-exactly).
 type dispatchRand interface {
 	Float64() float64
+	Uint64() uint64
 }
 
 // lockedRand serializes a single math/rand generator behind a mutex —
@@ -32,6 +34,13 @@ func (l *lockedRand) Float64() float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.rng.Float64()
+}
+
+//bladelint:allow lock -- serialized baseline: DeterministicRNG opts into the single-RNG mutex to pin exact draw sequences
+func (l *lockedRand) Uint64() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Uint64()
 }
 
 // shardedRNG is the lock-free default: GOMAXPROCS SplitMix64 states
@@ -58,7 +67,7 @@ type rngShard struct {
 const splitmixGamma = 0x9E3779B97F4A7C15
 
 func newShardedRNG(seed int64) *shardedRNG {
-	n := nextPow2(runtime.GOMAXPROCS(0))
+	n := hotShards(randPickShardBits)
 	r := &shardedRNG{shards: make([]rngShard, n), mask: uint64(n - 1)}
 	s := uint64(seed)
 	for i := range r.shards {
@@ -72,15 +81,28 @@ func newShardedRNG(seed int64) *shardedRNG {
 
 func (r *shardedRNG) Float64() float64 { return r.float64U(randv2.Uint64()) }
 
+// Uint64 draws a full random word by advancing a randomly picked
+// shard's SplitMix64 state — the JSQ(d) sample source when the caller
+// has no spare per-request bits to hand over (d > 2, serialized path).
+func (r *shardedRNG) Uint64() uint64 { return r.uint64U(randv2.Uint64()) }
+
 // float64U is Float64 with the shard-pick word supplied by the caller —
 // the dispatch hot path draws one random word per request and feeds its
-// spare bits here instead of paying a second generator call.
+// shard-pick slice here instead of paying a second generator call.
 func (r *shardedRNG) float64U(u uint64) float64 {
-	sh := &r.shards[u&r.mask]
-	z := splitmix64(sh.state.Add(splitmixGamma))
+	z := r.uint64U(u)
 	// 53 random bits over 2^53, the same [0, 1) lattice rand.Float64
 	// draws from; z>>11 ≤ 2^53−1, so the result is always < 1.
 	return float64(z>>11) / (1 << 53)
+}
+
+// uint64U advances the shard the low bits of u select and returns the
+// mixed output. Only randPickShardBits bits of u are consumed (the
+// shard count is capped to match); the variate's entropy comes from
+// the shard's state walk, not from u.
+func (r *shardedRNG) uint64U(u uint64) uint64 {
+	sh := &r.shards[u&r.mask]
+	return splitmix64(sh.state.Add(splitmixGamma))
 }
 
 // splitmix64 is the output mix of Steele, Lea & Flood's SplitMix64.

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/model"
 )
 
@@ -84,6 +85,14 @@ type Config struct {
 	// the contention baseline BenchmarkDispatchParallelMutex measures;
 	// production use should leave it off.
 	SerializedHotPath bool
+	// Policy selects the dispatch policy: the paper-optimal static
+	// probabilistic split (default) or power-of-d sampled least-depth
+	// routing (PolicyJSQ).
+	Policy Policy
+	// SampleD is the number of stations PolicyJSQ samples per request
+	// (dispatch.MinSampleD–MaxSampleD). Default 2 — JSQ(2), the
+	// power-of-two choices policy. Ignored under PolicyStatic.
+	SampleD int
 	// Backend, when set, makes Server.Dispatch (and POST /v1/dispatch)
 	// execute each admitted request against its routed station through
 	// the guard wrapper instead of only returning a routing decision.
@@ -96,7 +105,38 @@ type Config struct {
 	Breaker BreakerConfig
 }
 
+// Policy selects how Decide turns a plan into a station pick.
+type Policy int
+
+const (
+	// PolicyStatic routes by the plan's optimal probabilistic split,
+	// independent of system state — exactly the paper's model.
+	PolicyStatic Policy = iota
+	// PolicyJSQ samples Config.SampleD candidate stations per request
+	// and routes to the least (depth+1)/capacity — power-of-d choices
+	// generalized to heterogeneous stations. The static plan still
+	// decides WHICH stations are candidates (only stations the solve
+	// loaded are sampleable) while the in-flight depth counters decide
+	// among them, so breaker exclusions, ramps and admission control
+	// compose unchanged.
+	PolicyJSQ
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyStatic:
+		return "static"
+	case PolicyJSQ:
+		return "jsq"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
 func (c *Config) withDefaults() {
+	if c.Policy == PolicyJSQ && c.SampleD == 0 {
+		c.SampleD = dispatch.MinSampleD
+	}
 	if c.DriftThreshold <= 0 {
 		c.DriftThreshold = 0.2
 	}
@@ -146,6 +186,12 @@ type Server struct {
 	fastM   *shardedMetrics
 	fastRnd *shardedRNG // nil under DeterministicRNG/SerializedHotPath
 
+	// depths/jsqD are the PolicyJSQ state: per-station in-flight depth
+	// counters the power-of-d score reads, and the sample count d.
+	// Both zero-valued under PolicyStatic.
+	depths *depthSet
+	jsqD   int
+
 	plan atomic.Pointer[Plan]
 
 	// Failure-detection state: per-station outcome statistics, the
@@ -190,7 +236,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Names != nil && len(cfg.Names) != cfg.Group.N() {
 		return nil, fmt.Errorf("serve: %d names for %d stations", len(cfg.Names), cfg.Group.N())
 	}
+	if cfg.Policy != PolicyStatic && cfg.Policy != PolicyJSQ {
+		return nil, fmt.Errorf("serve: unknown dispatch policy %v", cfg.Policy)
+	}
 	cfg.withDefaults()
+	if cfg.Policy == PolicyJSQ &&
+		(cfg.SampleD < dispatch.MinSampleD || cfg.SampleD > dispatch.MaxSampleD) {
+		return nil, fmt.Errorf("serve: SampleD %d outside [%d, %d]",
+			cfg.SampleD, dispatch.MinSampleD, dispatch.MaxSampleD)
+	}
 	s := &Server{
 		cfg:       cfg,
 		group:     cfg.Group.Clone(),
@@ -206,6 +260,10 @@ func New(cfg Config) (*Server, error) {
 	s.tracker = newOutcomeTracker(cfg.Group.N(), runtime.GOMAXPROCS(0))
 	s.breakers = newBreakerSet(cfg.Group.N(), cfg.Breaker)
 	s.guard.init(cfg.Guard)
+	if cfg.Policy == PolicyJSQ {
+		s.depths = newDepthSet(cfg.Group.N())
+		s.jsqD = cfg.SampleD
+	}
 	if cfg.SerializedHotPath {
 		s.est = NewLockedRateEstimator(cfg.Window, cfg.Buckets, cfg.Now)
 		s.m = newLockedServerMetrics(cfg.Group.N())
@@ -225,7 +283,7 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.up {
 		s.up[i] = true
 	}
-	plan, err := buildPlan(s.group, cfg.Lambda, nil, cfg.Opts, 1, s.now(), nil)
+	plan, err := buildPlan(s.group, cfg.Lambda, nil, cfg.Opts, 1, s.now(), nil, s.jsqD, s.depths)
 	if err != nil {
 		return nil, fmt.Errorf("serve: startup solve: %w", err)
 	}
@@ -369,7 +427,8 @@ func (s *Server) Decide() Decision {
 		return s.decideSerialized()
 	}
 	start := s.now()
-	// One random word per request feeds both shard picks; the station
+	// One random word per request feeds every randomized step through
+	// disjoint bit slices (layout in randbits.go); the static station
 	// pick draws from s.rnd so DeterministicRNG keeps its sequence.
 	u := randv2.Uint64()
 	s.fastEst.observeAtShard(start, 1, u)
@@ -387,23 +446,36 @@ func (s *Server) Decide() Decision {
 
 	station, trial := s.trialPick(u)
 	if !trial {
-		var draw float64
-		if s.fastRnd != nil {
-			draw = s.fastRnd.float64U(u >> 16) // spare bits of the shared word
+		if plan.jsq != nil {
+			station = plan.jsq.PickU(s.jsqBits(u))
 		} else {
-			draw = s.rnd.Float64() // DeterministicRNG keeps the pinned sequence
+			var draw float64
+			if s.fastRnd != nil {
+				draw = s.fastRnd.float64U(u >> randPickShardShift)
+			} else {
+				draw = s.rnd.Float64() // DeterministicRNG keeps the pinned sequence
+			}
+			station = plan.PickU(draw)
 		}
-		station = plan.PickU(draw)
 		if s.breakers.rejects(station) {
 			station = s.redirect(plan, station, u)
 		}
+	}
+	if s.depths != nil && s.backend == nil {
+		// Router-only JSQ: the route itself is the attempt start; the
+		// matching decrement is the caller's ReportOutcome. With a
+		// Backend the guard brackets each real attempt instead.
+		s.depths.inc(station)
 	}
 	s.fastM.countDispatch(station)
 	// Latency is measured on a random 1-in-p2SampleStride subset: the
 	// second clock read is the costliest step left on this path, so the
 	// sample gates the read itself, not just the accumulator update.
-	if u>>48&(p2SampleStride-1) == 0 {
-		s.fastM.observeLatency(s.now().Sub(start).Seconds(), u>>32)
+	// The metrics shard pick takes a fresh word — this branch already
+	// pays a clock read, and u's former shard bits now feed the JSQ
+	// samples (randbits.go).
+	if u>>randLatGateShift&(p2SampleStride-1) == 0 {
+		s.fastM.observeLatency(s.now().Sub(start).Seconds(), randv2.Uint64())
 	}
 	return Decision{Station: station, Plan: plan, Rate: rate, Trial: trial}
 }
@@ -419,7 +491,7 @@ func (s *Server) trialPick(u uint64) (int, bool) {
 		return -1, false
 	}
 	if s.fastRnd != nil {
-		if (u>>24)&0xFFFF >= s.breakers.trialBits {
+		if u>>randTrialShift&(1<<randTrialBits-1) >= s.breakers.trialBits {
 			return -1, false
 		}
 	} else if s.rnd.Float64() >= s.breakers.trialFraction {
@@ -444,7 +516,10 @@ func (s *Server) trialPick(u uint64) (int, bool) {
 func (s *Server) redirect(plan *Plan, station int, u uint64) int {
 	var draw float64
 	if s.fastRnd != nil {
-		draw = s.fastRnd.float64U(u >> 32)
+		// Reusing the shard-pick slice is sound: the slice only selects
+		// which SplitMix64 shard advances; the redraw's variate comes
+		// from the shard's state walk, independent of the first draw.
+		draw = s.fastRnd.float64U(u >> randPickShardShift)
 	} else {
 		draw = s.rnd.Float64()
 	}
@@ -453,6 +528,22 @@ func (s *Server) redirect(plan *Plan, station int, u uint64) int {
 		return alt
 	}
 	return station
+}
+
+// jsqBits supplies the random word the power-of-d picker consumes its
+// d station samples from. d ≤ 2 fits the per-request word's sample
+// slice (randbits.go); d > 2 needs 16 more bits than the word has
+// spare and draws a dedicated one. Under DeterministicRNG the samples
+// come from the seeded serialized generator so a fixed seed reproduces
+// the exact pick sequence (pinned by TestJSQDeterministicSequence).
+func (s *Server) jsqBits(u uint64) uint64 {
+	if s.fastRnd == nil {
+		return s.rnd.Uint64()
+	}
+	if s.jsqD <= 2 {
+		return u >> randSampleShift
+	}
+	return randv2.Uint64()
 }
 
 // decideSerialized is the dispatch flow exactly as the pre-sharding
@@ -473,14 +564,21 @@ func (s *Server) decideSerialized() Decision {
 	}
 	s.driftCheck(plan, rate, s.est.Warm())
 
-	// With fastRnd nil, trialPick and redirect draw from s.rnd, so the
-	// serialized path shares the deterministic draw sequence.
+	// With fastRnd nil, trialPick, jsqBits and redirect draw from
+	// s.rnd, so the serialized path shares the deterministic sequence.
 	station, trial := s.trialPick(0)
 	if !trial {
-		station = plan.PickU(s.rnd.Float64())
+		if plan.jsq != nil {
+			station = plan.jsq.PickU(s.jsqBits(0))
+		} else {
+			station = plan.PickU(s.rnd.Float64())
+		}
 		if s.breakers.rejects(station) {
 			station = s.redirect(plan, station, 0)
 		}
+	}
+	if s.depths != nil && s.backend == nil {
+		s.depths.inc(station)
 	}
 	s.m.observeDispatch(station, s.now().Sub(start).Seconds())
 	return Decision{Station: station, Plan: plan, Rate: rate, Trial: trial}
@@ -1032,7 +1130,7 @@ func (s *Server) doResolve(req resolveReq) (*Plan, error) {
 	up, ramp := s.applyBreakers(up)
 	opts := s.cfg.Opts
 	opts.WarmPhi = cur.Phi
-	plan, err := buildPlan(s.group, lambda, up, opts, cur.Version+1, s.now(), ramp)
+	plan, err := buildPlan(s.group, lambda, up, opts, cur.Version+1, s.now(), ramp, s.jsqD, s.depths)
 	s.m.resolved(err)
 	if err != nil {
 		return nil, err
