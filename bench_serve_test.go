@@ -70,3 +70,61 @@ func BenchmarkDispatchParallelMutex(b *testing.B) {
 func BenchmarkDispatchParallelJSQ2(b *testing.B) {
 	benchDispatchParallel(b, false, serve.PolicyJSQ)
 }
+
+// benchDispatchBatch drives serve.Server.DecideBatch with k decisions
+// per call from GOMAXPROCS goroutines, reporting ns PER DECISION (one
+// benchmark iteration = one decision, k iterations per DecideBatch) so
+// the numbers read directly against benchDispatchParallel. The
+// amortization claim in DESIGN.md §16 — one estimator bump, one plan
+// load, one RNG reservation per batch — is gated in CI: per-decision
+// time at k=8 must beat the single-shot path by ≥1.5× with 0 allocs/op.
+func benchDispatchBatch(b *testing.B, k int, policy serve.Policy) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	g := model.LiExample1Group()
+	s, err := serve.New(serve.Config{
+		Group:  g,
+		Lambda: 0.5 * g.MaxGenericRate(),
+		Window: time.Hour,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Policy: policy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var dst [16]serve.Decision
+		for pb.Next() {
+			// Claim k iterations per batch: the first Next() above plus
+			// k-1 more, so b.N counts decisions, not batches.
+			n := 1
+			for n < k && pb.Next() {
+				n++
+			}
+			s.DecideBatch(dst[:n])
+			for i := range dst[:n] {
+				if dst[i].Rejected || dst[i].Station < 0 {
+					b.Errorf("unexpected decision %+v", dst[i])
+					return
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkDispatchBatch1(b *testing.B)  { benchDispatchBatch(b, 1, serve.PolicyStatic) }
+func BenchmarkDispatchBatch4(b *testing.B)  { benchDispatchBatch(b, 4, serve.PolicyStatic) }
+func BenchmarkDispatchBatch8(b *testing.B)  { benchDispatchBatch(b, 8, serve.PolicyStatic) }
+func BenchmarkDispatchBatch16(b *testing.B) { benchDispatchBatch(b, 16, serve.PolicyStatic) }
+
+// BenchmarkDispatchBatchJSQ2 batches the sampled state-aware policy:
+// candidate depths snapshot once per batch (staleness bounded by the
+// batch length) and the chosen stations' depth increments land as one
+// add per distinct station.
+func BenchmarkDispatchBatchJSQ2(b *testing.B) { benchDispatchBatch(b, 8, serve.PolicyJSQ) }

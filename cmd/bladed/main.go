@@ -10,10 +10,12 @@
 //	bladed -spec cluster.json -rate 23.52           # explicit spec and rate
 //	bladed -builtin fig12:1 -addr :9090 -drift 0.1  # built-in group, custom drift gate
 //
-// Endpoints: POST /v1/dispatch, GET|POST /v1/plan, GET|POST
-// /v1/health, POST /v1/observe, GET /metrics (Prometheus text), GET
-// /healthz, /debug/pprof, and — with -fault-admin — GET|POST
-// /v1/faults. SIGINT/SIGTERM drain gracefully.
+// Endpoints: POST /v1/dispatch, POST /v1/dispatch/batch, GET|POST
+// /v1/plan, GET|POST /v1/health, POST /v1/observe, GET /metrics
+// (Prometheus text), GET /healthz, /debug/pprof, and — with
+// -fault-admin — GET|POST /v1/faults. SIGINT/SIGTERM drain gracefully.
+// In router mode -batch N additionally coalesces concurrent single-shot
+// dispatches into shared batched hot-path passes (see -batch-linger).
 //
 // Chaos mode: -backend-delay simulates executing each dispatched
 // request against its station (enabling the guarded dispatch wrapper,
@@ -94,6 +96,10 @@ func run(args []string, ready chan<- string) error {
 	maxAttempts := fs.Int("max-attempts", 3, "backend attempts per request (first try included)")
 	retryBudget := fs.Float64("retry-budget", 0.1, "sustained retries-per-request ratio")
 	hedge := fs.Bool("hedge", false, "hedge a second backend attempt after the observed p95 (idempotent workloads only)")
+	batchMax := fs.Int("batch", 0,
+		"coalesce concurrent dispatches into one batched hot-path pass of up to this many decisions (router mode only; 0 disables)")
+	batchLinger := fs.Duration("batch-linger", 100*time.Microsecond,
+		"how long a coalesced batch leader waits for peers before dispatching short")
 	breakerOff := fs.Bool("breaker-off", false, "disable automatic circuit-breaker transitions")
 	breakerErr := fs.Float64("breaker-error-threshold", 0.5, "EWMA error rate that trips a station's breaker")
 	breakerOpen := fs.Duration("breaker-open", 5*time.Second, "initial open interval of a tripped breaker (doubles per reopen)")
@@ -183,6 +189,8 @@ func run(args []string, ready chan<- string) error {
 		SerializedHotPath:  *serialized,
 		Policy:             dispatchPolicy,
 		SampleD:            jsqD,
+		BatchMax:           *batchMax,
+		BatchLinger:        *batchLinger,
 		Guard: serve.GuardConfig{
 			AttemptTimeout: *attemptTimeout,
 			MaxAttempts:    *maxAttempts,

@@ -15,6 +15,12 @@
 //
 //	bladeload -addr http://localhost:8080 -c 64 -d 30s
 //	bladeload -addr http://localhost:8080 -qps 500 -d 10s -json
+//	bladeload -addr http://localhost:8080 -batch 8 -d 10s
+//
+// With -batch N each worker posts {"count": N} to /v1/dispatch/batch
+// instead of N single-shot dispatches, exercising the daemon's batched
+// hot path; -qps pacing still counts individual decisions (each batch
+// claims N slots of the global schedule).
 //
 // Chaos scripting: repeated -fault-at flags post fault commands to the
 // daemon's /v1/faults hook mid-run (bladed must run with -fault-admin),
@@ -78,12 +84,19 @@ type dispatchResponse struct {
 	Station int `json:"station"`
 }
 
+// batchResponse is the subset of bladed's batch-dispatch body we decode.
+type batchResponse struct {
+	Stations []int `json:"stations"`
+	Rejected int   `json:"rejected"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bladeload", flag.ContinueOnError)
 	addr := fs.String("addr", "http://localhost:8080", "base URL of the bladed daemon")
 	concurrency := fs.Int("c", 32, "worker pool size (in-flight requests)")
 	duration := fs.Duration("d", 10*time.Second, "run length")
 	qps := fs.Float64("qps", 0, "target request rate; 0 runs the closed loop unthrottled")
+	batch := fs.Int("batch", 0, "decisions per POST /v1/dispatch/batch request; 0 uses the single-shot endpoint")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	var faults []faultCmd
 	fs.Func("fault-at",
@@ -105,7 +118,13 @@ func run(args []string, out io.Writer) error {
 	if *duration <= 0 {
 		return fmt.Errorf("-d %s must be positive", *duration)
 	}
+	if *batch < 0 {
+		return fmt.Errorf("-batch %d must be non-negative", *batch)
+	}
 	target := strings.TrimRight(*addr, "/") + "/v1/dispatch"
+	if *batch > 0 {
+		target += "/batch"
+	}
 
 	client := &http.Client{
 		Timeout: 10 * time.Second,
@@ -167,7 +186,14 @@ func run(args []string, out io.Writer) error {
 					return
 				}
 				if *qps > 0 {
-					n := issued.Add(1) - 1
+					// A batch claims one pacing slot per decision it
+					// carries, so -qps bounds the decision rate in both
+					// modes.
+					claim := int64(1)
+					if *batch > 0 {
+						claim = int64(*batch)
+					}
+					n := issued.Add(claim) - claim
 					at := start.Add(time.Duration(float64(n) / *qps * float64(time.Second)))
 					if at.After(deadline) {
 						return
@@ -176,7 +202,11 @@ func run(args []string, out io.Writer) error {
 						time.Sleep(d)
 					}
 				}
-				w.do(client, target)
+				if *batch > 0 {
+					w.doBatch(client, target, *batch)
+				} else {
+					w.do(client, target)
+				}
 			}
 		}(w)
 	}
@@ -224,6 +254,48 @@ func (w *worker) do(client *http.Client, target string) {
 	// Latency counts for completed exchanges (dispatched or shed);
 	// transport errors are excluded so a flapping server does not
 	// pollute the quantiles with client timeouts.
+	w.latency.Add(sec)
+	w.q50.Add(sec)
+	w.q95.Add(sec)
+	w.q99.Add(sec)
+}
+
+// doBatch issues one batched dispatch carrying k decisions and records
+// every routed station. Latency is sampled once per exchange — it is
+// the round trip of the batch, directly comparable against the
+// single-shot mode's per-request round trip.
+func (w *worker) doBatch(client *http.Client, target string, k int) {
+	t0 := time.Now()
+	resp, err := client.Post(target, "application/json",
+		strings.NewReader(fmt.Sprintf(`{"count":%d}`, k)))
+	if err != nil {
+		w.errors++
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	sec := time.Since(t0).Seconds()
+	switch {
+	case err != nil:
+		w.errors++
+		return
+	case resp.StatusCode == http.StatusOK:
+		var br batchResponse
+		if json.Unmarshal(body, &br) != nil {
+			w.errors++
+			return
+		}
+		w.dispatched += int64(len(br.Stations))
+		w.rejected += int64(br.Rejected)
+		for _, s := range br.Stations {
+			w.byStation[s]++
+		}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		w.rejected += int64(k)
+	default:
+		w.errors++
+		return
+	}
 	w.latency.Add(sec)
 	w.q50.Add(sec)
 	w.q95.Add(sec)

@@ -7,6 +7,7 @@
 //
 //	bladesim [-frac 0.5] [-horizon 20000] [-reps 10] [-seed 1]
 //	bladesim -policies      # also compare online dispatch policies
+//	bladesim -policies -batch 8   # ...dispatching in frozen-view batches of 8
 //	bladesim -chaos         # seeded failure injection: static vs adaptive dispatch
 //	bladesim -chaos -mtbf 1000 -mttr 300 -retries 3 -drop
 package main
@@ -32,6 +33,8 @@ func main() {
 	reps := flag.Int("reps", 10, "independent replications")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	policies := flag.Bool("policies", false, "also compare online dispatch policies (FCFS only)")
+	batch := flag.Int("batch", 0,
+		"with -policies, dispatch in frozen-view batches of this size (replays the daemon's batched hot path; 0 dispatches singly)")
 	chaos := flag.Bool("chaos", false, "inject seeded station failures and compare static vs failure-aware dispatch")
 	mtbf := flag.Float64("mtbf", 2000, "chaos: mean time between failures per station")
 	mttr := flag.Float64("mttr", 400, "chaos: mean time to repair per station")
@@ -49,7 +52,7 @@ func main() {
 	if *chaos {
 		err = runChaos(*frac, *horizon, *reps, *seed, *mtbf, *mttr, *retries, *drop)
 	} else {
-		err = run(*frac, *horizon, *reps, *seed, *policies)
+		err = run(*frac, *horizon, *reps, *seed, *policies, *batch)
 	}
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -60,7 +63,7 @@ func main() {
 	}
 }
 
-func run(frac, horizon float64, reps int, seed int64, policies bool) error {
+func run(frac, horizon float64, reps int, seed int64, policies bool, batch int) error {
 	if frac <= 0 || frac >= 1 {
 		return fmt.Errorf("-frac %g must be in (0, 1)", frac)
 	}
@@ -112,6 +115,15 @@ func run(frac, horizon float64, reps int, seed int64, policies bool) error {
 		return err
 	}
 	dispatchers := []sim.Dispatcher{prob, &dispatch.RoundRobin{}, jsq2, dispatch.JSQ{}, dispatch.LeastExpectedWait{}}
+	if batch > 1 {
+		// Replay the serving daemon's batched hot path: each dispatcher
+		// decides `batch` arrivals against one frozen state snapshot, so
+		// the simulated response times include the decision staleness the
+		// amortization buys its speed with.
+		for i, disp := range dispatchers {
+			dispatchers[i] = dispatch.NewBatched(disp, batch)
+		}
+	}
 	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "policy\tsimulated T′\t95% CI ±\tvs analytic optimum\t")
 	for _, disp := range dispatchers {

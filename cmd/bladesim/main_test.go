@@ -29,7 +29,7 @@ func TestValidationRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
 	}
-	out, err := capture(t, func() error { return run(0.5, 3000, 4, 1, false) })
+	out, err := capture(t, func() error { return run(0.5, 3000, 4, 1, false, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestPoliciesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
 	}
-	out, err := capture(t, func() error { return run(0.4, 2000, 3, 2, true) })
+	out, err := capture(t, func() error { return run(0.4, 2000, 3, 2, true, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +59,26 @@ func TestPoliciesRun(t *testing.T) {
 	}
 }
 
+func TestPoliciesBatchedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	out, err := capture(t, func() error { return run(0.4, 2000, 3, 2, true, 8) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"probabilistic/batch8", "join-shortest-queue/batch8", "least-expected-wait/batch8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing batched policy %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestBadFrac(t *testing.T) {
-	if _, err := capture(t, func() error { return run(0, 1000, 2, 1, false) }); err == nil {
+	if _, err := capture(t, func() error { return run(0, 1000, 2, 1, false, 0) }); err == nil {
 		t.Error("frac 0 should fail")
 	}
-	if _, err := capture(t, func() error { return run(1, 1000, 2, 1, false) }); err == nil {
+	if _, err := capture(t, func() error { return run(1, 1000, 2, 1, false, 0) }); err == nil {
 		t.Error("frac 1 should fail")
 	}
 }

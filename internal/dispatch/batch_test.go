@@ -1,0 +1,278 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPickBatchMatchesSequential pins the batch contract for the
+// probabilistic picker: PickBatch(us, dst) routes exactly the stations
+// len(us) sequential PickU calls would, on dense tables both small
+// (branch-free scan) and large (binary-search path), and on
+// boundary-exact variates (u equal to a cumulative weight must fall in
+// the NEXT interval, matching pickCumulative's strict compare).
+func TestPickBatchMatchesSequential(t *testing.T) {
+	cases := map[string][]float64{
+		"small-dense": {3, 1, 0, 2},
+		"large-dense": func() []float64 {
+			w := make([]float64, 48) // > 16: binary-search path
+			for i := range w {
+				w[i] = float64(i%7) + 0.25
+			}
+			return w
+		}(),
+	}
+	for name, weights := range cases {
+		t.Run(name, func(t *testing.T) {
+			p, err := NewProbabilistic(weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			us := make([]float64, 4*MaxPickBatch+5) // exercises >1 chunk worth
+			for i := range us {
+				us[i] = rng.Float64()
+			}
+			// Splice in the exact cumulative boundaries: these are the
+			// values where an off-by-one between the branch-free count and
+			// the strict compare would show.
+			copy(us, p.cum[:min(len(p.cum), len(us)/2)])
+			us[len(us)-1] = 0
+			dst := make([]int32, len(us))
+			p.PickBatch(us, dst)
+			for j, u := range us {
+				if want := p.PickU(u); int(dst[j]) != want {
+					t.Fatalf("u=%v: batch picked %d, sequential picked %d", u, dst[j], want)
+				}
+			}
+		})
+	}
+}
+
+// TestPickBatchSparseMatchesSequential pins the sparse variant: the
+// compact-table scan plus index remap must agree with PickU on the
+// sparse picker, and with the dense picker built from the expanded
+// weights.
+func TestPickBatchSparseMatchesSequential(t *testing.T) {
+	const n = 200
+	index := []int32{3, 17, 42, 99, 151, 199}
+	weights := []float64{2, 0, 5, 1, 0.5, 3}
+	sp, err := NewProbabilisticSparse(n, index, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := make([]float64, n)
+	for k, i := range index {
+		dense[i] = weights[k]
+	}
+	dp, err := NewProbabilistic(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	us := make([]float64, 300)
+	for i := range us {
+		us[i] = rng.Float64()
+	}
+	dst := make([]int32, len(us))
+	sp.PickBatch(us, dst)
+	for j, u := range us {
+		if want := sp.PickU(u); int(dst[j]) != want {
+			t.Fatalf("u=%v: sparse batch picked %d, sparse sequential picked %d", u, dst[j], want)
+		}
+		if want := dp.PickU(u); int(dst[j]) != want {
+			t.Fatalf("u=%v: sparse batch picked %d, dense sequential picked %d", u, dst[j], want)
+		}
+	}
+}
+
+// seqDepths wraps fakeDepths so the sequential oracle can mirror the
+// serving layer's per-pick depth increment between PickU calls.
+type seqDepths struct{ d []int64 }
+
+func (s *seqDepths) Depth(station int) int64 { return s.d[station] }
+
+// TestPowerOfDPickBatchMatchesSequential pins the JSQ(d) batch
+// contract: a single-threaded PickBatch routes exactly the stations k
+// sequential PickU calls would when each sequential pick increments the
+// chosen station's depth (the router-mode serving flow). This is the
+// snapshot-plus-overlay equivalence the depth-staleness bound rests on.
+func TestPowerOfDPickBatchMatchesSequential(t *testing.T) {
+	run := func(t *testing.T, n, batch int, index []int32, capac []float64, d int) {
+		t.Helper()
+		start := make([]int64, n)
+		for i := range start {
+			start[i] = int64(i % 5)
+		}
+		rng := rand.New(rand.NewSource(int64(7 + n + d)))
+		bits := make([]uint64, batch)
+		for i := range bits {
+			bits[i] = rng.Uint64()
+		}
+
+		batchDepths := &seqDepths{d: append([]int64(nil), start...)}
+		pb, err := NewPowerOfD(d, n, index, capac, batchDepths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]int32, len(bits))
+		pb.PickBatch(bits, dst)
+		// PickBatch never touches the reader's counters itself.
+		for i, v := range batchDepths.d {
+			if v != start[i] {
+				t.Fatalf("PickBatch mutated depth[%d]: %d -> %d", i, start[i], v)
+			}
+		}
+
+		seq := &seqDepths{d: append([]int64(nil), start...)}
+		ps, err := NewPowerOfD(d, n, index, capac, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, b := range bits {
+			want := ps.PickU(b)
+			if int(dst[j]) != want {
+				t.Fatalf("pick %d: batch %d, sequential %d", j, dst[j], want)
+			}
+			seq.d[want]++ // the serving layer's per-pick increment
+		}
+	}
+
+	// Batches far longer than the serving chunk: the direct-indexed
+	// overlay spans the whole call, so equivalence holds end to end.
+	t.Run("narrow-jsq2", func(t *testing.T) {
+		capac := []float64{1.5, 1.0, 2.5, 0.75, 1.0}
+		run(t, 5, 3*MaxPickBatch+7, nil, capac, 2)
+	})
+	t.Run("narrow-jsq4", func(t *testing.T) {
+		capac := []float64{1.5, 1.0, 2.5, 0.75, 1.0, 3.0, 0.5}
+		run(t, 7, 3*MaxPickBatch+7, nil, capac, 4)
+	})
+	t.Run("sparse-candidates", func(t *testing.T) {
+		index := []int32{2, 9, 33, 57, 90}
+		capac := []float64{1, 2, 0.5, 1.5, 1}
+		run(t, 100, 3*MaxPickBatch+7, index, capac, 2)
+	})
+	// The wide touched-list path guarantees sequential equivalence per
+	// MaxPickBatch pass (its documented overlay scope — the serving
+	// layer's chunk size).
+	t.Run("wide-touched-list", func(t *testing.T) {
+		n := batchSnapStations + 100 // forces the pickBatchWide path
+		capac := make([]float64, n)
+		for i := range capac {
+			capac[i] = 0.5 + float64(i%9)*0.25
+		}
+		run(t, n, MaxPickBatch, nil, capac, 3)
+	})
+	// Beyond one pass the wide path must still stay inside the candidate
+	// set (overlay resets, but never routes off-fleet).
+	t.Run("wide-long-batch", func(t *testing.T) {
+		n := batchSnapStations + 50
+		capac := make([]float64, n)
+		for i := range capac {
+			capac[i] = 1
+		}
+		p, err := NewPowerOfD(2, n, nil, capac, &seqDepths{d: make([]int64, n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		bits := make([]uint64, 2*MaxPickBatch+9)
+		dst := make([]int32, len(bits))
+		for i := range bits {
+			bits[i] = rng.Uint64()
+		}
+		p.PickBatch(bits, dst)
+		for j, st := range dst {
+			if st < 0 || int(st) >= n {
+				t.Fatalf("pick %d: station %d outside fleet [0, %d)", j, st, n)
+			}
+		}
+	})
+}
+
+// TestBatchedWrapperOverlay pins the sim wrapper: a state-aware inner
+// policy driven through Batched must see the batch's own picks via the
+// busy overlay (so a batch of k never dogpiles one station just because
+// the snapshot is frozen), and the frozen real views must not be
+// mutated.
+func TestBatchedWrapperOverlay(t *testing.T) {
+	const k = 8
+	b := NewBatched(JSQ{}, k)
+	views := []sim.StationView{
+		{Index: 0, Blades: 4, Speed: 1, Busy: 0, AvailableBlades: 4, Up: true},
+		{Index: 1, Blades: 4, Speed: 1, Busy: 0, AvailableBlades: 4, Up: true},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < k; i++ {
+		// JSQ over two equal stations must strictly alternate: without
+		// the overlay, every pick of the frozen snapshot would tie-break
+		// to station 0 and the batch would dogpile it.
+		if got, want := b.Pick(views, rng), i%2; got != want {
+			t.Fatalf("pick %d routed to %d, want %d (busy overlay not applied)", i, got, want)
+		}
+	}
+	if views[0].Busy != 0 || views[1].Busy != 0 {
+		t.Fatalf("wrapper mutated the real views: busy %d/%d", views[0].Busy, views[1].Busy)
+	}
+	p, err := NewPowerOfD(2, 2, nil, []float64{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := NewBatched(p, k).Name(), "jsq2/batch8"; got != want {
+		t.Fatalf("Name() = %q, want %q", got, want)
+	}
+}
+
+// TestBatchedWrapperBatchPicker covers the fast path: an inner
+// sim.BatchPicker routes the whole refill in one call, and the
+// probabilistic implementation is draw-for-draw identical to the
+// unwrapped dispatcher (state-oblivious picks cannot observe batching).
+func TestBatchedWrapperBatchPicker(t *testing.T) {
+	weights := []float64{3, 1, 2}
+	p1, err := NewProbabilistic(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewProbabilistic(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatched(p1, 4)
+	views := []sim.StationView{{Index: 0}, {Index: 1}, {Index: 2}}
+	ra, rb := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		if got, want := b.Pick(views, ra), p2.Pick(views, rb); got != want {
+			t.Fatalf("pick %d: batched %d, plain %d", i, got, want)
+		}
+	}
+}
+
+// TestBatchedFork pins replication isolation: forks share no queue (a
+// half-consumed batch must not leak into a sibling) and fork the inner
+// dispatcher when it is itself stateful.
+func TestBatchedFork(t *testing.T) {
+	b := NewBatched(&RoundRobin{}, 4)
+	views := []sim.StationView{{Index: 0}, {Index: 1}, {Index: 2}}
+	rng := rand.New(rand.NewSource(1))
+	b.Pick(views, rng) // half-consume a batch
+	f, ok := b.Fork().(*Batched)
+	if !ok {
+		t.Fatal("Fork did not return a *Batched")
+	}
+	if f.pos != 0 || len(f.queue) != 0 {
+		t.Fatalf("fork inherited queue state: pos=%d len=%d", f.pos, len(f.queue))
+	}
+	if f.inner == b.inner {
+		t.Fatal("fork shares the stateful inner dispatcher")
+	}
+	if got := f.Pick(views, rng); got != 0 {
+		t.Fatalf("forked round-robin starts at %d, want 0", got)
+	}
+	// k below 1 clamps rather than wedging refill in an empty loop.
+	if c := NewBatched(&RoundRobin{}, 0); c.k != 1 {
+		t.Fatalf("NewBatched clamped k to %d, want 1", c.k)
+	}
+}

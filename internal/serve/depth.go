@@ -50,6 +50,17 @@ func (d *depthSet) inc(station int) {
 	d.stations[station].n.Add(1)
 }
 
+// incN applies a batch's routed count to one station in a single add —
+// the batched dispatch path aggregates its picks per station before
+// touching the shared counters, so a chunk costs one add per distinct
+// chosen station instead of one per decision.
+func (d *depthSet) incN(station int, n int64) {
+	if n <= 0 || station < 0 || station >= len(d.stations) {
+		return
+	}
+	d.stations[station].n.Add(n)
+}
+
 // dec decrements with a zero clamp (CAS loop, lock-free): an unmatched
 // external report drops on the floor rather than driving the depth
 // negative.

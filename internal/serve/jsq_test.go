@@ -39,6 +39,39 @@ func TestRandWordSlicesDisjoint(t *testing.T) {
 		}
 	}
 
+	// Batch word streams (DecideBatch) draw one word per decision from a
+	// shard's SplitMix64 stream, so each word only needs the slices ONE
+	// policy consumes plus the latency gate. Static pick (bits 0–52) and
+	// the JSQ samples (bits 12–43) deliberately overlap ACROSS policies —
+	// they are alternative consumers of the same word — so disjointness
+	// is checked per policy, not jointly.
+	batchSlices := map[string]map[string]uint64{
+		"static": {
+			"batch-pick":   (1<<randBatchPickBits - 1),
+			"latency-gate": (1<<randLatGateBits - 1) << randLatGateShift,
+		},
+		"jsq": {
+			"jsq-samples":  (1<<32 - 1) << randSampleShift,
+			"latency-gate": (1<<randLatGateBits - 1) << randLatGateShift,
+		},
+	}
+	for policy, ps := range batchSlices {
+		pnames := make([]string, 0, len(ps))
+		for name := range ps {
+			pnames = append(pnames, name)
+		}
+		for i, a := range pnames {
+			if ps[a] == 0 {
+				t.Errorf("%s batch slice %s is empty", policy, a)
+			}
+			for _, b := range pnames[i+1:] {
+				if overlap := ps[a] & ps[b]; overlap != 0 {
+					t.Errorf("%s batch slices %s and %s overlap: %#x", policy, a, b, overlap)
+				}
+			}
+		}
+	}
+
 	// The latency gate's width must match the sampling stride the
 	// metrics layer advertises, or the 1-in-stride math silently skews.
 	if 1<<randLatGateBits != p2SampleStride {

@@ -131,6 +131,41 @@ func (m *shardedMetrics) countDispatch(station int) {
 	}
 }
 
+// countDispatchN bumps the total dispatch counter by a whole batch in
+// one add; the per-station counts follow via countStationN so a batch
+// costs one add per distinct station, not one per decision.
+func (m *shardedMetrics) countDispatchN(n int64) {
+	m.dispatchTotal.Add(n)
+}
+
+// countStationN adds a batch's per-station routed count.
+func (m *shardedMetrics) countStationN(station int, n int64) {
+	if station >= 0 && station < len(m.byStation) {
+		m.byStation[station].Add(n)
+	}
+}
+
+// observeLatencyN feeds the same measured latency n times into one
+// shard's accumulators under a single lock acquisition — the batched
+// path's latency sink. The batch passes its gate-hit count: each
+// decision kept its own 1-in-p2SampleStride gate draw (so the sampled
+// fraction stays exactly Binomial(k, 1/stride)), but the hits share the
+// batch's one end-of-chunk clock read, which is the whole point of
+// batching the gate.
+//
+//bladelint:allow lock -- per-shard mutex on the sampled latency branch, amortized to one acquisition per batch; P² quantile state has no lock-free form
+func (m *shardedMetrics) observeLatencyN(seconds float64, n int, u uint64) {
+	sh := &m.shards[u&m.mask]
+	sh.mu.Lock()
+	for i := 0; i < n; i++ {
+		sh.latency.Add(seconds)
+		sh.q50.Add(seconds)
+		sh.q95.Add(seconds)
+		sh.q99.Add(seconds)
+	}
+	sh.mu.Unlock()
+}
+
 // observeLatency feeds one measured latency into a shard's accumulators;
 // u supplies the shard pick so the hot path can reuse its per-request
 // random word.

@@ -31,6 +31,38 @@ import "runtime"
 //
 // JSQ(d) with d > 2 would need 16 more bits than u has spare, so those
 // configurations draw a dedicated word for the samples (jsqBits).
+//
+// # Batch word streams (DecideBatch)
+//
+// The batched hot path draws ONE per-batch word u0 from the per-thread
+// generator and then one per-decision word w_j per batch slot from a
+// single SplitMix64 shard (shardedRNG.fillU: the shard u0's RNG-shard
+// slice selects advances by k·gamma in one atomic add, and the k
+// reserved lattice points mix into k independent words — NOT k slices
+// of one word, so each decision gets a full-entropy word). u0's slices
+// are consumed once per batch (estimator shard, RNG shard, redirect
+// redraws); each w_j carries the per-decision slices:
+//
+//	bits  0–52  static pick variate             (w & (1<<randBatchPickBits − 1), d ≤ 2 unused)
+//	bits 12–43  JSQ(d) station samples, d ≤ 2   (w >> randSampleShift, static pick unused)
+//	bits 56–58  latency-sample gate             (w >> randLatGateShift & stride−1)
+//
+// The static pick and the JSQ samples overlap by design: they are
+// alternative consumers (a plan routes by exactly one policy), so each
+// policy's live slices stay pairwise disjoint — the invariant
+// TestRandWordSlicesDisjoint pins per policy. JSQ(d) with d > 2 draws
+// a second stream word per decision and consumes it whole, exactly as
+// the single-shot path draws a dedicated jsqBits word. The trial-coin
+// slice has no batch counterpart: a posted trial routes the whole
+// batch through the per-decision exact path, which consumes the
+// single-shot layout above.
+const (
+	// randBatchPickBits is the width of the batch static-pick variate:
+	// 53 bits matches the [0, 1) lattice rand.Float64 draws from and
+	// leaves the latency gate's slice (bits 56–58) untouched.
+	randBatchPickBits = 53
+)
+
 const (
 	randEstShardBits = 6 // estimator shard count is capped at 1<<this
 

@@ -105,6 +105,22 @@ func (r *shardedRNG) uint64U(u uint64) uint64 {
 	return splitmix64(sh.state.Add(splitmixGamma))
 }
 
+// fillU draws len(dst) random words from the single shard the low bits
+// of u select, paying ONE atomic add for the whole batch: the add
+// reserves a len(dst)-step span of the shard's Weyl sequence and each
+// reserved lattice point mixes into its own full-entropy output word.
+// Concurrent batches (and interleaved single draws) on the same shard
+// reserve disjoint spans, so no word is ever handed out twice.
+func (r *shardedRNG) fillU(u uint64, dst []uint64) {
+	sh := &r.shards[u&r.mask]
+	stride := splitmixGamma * uint64(len(dst))
+	base := sh.state.Add(stride) - stride
+	for i := range dst {
+		base += splitmixGamma
+		dst[i] = splitmix64(base)
+	}
+}
+
 // splitmix64 is the output mix of Steele, Lea & Flood's SplitMix64.
 func splitmix64(z uint64) uint64 {
 	z ^= z >> 30

@@ -93,6 +93,16 @@ type Config struct {
 	// (dispatch.MinSampleD–MaxSampleD). Default 2 — JSQ(2), the
 	// power-of-two choices policy. Ignored under PolicyStatic.
 	SampleD int
+	// BatchMax, when > 1, enables the request coalescer: concurrent
+	// single-shot dispatches are grouped into DecideBatch calls of up
+	// to this size, amortizing the per-request hot-path overhead. A
+	// request with no concurrent peers always takes the single-shot
+	// path immediately (no added latency at low QPS). Router mode only:
+	// incompatible with Backend.
+	BatchMax int
+	// BatchLinger bounds how long a coalescing leader waits for peers
+	// to join its batch. Default 100µs. Ignored unless BatchMax > 1.
+	BatchLinger time.Duration
 	// Backend, when set, makes Server.Dispatch (and POST /v1/dispatch)
 	// execute each admitted request against its routed station through
 	// the guard wrapper instead of only returning a routing decision.
@@ -164,6 +174,9 @@ func (c *Config) withDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.BatchMax > 1 && c.BatchLinger <= 0 {
+		c.BatchLinger = 100 * time.Microsecond
+	}
 	c.Guard.withDefaults()
 	c.Breaker.withDefaults()
 }
@@ -200,8 +213,11 @@ type Server struct {
 	breakers *breakerSet
 	guard    guardState
 	backend  Backend
-	scanMu   sync.Mutex // serializes healthScan passes; guards scanVol
-	scanVol  []int64    // outcome volume anchor per station (since last transition)
+	// coal groups concurrent single-shot dispatches into DecideBatch
+	// calls (nil unless Config.BatchMax > 1; router mode only).
+	coal    *coalescer
+	scanMu  sync.Mutex // serializes healthScan passes; guards scanVol
+	scanVol []int64    // outcome volume anchor per station (since last transition)
 
 	mu          sync.Mutex // guards up, lastResolve
 	up          []bool
@@ -245,6 +261,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: SampleD %d outside [%d, %d]",
 			cfg.SampleD, dispatch.MinSampleD, dispatch.MaxSampleD)
 	}
+	if cfg.BatchMax < 0 {
+		return nil, fmt.Errorf("serve: BatchMax %d must be non-negative", cfg.BatchMax)
+	}
+	if cfg.BatchMax > 1 && cfg.Backend != nil {
+		// The coalescer batches ROUTING; a Backend makes each dispatch an
+		// executed request whose latency budget is its own, so batching
+		// would couple unrelated requests' deadlines.
+		return nil, fmt.Errorf("serve: BatchMax requires router mode (no Backend)")
+	}
+	if cfg.BatchMax > maxBatchRequest {
+		return nil, fmt.Errorf("serve: BatchMax %d exceeds limit %d", cfg.BatchMax, maxBatchRequest)
+	}
 	s := &Server{
 		cfg:       cfg,
 		group:     cfg.Group.Clone(),
@@ -263,6 +291,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Policy == PolicyJSQ {
 		s.depths = newDepthSet(cfg.Group.N())
 		s.jsqD = cfg.SampleD
+	}
+	if cfg.BatchMax > 1 {
+		s.coal = &coalescer{s: s, max: cfg.BatchMax, linger: cfg.BatchLinger}
 	}
 	if cfg.SerializedHotPath {
 		s.est = NewLockedRateEstimator(cfg.Window, cfg.Buckets, cfg.Now)
@@ -322,6 +353,9 @@ func (s *Server) Estimate() (rate float64, warm bool) {
 //
 //	POST /v1/dispatch   → routing decision from the live plan (and
 //	                      guarded execution when a Backend is set)
+//	POST /v1/dispatch/batch
+//	                    → {"count": N} routing decisions in one batched
+//	                      hot-path pass (router mode)
 //	GET  /v1/plan       → live plan
 //	POST /v1/plan       → synchronous re-solve (optional {"lambda": x})
 //	GET  /v1/health     → effective availability, per-station breaker
@@ -345,6 +379,7 @@ func (s *Server) Estimate() (rate float64, warm bool) {
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.HandleFunc("POST /v1/dispatch", s.handleDispatch)
+	api.HandleFunc("POST /v1/dispatch/batch", s.handleDispatchBatch)
 	api.HandleFunc("GET /v1/plan", s.handleGetPlan)
 	api.HandleFunc("POST /v1/plan", s.handlePostPlan)
 	api.HandleFunc("GET /v1/health", s.handleGetHealth)

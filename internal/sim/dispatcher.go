@@ -37,6 +37,20 @@ type Dispatcher interface {
 	Pick(views []StationView, rng *rand.Rand) int
 }
 
+// BatchPicker is implemented by dispatchers that can route a whole
+// batch of arrivals from one view snapshot — the simulator-side
+// counterpart of the serving layer's DecideBatch. PickN fills dst with
+// one station per pending arrival, all chosen against the supplied
+// views; a state-aware implementation must account for its own in-batch
+// picks (e.g. a local busy overlay) so the batch routes as k sequential
+// Picks against self-updating state would. The batching wrapper
+// (dispatch.Batched) prefers this interface and otherwise falls back to
+// driving Pick over a frozen snapshot.
+type BatchPicker interface {
+	Dispatcher
+	PickN(views []StationView, rng *rand.Rand, dst []int)
+}
+
 // Forker is implemented by stateful dispatchers (cycling counters,
 // reusable buffers, adaptive weights). Fork returns an independent
 // dispatcher in its initial state so that parallel replications neither
