@@ -13,11 +13,19 @@
 //
 //	path/file.go:12:9: message [check]
 //
-// and are suppressed only by an in-source
+// (or, with -json, as a JSON array of {file, line, col, check,
+// severity, message, chain} objects for editor and CI integration) and
+// are suppressed only by an in-source
 // //bladelint:allow <check> -- justification directive.
+//
+// Warnings — findings with severity "warning", emitted when a check
+// could not run to a verdict (e.g. allocfree without compiler output) —
+// are printed but do not fail the run: the exit status is 1 only when
+// at least one error-severity finding remains.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +33,23 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonDiagnostic is the machine-readable finding shape. Chain carries
+// the hot-path call chain for reachability-based checks (hotpathlock,
+// allocfree), empty otherwise.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+	Chain    string `json:"chain,omitempty"`
+}
+
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	flag.Parse()
 
 	if *list {
@@ -57,11 +79,42 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			severity := "error"
+			if d.Warning {
+				severity = "warning"
+			}
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Check:    d.Check,
+				Severity: severity,
+				Message:  d.Message,
+				Chain:    d.Chain,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "bladelint: %d finding(s)\n", len(diags))
+	failures := 0
+	for _, d := range diags {
+		if !d.Warning {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bladelint: %d finding(s)\n", failures)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the shared interprocedural engine. Before it existed,
+// every whole-program analyzer re-derived the same three structures per
+// package pass — a global function-declaration index, canonical
+// function identity across export-data/source type-check boundaries,
+// and a cross-package reachability BFS with interface expansion —
+// which made each new interprocedural check a copy of hotpathlock's
+// plumbing and cost O(packages²) rebuild work per run. A Program is
+// built once per Run over the loaded package set and handed to every
+// pass; analyzers query it for declarations, call edges, reachability
+// chains, and memoized per-analyzer summaries.
+
+// FuncNode is one function declaration in the program-wide index: the
+// package that owns it (whose Info resolves its body), the AST, the
+// type object, and its canonical key.
+type FuncNode struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Fn   *types.Func
+	Key  string
+}
+
+// Program is the once-per-run view of the loaded package set.
+type Program struct {
+	pkgs []*Package
+
+	nodes    map[string]*FuncNode     // funcKey → declaration
+	pkgFuncs map[*Package][]*FuncNode // declaration order per package
+	fileOf   map[string]*Package      // filename → owning package
+
+	implMemo map[string][]*types.Func // interface-method key → implementations
+	hot      map[string]string        // funcKey → root chain (lazy)
+
+	caches map[string]any // per-analyzer memoized summaries
+}
+
+// newProgram indexes every non-test function declaration across the
+// loaded package set. Keys are canonical strings, not *types.Func: the
+// callee object a caller resolves for a cross-package call comes from
+// export data and is never pointer-identical to the object the
+// defining package's own type-check produced.
+func newProgram(pkgs []*Package) *Program {
+	p := &Program{
+		pkgs:     pkgs,
+		nodes:    map[string]*FuncNode{},
+		pkgFuncs: map[*Package][]*FuncNode{},
+		fileOf:   map[string]*Package{},
+		implMemo: map[string][]*types.Func{},
+		caches:   map[string]any{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			p.fileOf[pkg.Fset.Position(f.Package).Filename] = pkg
+			if isTestFileOf(pkg, f) {
+				continue
+			}
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						n := &FuncNode{Pkg: pkg, Decl: fd, Fn: fn, Key: funcKey(fn)}
+						p.nodes[n.Key] = n
+						p.pkgFuncs[pkg] = append(p.pkgFuncs[pkg], n)
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Packages returns the loaded package set.
+func (p *Program) Packages() []*Package { return p.pkgs }
+
+// Node returns the declaration indexed under key, or nil when the
+// function is defined outside the loaded set (stdlib, vendored).
+func (p *Program) Node(key string) *FuncNode { return p.nodes[key] }
+
+// NodeFor resolves a function object to its declaration, or nil.
+func (p *Program) NodeFor(fn *types.Func) *FuncNode { return p.nodes[funcKey(fn)] }
+
+// FuncsOf returns pkg's function declarations in source order.
+func (p *Program) FuncsOf(pkg *Package) []*FuncNode { return p.pkgFuncs[pkg] }
+
+// PackageOfFile returns the loaded package owning filename, or nil.
+func (p *Program) PackageOfFile(filename string) *Package { return p.fileOf[filename] }
+
+// EnclosingFunc returns the indexed function of pkg whose declaration
+// spans the given line of the named file (a base name, the form
+// external diagnostics use), or nil. Used to map compiler
+// escape-analysis output back onto the call graph.
+func (p *Program) EnclosingFunc(pkg *Package, file string, line int) *FuncNode {
+	for _, n := range p.pkgFuncs[pkg] {
+		start := pkg.Fset.Position(n.Decl.Pos())
+		if filepath.Base(start.Filename) != file {
+			continue
+		}
+		end := pkg.Fset.Position(n.Decl.End())
+		if start.Line <= line && line <= end.Line {
+			return n
+		}
+	}
+	return nil
+}
+
+// Cache memoizes an expensive per-run structure (an analyzer's
+// function-summary table, the escape-diagnostic parse) under a unique
+// key, so the per-package passes of one analyzer share it instead of
+// rebuilding it O(packages) times.
+func (p *Program) Cache(key string, build func() any) any {
+	if v, ok := p.caches[key]; ok {
+		return v
+	}
+	v := build()
+	p.caches[key] = v
+	return v
+}
+
+// calleeFunc resolves the function or method a call expression invokes
+// statically against pkg's type info, or nil for calls through
+// function values and builtins.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				if f, ok := sel.Obj().(*types.Func); ok {
+					return f
+				}
+			}
+			return nil // calling a func-typed field: not statically resolvable
+		}
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}
+
+// Callees returns the functions n's body calls, with interface method
+// calls expanded to every implementation the loaded set provides: a
+// mutexed DepthReader in one package poisoning a hot pick in another
+// is found even though the caller only sees the interface.
+func (p *Program) Callees(n *FuncNode) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(n.Pkg, call)
+		if fn == nil {
+			return true // builtin, conversion, or func-valued field: no edge
+		}
+		if isInterfaceMethod(fn) {
+			out = append(out, p.implementations(fn)...)
+		} else {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// implementations returns the concrete methods that could be the
+// dynamic target of a call to interface method m: every type in the
+// loaded package set — not just the calling package — that implements
+// m's interface. types.Implements is structural, so an interface
+// declared in one package matches implementations from any other.
+func (p *Program) implementations(m *types.Func) []*types.Func {
+	key := funcKey(m)
+	if out, ok := p.implMemo[key]; ok {
+		return out
+	}
+	var out []*types.Func
+	iface, ok := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if ok {
+		for _, pkg := range p.pkgs {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				T := tn.Type()
+				if types.IsInterface(T) {
+					continue
+				}
+				var impl types.Type
+				switch {
+				case types.Implements(T, iface):
+					impl = T
+				case types.Implements(types.NewPointer(T), iface):
+					impl = types.NewPointer(T)
+				default:
+					continue
+				}
+				// Look up from the defining package so unexported methods
+				// (promoted into an exported interface via embedding) resolve.
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, pkg.Types, m.Name())
+				if fn, ok := obj.(*types.Func); ok {
+					out = append(out, fn)
+				}
+			}
+		}
+	}
+	p.implMemo[key] = out
+	return out
+}
+
+// Reachable runs the whole-program BFS from the given roots and
+// returns funcKey → call chain ("Root → helper → leaf") for every
+// function the roots reach through the loaded set. The chain records
+// WHY each function is reachable, for diagnostics.
+func (p *Program) Reachable(roots []*FuncNode) map[string]string {
+	chain := map[string]string{}
+	var queue []string
+	enqueue := func(fn *types.Func, path string) {
+		key := funcKey(fn)
+		if _, seen := chain[key]; seen {
+			return
+		}
+		chain[key] = path
+		queue = append(queue, key)
+	}
+	for _, r := range roots {
+		enqueue(r.Fn, funcDisplayName(r.Fn))
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		n, ok := p.nodes[key]
+		if !ok {
+			continue // defined outside the loaded set (stdlib or vendored): no source to follow
+		}
+		for _, callee := range p.Callees(n) {
+			enqueue(callee, chain[key]+" → "+funcDisplayName(callee))
+		}
+	}
+	return chain
+}
+
+// HotRoots returns the serving hot-path entry points across the loaded
+// set: serve.Decide and DecideBatch, the Probabilistic and PowerOfD
+// pick methods, and every function whose doc comment carries
+// //bladelint:hotpath.
+func (p *Program) HotRoots() []*FuncNode {
+	var roots []*FuncNode
+	for _, pkg := range p.pkgs {
+		for _, n := range p.pkgFuncs[pkg] {
+			if isHotRoot(pkg, n.Decl) {
+				roots = append(roots, n)
+			}
+		}
+	}
+	return roots
+}
+
+// HotReachable returns funcKey → chain for every function reachable
+// from the hot roots, memoized for the run: hotpathlock's forbidden-
+// operation scan and allocfree's escape-site mapping consult the same
+// reachability, computed once.
+func (p *Program) HotReachable() map[string]string {
+	if p.hot == nil {
+		p.hot = p.Reachable(p.HotRoots())
+	}
+	return p.hot
+}
+
+// funcKey canonicalizes a function or method object to a string stable
+// across type-check runs: "pkgpath.Recv.Name" for methods,
+// "pkgpath.Name" for functions. Pointer identity is useless here — the
+// *types.Func a caller sees through export data differs from the one
+// the defining package's source check produced.
+func funcKey(fn *types.Func) string {
+	key := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			key = named.Obj().Name() + "." + key
+		} else {
+			key = t.String() + "." + key
+		}
+	}
+	if fn.Pkg() != nil {
+		key = fn.Pkg().Path() + "." + key
+	}
+	return key
+}
+
+// isTestFileOf reports whether f is a _test.go file of pkg.
+func isTestFileOf(pkg *Package, f *ast.File) bool {
+	return strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// isHotRoot reports whether fd is a reachability root: the serving
+// admission entry points, a Probabilistic or PowerOfD pick method, or
+// an explicitly marked //bladelint:hotpath function.
+func isHotRoot(pkg *Package, fd *ast.FuncDecl) bool {
+	if pkg.directives.hotpathRoots[fd] {
+		return true
+	}
+	switch {
+	case strings.HasSuffix(pkg.PkgPath, "internal/serve"):
+		return fd.Name.Name == "Decide" || fd.Name.Name == "DecideBatch"
+	case strings.HasSuffix(pkg.PkgPath, "internal/dispatch"):
+		recv := receiverTypeName(fd)
+		return (recv == "Probabilistic" || recv == "PowerOfD") && hotPickNames[fd.Name.Name]
+	}
+	return false
+}
+
+// hotPickNames are the dispatcher methods that run per request or per
+// batch.
+var hotPickNames = map[string]bool{"Pick": true, "PickU": true, "PickSource": true, "PickBatch": true, "PickBatchSparse": true}
+
+// receiverTypeName returns the name of fd's receiver base type, or "".
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// funcDisplayName renders fn for call-chain diagnostics, with the
+// receiver type for methods.
+func funcDisplayName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // HotPathLock enforces the PR 4 lock-free serving contract: functions
@@ -16,19 +15,17 @@ import (
 // admission path, and any one of them reintroduces either contention or
 // a GC term into the tail latency the load harness pins.
 //
-// Reachability is computed over the whole loaded package set: the roots
-// are serve.Decide, the Probabilistic and PowerOfD pick methods, and
-// any function whose doc comment carries //bladelint:hotpath — in ANY
-// loaded package. Cross-package calls are followed into the callee's
-// source, and calls through interfaces are expanded to every
-// implementation the loaded set provides, so a mutexed DepthReader in
-// one package poisoning a hot pick in another is caught even though the
-// caller only sees the interface. (An earlier version expanded
-// interface calls to package-local implementations only, which silently
-// exempted exactly the cross-package implementations the serving stack
-// is built from.) Each finding is reported in the pass for the package
-// that defines the offending function, so //bladelint:allow directives
-// keep their local scope: the serialized baselines (estimator_locked.go,
+// Reachability comes from the shared interprocedural engine
+// (callgraph.go): the roots are serve.Decide and DecideBatch, the
+// Probabilistic and PowerOfD pick methods, and any function whose doc
+// comment carries //bladelint:hotpath — in ANY loaded package.
+// Cross-package calls are followed into the callee's source, and calls
+// through interfaces are expanded to every implementation the loaded
+// set provides, so a mutexed DepthReader in one package poisoning a
+// hot pick in another is caught even though the caller only sees the
+// interface. Each finding is reported in the pass for the package that
+// defines the offending function, so //bladelint:allow directives keep
+// their local scope: the serialized baselines (estimator_locked.go,
 // lockedRand, lockedMetrics) stay annotated with their justifications.
 var HotPathLock = &Analyzer{
 	Name:      "hotpathlock",
@@ -37,237 +34,23 @@ var HotPathLock = &Analyzer{
 	Run:       runHotPathLock,
 }
 
-// hotPickNames are the dispatcher methods that run per request.
-var hotPickNames = map[string]bool{"Pick": true, "PickU": true, "PickSource": true}
-
-// hotDecl is one function declaration in the global index: the package
-// that owns it (whose Info resolves its body) and the AST.
-type hotDecl struct {
-	pkg *Package
-	fd  *ast.FuncDecl
-	fn  *types.Func
-}
-
 func runHotPathLock(pass *Pass) {
-	// Index every non-test function declaration across the loaded
-	// package set. Keys are canonical strings, not *types.Func: the
-	// callee object a caller resolves for a cross-package call comes
-	// from export data and is never pointer-identical to the object the
-	// defining package's own type-check produced.
-	decls := map[string]hotDecl{}
-	for _, pkg := range pass.AllPkgs() {
-		for _, f := range pkg.Files {
-			if isTestFileOf(pkg, f) {
-				continue
-			}
-			for _, d := range f.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-						decls[funcKey(fn)] = hotDecl{pkg, fd, fn}
-					}
-				}
-			}
-		}
-	}
-
-	// BFS over calls from the roots — every root in every loaded
-	// package, so a hot entry point in one package taints the helpers it
-	// reaches in all the others. The chain records *why* each function
-	// is hot for the diagnostics.
-	chain := map[string]string{}
-	var queue []string
-	enqueue := func(fn *types.Func, path string) {
-		key := funcKey(fn)
-		if _, seen := chain[key]; seen {
-			return
-		}
-		chain[key] = path
-		queue = append(queue, key)
-	}
-	for _, d := range decls {
-		if isHotRoot(d.pkg, d.fd) {
-			enqueue(d.fn, funcDisplayName(d.fn))
-		}
-	}
-	for len(queue) > 0 {
-		key := queue[0]
-		queue = queue[1:]
-		d, ok := decls[key]
-		if !ok {
-			continue // defined outside the loaded set (stdlib or vendored): no source to follow
-		}
-		for _, callee := range hotCallees(pass.forPkg(d.pkg), d.fd) {
-			enqueue(callee, chain[key]+" → "+funcDisplayName(callee))
-		}
-	}
-
-	// Report findings only for functions this pass's package defines:
-	// the other packages get their own passes, with their own allow
+	// The engine's memoized whole-program reachability: computed once
+	// per run, shared with allocfree's escape-site mapping. Findings are
+	// reported only for functions this pass's package defines — the
+	// other packages get their own passes, with their own allow
 	// directives in scope.
-	for key, path := range chain {
-		if d, ok := decls[key]; ok && d.pkg == pass.Pkg {
-			checkHotPathBody(pass, d.fd, path)
+	for key, path := range pass.Prog.HotReachable() {
+		if n := pass.Prog.Node(key); n != nil && n.Pkg == pass.Pkg {
+			checkHotPathBody(pass, n.Decl, path)
 		}
 	}
-}
-
-// funcKey canonicalizes a function or method object to a string stable
-// across type-check runs: "pkgpath.Recv.Name" for methods,
-// "pkgpath.Name" for functions. Pointer identity is useless here — the
-// *types.Func a caller sees through export data differs from the one
-// the defining package's source check produced.
-func funcKey(fn *types.Func) string {
-	key := fn.Name()
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		t := sig.Recv().Type()
-		if p, ok := t.(*types.Pointer); ok {
-			t = p.Elem()
-		}
-		if named, ok := t.(*types.Named); ok {
-			key = named.Obj().Name() + "." + key
-		} else {
-			key = t.String() + "." + key
-		}
-	}
-	if fn.Pkg() != nil {
-		key = fn.Pkg().Path() + "." + key
-	}
-	return key
-}
-
-// isTestFileOf reports whether f is a _test.go file of pkg.
-func isTestFileOf(pkg *Package, f *ast.File) bool {
-	return strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go")
-}
-
-// isHotRoot reports whether fd is a reachability root: the serving
-// admission entry point, a Probabilistic or PowerOfD pick method, or an
-// explicitly marked //bladelint:hotpath function.
-func isHotRoot(pkg *Package, fd *ast.FuncDecl) bool {
-	if pkg.directives.hotpathRoots[fd] {
-		return true
-	}
-	switch {
-	case strings.HasSuffix(pkg.PkgPath, "internal/serve"):
-		return fd.Name.Name == "Decide"
-	case strings.HasSuffix(pkg.PkgPath, "internal/dispatch"):
-		recv := receiverTypeName(fd)
-		return (recv == "Probabilistic" || recv == "PowerOfD") && hotPickNames[fd.Name.Name]
-	}
-	return false
-}
-
-// receiverTypeName returns the name of fd's receiver base type, or "".
-func receiverTypeName(fd *ast.FuncDecl) string {
-	if fd.Recv == nil || len(fd.Recv.List) == 0 {
-		return ""
-	}
-	t := fd.Recv.List[0].Type
-	for {
-		switch e := t.(type) {
-		case *ast.StarExpr:
-			t = e.X
-		case *ast.IndexExpr:
-			t = e.X
-		case *ast.Ident:
-			return e.Name
-		default:
-			return ""
-		}
-	}
-}
-
-// funcDisplayName renders fn for call-chain diagnostics, with the
-// receiver type for methods.
-func funcDisplayName(fn *types.Func) string {
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		t := sig.Recv().Type()
-		if p, ok := t.(*types.Pointer); ok {
-			t = p.Elem()
-		}
-		if named, ok := t.(*types.Named); ok {
-			return named.Obj().Name() + "." + fn.Name()
-		}
-	}
-	return fn.Name()
-}
-
-// hotCallees returns the functions fd calls that belong on the hot
-// path: statically resolved callees, with interface method calls
-// expanded to every package-local implementation.
-func hotCallees(pass *Pass, fd *ast.FuncDecl) []*types.Func {
-	var out []*types.Func
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := pass.CalleeFunc(call)
-		if fn == nil {
-			return true // builtin, conversion, or func-valued field: no edge
-		}
-		if isInterfaceMethod(fn) {
-			out = append(out, implementations(pass, fn)...)
-		} else {
-			out = append(out, fn)
-		}
-		return true
-	})
-	return out
-}
-
-// isInterfaceMethod reports whether fn is declared on an interface.
-func isInterfaceMethod(fn *types.Func) bool {
-	sig, ok := fn.Type().(*types.Signature)
-	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
-}
-
-// implementations returns the concrete methods that could be the
-// dynamic target of a call to interface method m: every type in the
-// loaded package set — not just the calling package — that implements
-// m's interface. types.Implements is structural, so an interface
-// declared in one package matches implementations from any other.
-func implementations(pass *Pass, m *types.Func) []*types.Func {
-	iface, ok := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
-	if !ok {
-		return nil
-	}
-	var out []*types.Func
-	for _, pkg := range pass.AllPkgs() {
-		scope := pkg.Types.Scope()
-		for _, name := range scope.Names() {
-			tn, ok := scope.Lookup(name).(*types.TypeName)
-			if !ok || tn.IsAlias() {
-				continue
-			}
-			T := tn.Type()
-			if types.IsInterface(T) {
-				continue
-			}
-			var impl types.Type
-			switch {
-			case types.Implements(T, iface):
-				impl = T
-			case types.Implements(types.NewPointer(T), iface):
-				impl = types.NewPointer(T)
-			default:
-				continue
-			}
-			// Look up from the defining package so unexported methods
-			// (promoted into an exported interface via embedding) resolve.
-			obj, _, _ := types.LookupFieldOrMethod(impl, true, pkg.Types, m.Name())
-			if fn, ok := obj.(*types.Func); ok {
-				out = append(out, fn)
-			}
-		}
-	}
-	return out
 }
 
 // checkHotPathBody flags every forbidden operation in one hot function.
 func checkHotPathBody(pass *Pass, fd *ast.FuncDecl, path string) {
 	report := func(pos token.Pos, what string) {
-		pass.Reportf(pos, "%s on the serving hot path (%s); restructure, or annotate //bladelint:allow lock with the justification", what, path)
+		pass.reportChain(pos, path, "%s on the serving hot path (%s); restructure, or annotate //bladelint:allow lock with the justification", what, path)
 	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {

@@ -40,58 +40,79 @@ func runKahanCheck(pass *Pass) {
 	if !kahanCheckPackages[pass.PkgName()] {
 		return
 	}
+	// Function declarations come from the engine's per-package index
+	// (test files are already excluded there); package-level var
+	// initializers are walked separately so a func literal bound at
+	// package scope keeps its pre-engine coverage.
+	for _, n := range pass.Prog.FuncsOf(pass.Pkg) {
+		checkKahanBody(pass, n.Decl.Body)
+	}
 	for _, f := range pass.Files() {
 		if pass.IsTestFile(f) {
 			continue
 		}
-		// Collect every loop body; the innermost body containing an
-		// accumulation decides whether the accumulator is loop-carried.
-		var bodies []*ast.BlockStmt
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch l := n.(type) {
-			case *ast.ForStmt:
-				bodies = append(bodies, l.Body)
-			case *ast.RangeStmt:
-				bodies = append(bodies, l.Body)
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok {
+				checkKahanBody(pass, gd)
 			}
-			return true
-		})
-		innermost := func(pos token.Pos) *ast.BlockStmt {
-			var best *ast.BlockStmt
-			for _, b := range bodies {
-				if b.Pos() <= pos && pos < b.End() {
-					if best == nil || b.Pos() > best.Pos() {
-						best = b
-					}
+		}
+	}
+}
+
+// checkKahanBody flags loop-carried float accumulations under one AST
+// subtree (a function body, or a package-level declaration holding
+// func literals).
+func checkKahanBody(pass *Pass, root ast.Node) {
+	// Collect every loop body; the innermost body containing an
+	// accumulation decides whether the accumulator is loop-carried.
+	var bodies []*ast.BlockStmt
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			bodies = append(bodies, l.Body)
+		case *ast.RangeStmt:
+			bodies = append(bodies, l.Body)
+		}
+		return true
+	})
+	if len(bodies) == 0 {
+		return
+	}
+	innermost := func(pos token.Pos) *ast.BlockStmt {
+		var best *ast.BlockStmt
+		for _, b := range bodies {
+			if b.Pos() <= pos && pos < b.End() {
+				if best == nil || b.Pos() > best.Pos() {
+					best = b
 				}
 			}
-			return best
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			assign, ok := n.(*ast.AssignStmt)
-			if !ok {
-				return true
-			}
-			id := accumulatorIdent(pass, assign)
-			if id == nil || !isFloat(pass.TypeOf(id)) {
-				return true
-			}
-			obj := pass.ObjectOf(id)
-			if obj == nil {
-				return true
-			}
-			body := innermost(assign.Pos())
-			if body == nil {
-				return true // not inside a loop
-			}
-			if obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
-				return true // declared in the same iteration: not loop-carried
-			}
-			pass.Reportf(assign.TokPos,
-				"loop-carried float accumulation into %s: use numeric.KahanSum or annotate //bladelint:allow kahancheck", id.Name)
-			return true
-		})
+		return best
 	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		id := accumulatorIdent(pass, assign)
+		if id == nil || !isFloat(pass.TypeOf(id)) {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		body := innermost(assign.Pos())
+		if body == nil {
+			return true // not inside a loop
+		}
+		if obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+			return true // declared in the same iteration: not loop-carried
+		}
+		pass.Reportf(assign.TokPos,
+			"loop-carried float accumulation into %s: use numeric.KahanSum or annotate //bladelint:allow kahancheck", id.Name)
+		return true
+	})
 }
 
 // accumulatorIdent returns the identifier a self-accumulating

@@ -27,14 +27,25 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Diagnostic is one finding, resolved to a file position.
+// Diagnostic is one finding, resolved to a file position. Chain, when
+// set, is the hot-path call chain that makes the position reachable
+// (hotpathlock, allocfree) — redundant with the message for human
+// output but split out for -json consumers. Warning marks a
+// non-failing diagnostic: the check could not run to a verdict
+// (allocfree with no compiler output) and says so instead of silently
+// passing.
 type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	Chain   string
+	Warning bool
 }
 
 func (d Diagnostic) String() string {
+	if d.Warning {
+		return fmt.Sprintf("%s: warning: %s [%s]", d.Pos, d.Message, d.Check)
+	}
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Check)
 }
 
@@ -48,6 +59,11 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	All      []*Package
+
+	// Prog is the shared interprocedural engine over the loaded set —
+	// declaration index, call graph, reachability, per-run summary
+	// caches — built once per Run (callgraph.go).
+	Prog *Program
 
 	// RanChecks holds the directive tokens of every analyzer in this
 	// run. StaleSuppress consults it so a partial run (-checks floateq)
@@ -74,12 +90,18 @@ func (p *Pass) forPkg(pkg *Package) *Pass {
 	if pkg == p.Pkg {
 		return p
 	}
-	return &Pass{Analyzer: p.Analyzer, Pkg: pkg, All: p.All, diags: p.diags}
+	return &Pass{Analyzer: p.Analyzer, Pkg: pkg, All: p.All, Prog: p.Prog, diags: p.diags}
 }
 
 // Reportf records a finding at pos unless a //bladelint:allow directive
 // covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportChain(pos, "", format, args...)
+}
+
+// reportChain is Reportf carrying the call chain that makes pos
+// reachable, preserved as a structured field for -json output.
+func (p *Pass) reportChain(pos token.Pos, chain, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	if p.Pkg.directives.allowed(p.Analyzer.Directive, position) {
 		return
@@ -88,6 +110,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:     position,
 		Check:   p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
+	})
+}
+
+// Warnf records a non-failing warning at pos. Warnings bypass the
+// directive layer — they report that a check could NOT run, which no
+// //bladelint:allow should be able to hide — and never fail the build
+// on their own (the CLI exits 0 when only warnings remain).
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Warning: true,
 	})
 }
 
@@ -168,7 +204,7 @@ func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
 // must stay last: it judges the directive hit counters every earlier
 // analyzer's suppressed findings populated.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotPathLock, DetClock, RhoGuard, FloatEq, AtomicField, KahanCheck, StaleSuppress}
+	return []*Analyzer{HotPathLock, DetClock, RhoGuard, FloatEq, AtomicField, KahanCheck, AllocFree, RandBits, StaleSuppress}
 }
 
 // ByName returns the analyzers whose names appear in the comma-
@@ -200,11 +236,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, a := range analyzers {
 		ran[a.Directive] = true
 	}
+	prog := newProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		diags = append(diags, pkg.directives.errs...)
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, All: pkgs, RanChecks: ran, diags: &diags})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, All: pkgs, Prog: prog, RanChecks: ran, diags: &diags})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

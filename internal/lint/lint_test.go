@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -53,6 +55,70 @@ func TestKahanCheck(t *testing.T) {
 
 func TestKahanCheckOutOfScopePackage(t *testing.T) {
 	RunTest(t, KahanCheck, testdata("kahancheck_oos"))
+}
+
+// TestAllocFree drives the real compiler over the testdata package:
+// the wants pin both directions — gc-reported escapes inside
+// hot-reachable functions become findings, and escapes in cold code or
+// under an allow directive do not.
+func TestAllocFree(t *testing.T) {
+	RunTest(t, AllocFree, testdata("allocfree"))
+}
+
+// TestAllocFreeDegrade pins the skip-with-warning contract: when the
+// compiler's escape verdict is unavailable (no diagnostics emitted, or
+// the build fails outright) the check must emit exactly one
+// non-failing warning — never a silent pass, never a hard failure.
+func TestAllocFreeDegrade(t *testing.T) {
+	orig := escapeBuildOutput
+	defer func() { escapeBuildOutput = orig }()
+
+	cases := []struct {
+		name string
+		run  func(*Package) (string, error)
+	}{
+		{"no diagnostics", func(*Package) (string, error) { return "", nil }},
+		{"build failure", func(*Package) (string, error) { return "", fmt.Errorf("exit status 1") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			escapeBuildOutput = tc.run
+			pkgs, err := LoadDirs(testdata("allocfree"))
+			if err != nil {
+				t.Fatalf("loading: %v", err)
+			}
+			var warnings, failures int
+			for _, d := range Run(pkgs, []*Analyzer{AllocFree}) {
+				if d.Warning {
+					warnings++
+					if !strings.Contains(d.Message, "could not certify") {
+						t.Errorf("warning %q does not say certification was skipped", d.Message)
+					}
+				} else {
+					failures++
+				}
+			}
+			if warnings != 1 || failures != 0 {
+				t.Errorf("got %d warnings, %d failures; want exactly 1 warning, 0 failures", warnings, failures)
+			}
+		})
+	}
+}
+
+func TestRandBits(t *testing.T) {
+	RunTest(t, RandBits, testdata("randbits"))
+}
+
+// TestRandBitsWidened and TestRandBitsSpare are the acceptance
+// demonstrations: widening any one rand-word slice by one bit — the
+// trial coin, the batch pick, or the topmost gate into the spare
+// budget — fails the layout rules.
+func TestRandBitsWidened(t *testing.T) {
+	RunTest(t, RandBits, testdata("randbits_widened"))
+}
+
+func TestRandBitsSpare(t *testing.T) {
+	RunTest(t, RandBits, testdata("randbits_spare"))
 }
 
 // TestByName pins the CLI's -checks plumbing.

@@ -20,9 +20,14 @@ import (
 )
 
 // Package is one loaded, type-checked package plus its parsed
-// directives — the unit every analyzer runs over.
+// directives — the unit every analyzer runs over. Dir and GoFiles
+// record where the sources live on disk so analyzers that shell out to
+// the toolchain (allocfree's escape-analysis build) can reconstruct
+// the exact compile.
 type Package struct {
 	PkgPath string
+	Dir     string
+	GoFiles []string
 	Fset    *token.FileSet
 	Files   []*ast.File
 	Types   *types.Package
@@ -46,12 +51,16 @@ func newInfo() *types.Info {
 }
 
 // listedPackage is the subset of `go list -json` output the loader
-// consumes.
+// consumes. DepOnly distinguishes dependency-closure entries from the
+// packages the patterns actually matched, so one `go list -deps
+// -export` call serves both as the export-data builder and the target
+// list.
 type listedPackage struct {
 	ImportPath string
 	Dir        string
 	Name       string
 	Standard   bool
+	DepOnly    bool
 	Export     string
 	GoFiles    []string
 	Imports    []string
@@ -117,28 +126,28 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	// One pass over the dependency closure builds export data for every
-	// import (including intra-module ones) offline in the build cache.
-	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...)...)
+	// ONE `go list -deps -export` pass serves every analyzer in the
+	// invocation: it builds export data for the whole dependency
+	// closure (including intra-module imports) offline in the build
+	// cache, and its DepOnly flag separates the pattern-matched target
+	// packages from the closure — so the loader no longer pays a second
+	// `go list` walk just to learn the target list.
+	listed, err := goList(dir, append([]string{"-deps", "-export"}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
 	exports := map[string]string{}
-	for _, p := range deps {
+	for _, p := range listed {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-	}
-	targets, err := goList(dir, patterns...)
-	if err != nil {
-		return nil, err
 	}
 
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, exports)
 	var pkgs []*Package
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
+	for _, t := range listed {
+		if t.DepOnly || t.Standard || len(t.GoFiles) == 0 {
 			continue
 		}
 		var filenames []string
@@ -149,6 +158,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Dir = t.Dir
+		pkg.GoFiles = t.GoFiles
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -239,7 +250,15 @@ func LoadDir(dir string) (*Package, error) {
 	}
 
 	fset = token.NewFileSet()
-	return check(fset, newExportImporter(fset, exports), filepath.Base(dir), filenames)
+	pkg, err := check(fset, newExportImporter(fset, exports), filepath.Base(dir), filenames)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	for _, name := range filenames {
+		pkg.GoFiles = append(pkg.GoFiles, filepath.Base(name))
+	}
+	return pkg, nil
 }
 
 // memImporter resolves imports from already-checked in-memory packages
@@ -310,6 +329,10 @@ func LoadDirs(dirs ...string) ([]*Package, error) {
 		pkg, err := check(fset, imp, filepath.Base(dir), filenames)
 		if err != nil {
 			return nil, err
+		}
+		pkg.Dir = dir
+		for _, name := range filenames {
+			pkg.GoFiles = append(pkg.GoFiles, filepath.Base(name))
 		}
 		mem[pkg.PkgPath] = pkg.Types
 		pkgs = append(pkgs, pkg)

@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math/bits"
+	"strings"
+)
+
+// RandBits proves the one-rand-word bit layout (serve/randbits.go,
+// DESIGN §15). The lock-free hot path draws a single 64-bit word per
+// decision and every randomized step consumes its own bit slice; two
+// consumers sharing bits correlate decisions the plan's probabilistic
+// model assumes independent, and the correlation is invisible to every
+// statistical test the suite runs at CI scale. The runtime disjointness
+// test pins the constants, but nothing checked that the CODE consuming
+// the word actually honors them — a shift off by one, a mask one bit
+// too wide, or a new consumer helping itself to "spare" bits would slip
+// past both.
+//
+// The analyzer activates on any package that defines the layout
+// constants by name, then enforces two layers:
+//
+//  1. Layout rules over the constants themselves: the single-shot word
+//     u must tile contiguously — est from bit 0, then rng, then the
+//     32-bit JSQ sample block, then trial, then gate — with exactly
+//     randSpareBits left above the gate; the batch pick variate must
+//     stay exactly 53 bits (the float64 [0,1) lattice) and clear of the
+//     batch gate slice. Tiling makes every widening a build failure:
+//     growing any slice by one bit breaks a seam or the spare count.
+//
+//  2. Dataflow over the consumers: every shift or mask applied to a
+//     tracked rand word (u/u0 carry the single-shot layout, w/ws[...]
+//     the batch layout) must resolve, against the constants, to the
+//     start and exact width of a slice that word's policy claims. An
+//     unresolvable (non-constant) shift or mask is a finding too — a
+//     slice the analyzer cannot check is a slice nobody is checking —
+//     suppressible only with an explicit //bladelint:allow randbits
+//     justification, which stalesuppress keeps honest.
+var RandBits = &Analyzer{
+	Name:      "randbits",
+	Directive: "randbits",
+	Doc:       "rand-word bit slices must match the claimed layout, pairwise disjoint per policy",
+	Run:       runRandBits,
+}
+
+// randJSQWidth is the JSQ sample block width: d ≤ 2 stations × 16 bits
+// each (DESIGN §15). Wider d draws a dedicated word instead of slicing
+// u, so the claim is fixed.
+const randJSQWidth = 32
+
+// randPickWidth is the batch static-pick variate width: the 53-bit
+// lattice rand.Float64 draws [0, 1) from. Any other width changes the
+// variate distribution.
+const randPickWidth = 53
+
+// bitClaim is one claimed slice [start, start+width) of a rand word.
+type bitClaim struct {
+	name  string
+	start int64
+	width int64
+}
+
+func (c bitClaim) end() int64 { return c.start + c.width }
+
+// randLayout is the bit layout resolved from a package's constants.
+type randLayout struct {
+	val    map[string]int64
+	pos    map[string]token.Pos
+	single []bitClaim // word u / u0: est, rng, jsq, trial, gate
+	batch  []bitClaim // word w / ws[j]: pick, jsq, gate
+}
+
+// randLayoutConstants are the constant names that define the layout.
+// The first is the activation sentinel: a package defining it is
+// claiming the layout and must define all of them.
+var randLayoutConstants = []string{
+	"randEstShardBits",
+	"randPickShardBits", "randPickShardShift",
+	"randSampleShift",
+	"randTrialBits", "randTrialShift",
+	"randLatGateBits", "randLatGateShift",
+	"randBatchPickBits",
+	"randSpareBits",
+}
+
+// resolveRandLayout reads the layout constants from the package scope,
+// or returns nil when the package does not define the layout at all.
+func resolveRandLayout(pass *Pass) *randLayout {
+	scope := pass.TypesPkg().Scope()
+	if scope.Lookup(randLayoutConstants[0]) == nil {
+		return nil
+	}
+	l := &randLayout{val: map[string]int64{}, pos: map[string]token.Pos{}}
+	for _, name := range randLayoutConstants {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			pass.Reportf(pass.Pkg.Files[0].Package,
+				"package claims the rand-word bit layout (%s is defined) but is missing constant %s",
+				randLayoutConstants[0], name)
+			return nil
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			pass.Reportf(c.Pos(), "rand-word layout constant %s is not an integer", name)
+			return nil
+		}
+		l.val[name] = v
+		l.pos[name] = c.Pos()
+	}
+	l.single = []bitClaim{
+		{"est", 0, l.val["randEstShardBits"]},
+		{"rng", l.val["randPickShardShift"], l.val["randPickShardBits"]},
+		{"jsq", l.val["randSampleShift"], randJSQWidth},
+		{"trial", l.val["randTrialShift"], l.val["randTrialBits"]},
+		{"gate", l.val["randLatGateShift"], l.val["randLatGateBits"]},
+	}
+	l.batch = []bitClaim{
+		{"pick", 0, l.val["randBatchPickBits"]},
+		{"jsq", l.val["randSampleShift"], randJSQWidth},
+		{"gate", l.val["randLatGateShift"], l.val["randLatGateBits"]},
+	}
+	return l
+}
+
+// checkRandLayout enforces the layout rules over the constants. The u
+// slices must tile [0, 64) contiguously in claim order with exactly
+// randSpareBits above the gate, so ANY widening — even into bits
+// nothing consumes yet — breaks a seam and fails the build; spare bits
+// are claimed by name, not left implicit.
+func checkRandLayout(pass *Pass, l *randLayout) {
+	seams := []struct {
+		shiftConst string // the constant that positions the later slice
+		prev, next int    // indices into l.single
+	}{
+		{"randPickShardShift", 0, 1},
+		{"randSampleShift", 1, 2},
+		{"randTrialShift", 2, 3},
+		{"randLatGateShift", 3, 4},
+	}
+	for _, s := range seams {
+		prev, next := l.single[s.prev], l.single[s.next]
+		if next.start != prev.end() {
+			pass.Reportf(l.pos[s.shiftConst],
+				"%s slice starts at bit %d but the %s slice ends at bit %d: the u layout must tile contiguously (%s)",
+				next.name, next.start, prev.name, prev.end(), claimList(l.single))
+		}
+	}
+	gate := l.single[len(l.single)-1]
+	if spare := l.val["randSpareBits"]; gate.end()+spare != 64 {
+		pass.Reportf(l.pos["randSpareBits"],
+			"gate slice ends at bit %d and randSpareBits claims %d spare bits, but the word has 64: every bit must be claimed or spare",
+			gate.end(), spare)
+	}
+	pick := l.batch[0]
+	if pick.width != randPickWidth {
+		pass.Reportf(l.pos["randBatchPickBits"],
+			"randBatchPickBits = %d: the batch pick variate must stay exactly %d bits, the float64 [0, 1) lattice width",
+			pick.width, randPickWidth)
+	}
+	// pick and jsq overlap by design (alternative consumers: a plan
+	// routes by exactly one policy); each must stay clear of the gate,
+	// which fires under both policies.
+	bgate := l.batch[len(l.batch)-1]
+	for _, c := range l.batch[:len(l.batch)-1] {
+		if c.start < bgate.end() && bgate.start < c.end() {
+			pass.Reportf(l.pos["randBatchPickBits"],
+				"batch %s slice [%d,%d) overlaps the latency-gate slice [%d,%d)",
+				c.name, c.start, c.end(), bgate.start, bgate.end())
+		}
+	}
+}
+
+// claimList renders a claim set for diagnostics.
+func claimList(claims []bitClaim) string {
+	parts := make([]string, len(claims))
+	for i, c := range claims {
+		parts[i] = fmt.Sprintf("%s@[%d,%d)", c.name, c.start, c.end())
+	}
+	return strings.Join(parts, " ")
+}
+
+// trackedWordClaims returns the claim set a rand-word expression
+// carries, or nil for expressions that are not tracked words. Tracking
+// is by the layout's own naming convention: u and u0 carry the
+// single-shot layout, w and ws[...] the batch layout, all uint64.
+func trackedWordClaims(pass *Pass, l *randLayout, e ast.Expr) []bitClaim {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if !isUint64(pass.TypeOf(x)) {
+			return nil
+		}
+		switch x.Name {
+		case "u", "u0":
+			return l.single
+		case "w":
+			return l.batch
+		}
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && id.Name == "ws" && isUint64(pass.TypeOf(e)) {
+			return l.batch
+		}
+	}
+	return nil
+}
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// constIntOf resolves a constant integer expression via the package's
+// type info.
+func constIntOf(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}
+
+// maskWidth returns k when v == 2^k − 1 (a contiguous low-bit mask).
+func maskWidth(v int64) (int64, bool) {
+	if v <= 0 || v&(v+1) != 0 {
+		return 0, false
+	}
+	return int64(bits.Len64(uint64(v))), true
+}
+
+func runRandBits(pass *Pass) {
+	l := resolveRandLayout(pass)
+	if l == nil {
+		return
+	}
+	checkRandLayout(pass, l)
+	for _, f := range pass.Files() {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		checkRandConsumers(pass, f, l)
+	}
+}
+
+// checkRandConsumers walks one file for shift/mask consumption of
+// tracked rand words and resolves each consumed interval against the
+// word's claim set. Precedence makes `u >> S & M` parse as
+// `(u >> S) & M`, so the AND case handles the combined form and marks
+// the inner shift as consumed; a bare shift (the word handed to a
+// callee that uses the low bits, e.g. float64U(u >> randPickShardShift))
+// is checked against claim starts only — the width lives in the callee.
+func checkRandConsumers(pass *Pass, f *ast.File, l *randLayout) {
+	consumed := map[ast.Expr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.AND:
+			word, mask := ast.Unparen(be.X), be.Y
+			claims := trackedWordClaims(pass, l, word)
+			start := int64(0)
+			if claims == nil {
+				// (word >> S) & M
+				sh, isShift := word.(*ast.BinaryExpr)
+				if !isShift || sh.Op != token.SHR {
+					return true
+				}
+				claims = trackedWordClaims(pass, l, sh.X)
+				if claims == nil {
+					return true
+				}
+				consumed[sh] = true
+				s, isConst := constIntOf(pass, sh.Y)
+				if !isConst {
+					pass.Reportf(sh.Pos(),
+						"rand word %s is shifted by a non-constant amount; the consumed slice cannot be checked against the layout — restructure, or annotate //bladelint:allow randbits with the justification",
+						types.ExprString(sh.X))
+					return true
+				}
+				start = s
+			}
+			mv, isConst := constIntOf(pass, mask)
+			if !isConst {
+				pass.Reportf(be.Pos(),
+					"mask over rand word %s does not resolve to a constant; the consumed slice cannot be checked against the layout — restructure, or annotate //bladelint:allow randbits with the justification",
+					types.ExprString(word))
+				return true
+			}
+			width, isMask := maskWidth(mv)
+			if !isMask {
+				pass.Reportf(be.Pos(),
+					"mask %#x over rand word %s is not a contiguous low-bit mask; the consumed slice is not checkable against the layout",
+					mv, types.ExprString(word))
+				return true
+			}
+			if !claimMatch(claims, start, width) {
+				pass.Reportf(be.Pos(),
+					"rand-word consumer reads bits [%d,%d), which is not a claimed slice of this word's layout (%s)",
+					start, start+width, claimList(claims))
+			}
+			return true
+
+		case token.SHR:
+			if consumed[be] {
+				return true
+			}
+			claims := trackedWordClaims(pass, l, be.X)
+			if claims == nil {
+				return true
+			}
+			s, isConst := constIntOf(pass, be.Y)
+			if !isConst {
+				pass.Reportf(be.Pos(),
+					"rand word %s is shifted by a non-constant amount; the consumed slice cannot be checked against the layout — restructure, or annotate //bladelint:allow randbits with the justification",
+					types.ExprString(be.X))
+				return true
+			}
+			if !claimStart(claims, s) {
+				pass.Reportf(be.Pos(),
+					"rand word %s is shifted by %d, which is not the start of any claimed slice (%s)",
+					types.ExprString(be.X), s, claimList(claims))
+			}
+		}
+		return true
+	})
+}
+
+// claimMatch reports whether [start, start+width) is exactly one of
+// the claimed slices.
+func claimMatch(claims []bitClaim, start, width int64) bool {
+	for _, c := range claims {
+		if c.start == start && c.width == width {
+			return true
+		}
+	}
+	return false
+}
+
+// claimStart reports whether start begins one of the claimed slices.
+func claimStart(claims []bitClaim, start int64) bool {
+	for _, c := range claims {
+		if c.start == start {
+			return true
+		}
+	}
+	return false
+}

@@ -24,6 +24,15 @@ import (
 //   - a comparison of the denominator variable itself against 0;
 //   - a ValidateRho call on it.
 //
+// Denominators are tracked interprocedurally through helper calls via
+// the engine's summary layer: a call to a helper that returns a
+// 1−ρ-shaped value of its parameters (omr(rho), oneMinus(rho2), a
+// helper composing such helpers) is itself a 1−ρ-shaped factor whose ρ
+// is the helper's argument, so `x / omr(rho)` demands the same guard
+// on rho that `x / (1 - rho)` does. The pre-engine pass only saw
+// local dataflow and silently exempted exactly those helper-wrapped
+// denominators.
+//
 // A division whose stability is guaranteed by the caller instead is
 // annotated //bladelint:allow rhoguard with the one-line reason.
 var RhoGuard = &Analyzer{
@@ -49,16 +58,96 @@ func runRhoGuard(pass *Pass) {
 	if !rhoGuardPackages[pass.PkgName()] {
 		return
 	}
+	sums := rhoSummaries(pass.Prog)
 	for _, f := range pass.Files() {
 		if pass.IsTestFile(f) {
 			continue
 		}
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkRhoGuards(pass, fd)
+				checkRhoGuards(pass, fd, sums)
 			}
 		}
 	}
+}
+
+// rhoSummary is the engine-layer summary of one helper: the indices of
+// the parameters that flow into the subtrahend of a 1−ρ-shaped value
+// the helper returns. A call to such a helper is a 1−ρ-shaped factor
+// whose ρ is the arguments at those indices.
+type rhoSummary struct {
+	params []int
+}
+
+// rhoSummaries computes (once per run, memoized on the Program) the
+// helper summaries for every function in the in-scope packages. Two
+// fixpoint rounds let helpers compose: a helper returning
+// scale * omr(rho) is summarized through omr's own summary.
+func rhoSummaries(prog *Program) map[string]rhoSummary {
+	return prog.Cache("rhoguard.summaries", func() any {
+		sums := map[string]rhoSummary{}
+		for round := 0; round < 2; round++ {
+			for _, pkg := range prog.Packages() {
+				if !rhoGuardPackages[pkg.Types.Name()] {
+					continue
+				}
+				for _, n := range prog.FuncsOf(pkg) {
+					if s := summarizeRhoFunc(pkg, n.Decl, sums); len(s.params) > 0 {
+						sums[n.Key] = s
+					}
+				}
+			}
+		}
+		return sums
+	}).(map[string]rhoSummary)
+}
+
+// summarizeRhoFunc inspects fd's return statements for 1−ρ-shaped
+// values and maps their factors back to parameter indices.
+func summarizeRhoFunc(pkg *Package, fd *ast.FuncDecl, sums map[string]rhoSummary) rhoSummary {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return rhoSummary{}
+	}
+	paramIdx := map[types.Object]int{}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				paramIdx[obj] = i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	if len(paramIdx) == 0 {
+		return rhoSummary{}
+	}
+	defs := localDefs(pkg, fd)
+	found := map[int]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			factors, _ := rhoShapedFactors(pkg, defs, sums, res, 0)
+			for _, factor := range factors {
+				for obj := range factor {
+					if idx, ok := paramIdx[obj]; ok {
+						found[idx] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	var params []int
+	for idx := range found {
+		params = append(params, idx)
+	}
+	return rhoSummary{params: params}
 }
 
 // funcDefs is the one-step local dataflow of a function body: for each
@@ -70,7 +159,7 @@ type funcDefs struct {
 	rhs  map[types.Object][]ast.Expr
 }
 
-func localDefs(pass *Pass, fd *ast.FuncDecl) *funcDefs {
+func localDefs(pkg *Package, fd *ast.FuncDecl) *funcDefs {
 	defs := &funcDefs{
 		srcs: map[types.Object]map[types.Object]bool{},
 		rhs:  map[types.Object][]ast.Expr{},
@@ -85,14 +174,14 @@ func localDefs(pass *Pass, fd *ast.FuncDecl) *funcDefs {
 			if !ok {
 				continue
 			}
-			obj := pass.ObjectOf(id)
+			obj := pkg.Info.ObjectOf(id)
 			if obj == nil {
 				continue
 			}
 			if defs.srcs[obj] == nil {
 				defs.srcs[obj] = map[types.Object]bool{}
 			}
-			collectIdentObjs(pass, assign.Rhs[i], defs.srcs[obj])
+			collectIdentObjs(pkg, assign.Rhs[i], defs.srcs[obj])
 			defs.rhs[obj] = append(defs.rhs[obj], assign.Rhs[i])
 		}
 		return true
@@ -101,8 +190,9 @@ func localDefs(pass *Pass, fd *ast.FuncDecl) *funcDefs {
 }
 
 // checkRhoGuards analyzes one function body.
-func checkRhoGuards(pass *Pass, fd *ast.FuncDecl) {
-	defs := localDefs(pass, fd)
+func checkRhoGuards(pass *Pass, fd *ast.FuncDecl, sums map[string]rhoSummary) {
+	pkg := pass.Pkg
+	defs := localDefs(pkg, fd)
 
 	// Collect the guards: positions of stability comparisons and
 	// ValidateRho calls, keyed by the object set each one constrains.
@@ -124,9 +214,9 @@ func checkRhoGuards(pass *Pass, fd *ast.FuncDecl) {
 			}
 			other := ast.Unparen(pair[1])
 			switch {
-			case isConstVal(pass, other, 1):
+			case isConstVal(pkg, other, 1):
 				guards = append(guards, guard{cmp.OpPos, defs.closure(obj), false})
-			case isConstVal(pass, other, 0):
+			case isConstVal(pkg, other, 0):
 				guards = append(guards, guard{cmp.OpPos, defs.closure(obj), true})
 			default:
 				if oid, ok := other.(*ast.Ident); ok && boundName.MatchString(oid.Name) {
@@ -146,7 +236,7 @@ func checkRhoGuards(pass *Pass, fd *ast.FuncDecl) {
 			if fn := pass.CalleeFunc(n); fn != nil && fn.Name() == "ValidateRho" {
 				objs := map[types.Object]bool{}
 				for _, arg := range n.Args {
-					collectIdentObjs(pass, arg, objs)
+					collectIdentObjs(pkg, arg, objs)
 				}
 				guards = append(guards, guard{n.Pos(), defs.closeOver(objs), false})
 			}
@@ -179,7 +269,7 @@ func checkRhoGuards(pass *Pass, fd *ast.FuncDecl) {
 	}
 
 	report := func(pos token.Pos, denom ast.Expr) {
-		factors, denomVar := rhoShapedFactors(pass, defs, denom, 0)
+		factors, denomVar := rhoShapedFactors(pkg, defs, sums, denom, 0)
 		for _, factor := range factors {
 			if !guarded(pos, factor, denomVar) {
 				pass.Reportf(pos,
@@ -205,10 +295,10 @@ func checkRhoGuards(pass *Pass, fd *ast.FuncDecl) {
 
 // collectIdentObjs adds the object of every identifier in expr to out
 // (including the base identifiers of selector expressions).
-func collectIdentObjs(pass *Pass, expr ast.Expr, out map[types.Object]bool) {
+func collectIdentObjs(pkg *Package, expr ast.Expr, out map[types.Object]bool) {
 	ast.Inspect(expr, func(n ast.Node) bool {
 		if id, ok := n.(*ast.Ident); ok {
-			if obj := pass.ObjectOf(id); obj != nil {
+			if obj := pkg.Info.ObjectOf(id); obj != nil {
 				out[obj] = true
 			}
 		}
@@ -256,8 +346,9 @@ func (d *funcDefs) closeOver(seed map[types.Object]bool) map[types.Object]bool {
 // factors. Each factor is returned as the flow closure of the
 // identifiers inside its subtrahend (the ρ in 1−ρ). denomVar is the
 // denominator's own variable when the whole denominator is a single
-// identifier (so omr <= 0 style guards can clear it).
-func rhoShapedFactors(pass *Pass, defs *funcDefs, denom ast.Expr, depth int) (factors []map[types.Object]bool, denomVar types.Object) {
+// identifier (so omr <= 0 style guards can clear it). Calls to
+// summarized helpers (sums) are factors of their summarized arguments.
+func rhoShapedFactors(pkg *Package, defs *funcDefs, sums map[string]rhoSummary, denom ast.Expr, depth int) (factors []map[types.Object]bool, denomVar types.Object) {
 	if depth > 8 {
 		return nil, nil
 	}
@@ -266,33 +357,48 @@ func rhoShapedFactors(pass *Pass, defs *funcDefs, denom ast.Expr, depth int) (fa
 	case *ast.BinaryExpr:
 		switch e.Op {
 		case token.MUL:
-			fx, _ := rhoShapedFactors(pass, defs, e.X, depth+1)
-			fy, _ := rhoShapedFactors(pass, defs, e.Y, depth+1)
+			fx, _ := rhoShapedFactors(pkg, defs, sums, e.X, depth+1)
+			fy, _ := rhoShapedFactors(pkg, defs, sums, e.Y, depth+1)
 			return append(fx, fy...), nil
 		case token.SUB:
-			if isConstVal(pass, ast.Unparen(e.X), 1) {
+			if isConstVal(pkg, ast.Unparen(e.X), 1) {
 				objs := map[types.Object]bool{}
-				collectIdentObjs(pass, e.Y, objs)
+				collectIdentObjs(pkg, e.Y, objs)
 				return []map[types.Object]bool{defs.closeOver(objs)}, nil
 			}
 		}
 	case *ast.Ident:
-		obj := pass.ObjectOf(e)
+		obj := pkg.Info.ObjectOf(e)
 		if obj == nil {
 			return nil, nil
 		}
 		// An identifier is rho-shaped if some local definition of it is.
 		for _, rhs := range defs.rhs[obj] {
-			fs, _ := rhoShapedFactors(pass, defs, rhs, depth+1)
+			fs, _ := rhoShapedFactors(pkg, defs, sums, rhs, depth+1)
 			if len(fs) > 0 {
 				return fs, obj
 			}
 		}
 	case *ast.CallExpr:
 		// math.Pow(1−ρ, k) denominators.
-		if fn := pass.CalleeFunc(e); fn != nil && fn.Pkg() != nil &&
-			fn.Pkg().Path() == "math" && fn.Name() == "Pow" && len(e.Args) == 2 {
-			return rhoShapedFactors(pass, defs, e.Args[0], depth+1)
+		if fn := calleeFunc(pkg, e); fn != nil {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Pow" && len(e.Args) == 2 {
+				return rhoShapedFactors(pkg, defs, sums, e.Args[0], depth+1)
+			}
+			// A summarized helper: omr(rho) is 1−ρ-shaped in rho. The
+			// factor is the flow closure of the arguments feeding the
+			// helper's subtrahend parameters.
+			if s, ok := sums[funcKey(fn)]; ok {
+				objs := map[types.Object]bool{}
+				for _, idx := range s.params {
+					if idx < len(e.Args) {
+						collectIdentObjs(pkg, e.Args[idx], objs)
+					}
+				}
+				if len(objs) > 0 {
+					return []map[types.Object]bool{defs.closeOver(objs)}, nil
+				}
+			}
 		}
 	}
 	return nil, nil
@@ -300,8 +406,8 @@ func rhoShapedFactors(pass *Pass, defs *funcDefs, denom ast.Expr, depth int) (fa
 
 // isConstVal reports whether expr is a constant with the exact numeric
 // value v.
-func isConstVal(pass *Pass, expr ast.Expr, v int64) bool {
-	tv, ok := pass.Pkg.Info.Types[expr]
+func isConstVal(pkg *Package, expr ast.Expr, v int64) bool {
+	tv, ok := pkg.Info.Types[expr]
 	if !ok || tv.Value == nil {
 		return false
 	}

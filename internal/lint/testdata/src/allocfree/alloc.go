@@ -1,0 +1,44 @@
+// allocfree positive/negative coverage. This directory is compiled by
+// the real toolchain (`go build -gcflags=-m=2`), so every want below
+// pins an escape the gc compiler actually reports, mapped onto the
+// hot-path reachability graph rooted at the //bladelint:hotpath
+// functions.
+package allocfree
+
+var boxSink interface{}
+
+//bladelint:hotpath
+func hotRoot() int {
+	x := leakAddr()
+	return *x + clean(3)
+}
+
+// leakAddr is hot only transitively, through hotRoot — the finding's
+// chain must say so.
+func leakAddr() *int {
+	v := 42 // want `moved to heap: v`
+	return &v
+}
+
+// clean is hot-reachable and allocation-free: no finding.
+func clean(a int) int {
+	return a * 2
+}
+
+//bladelint:hotpath
+func hotBoxes() {
+	boxSink = 7 // want `7 escapes to heap`
+}
+
+// coldEscape allocates identically to leakAddr, but nothing hot
+// reaches it, so the compiler's diagnostic must not become a finding.
+func coldEscape() *int {
+	v := 99
+	return &v
+}
+
+//bladelint:hotpath
+func hotAllowed() *int {
+	v := 7 //bladelint:allow allocfree -- warmup scratch, measured off the decision path
+	return &v
+}

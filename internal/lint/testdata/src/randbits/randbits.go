@@ -1,0 +1,74 @@
+// randbits consumer coverage: a package claiming the rand-word layout
+// (it defines the constants by name), with consumers that resolve to
+// claimed slices (no findings), consumers that read off-layout
+// intervals (findings), and unresolvable masks/shifts (findings unless
+// explicitly allowed).
+package randbits
+
+const (
+	randEstShardBits = 6
+
+	randPickShardBits  = 6
+	randPickShardShift = 6
+
+	randSampleShift = 12
+
+	randTrialBits  = 12
+	randTrialShift = 44
+
+	randLatGateBits  = 3
+	randLatGateShift = 56
+
+	randBatchPickBits = 53
+
+	randSpareBits = 5
+)
+
+const stride = 1 << randLatGateBits
+
+type sharded struct{ mask uint64 }
+
+// singleConsumers exercises every claimed slice of the single-shot
+// word exactly as the serving path does: no findings.
+func singleConsumers(u uint64) (int, uint64, bool, bool, uint64) {
+	est := int(u & (1<<randEstShardBits - 1))
+	rng := u >> randPickShardShift
+	trial := u>>randTrialShift&(1<<randTrialBits-1) >= 7
+	gate := u>>randLatGateShift&(stride-1) == 0
+	jsq := u >> randSampleShift
+	return est, rng, trial, gate, jsq
+}
+
+func badSingle(u uint64, s sharded, n uint) {
+	_ = u >> 7                            // want `shifted by 7, which is not the start of any claimed slice`
+	_ = u & (1<<7 - 1)                    // want `reads bits \[0,7\), which is not a claimed slice`
+	_ = u >> randTrialShift & (1<<11 - 1) // want `reads bits \[44,55\), which is not a claimed slice`
+	_ = u & s.mask                        // want `does not resolve to a constant`
+	_ = u >> n                            // want `shifted by a non-constant amount`
+	_ = u & 5                             // want `not a contiguous low-bit mask`
+}
+
+// allowedDynamic is the annotated shape the real shard pickers use: a
+// runtime-sized mask, justified and suppressed.
+func allowedDynamic(u uint64, s sharded) uint64 {
+	return u & s.mask //bladelint:allow randbits -- shard-count cap sized at runtime, bounded by the slice the caller shifted in
+}
+
+// batchConsumers exercises the batch word's claims: pick, jsq, gate.
+func batchConsumers(w uint64, ws []uint64) (float64, uint64, bool) {
+	pick := float64(w&(1<<randBatchPickBits-1)) / (1 << randBatchPickBits)
+	samples := ws[0] >> randSampleShift
+	gate := w>>randLatGateShift&(stride-1) == 0
+	return pick, samples, gate
+}
+
+// badBatch consumes the trial slice from a batch word — a slice only
+// the single-shot layout claims.
+func badBatch(w uint64) {
+	_ = w >> randTrialShift // want `shifted by 44, which is not the start of any claimed slice`
+}
+
+// untracked words stay out of scope regardless of shape.
+func untracked(x uint64, s sharded) uint64 {
+	return x&s.mask + x>>7
+}

@@ -1,0 +1,23 @@
+// Spare-budget rule: widening the topmost slice does not break a seam
+// below it, so the explicit randSpareBits claim is what catches it —
+// the slices plus the named spare must cover the word exactly.
+package spare
+
+const (
+	randEstShardBits = 6
+
+	randPickShardBits  = 6
+	randPickShardShift = 6
+
+	randSampleShift = 12
+
+	randTrialBits  = 12
+	randTrialShift = 44
+
+	randLatGateBits  = 4
+	randLatGateShift = 56
+
+	randBatchPickBits = 53
+
+	randSpareBits = 5 // want `gate slice ends at bit 60 and randSpareBits claims 5 spare bits`
+)

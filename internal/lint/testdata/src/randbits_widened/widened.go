@@ -1,0 +1,24 @@
+// Widened slices: the acceptance demonstration that growing any one
+// rand-word slice by a single bit fails the layout rules. Here the
+// trial coin takes a 13th bit (breaking the trial/gate seam) and the
+// batch pick variate takes a 54th (leaving the float64 lattice).
+package widened
+
+const (
+	randEstShardBits = 6
+
+	randPickShardBits  = 6
+	randPickShardShift = 6
+
+	randSampleShift = 12
+
+	randTrialBits  = 13
+	randTrialShift = 44
+
+	randLatGateBits  = 3
+	randLatGateShift = 56 // want `gate slice starts at bit 56 but the trial slice ends at bit 57`
+
+	randBatchPickBits = 54 // want `must stay exactly 53 bits`
+
+	randSpareBits = 5
+)

@@ -1,0 +1,77 @@
+// Interprocedural denominators: 1−ρ-shaped values that reach the
+// division through helper calls instead of local expressions. The
+// pre-engine, local-only pass reported NOTHING in this file — a call
+// was an opaque value — so every want here pins the strictly-better
+// behavior of the summary-backed analyzer.
+package queueing
+
+import "math"
+
+// omr is the canonical helper: it returns a 1−ρ-shaped value of its
+// parameter, so the engine summarizes it as {params: [0]} and calls to
+// it become 1−ρ-shaped factors at the caller.
+func omr(rho float64) float64 {
+	return 1 - rho
+}
+
+// oneMinusSecond exercises non-zero parameter indices in the summary.
+func oneMinusSecond(scale, rho float64) float64 {
+	return scale * (1 - rho)
+}
+
+// composedOmr exercises the summary fixpoint: its own 1−ρ shape is
+// visible only through omr's summary.
+func composedOmr(rho float64) float64 {
+	return 2 * omr(rho)
+}
+
+func helperUnguarded(rho float64) float64 {
+	return rho / omr(rho) // want "1−ρ-shaped denominator"
+}
+
+func helperGuarded(rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / omr(rho)
+}
+
+func helperProductUnguarded(rho float64) float64 {
+	return rho / (omr(rho) * omr(rho)) // want "1−ρ-shaped denominator"
+}
+
+func helperSecondParamUnguarded(rho float64) float64 {
+	return rho / oneMinusSecond(2, rho) // want "1−ρ-shaped denominator"
+}
+
+func helperSecondParamGuarded(rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / oneMinusSecond(2, rho)
+}
+
+func composedUnguarded(rho float64) float64 {
+	return rho / composedOmr(rho) // want "1−ρ-shaped denominator"
+}
+
+// helperThroughLocal ties the helper call back to ρ through the local
+// dataflow closure: the guard is on a variable the argument flows from.
+func helperThroughLocal(lambda, mu float64) float64 {
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	d := omr(rho)
+	return rho / d
+}
+
+// notShaped returns plain arithmetic of its parameter — no summary, so
+// dividing by it stays out of scope exactly as before.
+func notShaped(x float64) float64 {
+	return x * 0.5
+}
+
+func plainHelperDivision(x float64) float64 {
+	return 1 / notShaped(x)
+}

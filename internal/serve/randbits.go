@@ -76,6 +76,13 @@ const (
 
 	randLatGateBits  = 3 // == log2(p2SampleStride); pinned by test
 	randLatGateShift = 56
+
+	// randSpareBits claims the unconsumed top of the word by name, so
+	// the layout tiles all 64 bits: est+rng+jsq+trial+gate+spare == 64
+	// (the randbits lint check enforces the sum). Widening any slice
+	// must shrink this count in the same commit — "spare" is a budget,
+	// not a free-for-all.
+	randSpareBits = 5
 )
 
 // hotShards sizes a per-CPU sharded structure whose shard pick consumes
