@@ -169,6 +169,8 @@ func (e *RateEstimator) ObserveAt(t time.Time, n float64) {
 // observeAtShard is the innermost write path; u supplies the shard
 // pick so a caller that already holds random bits (the dispatch hot
 // path draws one word per request) avoids a second generator call.
+//
+//bladelint:allow randbits -- e.mask is the runtime shard count minus one, capped at hotShards(randEstShardBits) so it stays inside the est slice of the layout
 func (e *RateEstimator) observeAtShard(t time.Time, n float64, u uint64) {
 	ep := e.epochAt(t, e.start(t))
 	sh := &e.shards[u&e.mask]

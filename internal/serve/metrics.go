@@ -154,6 +154,7 @@ func (m *shardedMetrics) countStationN(station int, n int64) {
 // batching the gate.
 //
 //bladelint:allow lock -- per-shard mutex on the sampled latency branch, amortized to one acquisition per batch; P² quantile state has no lock-free form
+//bladelint:allow randbits -- m.mask is the runtime metrics shard count minus one; u here is a fresh word drawn for shard selection, not the layout word (randbits.go: deliberate non-consumers)
 func (m *shardedMetrics) observeLatencyN(seconds float64, n int, u uint64) {
 	sh := &m.shards[u&m.mask]
 	sh.mu.Lock()
@@ -171,6 +172,7 @@ func (m *shardedMetrics) observeLatencyN(seconds float64, n int, u uint64) {
 // random word.
 //
 //bladelint:allow lock -- per-shard mutex on a 1-in-p2SampleStride sampled branch; P² quantile state has no lock-free form
+//bladelint:allow randbits -- m.mask is the runtime metrics shard count minus one; u here is a fresh word drawn for shard selection, not the layout word (randbits.go: deliberate non-consumers)
 func (m *shardedMetrics) observeLatency(seconds float64, u uint64) {
 	sh := &m.shards[u&m.mask]
 	sh.mu.Lock()

@@ -80,6 +80,8 @@ func newOutcomeTracker(stations, shards int) *outcomeTracker {
 // record feeds one completion into the tracker. u supplies the shard
 // pick so hot callers can reuse their per-request random word. Runs
 // under the hot-path discipline: atomic ops only, no allocation.
+//
+//bladelint:allow randbits -- t.mask is the runtime outcome shard count minus one, a contention cap rather than a layout slice; the low bits it reads are the est slice the estimator also shards by
 func (t *outcomeTracker) record(station int, kind Outcome, atNanos int64, latencySeconds float64, u uint64) {
 	if station < 0 || station >= len(t.ewma) || kind >= numOutcomes {
 		return

@@ -100,6 +100,8 @@ func (r *shardedRNG) float64U(u uint64) float64 {
 // mixed output. Only randPickShardBits bits of u are consumed (the
 // shard count is capped to match); the variate's entropy comes from
 // the shard's state walk, not from u.
+//
+//bladelint:allow randbits -- r.mask is the runtime shard count minus one, capped at 1<<randPickShardBits so it never reads past the rng slice the caller shifted in
 func (r *shardedRNG) uint64U(u uint64) uint64 {
 	sh := &r.shards[u&r.mask]
 	return splitmix64(sh.state.Add(splitmixGamma))
@@ -111,6 +113,8 @@ func (r *shardedRNG) uint64U(u uint64) uint64 {
 // reserved lattice point mixes into its own full-entropy output word.
 // Concurrent batches (and interleaved single draws) on the same shard
 // reserve disjoint spans, so no word is ever handed out twice.
+//
+//bladelint:allow randbits -- r.mask is the runtime shard count minus one, capped at 1<<randPickShardBits so it never reads past the rng slice the caller shifted in
 func (r *shardedRNG) fillU(u uint64, dst []uint64) {
 	sh := &r.shards[u&r.mask]
 	stride := splitmixGamma * uint64(len(dst))
